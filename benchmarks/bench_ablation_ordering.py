@@ -1,0 +1,34 @@
+"""Ablation: vertex orderings (Observations 2 and 3).
+
+Regenerates the ordering comparison and asserts:
+
+* tree-decomposition ordering beats degree ordering on road networks
+  (index entries — Observation 3);
+* degree ordering beats tree-decomposition on social networks
+  (Observation 2);
+* the hybrid ordering tracks the winner on both (within a small factor) —
+  the design goal of Section IV.D.
+"""
+
+from conftest import attach_table
+
+from repro.bench.experiments import ablation_ordering
+
+
+def test_ablation_ordering(benchmark):
+    table = benchmark.pedantic(ablation_ordering, rounds=1, iterations=1)
+    attach_table(benchmark, table)
+
+    road, social = "CAL", "EU"
+
+    road_degree = table.feasible_value(road, "degree-entries")
+    road_treedec = table.feasible_value(road, "treedec-entries")
+    road_hybrid = table.feasible_value(road, "hybrid-entries")
+    assert road_treedec < road_degree, "Observation 3: treedec wins on road"
+    assert road_hybrid <= road_treedec * 1.2, "hybrid must track treedec"
+
+    social_degree = table.feasible_value(social, "degree-entries")
+    social_treedec = table.feasible_value(social, "treedec-entries")
+    social_hybrid = table.feasible_value(social, "hybrid-entries")
+    assert social_degree < social_treedec, "Observation 2: degree wins on social"
+    assert social_hybrid <= social_degree * 2.0, "hybrid must track degree"

@@ -1,0 +1,28 @@
+"""Ablation: the "further pruning" cover memo (Section IV.C).
+
+The memo is sound but — as the distance/quality priority order already
+forces strictly increasing qualities per vertex within a BFS — it rarely
+fires (measured and documented in EXPERIMENTS.md).  The assertions pin the
+semantics: identical index, never more cover tests than without it.
+"""
+
+from conftest import attach_table
+
+from repro.bench.experiments import ablation_pruning
+from repro.core import WCIndexBuilder
+from repro.workloads import datasets as ds
+
+
+def test_ablation_pruning(benchmark):
+    table = benchmark.pedantic(ablation_pruning, rounds=1, iterations=1)
+    attach_table(benchmark, table)
+    assert table.feasible_value("no-memo", "memo_pruned") == 0
+    assert table.feasible_value("with-memo", "cover_tests") <= (
+        table.feasible_value("no-memo", "cover_tests")
+    )
+
+    # The memo must not change the produced index.
+    graph = ds.load("COL")
+    with_memo = WCIndexBuilder(graph, "hybrid", further_pruning=True).build()
+    without = WCIndexBuilder(graph, "hybrid", further_pruning=False).build()
+    assert with_memo.entry_count() == without.entry_count()

@@ -1,0 +1,24 @@
+"""Ablation: query implementations (Section IV.C).
+
+Asserts the complexity ladder of the three query kernels on real labels:
+linear (Query+, Algorithm 5) <= binary-search <= naive (Algorithm 2),
+allowing generous noise margins for the microsecond regime.
+"""
+
+from conftest import attach_table
+
+from repro.bench.experiments import ablation_query_kernel
+
+
+def test_ablation_query_kernel(benchmark):
+    table = benchmark.pedantic(
+        ablation_query_kernel, kwargs={"query_count": 300}, rounds=1, iterations=1
+    )
+    attach_table(benchmark, table)
+    (row,) = table.rows
+    naive = table.feasible_value(row, "naive")
+    binary = table.feasible_value(row, "binary")
+    linear = table.feasible_value(row, "linear")
+    assert linear <= naive, "Query+ must not lose to the naive double loop"
+    assert binary <= naive * 1.1, "binary search must not lose to naive"
+    assert linear <= binary * 1.25, "linear merge should match or beat binary"

@@ -1,0 +1,35 @@
+"""Index-construction microbenchmarks: the per-method bars of Figures 5
+and 10 on one road and one social dataset, measured natively by
+pytest-benchmark (single round — builds are seconds, not microseconds).
+"""
+
+import pytest
+
+from repro.baselines import NaivePerQualityIndex
+from repro.core import WCIndexBuilder
+
+METHODS = {
+    "naive": lambda g: NaivePerQualityIndex(g),
+    "wc-index": lambda g: WCIndexBuilder(
+        g, "hybrid", query_kernel="naive", further_pruning=False
+    ).build(),
+    "wc-index-plus": lambda g: WCIndexBuilder(
+        g, "hybrid", query_kernel="linear", further_pruning=True
+    ).build(),
+}
+
+
+@pytest.mark.parametrize("method", list(METHODS))
+def test_build_road_fla(benchmark, small_road_graph, method):
+    result = benchmark.pedantic(
+        METHODS[method], args=(small_road_graph,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["entries"] = result.entry_count()
+
+
+@pytest.mark.parametrize("method", list(METHODS))
+def test_build_social_eu(benchmark, small_social_graph, method):
+    result = benchmark.pedantic(
+        METHODS[method], args=(small_social_graph,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["entries"] = result.entry_count()

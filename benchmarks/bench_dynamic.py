@@ -1,0 +1,23 @@
+"""Future-work extension (Section VIII): dynamic index maintenance.
+
+Regenerates the incremental-insertion vs full-rebuild comparison and
+asserts the point of the extension: repairing after an edge insertion is
+much cheaper than rebuilding, while answers stay exact (exactness is
+enforced separately by tests/core/test_dynamic.py and the hypothesis
+suite).
+"""
+
+from conftest import attach_table
+
+from repro.bench.experiments import dynamic_updates
+
+
+def test_dynamic_updates(benchmark):
+    table = benchmark.pedantic(dynamic_updates, rounds=1, iterations=1)
+    attach_table(benchmark, table)
+    per_update = table.feasible_value("incremental", "seconds_per_update")
+    rebuild = table.feasible_value("rebuild", "seconds_per_update")
+    assert per_update is not None and rebuild is not None
+    assert per_update * 3 < rebuild, (
+        "incremental repair must be several times cheaper than rebuilding"
+    )

@@ -1,0 +1,34 @@
+"""Exp 2 / Figure 6: index size on road networks.
+
+Shape assertions:
+
+* WC-INDEX and WC-INDEX+ have identical sizes (same vertex ordering, same
+  label sets — the query-efficient technique only accelerates
+  construction);
+* Naive holds more label entries than WC-INDEX wherever it can be built
+  (per-quality-level duplication vs one Pareto staircase).
+"""
+
+from conftest import attach_table
+
+
+def test_exp2_index_size_road(benchmark, road_indexing_tables):
+    table = benchmark.pedantic(
+        lambda: road_indexing_tables["size"], rounds=1, iterations=1
+    )
+    attach_table(benchmark, table)
+
+    for name in table.rows:
+        wc = table.feasible_value(name, "WC-INDEX")
+        wc_plus = table.feasible_value(name, "WC-INDEX+")
+        assert wc == wc_plus, f"{name}: WC and WC+ sizes must coincide"
+        naive = table.feasible_value(name, "Naive")
+        if naive is not None:
+            assert naive > wc, (
+                f"{name}: naive per-level entries must exceed WC-INDEX"
+            )
+
+    # Size grows along the dataset ladder.
+    rows = list(table.rows)
+    wc_sizes = [table.feasible_value(name, "WC-INDEX") for name in rows]
+    assert wc_sizes == sorted(wc_sizes)

@@ -1,0 +1,43 @@
+"""Exp 4 / Figures 8-9: indexing time and size with |w| = 20.
+
+Shape assertions:
+
+* WC-INDEX+ is the fastest method to construct on every dataset (Fig. 8);
+* WC-INDEX and WC-INDEX+ sizes coincide; Naive is several times larger
+  wherever constructible (Fig. 9) — at |w| = 20 the per-level duplication
+  is much heavier than at |w| = 5;
+* Naive hits INF (memory budget) earlier in the ladder than at |w| = 5.
+"""
+
+from conftest import attach_table
+
+from repro.bench.experiments import exp4_large_w
+
+
+def test_exp4_large_w(benchmark):
+    tables = benchmark.pedantic(exp4_large_w, rounds=1, iterations=1)
+    time_table, size_table = tables["time"], tables["size"]
+    attach_table(benchmark, time_table)
+    attach_table(benchmark, size_table)
+
+    for name in time_table.rows:
+        wc = time_table.feasible_value(name, "WC-INDEX")
+        wc_plus = time_table.feasible_value(name, "WC-INDEX+")
+        assert wc_plus is not None and wc is not None
+        if wc > 0.1:
+            assert wc_plus < wc
+        naive = time_table.feasible_value(name, "Naive")
+        if naive is not None and naive > 0.1:
+            # Fig. 8: at |w|=20 WC-INDEX+ beats Naive in build time too.
+            assert wc_plus < naive, f"{name}: WC-INDEX+ must beat Naive"
+
+    ratios = []
+    for name in size_table.rows:
+        wc = size_table.feasible_value(name, "WC-INDEX")
+        assert wc == size_table.feasible_value(name, "WC-INDEX+")
+        naive = size_table.feasible_value(name, "Naive")
+        if naive is not None:
+            ratios.append(naive / wc)
+    assert ratios and min(ratios) > 2.0, (
+        "at |w|=20 the naive index must be several times larger"
+    )

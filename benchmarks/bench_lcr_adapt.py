@@ -1,0 +1,31 @@
+"""LCR-adapt baseline comparison.
+
+The paper adapts the state-of-the-art Label Constrained Reachability index
+as a baseline; its set-inclusion dominance retains far more label entries
+than WC-INDEX's scalar quality dominance.  Asserts:
+
+* LCR-adapt holds strictly more entries than WC-INDEX+ on every dataset it
+  can be built on;
+* LCR-adapt construction is slower than WC-INDEX+.
+"""
+
+from conftest import attach_table
+
+from repro.bench.experiments import lcr_comparison
+
+
+def test_lcr_adapt_comparison(benchmark):
+    table = benchmark.pedantic(lcr_comparison, rounds=1, iterations=1)
+    attach_table(benchmark, table)
+    checked = 0
+    for name in table.rows:
+        lcr_entries = table.feasible_value(name, "lcr-entries")
+        wc_entries = table.feasible_value(name, "wc+-entries")
+        if lcr_entries is None:
+            continue  # exploded past the budget — the blow-up in extreme form
+        checked += 1
+        assert lcr_entries > wc_entries, f"{name}: LCR must be larger"
+        assert table.feasible_value(name, "lcr-time") > table.feasible_value(
+            name, "wc+-time"
+        ), f"{name}: LCR must build slower"
+    assert checked >= 1, "at least one dataset must be LCR-feasible"

@@ -1,0 +1,54 @@
+"""Per-engine query microbenchmarks (the native pytest-benchmark view of
+Figures 7 and 12).
+
+Each engine answers the same random workload on one mid-size road dataset
+and one social dataset; pytest-benchmark's comparison table then *is* the
+figure's bar group for that dataset.
+"""
+
+import pytest
+
+from repro.bench.harness import build_all_indexes, query_engines
+from repro.workloads.queries import random_queries
+
+ROAD_ENGINES = ["W-BFS", "Dijkstra", "C-BFS", "Naive", "WC-INDEX", "WC-INDEX+"]
+SOCIAL_ENGINES = ["W-BFS", "C-BFS", "Naive", "WC-INDEX", "WC-INDEX+"]
+
+
+@pytest.fixture(scope="module")
+def road_setup(small_road_graph):
+    graph = small_road_graph
+    built = build_all_indexes(graph, naive_entry_budget=None)
+    engines = query_engines(graph, built, include_dijkstra=True)
+    workload = random_queries(graph, 100, seed=3)
+    return engines, workload
+
+
+@pytest.fixture(scope="module")
+def social_setup(small_social_graph):
+    graph = small_social_graph
+    built = build_all_indexes(graph, naive_entry_budget=None)
+    engines = query_engines(graph, built, include_dijkstra=False)
+    workload = random_queries(graph, 100, seed=3)
+    return engines, workload
+
+
+def run_workload(distance, workload):
+    total = 0.0
+    for s, t, w in workload:
+        total += distance(s, t, w)
+    return total
+
+
+@pytest.mark.parametrize("engine", ROAD_ENGINES)
+def test_query_road_fla(benchmark, road_setup, engine):
+    engines, workload = road_setup
+    benchmark.extra_info["queries_per_round"] = len(workload)
+    benchmark(run_workload, engines[engine], workload)
+
+
+@pytest.mark.parametrize("engine", SOCIAL_ENGINES)
+def test_query_social_eu(benchmark, social_setup, engine):
+    engines, workload = social_setup
+    benchmark.extra_info["queries_per_round"] = len(workload)
+    benchmark(run_workload, engines[engine], workload)

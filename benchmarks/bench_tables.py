@@ -1,0 +1,62 @@
+"""Tables III-VI: dataset statistics and storage accounting.
+
+Regenerates the paper's four dataset tables and asserts their ladders:
+vertex counts ascend along each suite and storage grows with edge count.
+"""
+
+from conftest import attach_table
+
+from repro.bench.experiments import (
+    exp_table3,
+    exp_table4,
+    exp_table5,
+    exp_table6,
+)
+
+
+def test_table3_road_stats(benchmark):
+    table = benchmark.pedantic(exp_table3, rounds=1, iterations=1)
+    attach_table(benchmark, table)
+    rows = list(table.rows)
+    sizes = [table.feasible_value(name, "|V|") for name in rows]
+    assert sizes == sorted(sizes), "road ladder must ascend (Table III)"
+    assert all(table.feasible_value(name, "|w|") == 5 for name in rows)
+    # Road regime: sparse, low degree.
+    assert all(table.feasible_value(name, "avg_deg") < 5 for name in rows)
+
+
+def test_table4_social_stats(benchmark):
+    table = benchmark.pedantic(exp_table4, rounds=1, iterations=1)
+    attach_table(benchmark, table)
+    # |w| per dataset mirrors Table IV exactly.
+    expected_w = {
+        "MV-10": 5,
+        "EU": 3,
+        "ES": 3,
+        "MV-25": 5,
+        "FR": 3,
+        "UK": 3,
+        "SO-Y": 9,
+    }
+    for name, w in expected_w.items():
+        assert table.feasible_value(name, "|w|") == w
+    # Social graphs are denser than road graphs.
+    assert all(
+        table.feasible_value(name, "avg_deg") > 5 for name in table.rows
+    )
+
+
+def test_table5_road_storage(benchmark):
+    table = benchmark.pedantic(exp_table5, rounds=1, iterations=1)
+    attach_table(benchmark, table)
+    rows = list(table.rows)
+    storage = [table.feasible_value(name, "storage") for name in rows]
+    assert storage == sorted(storage), "storage follows the size ladder"
+
+
+def test_table6_social_storage(benchmark):
+    table = benchmark.pedantic(exp_table6, rounds=1, iterations=1)
+    attach_table(benchmark, table)
+    assert all(
+        table.feasible_value(name, "storage") > 0 for name in table.rows
+    )

@@ -1,0 +1,65 @@
+"""Shared fixtures for the benchmark suite.
+
+Heavy artifacts (experiment tables that require index builds over the full
+dataset suite) are computed once per session and shared by the benchmarks
+that assert different shapes over them.
+
+Environment knobs:
+
+* ``REPRO_SCALE`` — global dataset scale (see repro.workloads.datasets).
+* ``REPRO_BENCH_LIMIT`` — restrict suites to the N smallest datasets for a
+  quick pass (default: full suites, reproducing every bar of the figures,
+  including the INF bars).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+import pytest
+
+from repro.bench.experiments import exp_indexing
+from repro.bench.harness import ExperimentTable
+from repro.workloads import datasets as ds
+
+
+def bench_limit() -> Optional[int]:
+    raw = os.environ.get("REPRO_BENCH_LIMIT", "")
+    return int(raw) if raw else None
+
+
+@pytest.fixture(scope="session")
+def road_suite():
+    return ds.road_suite(limit=bench_limit())
+
+
+@pytest.fixture(scope="session")
+def social_suite():
+    return ds.social_suite(limit=bench_limit())
+
+
+@pytest.fixture(scope="session")
+def road_indexing_tables(road_suite) -> Dict[str, ExperimentTable]:
+    """Indexing time + size tables over the road suite (Exp 1 and Exp 2
+    share these so the expensive builds run once per session)."""
+    return exp_indexing(road_suite, "exp1+2/figs5-6", "Road networks")
+
+
+@pytest.fixture(scope="session")
+def small_road_graph():
+    return ds.load("FLA")
+
+
+@pytest.fixture(scope="session")
+def small_social_graph():
+    return ds.load("EU")
+
+
+def attach_table(benchmark, table: ExperimentTable) -> None:
+    """Record an experiment table in the benchmark's extra_info so the
+    regenerated series appears in the pytest-benchmark report."""
+    benchmark.extra_info[table.exp_id] = {
+        row: {col: str(cell) for col, cell in cells.items()}
+        for row, cells in table.rows.items()
+    }

@@ -1,0 +1,77 @@
+"""Operational workflow: build once, persist, reload, profile.
+
+A production deployment builds the WC-INDEX offline, ships the serialized
+index next to the service, and answers queries (single, batched, or whole
+quality/distance profiles) without touching the graph again.  The same
+flow is scriptable through the CLI::
+
+    python -m repro build --graph net.edges --out net.wci.gz
+    python -m repro query --index net.wci.gz 0 42 3.0
+    python -m repro profile --index net.wci.gz 0 42
+
+Run with::
+
+    python examples/index_persistence.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core import (
+    bottleneck_quality,
+    build_wc_index_plus,
+    collect_statistics,
+    distance_profile,
+    load_index,
+    save_index,
+    widest_path_quality,
+)
+from repro.graph.generators import scale_free_network
+from repro.workloads.queries import random_queries
+
+
+def main() -> None:
+    graph = scale_free_network(500, 3, num_qualities=5, seed=23)
+    print(f"network: {graph}")
+
+    started = time.perf_counter()
+    index = build_wc_index_plus(graph)
+    print(f"built {index.entry_count()} entries in {time.perf_counter() - started:.2f}s")
+
+    stats = collect_statistics(index)
+    print(
+        f"labels: avg {stats.avg_label_size:.1f}, max {stats.max_label_size}, "
+        f"top-1% hubs carry {stats.hub_concentration(0.01):.0%} of the index"
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "network.wci.gz"
+        save_index(index, path)
+        print(f"serialized to {path.name}: {path.stat().st_size} bytes (gzip)")
+
+        loaded = load_index(path)
+        workload = random_queries(graph, 1000, seed=1)
+        started = time.perf_counter()
+        answers = loaded.distance_many(workload)
+        elapsed = time.perf_counter() - started
+        reachable = sum(1 for a in answers if a != float("inf"))
+        print(
+            f"answered {len(answers)} queries in {elapsed * 1000:.1f} ms "
+            f"({reachable} reachable)"
+        )
+
+        # Full quality/distance trade-off for one pair:
+        s, t = 7, 444
+        print(f"\nprofile of ({s}, {t}):")
+        for quality, dist in distance_profile(loaded, s, t):
+            print(f"  constraints up to {quality:g}: {dist:g} hops")
+        print(f"widest-path quality: {widest_path_quality(loaded, s, t):g}")
+        print(
+            "best quality within 4 hops:",
+            f"{bottleneck_quality(loaded, s, t, 4.0):g}",
+        )
+
+
+if __name__ == "__main__":
+    main()

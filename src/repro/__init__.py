@@ -1,0 +1,69 @@
+"""repro — reproduction of "Efficiently Answering Quality Constrained
+Shortest Distance Queries in Large Graphs" (ICDE 2023).
+
+Quickstart::
+
+    from repro import Graph, build_wc_index_plus
+
+    graph = Graph(4, [(0, 1, 3.0), (1, 2, 1.0), (2, 3, 5.0), (0, 3, 2.0)])
+    index = build_wc_index_plus(graph)
+    index.distance(0, 2, 2.0)   # hop count using only edges of quality >= 2
+
+Package map:
+
+* :mod:`repro.graph` — graph substrate (structures, generators, I/O,
+  partitioning, tree decomposition, statistics).
+* :mod:`repro.core` — WC-INDEX and its variants (the paper's contribution).
+* :mod:`repro.baselines` — C-BFS / W-BFS / Dijkstra / Naive / LCR-adapt.
+* :mod:`repro.workloads` — query workloads and the synthetic dataset suite.
+* :mod:`repro.bench` — the experiment harness regenerating every figure
+  and table of the paper's evaluation.
+"""
+
+from .baselines import (
+    BidirectionalConstrainedBFS,
+    ConstrainedBFS,
+    LCRAdaptIndex,
+    NaivePerQualityIndex,
+    PartitionedBFS,
+    PartitionedDijkstra,
+    PrunedLandmarkLabeling,
+)
+from .core import (
+    DirectedWCIndex,
+    DynamicWCIndex,
+    WCIndex,
+    WCIndexBuilder,
+    WCPathIndex,
+    WeightedWCIndex,
+    build_wc_index,
+    build_wc_index_plus,
+)
+from .graph import CSRGraph, DiGraph, Graph, QualityPartition
+from .graph.weighted import WeightedGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "DiGraph",
+    "WeightedGraph",
+    "CSRGraph",
+    "QualityPartition",
+    "WCIndex",
+    "WCIndexBuilder",
+    "WCPathIndex",
+    "DirectedWCIndex",
+    "WeightedWCIndex",
+    "DynamicWCIndex",
+    "build_wc_index",
+    "build_wc_index_plus",
+    "ConstrainedBFS",
+    "PartitionedBFS",
+    "PartitionedDijkstra",
+    "BidirectionalConstrainedBFS",
+    "PrunedLandmarkLabeling",
+    "NaivePerQualityIndex",
+    "LCRAdaptIndex",
+    "__version__",
+]

@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``build``   — build a WC-INDEX from an edge-list file and save it.
+* ``query``   — answer ``s t w`` queries (arguments or stdin) from a saved
+  index.
+* ``profile`` — print the full quality/distance Pareto staircase of a pair.
+* ``stats``   — index statistics (entries, max label, modelled bytes).
+* ``verify``  — check a saved index against its graph (small graphs).
+
+Example::
+
+    python -m repro build --graph net.edges --out net.wci --ordering hybrid
+    python -m repro query --index net.wci 0 42 3.0
+    echo "0 42 3.0" | python -m repro query --index net.wci -
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .core.construction import WCIndexBuilder
+from .core.profile import distance_profile
+from .core.serialize import load_index, save_index
+from .core.validation import verify_index
+from .graph.io import read_edge_list
+
+
+def _cmd_build(args) -> int:
+    if (args.graph is None) == (args.dataset is None):
+        raise SystemExit("build: give exactly one of --graph or --dataset")
+    if args.dataset is not None:
+        from .workloads.datasets import load
+
+        graph = load(args.dataset)
+    else:
+        graph = read_edge_list(args.graph)
+    started = time.perf_counter()
+    builder = WCIndexBuilder(
+        graph,
+        args.ordering,
+        query_kernel=args.kernel,
+        track_parents=args.paths,
+    )
+    index = builder.build()
+    elapsed = time.perf_counter() - started
+    save_index(index, args.out)
+    print(
+        f"built {index.entry_count()} entries over {graph.num_vertices} "
+        f"vertices in {elapsed:.2f}s -> {args.out}"
+    )
+    return 0
+
+
+def _parse_query_line(text: str):
+    parts = text.split()
+    if len(parts) != 3:
+        raise ValueError(f"expected 's t w', got {text!r}")
+    return int(parts[0]), int(parts[1]), float(parts[2])
+
+
+def _cmd_query(args) -> int:
+    index = load_index(args.index)
+    if args.query == ["-"]:
+        lines = [line for line in sys.stdin if line.strip()]
+    else:
+        lines = [" ".join(args.query)]
+    for line in lines:
+        s, t, w = _parse_query_line(line)
+        dist = index.distance(s, t, w)
+        rendered = "INF" if dist == float("inf") else f"{dist:g}"
+        print(f"{s} {t} {w:g} -> {rendered}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    index = load_index(args.index)
+    profile = distance_profile(index, args.s, args.t)
+    if not profile:
+        print(f"{args.s} and {args.t} are disconnected at every threshold")
+        return 0
+    print(f"quality/distance profile of ({args.s}, {args.t}):")
+    for quality, dist in profile:
+        q = "inf" if quality == float("inf") else f"{quality:g}"
+        print(f"  w <= {q:>6}: dist {dist:g}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    index = load_index(args.index)
+    print(f"vertices:        {index.num_vertices}")
+    print(f"entries:         {index.entry_count()}")
+    print(f"max label size:  {index.max_label_size()}")
+    if index.num_vertices:
+        print(f"avg label size:  {index.entry_count() / index.num_vertices:.2f}")
+    print(f"modelled bytes:  {index.size_bytes()}")
+    print(f"tracks parents:  {index.tracks_parents}")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    graph = read_edge_list(args.graph)
+    index = load_index(args.index)
+    report = verify_index(index, graph)
+    for key, violations in report.details.items():
+        status = "ok" if not violations else f"{len(violations)} violations"
+        print(f"{key:<26} {status}")
+    print("VERDICT:", "OK" if report.ok else "BROKEN")
+    return 0 if report.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Quality constrained shortest distance queries (WC-INDEX)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="build and save a WC-INDEX")
+    p_build.add_argument("--graph", help="edge-list file")
+    p_build.add_argument(
+        "--dataset",
+        help="a synthetic suite dataset name (e.g. CAL, EU) instead of a file; "
+        "scaled by REPRO_SCALE",
+    )
+    p_build.add_argument("--out", required=True, help="output index path (.wci[.gz])")
+    p_build.add_argument(
+        "--ordering",
+        default="hybrid",
+        choices=["degree", "treedec", "hybrid", "identity", "random"],
+    )
+    p_build.add_argument(
+        "--kernel", default="linear", choices=["naive", "binary", "linear"]
+    )
+    p_build.add_argument(
+        "--paths", action="store_true", help="track parents for path queries"
+    )
+    p_build.set_defaults(func=_cmd_build)
+
+    p_query = sub.add_parser("query", help="answer s t w queries")
+    p_query.add_argument("--index", required=True)
+    p_query.add_argument(
+        "query",
+        nargs="+",
+        help="either 's t w' or '-' to read queries from stdin",
+    )
+    p_query.set_defaults(func=_cmd_query)
+
+    p_profile = sub.add_parser(
+        "profile", help="print the Pareto staircase of a vertex pair"
+    )
+    p_profile.add_argument("--index", required=True)
+    p_profile.add_argument("s", type=int)
+    p_profile.add_argument("t", type=int)
+    p_profile.set_defaults(func=_cmd_profile)
+
+    p_stats = sub.add_parser("stats", help="index statistics")
+    p_stats.add_argument("--index", required=True)
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_verify = sub.add_parser(
+        "verify", help="verify a saved index against its graph (small graphs)"
+    )
+    p_verify.add_argument("--graph", required=True)
+    p_verify.add_argument("--index", required=True)
+    p_verify.set_defaults(func=_cmd_verify)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""Baseline WCSD solutions (Section III + LCR-adapt).
+
+* Online engines: :class:`ConstrainedBFS` (C-BFS), :class:`PartitionedBFS`
+  (W-BFS), :class:`PartitionedDijkstra`, :class:`BidirectionalConstrainedBFS`.
+* Index-based: :class:`PrunedLandmarkLabeling` (classic PLL substrate),
+  :class:`NaivePerQualityIndex` (one PLL per distinct quality),
+  :class:`LCRAdaptIndex` (label-set 2-hop adaptation).
+"""
+
+from .lcr import LCRAdaptIndex, LCRIndexExplosionError
+from .naive2hop import IndexTooLargeError, NaivePerQualityIndex
+from .online import (
+    BidirectionalConstrainedBFS,
+    ConstrainedBFS,
+    PartitionedBFS,
+    PartitionedDijkstra,
+)
+from .pll import PrunedLandmarkLabeling, degree_descending_order
+
+__all__ = [
+    "ConstrainedBFS",
+    "PartitionedBFS",
+    "PartitionedDijkstra",
+    "BidirectionalConstrainedBFS",
+    "PrunedLandmarkLabeling",
+    "degree_descending_order",
+    "NaivePerQualityIndex",
+    "IndexTooLargeError",
+    "LCRAdaptIndex",
+    "LCRIndexExplosionError",
+]

@@ -1,0 +1,227 @@
+"""LCR-adapt: the Label-Constrained Reachability index adapted to WCSD.
+
+The paper's last baseline "modif[ies] the state-of-the-art Label Constrained
+Reachability algorithm to our problem".  LCR-style 2-hop indexes (Peng et
+al., VLDB 2020) store, per (vertex, hub) pair, a Pareto set of *label sets*:
+an entry ``(hub, d, S)`` certifies a path of length ``d`` using exactly the
+edge-label set ``S``.  Dominance is set inclusion: ``(d1, S1)`` dominates
+``(d2, S2)`` iff ``d1 <= d2`` and ``S1 ⊆ S2``.
+
+Adapting to WCSD, each distinct quality value becomes a label (a bit in a
+mask).  A query ``(s, t, w)`` accepts entries whose mask avoids every level
+below ``w``.
+
+The point the paper makes — and this implementation demonstrates — is that
+set-inclusion dominance is *much* weaker than WC-INDEX's scalar quality
+dominance: per vertex pair the Pareto frontier can hold up to
+``2^|w|`` incomparable masks instead of ``min(D, |w|)`` entries, so the
+index is larger and slower to build.  Construction enforces an entry budget
+to keep runaway cases diagnosable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph.graph import Graph
+from .pll import degree_descending_order
+
+INF = float("inf")
+
+
+class LCRAdaptIndex:
+    """2-hop index with label-set entries, adapted for quality constraints."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        order: Optional[Sequence[int]] = None,
+        *,
+        max_total_entries: int = 5_000_000,
+    ) -> None:
+        self._num_vertices = graph.num_vertices
+        self._thresholds = graph.distinct_qualities()
+        self._level_of: Dict[float, int] = {
+            q: i for i, q in enumerate(self._thresholds)
+        }
+        self._order = list(order) if order is not None else degree_descending_order(graph)
+        if sorted(self._order) != list(range(graph.num_vertices)):
+            raise ValueError("order must be a permutation of the vertex ids")
+        # Per vertex: parallel lists of (hub_rank, dist, mask).
+        self._hub_ranks: List[List[int]] = [[] for _ in range(self._num_vertices)]
+        self._dists: List[List[int]] = [[] for _ in range(self._num_vertices)]
+        self._masks: List[List[int]] = [[] for _ in range(self._num_vertices)]
+        self._max_total_entries = max_total_entries
+        self._total_entries = 0
+        self._build(graph)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self, graph: Graph) -> None:
+        n = graph.num_vertices
+        adjacency = graph.adjacency()
+        level_of = self._level_of
+        rank = [0] * n
+        for r, v in enumerate(self._order):
+            rank[v] = r
+
+        # Root-side labels keyed by hub rank, for cover queries.
+        root_entries: List[Optional[List[Tuple[int, int]]]] = [None] * n
+
+        for root_rank, root in enumerate(self._order):
+            touched_roots: List[int] = []
+            for h, d, m in zip(
+                self._hub_ranks[root], self._dists[root], self._masks[root]
+            ):
+                if root_entries[h] is None:
+                    root_entries[h] = []
+                    touched_roots.append(h)
+                root_entries[h].append((d, m))
+            if root_entries[root_rank] is None:
+                root_entries[root_rank] = []
+                touched_roots.append(root_rank)
+            root_entries[root_rank].append((0, 0))
+
+            self._add_entry(root, root_rank, 0, 0)
+            # Pareto antichain of masks seen per vertex (all at <= current
+            # distance, so subset domination is the full test).
+            seen_masks: Dict[int, List[int]] = {root: [0]}
+            frontier: List[Tuple[int, int]] = [(root, 0)]
+            depth = 0
+            while frontier:
+                depth += 1
+                candidates: Dict[int, List[int]] = {}
+                for u, mask in frontier:
+                    for v, quality in adjacency[u].items():
+                        if rank[v] <= root_rank:
+                            continue
+                        new_mask = mask | (1 << level_of[quality])
+                        if self._is_dominated(seen_masks.get(v), new_mask):
+                            continue
+                        bucket = candidates.setdefault(v, [])
+                        if not _mask_list_dominates(bucket, new_mask):
+                            _insert_minimal(bucket, new_mask)
+                next_frontier: List[Tuple[int, int]] = []
+                for v, masks in candidates.items():
+                    for new_mask in masks:
+                        if self._is_dominated(seen_masks.get(v), new_mask):
+                            continue
+                        if self._covered(root_entries, v, new_mask, depth):
+                            continue
+                        seen = seen_masks.setdefault(v, [])
+                        _insert_minimal(seen, new_mask)
+                        self._add_entry(v, root_rank, depth, new_mask)
+                        next_frontier.append((v, new_mask))
+                frontier = next_frontier
+
+            for h in touched_roots:
+                root_entries[h] = None
+
+    def _is_dominated(self, masks: Optional[List[int]], new_mask: int) -> bool:
+        """True if some earlier (hence shorter-or-equal) mask ⊆ new_mask."""
+        if not masks:
+            return False
+        return any(m & new_mask == m for m in masks)
+
+    def _covered(
+        self,
+        root_entries: List[Optional[List[Tuple[int, int]]]],
+        v: int,
+        mask: int,
+        depth: int,
+    ) -> bool:
+        """PLL-style prune: the current index certifies a path root -> v of
+        length <= depth whose label set is contained in ``mask``."""
+        for h, d2, m2 in zip(self._hub_ranks[v], self._dists[v], self._masks[v]):
+            entries = root_entries[h]
+            if entries is None:
+                continue
+            remaining = depth - d2
+            if remaining < 0:
+                continue
+            for d1, m1 in entries:
+                if d1 <= remaining and (m1 | m2) & ~mask == 0:
+                    return True
+        return False
+
+    def _add_entry(self, v: int, hub_rank: int, dist: int, mask: int) -> None:
+        self._hub_ranks[v].append(hub_rank)
+        self._dists[v].append(dist)
+        self._masks[v].append(mask)
+        self._total_entries += 1
+        if self._total_entries > self._max_total_entries:
+            raise LCRIndexExplosionError(
+                f"LCR-adapt exceeded {self._max_total_entries} entries; "
+                "this is the blow-up WC-INDEX avoids"
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def distance(self, s: int, t: int, w: float) -> float:
+        if not 0 <= s < self._num_vertices or not 0 <= t < self._num_vertices:
+            raise ValueError("query vertex out of range")
+        if s == t:
+            return 0.0
+        forbidden = 0
+        for level, quality in enumerate(self._thresholds):
+            if quality < w:
+                forbidden |= 1 << level
+        hubs_s, dists_s, masks_s = self._hub_ranks[s], self._dists[s], self._masks[s]
+        hubs_t, dists_t, masks_t = self._hub_ranks[t], self._dists[t], self._masks[t]
+        best = INF
+        i, j = 0, 0
+        len_s, len_t = len(hubs_s), len(hubs_t)
+        while i < len_s and j < len_t:
+            hs, ht = hubs_s[i], hubs_t[j]
+            if hs < ht:
+                i += 1
+                continue
+            if hs > ht:
+                j += 1
+                continue
+            # Hub match: scan the (small) groups on both sides.
+            i_end, j_end = i, j
+            while i_end < len_s and hubs_s[i_end] == hs:
+                i_end += 1
+            while j_end < len_t and hubs_t[j_end] == hs:
+                j_end += 1
+            for a in range(i, i_end):
+                if masks_s[a] & forbidden:
+                    continue
+                for b in range(j, j_end):
+                    if masks_t[b] & forbidden:
+                        continue
+                    total = dists_s[a] + dists_t[b]
+                    if total < best:
+                        best = total
+            i, j = i_end, j_end
+        return best
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        return self._total_entries
+
+    def size_bytes(self) -> int:
+        """Storage model: 4-byte hub + 4-byte dist + 8-byte mask."""
+        return 16 * self._total_entries
+
+    def __repr__(self) -> str:
+        return f"LCRAdaptIndex(n={self._num_vertices}, entries={self._total_entries})"
+
+
+class LCRIndexExplosionError(MemoryError):
+    """LCR-adapt construction exceeded its entry budget."""
+
+
+def _insert_minimal(masks: List[int], new_mask: int) -> None:
+    """Insert ``new_mask`` into an antichain, dropping supersets of it."""
+    masks[:] = [m for m in masks if not (new_mask & m == new_mask and m != new_mask)]
+    masks.append(new_mask)
+
+
+def _mask_list_dominates(masks: List[int], new_mask: int) -> bool:
+    return any(m & new_mask == m for m in masks)

@@ -1,0 +1,108 @@
+"""The Naive per-quality 2-hop baseline (Section III.A).
+
+Builds one classical PLL index per distinct edge-quality value ``w`` over
+the filtered subgraph containing only edges of quality ``>= w``.  A query
+``(s, t, w0)`` is answered by the index of the smallest distinct value
+``>= w0``.
+
+Time ``O(|V| * (|V| + |E|) * |w|)`` to build and ``O(|V|^2 * |w|)`` space in
+the worst case — the blow-up that motivates WC-INDEX.  The benchmarks
+reproduce the paper's finding that this wins on tiny graphs (cheap simple
+BFS passes, low constant factors) but loses time and space on larger ones
+and becomes infeasible ("INF" bars in Figures 5-12) as ``|w|`` or the graph
+grows.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Sequence
+
+from ..graph.graph import Graph
+from .pll import PrunedLandmarkLabeling, degree_descending_order
+
+INF = float("inf")
+
+
+class NaivePerQualityIndex:
+    """One :class:`PrunedLandmarkLabeling` per distinct quality value."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        order: Optional[Sequence[int]] = None,
+        *,
+        max_total_entries: Optional[int] = None,
+    ) -> None:
+        """Build all per-quality indexes.
+
+        Parameters
+        ----------
+        graph:
+            The quality graph.
+        order:
+            Vertex order shared by every sub-index (defaults to
+            degree-descending on the full graph).
+        max_total_entries:
+            Optional budget; construction raises :class:`IndexTooLargeError`
+            once the summed entry count exceeds it.  The benchmark harness
+            uses this to emulate the paper's "cannot be constructed due to
+            memory constraint" INF bars instead of exhausting RAM.
+        """
+        self._num_vertices = graph.num_vertices
+        self._thresholds: List[float] = graph.distinct_qualities()
+        shared_order = list(order) if order is not None else degree_descending_order(graph)
+        self._indexes: List[PrunedLandmarkLabeling] = []
+        total = 0
+        for threshold in self._thresholds:
+            subgraph = graph.subgraph_at_least(threshold)
+            index = PrunedLandmarkLabeling(subgraph, shared_order)
+            total += index.entry_count()
+            if max_total_entries is not None and total > max_total_entries:
+                raise IndexTooLargeError(
+                    f"naive index exceeded budget of {max_total_entries} entries"
+                )
+            self._indexes.append(index)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def distance(self, s: int, t: int, w: float) -> float:
+        if not 0 <= s < self._num_vertices or not 0 <= t < self._num_vertices:
+            raise ValueError("query vertex out of range")
+        if s == t:
+            return 0.0
+        level = bisect.bisect_left(self._thresholds, w)
+        if level == len(self._thresholds):
+            return INF  # constraint exceeds every edge quality
+        return self._indexes[level].distance(s, t)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def thresholds(self) -> List[float]:
+        return list(self._thresholds)
+
+    @property
+    def num_indexes(self) -> int:
+        return len(self._indexes)
+
+    def index_at_level(self, level: int) -> PrunedLandmarkLabeling:
+        return self._indexes[level]
+
+    def entry_count(self) -> int:
+        return sum(index.entry_count() for index in self._indexes)
+
+    def size_bytes(self) -> int:
+        return sum(index.size_bytes() for index in self._indexes)
+
+    def __repr__(self) -> str:
+        return (
+            f"NaivePerQualityIndex(levels={self.num_indexes}, "
+            f"entries={self.entry_count()})"
+        )
+
+
+class IndexTooLargeError(MemoryError):
+    """Raised when a baseline index exceeds its configured entry budget."""

@@ -1,0 +1,247 @@
+"""Online (index-free) baselines — Section III.A of the paper.
+
+Three query engines that traverse the graph at query time:
+
+* :class:`ConstrainedBFS` (**C-BFS**, Algorithm 1) — BFS over the original
+  graph skipping edges whose quality is below the constraint.
+* :class:`PartitionedBFS` (**W-BFS**) — the graph is pre-partitioned per
+  distinct quality value; a query runs a plain BFS on the corresponding
+  filtered subgraph.
+* :class:`PartitionedDijkstra` (**Dijkstra**) — same partitions, but the
+  search keeps a priority queue and a distance vector.  On unit-length
+  edges this does strictly more work than BFS, which is exactly why the
+  paper finds it the slowest baseline (Exp 3).
+
+All engines implement ``distance(s, t, w) -> float`` returning the hop
+count of the shortest w-path or ``inf``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from ..graph.graph import Graph
+from ..graph.partition import QualityPartition
+
+INF = float("inf")
+
+
+class ConstrainedBFS:
+    """Algorithm 1 (WC-BFS): breadth-first search that filters edges on the
+    fly.  ``O(|V| + |E|)`` per query, no preprocessing."""
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+
+    def distance(self, s: int, t: int, w: float) -> float:
+        graph = self._graph
+        if not 0 <= s < graph.num_vertices or not 0 <= t < graph.num_vertices:
+            raise ValueError("query vertex out of range")
+        if s == t:
+            return 0.0
+        adjacency = graph.adjacency()
+        visited = [False] * graph.num_vertices
+        visited[s] = True
+        frontier = [s]
+        dist = 0
+        while frontier:
+            dist += 1
+            next_frontier: List[int] = []
+            for u in frontier:
+                for v, quality in adjacency[u].items():
+                    if quality < w or visited[v]:
+                        continue
+                    if v == t:
+                        return float(dist)
+                    visited[v] = True
+                    next_frontier.append(v)
+            frontier = next_frontier
+        return INF
+
+    def single_source(self, s: int, w: float) -> List[float]:
+        """All w-constrained distances from ``s`` (tests use this oracle)."""
+        graph = self._graph
+        adjacency = graph.adjacency()
+        dist = [INF] * graph.num_vertices
+        dist[s] = 0.0
+        frontier = [s]
+        depth = 0
+        while frontier:
+            depth += 1
+            next_frontier: List[int] = []
+            for u in frontier:
+                for v, quality in adjacency[u].items():
+                    if quality >= w and dist[v] == INF:
+                        dist[v] = float(depth)
+                        next_frontier.append(v)
+            frontier = next_frontier
+        return dist
+
+    def k_nearest(
+        self, s: int, w: float, k: int, *, include_source: bool = False
+    ) -> List[Tuple[int, float]]:
+        """The ``k`` vertices closest to ``s`` along w-paths.
+
+        The nearest-keyword-search primitive from the paper's motivation:
+        BFS expands level by level and stops as soon as ``k`` results are
+        collected (a whole level is finished first, so ties at the cut-off
+        distance are resolved deterministically by vertex id).  Returns
+        ``(vertex, distance)`` pairs, nearest first.
+        """
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        graph = self._graph
+        if not 0 <= s < graph.num_vertices:
+            raise ValueError("query vertex out of range")
+        adjacency = graph.adjacency()
+        results: List[Tuple[int, float]] = []
+        if include_source:
+            results.append((s, 0.0))
+        visited = [False] * graph.num_vertices
+        visited[s] = True
+        frontier = [s]
+        depth = 0
+        while frontier and len(results) < k:
+            depth += 1
+            level: List[int] = []
+            for u in frontier:
+                for v, quality in adjacency[u].items():
+                    if quality < w or visited[v]:
+                        continue
+                    visited[v] = True
+                    level.append(v)
+            level.sort()
+            for v in level:
+                results.append((v, float(depth)))
+            frontier = level
+        return results[:k]
+
+
+class PartitionedBFS:
+    """W-BFS: precompute per-quality partitions, then run unconstrained BFS
+    on the partition matching the query constraint."""
+
+    def __init__(self, graph: Graph, partition: Optional[QualityPartition] = None) -> None:
+        self._partition = partition or QualityPartition(graph)
+        self._num_vertices = graph.num_vertices
+
+    @property
+    def partition(self) -> QualityPartition:
+        return self._partition
+
+    def distance(self, s: int, t: int, w: float) -> float:
+        if not 0 <= s < self._num_vertices or not 0 <= t < self._num_vertices:
+            raise ValueError("query vertex out of range")
+        if s == t:
+            return 0.0
+        subgraph = self._partition.subgraph_for(w)
+        if subgraph is None:
+            return INF
+        adjacency = subgraph.adjacency()
+        visited = [False] * subgraph.num_vertices
+        visited[s] = True
+        frontier = [s]
+        dist = 0
+        while frontier:
+            dist += 1
+            next_frontier: List[int] = []
+            for u in frontier:
+                for v in adjacency[u]:
+                    if visited[v]:
+                        continue
+                    if v == t:
+                        return float(dist)
+                    visited[v] = True
+                    next_frontier.append(v)
+            frontier = next_frontier
+        return INF
+
+
+class PartitionedDijkstra:
+    """Dijkstra on the per-quality partitions.
+
+    Keeps the distance vector ``D[v]`` and a priority queue exactly as the
+    paper describes; on unweighted graphs this is deliberately slower than
+    W-BFS but generalises to weighted edges (see
+    :class:`repro.core.weighted.WeightedWCIndex` for the index-based
+    counterpart).
+    """
+
+    def __init__(self, graph: Graph, partition: Optional[QualityPartition] = None) -> None:
+        self._partition = partition or QualityPartition(graph)
+        self._num_vertices = graph.num_vertices
+
+    def distance(self, s: int, t: int, w: float) -> float:
+        if not 0 <= s < self._num_vertices or not 0 <= t < self._num_vertices:
+            raise ValueError("query vertex out of range")
+        if s == t:
+            return 0.0
+        subgraph = self._partition.subgraph_for(w)
+        if subgraph is None:
+            return INF
+        adjacency = subgraph.adjacency()
+        dist: Dict[int, float] = {s: 0.0}
+        heap = [(0.0, s)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u == t:
+                return d
+            if d > dist.get(u, INF):
+                continue
+            for v in adjacency[u]:
+                candidate = d + 1.0
+                if candidate < dist.get(v, INF):
+                    dist[v] = candidate
+                    heapq.heappush(heap, (candidate, v))
+        return INF
+
+
+class BidirectionalConstrainedBFS:
+    """Bidirectional variant of C-BFS (an extra optimization, not in the
+    paper's baseline list; used in the ablation benchmarks).
+
+    Alternately expands the smaller frontier from both endpoints until the
+    frontiers meet; on large-diameter graphs this roughly halves the
+    explored ball radius.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+
+    def distance(self, s: int, t: int, w: float) -> float:
+        graph = self._graph
+        if not 0 <= s < graph.num_vertices or not 0 <= t < graph.num_vertices:
+            raise ValueError("query vertex out of range")
+        if s == t:
+            return 0.0
+        adjacency = graph.adjacency()
+        dist_s: Dict[int, int] = {s: 0}
+        dist_t: Dict[int, int] = {t: 0}
+        frontier_s, frontier_t = [s], [t]
+        while frontier_s and frontier_t:
+            # Expand the smaller frontier.
+            if len(frontier_s) <= len(frontier_t):
+                frontier, dist_here, dist_other = frontier_s, dist_s, dist_t
+                forward = True
+            else:
+                frontier, dist_here, dist_other = frontier_t, dist_t, dist_s
+                forward = False
+            next_frontier: List[int] = []
+            best = INF
+            for u in frontier:
+                base = dist_here[u] + 1
+                for v, quality in adjacency[u].items():
+                    if quality < w or v in dist_here:
+                        continue
+                    if v in dist_other:
+                        best = min(best, base + dist_other[v])
+                    dist_here[v] = base
+                    next_frontier.append(v)
+            if best < INF:
+                return float(best)
+            if forward:
+                frontier_s = next_frontier
+            else:
+                frontier_t = next_frontier
+        return INF

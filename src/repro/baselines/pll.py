@@ -1,0 +1,157 @@
+"""Classic Pruned Landmark Labeling (Akiba et al., SIGMOD 2013).
+
+The unconstrained 2-hop index.  It is both a baseline ingredient — the
+Naive WCSD method builds one of these per distinct quality value — and a
+reference implementation the WC-INDEX tests compare against (WC-INDEX on a
+single-quality graph must coincide with PLL).
+
+Labels are stored per vertex as two parallel lists ``(hub_ranks, dists)``
+sorted by hub rank, so queries are a linear merge of two sorted lists.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..graph.graph import Graph
+
+INF = float("inf")
+
+
+def degree_descending_order(graph: Graph) -> List[int]:
+    """Vertices sorted by descending degree (ties by id) — the canonical
+    PLL ordering for scale-free graphs."""
+    return sorted(graph.vertices(), key=lambda v: (-graph.degree(v), v))
+
+
+class PrunedLandmarkLabeling:
+    """Unconstrained 2-hop distance index via pruned BFS.
+
+    Parameters
+    ----------
+    graph:
+        The graph to index.
+    order:
+        Vertex order (``order[0]`` = most important hub).  Defaults to
+        degree-descending.
+    """
+
+    def __init__(self, graph: Graph, order: Optional[Sequence[int]] = None) -> None:
+        self._num_vertices = graph.num_vertices
+        self._order = list(order) if order is not None else degree_descending_order(graph)
+        if sorted(self._order) != list(range(graph.num_vertices)):
+            raise ValueError("order must be a permutation of the vertex ids")
+        self._hub_ranks: List[List[int]] = [[] for _ in range(graph.num_vertices)]
+        self._dists: List[List[int]] = [[] for _ in range(graph.num_vertices)]
+        self._build(graph)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self, graph: Graph) -> None:
+        n = graph.num_vertices
+        adjacency = graph.adjacency()
+        rank = [0] * n
+        for r, v in enumerate(self._order):
+            rank[v] = r
+        # Temp array holding L(root) distances keyed by hub rank.
+        root_label_dist: List[float] = [INF] * n
+        visited = bytearray(n)
+
+        for root_rank, root in enumerate(self._order):
+            hub_ranks_root = self._hub_ranks[root]
+            dists_root = self._dists[root]
+            for h, d in zip(hub_ranks_root, dists_root):
+                root_label_dist[h] = d
+            root_label_dist[root_rank] = 0
+
+            frontier = [root]
+            visited[root] = 1
+            touched = [root]
+            self._hub_ranks[root].append(root_rank)
+            self._dists[root].append(0)
+            depth = 0
+            while frontier:
+                depth += 1
+                next_frontier: List[int] = []
+                for u in frontier:
+                    for v in adjacency[u]:
+                        if visited[v] or rank[v] <= root_rank:
+                            continue
+                        # Prune if the current index already certifies
+                        # dist(root, v) <= depth.
+                        covered = False
+                        hubs_v = self._hub_ranks[v]
+                        dists_v = self._dists[v]
+                        for h, d in zip(hubs_v, dists_v):
+                            if root_label_dist[h] + d <= depth:
+                                covered = True
+                                break
+                        visited[v] = 1
+                        touched.append(v)
+                        if covered:
+                            continue
+                        self._hub_ranks[v].append(root_rank)
+                        self._dists[v].append(depth)
+                        next_frontier.append(v)
+                frontier = next_frontier
+
+            for h, d in zip(hub_ranks_root, dists_root):
+                root_label_dist[h] = INF
+            root_label_dist[root_rank] = INF
+            for v in touched:
+                visited[v] = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def distance(self, s: int, t: int) -> float:
+        """Shortest distance between ``s`` and ``t`` (``inf`` if apart)."""
+        if not 0 <= s < self._num_vertices or not 0 <= t < self._num_vertices:
+            raise ValueError("query vertex out of range")
+        hubs_s, dists_s = self._hub_ranks[s], self._dists[s]
+        hubs_t, dists_t = self._hub_ranks[t], self._dists[t]
+        i, j = 0, 0
+        best = INF
+        len_s, len_t = len(hubs_s), len(hubs_t)
+        while i < len_s and j < len_t:
+            hs, ht = hubs_s[i], hubs_t[j]
+            if hs == ht:
+                total = dists_s[i] + dists_t[j]
+                if total < best:
+                    best = total
+                i += 1
+                j += 1
+            elif hs < ht:
+                i += 1
+            else:
+                j += 1
+        return best
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> List[int]:
+        return list(self._order)
+
+    def entry_count(self) -> int:
+        return sum(len(hubs) for hubs in self._hub_ranks)
+
+    def size_bytes(self) -> int:
+        """Storage model: 4-byte hub id + 4-byte distance per entry (what a
+        C++ implementation would allocate)."""
+        return 8 * self.entry_count()
+
+    def label_of(self, v: int) -> List[Tuple[int, int]]:
+        """``(hub_vertex, dist)`` pairs of ``v`` (hub given as vertex id)."""
+        return [
+            (self._order[h], d)
+            for h, d in zip(self._hub_ranks[v], self._dists[v])
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"PrunedLandmarkLabeling(n={self._num_vertices}, "
+            f"entries={self.entry_count()})"
+        )

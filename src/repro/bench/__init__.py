@@ -1,0 +1,76 @@
+"""Experiment harness regenerating every table and figure of Section VI.
+
+Run from the command line::
+
+    python -m repro.bench --exp exp1 exp3
+    python -m repro.bench --all
+    REPRO_SCALE=2.0 python -m repro.bench --exp exp5
+
+or call the functions in :mod:`repro.bench.experiments` directly.
+"""
+
+from .charts import render_chart, render_charts
+from .experiments import (
+    EXPERIMENTS,
+    ablation_hybrid_threshold,
+    ablation_ordering,
+    ablation_pruning,
+    ablation_query_kernel,
+    dynamic_updates,
+    exp1_indexing_time_road,
+    exp2_index_size_road,
+    exp3_query_time_road,
+    exp4_large_w,
+    exp5_social,
+    exp_table3,
+    exp_table4,
+    exp_table5,
+    exp_table6,
+    experiment_ids,
+    lcr_comparison,
+)
+from .harness import (
+    Cell,
+    DEFAULT_NAIVE_ENTRY_BUDGET,
+    DEFAULT_QUERY_COUNT,
+    ExperimentTable,
+    build_all_indexes,
+    query_engines,
+    time_build,
+    time_queries,
+)
+from .reporting import flatten, format_markdown, format_table, print_tables
+
+__all__ = [
+    "EXPERIMENTS",
+    "experiment_ids",
+    "exp_table3",
+    "exp_table4",
+    "exp_table5",
+    "exp_table6",
+    "exp1_indexing_time_road",
+    "exp2_index_size_road",
+    "exp3_query_time_road",
+    "exp4_large_w",
+    "exp5_social",
+    "ablation_ordering",
+    "ablation_query_kernel",
+    "ablation_pruning",
+    "ablation_hybrid_threshold",
+    "dynamic_updates",
+    "lcr_comparison",
+    "render_chart",
+    "render_charts",
+    "Cell",
+    "ExperimentTable",
+    "DEFAULT_NAIVE_ENTRY_BUDGET",
+    "DEFAULT_QUERY_COUNT",
+    "build_all_indexes",
+    "query_engines",
+    "time_build",
+    "time_queries",
+    "format_table",
+    "format_markdown",
+    "print_tables",
+    "flatten",
+]

@@ -1,0 +1,71 @@
+"""CLI entry point: ``python -m repro.bench``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import EXPERIMENTS, experiment_ids
+from .reporting import flatten, format_markdown, format_table
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description=(
+            "Regenerate the paper's tables and figures over the synthetic "
+            "dataset suite (scale with the REPRO_SCALE env var)."
+        ),
+    )
+    parser.add_argument(
+        "--exp",
+        nargs="+",
+        choices=experiment_ids(),
+        help="experiment ids to run",
+    )
+    parser.add_argument("--all", action="store_true", help="run everything")
+    parser.add_argument(
+        "--markdown", action="store_true", help="emit markdown instead of text"
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="render ASCII bar charts (the figures' visual form)",
+    )
+    parser.add_argument(
+        "--out", type=str, default=None, help="also write output to this file"
+    )
+    args = parser.parse_args(argv)
+
+    if not args.exp and not args.all:
+        parser.error("choose experiments with --exp, or --all")
+    selected = experiment_ids() if args.all else args.exp
+
+    chunks = []
+    for exp_id in selected:
+        started = time.perf_counter()
+        result = EXPERIMENTS[exp_id]()
+        elapsed = time.perf_counter() - started
+        for table in flatten(result):
+            if args.chart:
+                from .charts import render_chart
+
+                rendered = render_chart(table)
+            elif args.markdown:
+                rendered = format_markdown(table)
+            else:
+                rendered = format_table(table)
+            chunks.append(rendered)
+            print(rendered)
+            print()
+        print(f"[{exp_id} finished in {elapsed:.1f}s]", file=sys.stderr)
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write("\n\n".join(chunks) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,77 @@
+"""ASCII rendering of experiment tables as the paper's figures.
+
+The paper's evaluation figures are grouped bar charts on a log scale
+(indexing seconds, GB, ms per query).  Without a plotting stack, the
+harness renders the same information as horizontal ASCII bars:
+
+.. code-block:: text
+
+    NY    Naive      |#############                 0.0052
+          WC-INDEX   |############                  0.0046
+          WC-INDEX+  |##########                    0.0033
+
+Bars are log-scaled (as in the paper) when the value spread exceeds two
+orders of magnitude, linear otherwise; INF cells render as the paper's
+unfilled "INF" bars.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from .harness import ExperimentTable
+
+BAR_WIDTH = 40
+
+
+def render_chart(table: ExperimentTable, *, width: int = BAR_WIDTH) -> str:
+    """Render ``table`` as grouped horizontal bars, one group per row."""
+    values = [
+        cell.value
+        for cells in table.rows.values()
+        for cell in cells.values()
+        if cell.feasible and cell.value is not None and cell.value > 0
+    ]
+    if not values:
+        return f"# {table.exp_id}: {table.title} [no data]"
+    low, high = min(values), max(values)
+    log_scale = high / low > 100.0 if low > 0 else True
+
+    def bar_length(value: float) -> int:
+        if value <= 0:
+            return 0
+        if not log_scale:
+            return max(1, round(width * value / high))
+        span = math.log10(high) - math.log10(low)
+        if span == 0:
+            return width
+        normalized = (math.log10(value) - math.log10(low)) / span
+        return max(1, round(1 + normalized * (width - 1)))
+
+    scale_note = "log scale" if log_scale else "linear scale"
+    lines = [f"# {table.exp_id}: {table.title} [{table.unit}, {scale_note}]"]
+    name_width = max(len(c) for c in table.columns)
+    row_width = max(len(r) for r in table.rows)
+    for row_name, cells in table.rows.items():
+        first = True
+        for column in table.columns:
+            cell = cells.get(column)
+            prefix = row_name.ljust(row_width) if first else " " * row_width
+            first = False
+            label = column.ljust(name_width)
+            if cell is None:
+                lines.append(f"{prefix}  {label} |{'·' * 3} (not measured)")
+            elif not cell.feasible or cell.value is None:
+                lines.append(f"{prefix}  {label} |{'x' * width} INF")
+            else:
+                bar = "#" * bar_length(cell.value)
+                lines.append(
+                    f"{prefix}  {label} |{bar.ljust(width)} {cell.value:.4g}"
+                )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_charts(tables: List[ExperimentTable]) -> str:
+    return "\n\n".join(render_chart(table) for table in tables)

@@ -1,0 +1,98 @@
+"""The paper's contribution: WC-INDEX and its variants.
+
+* :class:`WCIndex` + :class:`WCIndexBuilder` /
+  :func:`build_wc_index` / :func:`build_wc_index_plus` — the undirected
+  unweighted index (Sections IV).
+* Query kernels (Algorithms 2/4/5) in :mod:`~repro.core.query`.
+* Vertex orderings (Section IV.D) in :mod:`~repro.core.ordering`.
+* Extensions (Section V): :class:`WCPathIndex` (shortest paths),
+  :class:`DirectedWCIndex`, :class:`WeightedWCIndex`.
+* Future-work extension: :class:`DynamicWCIndex`.
+* Invariant checkers (Theorems 1 and 3) in :mod:`~repro.core.validation`.
+"""
+
+from .construction import (
+    ConstructionStats,
+    WCIndexBuilder,
+    build_wc_index,
+    build_wc_index_plus,
+)
+from .directed import DirectedWCIndex
+from .dynamic import DynamicWCIndex
+from .index_stats import IndexStatistics, collect_statistics
+from .labels import BYTES_PER_ENTRY, WCIndex
+from .ordering import (
+    degree_order,
+    default_core_threshold,
+    hybrid_order,
+    identity_order,
+    ordering_names,
+    random_order,
+    resolve_order,
+    treedec_order,
+)
+from .paths import WCPathIndex, is_valid_w_path, path_bottleneck, path_length
+from .profile import (
+    bottleneck_quality,
+    distance_profile,
+    profile_distance,
+    profile_is_staircase,
+    widest_path_quality,
+)
+from .query import merge_binary, merge_linear, merge_naive
+from .serialize import IndexFormatError, load_index, save_index
+from .validation import (
+    IndexReport,
+    completeness_violations,
+    dominated_entries,
+    soundness_violations,
+    theorem3_violations,
+    unnecessary_entries,
+    verify_index,
+)
+from .weighted import WeightedWCIndex, constrained_dijkstra
+
+__all__ = [
+    "WCIndex",
+    "WCIndexBuilder",
+    "ConstructionStats",
+    "build_wc_index",
+    "build_wc_index_plus",
+    "BYTES_PER_ENTRY",
+    "WCPathIndex",
+    "path_length",
+    "path_bottleneck",
+    "is_valid_w_path",
+    "DirectedWCIndex",
+    "WeightedWCIndex",
+    "constrained_dijkstra",
+    "DynamicWCIndex",
+    "distance_profile",
+    "profile_distance",
+    "bottleneck_quality",
+    "widest_path_quality",
+    "profile_is_staircase",
+    "save_index",
+    "load_index",
+    "IndexFormatError",
+    "IndexStatistics",
+    "collect_statistics",
+    "degree_order",
+    "treedec_order",
+    "hybrid_order",
+    "identity_order",
+    "random_order",
+    "resolve_order",
+    "ordering_names",
+    "default_core_threshold",
+    "merge_naive",
+    "merge_binary",
+    "merge_linear",
+    "verify_index",
+    "IndexReport",
+    "theorem3_violations",
+    "dominated_entries",
+    "unnecessary_entries",
+    "soundness_violations",
+    "completeness_violations",
+]

@@ -1,0 +1,357 @@
+"""WC-INDEX construction (Algorithm 3, Section IV).
+
+The index is built by one *quality- and distance-prioritized* constrained
+BFS per vertex, in a given vertex order:
+
+* **Distance order** — the BFS proceeds in rounds; entries with smaller
+  distance are always committed first.
+* **Quality order** — within a round, each touched vertex is pushed at most
+  once, carrying the *maximum* bottleneck quality over all paths of that
+  length (the ``R`` array, Lines 13-17 of Algorithm 3).
+
+Two prunes keep the index minimal:
+
+* **R-prune** — a candidate whose bottleneck quality does not exceed the
+  best quality already seen for that vertex (at any earlier-or-equal
+  distance) is dominated (Definition 4) and dropped.
+* **Query prune** — a candidate ``(u, d, w)`` already answerable from the
+  partial index (``Query(v_k, u, w) <= d``, Line 11) is dropped, PLL-style.
+
+Optimizations from Section IV.C, all individually toggleable so the
+ablation benchmarks can measure them:
+
+* ``query_kernel`` — the cover test can use the naive double loop
+  (Algorithm 4), a per-group binary search, or the linear ``Query+``
+  (Algorithm 5).
+* ``further_pruning`` — memoize, per BFS, the best cover found for each
+  vertex; later cover tests against a weaker-or-equal constraint are
+  answered from the memo without scanning labels.
+* **Efficient initialization** — the per-root scratch arrays (``R``, the
+  hub-indexed view ``T`` of ``L(root)``, the memo) are allocated once and
+  reset via touched-lists, avoiding ``O(n)`` work per root.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..graph.graph import Graph
+from .labels import WCIndex
+from .ordering import resolve_order
+from .query import group_end
+
+INF = float("inf")
+
+
+@dataclass
+class ConstructionStats:
+    """Counters collected during one index build."""
+
+    num_vertices: int = 0
+    num_edges: int = 0
+    ordering: str = ""
+    query_kernel: str = ""
+    further_pruning: bool = False
+    entries_added: int = 0
+    candidates: int = 0
+    query_pruned: int = 0
+    memo_pruned: int = 0
+    rounds: int = 0
+    build_seconds: float = 0.0
+    label_entries_per_vertex: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+
+class WCIndexBuilder:
+    """Configurable builder for :class:`~repro.core.labels.WCIndex`.
+
+    Parameters
+    ----------
+    graph:
+        The quality graph to index.
+    ordering:
+        Strategy name (``"degree"``, ``"treedec"``, ``"hybrid"``, ...), an
+        explicit permutation, or a callable — see
+        :func:`repro.core.ordering.resolve_order`.
+    query_kernel:
+        Cover-test implementation used *during construction*:
+        ``"naive"`` (Algorithm 4), ``"binary"``, or ``"linear"``
+        (Algorithm 5 / Query+).
+    further_pruning:
+        Enable the per-BFS cover memo of Section IV.C.
+    track_parents:
+        Store the BFS parent of every label entry (quad labels, Section V)
+        to enable path reconstruction.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        ordering="hybrid",
+        *,
+        query_kernel: str = "linear",
+        further_pruning: bool = True,
+        track_parents: bool = False,
+    ) -> None:
+        if query_kernel not in ("naive", "binary", "linear"):
+            raise ValueError(
+                f"unknown query_kernel {query_kernel!r}; "
+                "choose 'naive', 'binary' or 'linear'"
+            )
+        self._graph = graph
+        self._ordering_spec = ordering
+        self._order = resolve_order(graph, ordering)
+        self._query_kernel = query_kernel
+        self._further_pruning = further_pruning
+        self._track_parents = track_parents
+        self.stats = ConstructionStats(
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            ordering=ordering if isinstance(ordering, str) else "custom",
+            query_kernel=query_kernel,
+            further_pruning=further_pruning,
+        )
+
+    @property
+    def order(self) -> List[int]:
+        return list(self._order)
+
+    def build(self) -> WCIndex:
+        """Run Algorithm 3 and return the finished index."""
+        started = time.perf_counter()
+        graph = self._graph
+        order = self._order
+        n = graph.num_vertices
+        index = WCIndex(order, track_parents=self._track_parents)
+        rank = index.rank
+        track_parents = self._track_parents
+        stats = self.stats
+
+        # Adjacency frozen as lists of (neighbor, quality) for scan speed.
+        adj: List[List[Tuple[int, float]]] = [
+            list(row.items()) for row in graph.adjacency()
+        ]
+
+        # Per-root scratch, allocated once (efficient initialization).
+        t_dists: List[Optional[List[float]]] = [None] * n
+        t_quals: List[Optional[List[float]]] = [None] * n
+        best_quality: List[float] = [0.0] * n  # the paper's R array
+        cover_memo: List[float] = [0.0] * n  # further-pruning memo
+
+        kernel = self._query_kernel
+        use_memo = self._further_pruning
+        label_hubs = index._hub_ranks
+        label_dists = index._dists
+        label_quals = index._quals
+
+        entries_added = 0
+        candidates_seen = 0
+        query_pruned = 0
+        memo_pruned = 0
+        rounds = 0
+
+        for k, root in enumerate(order):
+            # ----------------------------------------------------------
+            # Load T: L(root) viewed as hub-rank -> (dists, quals).
+            # ----------------------------------------------------------
+            hubs_r = label_hubs[root]
+            dists_r = label_dists[root]
+            quals_r = label_quals[root]
+            touched_hubs: List[int] = []
+            i = 0
+            total_r = len(hubs_r)
+            while i < total_r:
+                h = hubs_r[i]
+                j = group_end(hubs_r, i)
+                t_dists[h] = dists_r[i:j]
+                t_quals[h] = quals_r[i:j]
+                touched_hubs.append(h)
+                i = j
+            t_dists[k] = [0.0]
+            t_quals[k] = [INF]
+            touched_hubs.append(k)
+
+            # Self entry — appended now so hub ranks in L(root) stay sorted
+            # (all future entries for root would need a higher-rank hub and
+            # never happen).
+            index.append_entry(root, k, 0.0, INF)
+            entries_added += 1
+
+            touched_vertices: List[int] = []
+            frontier: List[Tuple[int, float]] = [(root, INF)]
+            depth = 0.0
+            while frontier:
+                depth += 1.0
+                rounds += 1
+                # ------------------------------------------------------
+                # Expansion: collect, per touched vertex, the best
+                # bottleneck quality reachable in this round (R array).
+                # ------------------------------------------------------
+                cand: Dict[int, int] = {}
+                for u, wu in frontier:
+                    for v, q in adj[u]:
+                        if rank[v] <= k:
+                            continue
+                        w2 = q if q < wu else wu
+                        if w2 <= best_quality[v]:
+                            continue
+                        if best_quality[v] == 0.0:
+                            touched_vertices.append(v)
+                        best_quality[v] = w2
+                        cand[v] = u
+
+                # ------------------------------------------------------
+                # Commit: query-prune each candidate, insert survivors.
+                # ------------------------------------------------------
+                next_frontier: List[Tuple[int, float]] = []
+                for v, parent in cand.items():
+                    w2 = best_quality[v]
+                    candidates_seen += 1
+                    if use_memo and cover_memo[v] >= w2:
+                        memo_pruned += 1
+                        continue
+
+                    # Cover test: Query(root, v, w2) <= depth?
+                    hubs_v = label_hubs[v]
+                    dists_v = label_dists[v]
+                    quals_v = label_quals[v]
+                    covered = False
+                    cover_q = 0.0
+                    a = 0
+                    total_v = len(hubs_v)
+                    if kernel == "linear":
+                        while a < total_v:
+                            h = hubs_v[a]
+                            b = group_end(hubs_v, a)
+                            td = t_dists[h]
+                            if td is not None:
+                                x = a
+                                while x < b and quals_v[x] < w2:
+                                    x += 1
+                                if x < b:
+                                    tq = t_quals[h]
+                                    y = 0
+                                    len_t = len(tq)
+                                    while y < len_t and tq[y] < w2:
+                                        y += 1
+                                    if y < len_t and td[y] + dists_v[x] <= depth:
+                                        covered = True
+                                        cover_q = min(quals_v[x], tq[y])
+                                        break
+                            a = b
+                    elif kernel == "binary":
+                        while a < total_v:
+                            h = hubs_v[a]
+                            b = group_end(hubs_v, a)
+                            td = t_dists[h]
+                            if td is not None:
+                                x = bisect_left(quals_v, w2, a, b)
+                                if x < b:
+                                    tq = t_quals[h]
+                                    y = bisect_left(tq, w2)
+                                    if y < len(tq) and td[y] + dists_v[x] <= depth:
+                                        covered = True
+                                        cover_q = min(quals_v[x], tq[y])
+                                        break
+                            a = b
+                    else:  # naive (Algorithm 4)
+                        while a < total_v and not covered:
+                            h = hubs_v[a]
+                            b = group_end(hubs_v, a)
+                            td = t_dists[h]
+                            if td is not None:
+                                tq = t_quals[h]
+                                for x in range(a, b):
+                                    if quals_v[x] < w2:
+                                        continue
+                                    dx = dists_v[x]
+                                    for y in range(len(td)):
+                                        if tq[y] < w2:
+                                            continue
+                                        if td[y] + dx <= depth:
+                                            covered = True
+                                            cover_q = min(quals_v[x], tq[y])
+                                            break
+                                    if covered:
+                                        break
+                            a = b
+
+                    if covered:
+                        query_pruned += 1
+                        if use_memo and cover_q > cover_memo[v]:
+                            cover_memo[v] = cover_q
+                        continue
+
+                    if track_parents:
+                        index.append_entry(v, k, depth, w2, parent)
+                    else:
+                        hubs_v.append(k)
+                        dists_v.append(depth)
+                        quals_v.append(w2)
+                    entries_added += 1
+                    next_frontier.append((v, w2))
+                frontier = next_frontier
+
+            # ----------------------------------------------------------
+            # Reset scratch via touched lists (efficient initialization).
+            # ----------------------------------------------------------
+            for h in touched_hubs:
+                t_dists[h] = None
+                t_quals[h] = None
+            for v in touched_vertices:
+                best_quality[v] = 0.0
+                cover_memo[v] = 0.0
+
+        stats.entries_added = entries_added
+        stats.candidates = candidates_seen
+        stats.query_pruned = query_pruned
+        stats.memo_pruned = memo_pruned
+        stats.rounds = rounds
+        stats.build_seconds = time.perf_counter() - started
+        stats.label_entries_per_vertex = entries_added / n if n else 0.0
+        return index
+
+
+def build_wc_index(
+    graph: Graph,
+    ordering="hybrid",
+    *,
+    track_parents: bool = False,
+) -> WCIndex:
+    """**WC-INDEX** — the basic algorithm of the paper.
+
+    Uses the naive (Algorithm 4) cover test and no further pruning; combine
+    with :func:`build_wc_index_plus` to reproduce the paper's WC-INDEX vs
+    WC-INDEX+ comparisons (both default to the same ordering, so their
+    index contents — and hence sizes — are identical; only construction
+    speed differs).
+    """
+    return WCIndexBuilder(
+        graph,
+        ordering,
+        query_kernel="naive",
+        further_pruning=False,
+        track_parents=track_parents,
+    ).build()
+
+
+def build_wc_index_plus(
+    graph: Graph,
+    ordering="hybrid",
+    *,
+    track_parents: bool = False,
+) -> WCIndex:
+    """**WC-INDEX+** — the advanced algorithm: Query+ cover test
+    (Algorithm 5), further pruning, hybrid ordering by default."""
+    return WCIndexBuilder(
+        graph,
+        ordering,
+        query_kernel="linear",
+        further_pruning=True,
+        track_parents=track_parents,
+    ).build()

@@ -1,0 +1,239 @@
+"""Dynamic WC-INDEX — the paper's future-work extension (Section VIII).
+
+The paper sketches the direction: "To handle edge insertion and deletion, a
+set of affected vertices can be computed and updates in the index can be
+performed only on affected entries".  This module implements it in the
+style of Akiba et al.'s dynamic PLL (WWW 2014), lifted to the constrained
+setting:
+
+* **Insertion** — for every hub appearing in the label of either endpoint
+  (including the endpoints themselves through their self entries), the
+  hub's constrained BFS is *resumed* through the new edge: every label
+  entry ``(h, d, w)`` of endpoint ``u`` seeds a frontier state
+  ``(v, d + 1, min(w, q))`` on the other endpoint, and the pruned
+  distance/quality prioritized search continues from there.  After the
+  repair the index stays **sound and complete**; like dynamic PLL it may
+  lose *minimality* (stale entries that a fresh build would have pruned
+  remain — they are harmless for correctness).
+* **Deletion** — distances can grow, which 2-hop repairs cannot express
+  cheaply; following the paper's framing we rebuild, reusing the existing
+  vertex order (``rebuild_on_delete``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..graph.graph import Graph
+from .construction import WCIndexBuilder
+from .labels import WCIndex
+from .query import group_end
+
+INF = float("inf")
+
+
+class DynamicWCIndex:
+    """A WC-INDEX plus its graph, supporting edge insertions and deletions."""
+
+    def __init__(self, graph: Graph, ordering="hybrid") -> None:
+        self._graph = graph
+        builder = WCIndexBuilder(graph, ordering, query_kernel="linear")
+        self._ordering = builder.order
+        self._index = builder.build()
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @property
+    def index(self) -> WCIndex:
+        return self._index
+
+    def distance(self, s: int, t: int, w: float) -> float:
+        return self._index.distance(s, t, w)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: int, v: int, quality: float) -> None:
+        """Insert edge ``(u, v)`` and repair the index incrementally.
+
+        If the edge already exists with quality >= ``quality`` this is a
+        no-op; an existing lower-quality edge is upgraded and repaired.
+        """
+        if self._graph.has_edge(u, v):
+            if self._graph.quality(u, v) >= quality:
+                return
+        self._graph.add_edge(u, v, quality)
+        index = self._index
+        rank = index.rank
+        # Seeds per hub rank: hub-BFS states injected across the new edge.
+        seeds: Dict[int, Dict[int, List[Tuple[float, float, int]]]] = {}
+
+        def collect(from_v: int, to_v: int) -> None:
+            hubs, dists, quals = index.label_lists(from_v)
+            for h, d, wq in zip(hubs, dists, quals):
+                if rank[to_v] <= h:
+                    continue  # hub never labels higher-ranked vertices
+                w2 = quality if quality < wq else wq
+                bucket = seeds.setdefault(h, {})
+                bucket.setdefault(to_v, []).append((d + 1.0, w2, from_v))
+
+        collect(u, v)
+        collect(v, u)
+        for hub_rank in sorted(seeds):
+            self._resume_hub(hub_rank, seeds[hub_rank])
+
+    def insert_edges(self, edges) -> None:
+        """Insert a batch of ``(u, v, quality)`` edges, repairing after
+        each (repairs are incremental, so batching is just a loop — the
+        method exists for symmetry with :meth:`remove_edges`)."""
+        for u, v, quality in edges:
+            self.insert_edge(u, v, quality)
+
+    def change_quality(self, u: int, v: int, quality: float) -> None:
+        """Set the quality of an existing edge.
+
+        An *increase* is repaired incrementally (it behaves exactly like
+        inserting a better parallel edge); a *decrease* can invalidate
+        label entries whose witness paths used the old quality, so it
+        triggers the deletion path (rebuild with the existing order).
+        """
+        old = self._graph.quality(u, v)  # KeyError if absent
+        if quality == old:
+            return
+        if quality > old:
+            self.insert_edge(u, v, quality)
+            return
+        self._graph.remove_edge(u, v)
+        self._graph.add_edge(u, v, quality)
+        self._rebuild()
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete edge ``(u, v)`` and rebuild (order reused).
+
+        Deletions can only increase distances; repairing a 2-hop labeling
+        in place would need tombstoning of every entry whose witness path
+        used the edge, so we follow the paper and rebuild.
+        """
+        self._graph.remove_edge(u, v)
+        self._rebuild()
+
+    def remove_edges(self, edges) -> None:
+        """Delete a batch of ``(u, v)`` edges with a *single* rebuild —
+        much cheaper than per-edge :meth:`remove_edge` for bulk updates."""
+        for u, v in edges:
+            self._graph.remove_edge(u, v)
+        self._rebuild()
+
+    def rebuild(self) -> None:
+        """Full rebuild with a fresh ordering (restores minimality)."""
+        builder = WCIndexBuilder(self._graph, "hybrid", query_kernel="linear")
+        self._ordering = builder.order
+        self._index = builder.build()
+
+    def _rebuild(self) -> None:
+        builder = WCIndexBuilder(
+            self._graph, self._ordering, query_kernel="linear"
+        )
+        self._index = builder.build()
+
+    # ------------------------------------------------------------------
+    # Incremental repair
+    # ------------------------------------------------------------------
+    def _resume_hub(
+        self,
+        hub_rank: int,
+        initial: Dict[int, List[Tuple[float, float, int]]],
+    ) -> None:
+        """Resume the pruned constrained BFS of ``hub_rank``.
+
+        ``initial`` maps seed vertices to ``(dist, quality, parent)``
+        states.  States are processed in ascending distance rounds, each
+        vertex carrying the best quality known for the round (the R-array
+        discipline of Algorithm 3), pruned against the current index.
+        """
+        index = self._index
+        rank = index.rank
+        root = index.order[hub_rank]
+        n = index.num_vertices
+        adjacency = self._graph.adjacency()
+
+        # T: hub-rank-indexed view of L(root).
+        t_dists: List[Optional[List[float]]] = [None] * n
+        t_quals: List[Optional[List[float]]] = [None] * n
+        hubs_r, dists_r, quals_r = index.label_lists(root)
+        i = 0
+        while i < len(hubs_r):
+            h = hubs_r[i]
+            j = group_end(hubs_r, i)
+            t_dists[h] = dists_r[i:j]
+            t_quals[h] = quals_r[i:j]
+            i = j
+
+        # Buckets: distance -> vertex -> (best quality, parent).
+        buckets: Dict[float, Dict[int, Tuple[float, int]]] = {}
+        for vertex, states in initial.items():
+            for d, w, parent in states:
+                bucket = buckets.setdefault(d, {})
+                old = bucket.get(vertex)
+                if old is None or w > old[0]:
+                    bucket[vertex] = (w, parent)
+
+        best_quality: Dict[int, float] = {}
+        while buckets:
+            depth = min(buckets)
+            bucket = buckets.pop(depth)
+            for vertex, (w, parent) in bucket.items():
+                if w <= best_quality.get(vertex, 0.0):
+                    continue
+                best_quality[vertex] = w
+                if self._covered(vertex, w, depth, t_dists, t_quals):
+                    continue
+                inserted = index.insert_entry_sorted(
+                    vertex, hub_rank, depth, w, parent
+                )
+                if not inserted:
+                    continue
+                for nb, q in adjacency[vertex].items():
+                    if rank[nb] <= hub_rank:
+                        continue
+                    w2 = q if q < w else w
+                    if w2 <= best_quality.get(nb, 0.0):
+                        continue
+                    nxt = buckets.setdefault(depth + 1.0, {})
+                    old = nxt.get(nb)
+                    if old is None or w2 > old[0]:
+                        nxt[nb] = (w2, vertex)
+
+    def _covered(
+        self,
+        vertex: int,
+        w: float,
+        depth: float,
+        t_dists: List[Optional[List[float]]],
+        t_quals: List[Optional[List[float]]],
+    ) -> bool:
+        """Query+ cover test of (root, vertex, w) against the live index."""
+        index = self._index
+        hubs_v, dists_v, quals_v = index.label_lists(vertex)
+        a = 0
+        total = len(hubs_v)
+        while a < total:
+            h = hubs_v[a]
+            b = group_end(hubs_v, a)
+            td = t_dists[h]
+            if td is not None:
+                x = a
+                while x < b and quals_v[x] < w:
+                    x += 1
+                if x < b:
+                    tq = t_quals[h]
+                    y = 0
+                    len_t = len(tq)
+                    while y < len_t and tq[y] < w:
+                        y += 1
+                    if y < len_t and td[y] + dists_v[x] <= depth:
+                        return True
+            a = b
+        return False

@@ -1,0 +1,88 @@
+"""Introspection statistics over a built WC-INDEX.
+
+Used by the benchmarks' reports and handy when tuning orderings: label
+size distribution, hub concentration (how much of the index the top hubs
+carry — high concentration is what makes a vertex ordering good), and the
+distance/quality make-up of the entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .labels import WCIndex
+
+
+@dataclass
+class IndexStatistics:
+    """Aggregate description of a WC-INDEX."""
+
+    num_vertices: int
+    entry_count: int
+    avg_label_size: float
+    max_label_size: int
+    median_label_size: float
+    label_size_histogram: Dict[int, int] = field(default_factory=dict)
+    distance_histogram: Dict[float, int] = field(default_factory=dict)
+    entries_per_hub: Dict[int, int] = field(default_factory=dict)
+
+    def top_hubs(self, count: int = 10) -> List[Tuple[int, int]]:
+        """``(hub_vertex, entries)`` for the hubs carrying most entries."""
+        ranked = sorted(
+            self.entries_per_hub.items(), key=lambda item: (-item[1], item[0])
+        )
+        return ranked[:count]
+
+    def hub_concentration(self, fraction: float = 0.01) -> float:
+        """Share of all entries carried by the top ``fraction`` of hubs.
+
+        A good ordering concentrates coverage into few high-rank hubs; on
+        scale-free graphs the top 1% of hubs routinely carries the
+        majority of the index.
+        """
+        if not self.entry_count:
+            return 0.0
+        take = max(1, int(len(self.entries_per_hub) * fraction))
+        top = sorted(self.entries_per_hub.values(), reverse=True)[:take]
+        return sum(top) / self.entry_count
+
+
+def collect_statistics(index: WCIndex) -> IndexStatistics:
+    """Scan ``index`` once and summarize it."""
+    n = index.num_vertices
+    sizes = [index.label_size(v) for v in range(n)]
+    total = sum(sizes)
+    size_histogram: Dict[int, int] = {}
+    for size in sizes:
+        size_histogram[size] = size_histogram.get(size, 0) + 1
+
+    distance_histogram: Dict[float, int] = {}
+    entries_per_hub: Dict[int, int] = {}
+    for v in range(n):
+        hubs, dists, _ = index.label_lists(v)
+        for i in range(len(hubs)):
+            hub_vertex = index.order[hubs[i]]
+            entries_per_hub[hub_vertex] = entries_per_hub.get(hub_vertex, 0) + 1
+            distance_histogram[dists[i]] = distance_histogram.get(dists[i], 0) + 1
+
+    ordered_sizes = sorted(sizes)
+    if not ordered_sizes:
+        median = 0.0
+    else:
+        mid = len(ordered_sizes) // 2
+        if len(ordered_sizes) % 2:
+            median = float(ordered_sizes[mid])
+        else:
+            median = (ordered_sizes[mid - 1] + ordered_sizes[mid]) / 2.0
+
+    return IndexStatistics(
+        num_vertices=n,
+        entry_count=total,
+        avg_label_size=total / n if n else 0.0,
+        max_label_size=max(sizes, default=0),
+        median_label_size=median,
+        label_size_histogram=size_histogram,
+        distance_histogram=distance_histogram,
+        entries_per_hub=entries_per_hub,
+    )

@@ -1,0 +1,130 @@
+"""Quality constrained shortest *path* queries (Section V).
+
+Following the paper (and Akiba et al.'s PLL path variant), the index built
+with ``track_parents=True`` stores quads ``(hub, d, w, parent)`` where
+``parent`` is the predecessor of the labeled vertex on the minimal path
+from the hub found during construction.
+
+Reconstruction walks parent pointers.  The key property making this sound:
+Algorithm 3 only *expands* from entries it actually inserted, so the parent
+of every label entry itself owns an entry for the same hub, one hop closer,
+with a quality at least as large.  Every chain therefore stays inside the
+index and terminates at the hub.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..graph.graph import Graph
+from .construction import WCIndexBuilder
+from .labels import WCIndex
+
+INF = float("inf")
+
+
+class WCPathIndex:
+    """A WC-INDEX wrapper that answers path (not just distance) queries."""
+
+    def __init__(self, index: WCIndex) -> None:
+        if not index.tracks_parents:
+            raise ValueError(
+                "path queries need an index built with track_parents=True"
+            )
+        self._index = index
+
+    @classmethod
+    def build(cls, graph: Graph, ordering="hybrid", **builder_kwargs) -> "WCPathIndex":
+        builder = WCIndexBuilder(
+            graph, ordering, track_parents=True, **builder_kwargs
+        )
+        return cls(builder.build())
+
+    @property
+    def index(self) -> WCIndex:
+        return self._index
+
+    def distance(self, s: int, t: int, w: float) -> float:
+        return self._index.distance(s, t, w)
+
+    def path(self, s: int, t: int, w: float) -> Optional[List[int]]:
+        """A shortest w-path from ``s`` to ``t`` as a vertex list, or
+        ``None`` if no w-path exists."""
+        if s == t:
+            return [s]
+        dist, idx_s, idx_t = self._index.distance_with_witness(s, t, w)
+        if dist == INF:
+            return None
+        hubs_s, _, _ = self._index.label_lists(s)
+        hub_rank = hubs_s[idx_s]
+        hub_vertex = self._index.order[hub_rank]
+        left = self._walk_to_hub(s, hub_vertex, idx_s)  # [s, ..., hub]
+        right = self._walk_to_hub(t, hub_vertex, idx_t)  # [t, ..., hub]
+        right.reverse()  # [hub, ..., t]
+        return left + right[1:]
+
+    def _walk_to_hub(self, v: int, hub_vertex: int, entry_idx: int) -> List[int]:
+        """Follow parent pointers from ``v``'s entry back to the hub;
+        returns the vertex sequence ``[v, ..., hub_vertex]``."""
+        index = self._index
+        sequence = [v]
+        current, idx = v, entry_idx
+        while current != hub_vertex:
+            hubs, dists, quals = index.label_lists(current)
+            parents = index.parent_list(current)
+            hub_rank = hubs[idx]
+            d, q = dists[idx], quals[idx]
+            parent = parents[idx]
+            if parent < 0:
+                raise RuntimeError(
+                    "broken parent chain — index not built by Algorithm 3?"
+                )
+            sequence.append(parent)
+            idx = _locate_entry(index, parent, hub_rank, d - 1, q)
+            current = parent
+        return sequence
+
+
+def _locate_entry(
+    index: WCIndex, vertex: int, hub_rank: int, dist: float, min_quality: float
+) -> int:
+    """Index of ``vertex``'s entry for ``hub_rank`` at the given distance
+    with quality >= ``min_quality``.
+
+    Algorithm 3's frontier discipline guarantees existence (parents were
+    themselves inserted one round earlier with a quality at least as high).
+    """
+    hubs, dists, quals = index.label_lists(vertex)
+    for i in range(len(hubs)):
+        if hubs[i] == hub_rank and dists[i] == dist and quals[i] >= min_quality:
+            return i
+    raise RuntimeError(
+        f"missing parent entry at vertex {vertex} (hub rank {hub_rank}, "
+        f"dist {dist}, quality >= {min_quality})"
+    )
+
+
+def path_length(path: List[int]) -> int:
+    """Number of edges of a vertex-list path."""
+    return len(path) - 1
+
+
+def path_bottleneck(graph: Graph, path: List[int]) -> float:
+    """Minimum edge quality along ``path`` (``inf`` for trivial paths)."""
+    if len(path) < 2:
+        return INF
+    return min(
+        graph.quality(path[i], path[i + 1]) for i in range(len(path) - 1)
+    )
+
+
+def is_valid_w_path(graph: Graph, path: List[int], w: float) -> bool:
+    """Every consecutive pair an edge, and every edge quality >= w."""
+    if not path:
+        return False
+    for i in range(len(path) - 1):
+        if not graph.has_edge(path[i], path[i + 1]):
+            return False
+        if graph.quality(path[i], path[i + 1]) < w:
+            return False
+    return True

@@ -1,0 +1,142 @@
+"""Pareto *profile* queries over a WC-INDEX.
+
+A single WCSD query answers one threshold; the index actually encodes the
+entire quality/distance trade-off for a vertex pair.  This module extracts
+it:
+
+* :func:`distance_profile` — the full Pareto staircase
+  ``[(q1, d1), (q2, d2), ...]`` with strictly ascending quality and
+  strictly ascending distance: ``dist_w(s, t)`` equals the distance of the
+  first point whose quality is ``>= w`` (infinity past the last point).
+* :func:`bottleneck_quality` — the *inverse* query: the largest constraint
+  ``w`` still admitting a path of length at most ``max_dist``.
+* :func:`widest_path_quality` — the classic widest-path/bottleneck value:
+  the largest ``w`` for which the pair is connected at all.
+
+These are natural "extension" capabilities of the paper's index: each is a
+single scan over the same label merge that answers one query, and the
+staircase is exactly what Theorem 3 says the per-hub entries form.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .labels import WCIndex
+from .query import group_end
+
+INF = float("inf")
+
+
+def profile_from_label_lists(
+    hubs_s, dists_s, quals_s, hubs_t, dists_t, quals_t
+) -> List[Tuple[float, float]]:
+    """Pareto staircase over two raw label lists.
+
+    Shared by the undirected and directed indexes: the computation only
+    needs the two hub-sorted sides, whatever index they came from.
+    """
+    # Collect candidate (quality, distance) points from every common hub.
+    candidates: List[Tuple[float, float]] = []
+    i, j = 0, 0
+    len_s, len_t = len(hubs_s), len(hubs_t)
+    while i < len_s and j < len_t:
+        hs, ht = hubs_s[i], hubs_t[j]
+        if hs < ht:
+            i = group_end(hubs_s, i)
+            continue
+        if hs > ht:
+            j = group_end(hubs_t, j)
+            continue
+        i_end = group_end(hubs_s, i)
+        j_end = group_end(hubs_t, j)
+        for a in range(i, i_end):
+            for b in range(j, j_end):
+                quality = min(quals_s[a], quals_t[b])
+                candidates.append((quality, dists_s[a] + dists_t[b]))
+        i, j = i_end, j_end
+
+    if not candidates:
+        return []
+
+    # Reduce to the Pareto staircase: scanning qualities in descending
+    # order, keep a point only when it strictly improves the distance.
+    candidates.sort(key=lambda p: (-p[0], p[1]))
+    staircase: List[Tuple[float, float]] = []
+    best_dist = INF
+    current_quality = None
+    for quality, dist in candidates:
+        if quality != current_quality:
+            current_quality = quality
+            if dist < best_dist:
+                best_dist = dist
+                staircase.append((quality, dist))
+        # equal-quality, larger-distance points are dominated
+    staircase.reverse()
+    return staircase
+
+
+def distance_profile(index: WCIndex, s: int, t: int) -> List[Tuple[float, float]]:
+    """The Pareto front of (quality, distance) for the pair ``(s, t)``.
+
+    Returned ascending in quality and in distance; the empty list means
+    the vertices are disconnected at every threshold.  For any ``w``,
+    ``dist_w(s, t)`` is the distance of the first point with
+    ``quality >= w`` (``inf`` if none), which :func:`profile_distance`
+    evaluates.
+
+    Self pairs yield ``[(inf, 0.0)]`` — distance 0 at every constraint.
+    """
+    if s == t:
+        index._check_vertex(s)
+        return [(INF, 0.0)]
+    hubs_s, dists_s, quals_s = index.label_lists(s)
+    hubs_t, dists_t, quals_t = index.label_lists(t)
+    return profile_from_label_lists(
+        hubs_s, dists_s, quals_s, hubs_t, dists_t, quals_t
+    )
+
+
+def profile_distance(profile: List[Tuple[float, float]], w: float) -> float:
+    """Evaluate a staircase from :func:`distance_profile` at threshold
+    ``w`` — the first point with quality >= ``w``."""
+    for quality, dist in profile:
+        if quality >= w:
+            return dist
+    return INF
+
+
+def bottleneck_quality(
+    index: WCIndex, s: int, t: int, max_dist: float
+) -> float:
+    """The largest ``w`` with ``dist_w(s, t) <= max_dist``.
+
+    Returns ``-inf`` when even the unconstrained distance exceeds
+    ``max_dist``; returns ``inf`` for self pairs (every constraint admits
+    the empty path).
+    """
+    profile = distance_profile(index, s, t)
+    best = -INF
+    for quality, dist in profile:
+        if dist <= max_dist and quality > best:
+            best = quality
+    return best
+
+
+def widest_path_quality(index: WCIndex, s: int, t: int) -> float:
+    """The maximum constraint under which ``s`` and ``t`` stay connected
+    (the widest-path / maximum-bottleneck value); ``-inf`` if disconnected
+    even unconstrained."""
+    profile = distance_profile(index, s, t)
+    if not profile:
+        return -INF
+    return profile[-1][0]
+
+
+def profile_is_staircase(profile: List[Tuple[float, float]]) -> bool:
+    """Validity check used by tests: strictly ascending in both
+    coordinates."""
+    for (q1, d1), (q2, d2) in zip(profile, profile[1:]):
+        if not (q2 > q1 and d2 > d1):
+            return False
+    return True

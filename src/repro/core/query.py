@@ -1,0 +1,197 @@
+"""Query kernels over WC-INDEX label lists (Section IV.C).
+
+A label list is three parallel arrays ``(hub_ranks, dists, quals)`` sorted
+by hub rank, entries of one hub contiguous ("a group") and — by Theorem 3 —
+sorted within the group by ascending distance *and* ascending quality.
+
+Three kernels answer ``min { d_s + d_t : common hub, both quals >= w }``:
+
+* :func:`merge_naive` — Algorithm 2/4: every feasible pair within a matched
+  group is enumerated (quadratic in group size).
+* :func:`merge_binary` — binary-search refinement: ``bisect`` locates the
+  first feasible entry per group (Theorem 3 makes it the min-distance one).
+* :func:`merge_linear` — Algorithm 5 (``Query+``): a linear scan per group;
+  total work ``O(|L(s)| + |L(t)|)``.
+
+All kernels are pure functions so the undirected, directed, weighted and
+dynamic indexes can share them.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Sequence, Tuple
+
+INF = float("inf")
+
+
+def group_end(hub_ranks: Sequence[int], start: int) -> int:
+    """Index one past the last entry of the hub group starting at ``start``."""
+    hub = hub_ranks[start]
+    i = start + 1
+    length = len(hub_ranks)
+    while i < length and hub_ranks[i] == hub:
+        i += 1
+    return i
+
+
+def merge_naive(
+    hubs_s: Sequence[int],
+    dists_s: Sequence[float],
+    quals_s: Sequence[float],
+    hubs_t: Sequence[int],
+    dists_t: Sequence[float],
+    quals_t: Sequence[float],
+    w: float,
+) -> float:
+    """Algorithm 2: enumerate all feasible entry pairs per common hub."""
+    best = INF
+    i, j = 0, 0
+    len_s, len_t = len(hubs_s), len(hubs_t)
+    while i < len_s and j < len_t:
+        hs, ht = hubs_s[i], hubs_t[j]
+        if hs < ht:
+            i = group_end(hubs_s, i)
+            continue
+        if hs > ht:
+            j = group_end(hubs_t, j)
+            continue
+        i_end = group_end(hubs_s, i)
+        j_end = group_end(hubs_t, j)
+        for a in range(i, i_end):
+            if quals_s[a] < w:
+                continue
+            da = dists_s[a]
+            for b in range(j, j_end):
+                if quals_t[b] < w:
+                    continue
+                total = da + dists_t[b]
+                if total < best:
+                    best = total
+        i, j = i_end, j_end
+    return best
+
+
+def merge_binary(
+    hubs_s: Sequence[int],
+    dists_s: Sequence[float],
+    quals_s: Sequence[float],
+    hubs_t: Sequence[int],
+    dists_t: Sequence[float],
+    quals_t: Sequence[float],
+    w: float,
+) -> float:
+    """Binary-search variant: per matched group, ``bisect`` the first entry
+    with quality >= w; Theorem 3 guarantees it has the minimal feasible
+    distance, so one entry per side suffices."""
+    best = INF
+    i, j = 0, 0
+    len_s, len_t = len(hubs_s), len(hubs_t)
+    while i < len_s and j < len_t:
+        hs, ht = hubs_s[i], hubs_t[j]
+        if hs < ht:
+            i = group_end(hubs_s, i)
+            continue
+        if hs > ht:
+            j = group_end(hubs_t, j)
+            continue
+        i_end = group_end(hubs_s, i)
+        j_end = group_end(hubs_t, j)
+        a = bisect_left(quals_s, w, i, i_end)
+        if a < i_end:
+            b = bisect_left(quals_t, w, j, j_end)
+            if b < j_end:
+                total = dists_s[a] + dists_t[b]
+                if total < best:
+                    best = total
+        i, j = i_end, j_end
+    return best
+
+
+def merge_linear(
+    hubs_s: Sequence[int],
+    dists_s: Sequence[float],
+    quals_s: Sequence[float],
+    hubs_t: Sequence[int],
+    dists_t: Sequence[float],
+    quals_t: Sequence[float],
+    w: float,
+) -> float:
+    """Algorithm 5 (``Query+``): linear merge, first-feasible entry per
+    group on each side.  ``O(|L(s)| + |L(t)|)`` total."""
+    best = INF
+    i, j = 0, 0
+    len_s, len_t = len(hubs_s), len(hubs_t)
+    while i < len_s and j < len_t:
+        hs, ht = hubs_s[i], hubs_t[j]
+        if hs < ht:
+            i = group_end(hubs_s, i)
+            continue
+        if hs > ht:
+            j = group_end(hubs_t, j)
+            continue
+        i_end = group_end(hubs_s, i)
+        j_end = group_end(hubs_t, j)
+        a = i
+        while a < i_end and quals_s[a] < w:
+            a += 1
+        if a < i_end:
+            b = j
+            while b < j_end and quals_t[b] < w:
+                b += 1
+            if b < j_end:
+                total = dists_s[a] + dists_t[b]
+                if total < best:
+                    best = total
+        i, j = i_end, j_end
+    return best
+
+
+def merge_linear_with_witness(
+    hubs_s: Sequence[int],
+    dists_s: Sequence[float],
+    quals_s: Sequence[float],
+    hubs_t: Sequence[int],
+    dists_t: Sequence[float],
+    quals_t: Sequence[float],
+    w: float,
+) -> Tuple[float, int, int]:
+    """Like :func:`merge_linear` but also returns the winning entry indexes
+    ``(distance, index_in_s, index_in_t)`` — the hooks path reconstruction
+    needs.  Indexes are ``-1`` when no feasible hub exists."""
+    best = INF
+    best_a = -1
+    best_b = -1
+    i, j = 0, 0
+    len_s, len_t = len(hubs_s), len(hubs_t)
+    while i < len_s and j < len_t:
+        hs, ht = hubs_s[i], hubs_t[j]
+        if hs < ht:
+            i = group_end(hubs_s, i)
+            continue
+        if hs > ht:
+            j = group_end(hubs_t, j)
+            continue
+        i_end = group_end(hubs_s, i)
+        j_end = group_end(hubs_t, j)
+        a = i
+        while a < i_end and quals_s[a] < w:
+            a += 1
+        if a < i_end:
+            b = j
+            while b < j_end and quals_t[b] < w:
+                b += 1
+            if b < j_end:
+                total = dists_s[a] + dists_t[b]
+                if total < best:
+                    best = total
+                    best_a, best_b = a, b
+        i, j = i_end, j_end
+    return best, best_a, best_b
+
+
+MERGE_KERNELS = {
+    "naive": merge_naive,
+    "binary": merge_binary,
+    "linear": merge_linear,
+}

@@ -1,0 +1,159 @@
+"""WC-INDEX serialization.
+
+A built index is expensive (it is the whole point of an index) so it must
+be persistable.  The format is a line-oriented text format, gzip-compressed
+when the path ends in ``.gz``:
+
+.. code-block:: text
+
+    WCINDEX 1 <num_vertices> <tracks_parents>
+    O <order: n space-separated vertex ids>
+    V <vertex> <entry count>
+    E <hub_rank> <dist> <quality> [<parent>]
+    ...
+
+Qualities serialize via ``repr(float)`` (round-trip exact, including
+``inf``).  The reader is strict and reports line numbers on malformed
+input, mirroring :mod:`repro.graph.io`.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import List, TextIO, Union
+
+from .labels import WCIndex
+
+PathLike = Union[str, Path]
+MAGIC = "WCINDEX"
+VERSION = 1
+
+
+class IndexFormatError(ValueError):
+    """A serialized index could not be parsed."""
+
+
+def _open_write(destination: PathLike) -> TextIO:
+    path = Path(destination)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, "wb"), encoding="utf-8")
+    return open(path, "w", encoding="utf-8")
+
+
+def _open_read(source: PathLike) -> TextIO:
+    path = Path(source)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def save_index(index: WCIndex, destination: Union[PathLike, TextIO]) -> None:
+    """Write ``index`` to ``destination`` (path or open text handle)."""
+    if isinstance(destination, (str, Path)):
+        with _open_write(destination) as handle:
+            save_index(index, handle)
+        return
+    out = destination
+    n = index.num_vertices
+    tracks = 1 if index.tracks_parents else 0
+    out.write(f"{MAGIC} {VERSION} {n} {tracks}\n")
+    out.write("O " + " ".join(str(v) for v in index.order) + "\n")
+    for v in range(n):
+        hubs, dists, quals = index.label_lists(v)
+        parents = index.parent_list(v) if index.tracks_parents else None
+        out.write(f"V {v} {len(hubs)}\n")
+        for i in range(len(hubs)):
+            line = f"E {hubs[i]} {dists[i]!r} {quals[i]!r}"
+            if parents is not None:
+                line += f" {parents[i]}"
+            out.write(line + "\n")
+
+
+def load_index(source: Union[PathLike, TextIO]) -> WCIndex:
+    """Read an index written by :func:`save_index`."""
+    if isinstance(source, (str, Path)):
+        with _open_read(source) as handle:
+            return load_index(handle)
+
+    lines = source
+    header = next(iter_nonempty(lines, start=1), None)
+    if header is None:
+        raise IndexFormatError("empty index file")
+    lineno, text = header
+    parts = text.split()
+    if len(parts) != 4 or parts[0] != MAGIC:
+        raise IndexFormatError(f"line {lineno}: bad header {text!r}")
+    try:
+        version, n, tracks = int(parts[1]), int(parts[2]), int(parts[3])
+    except ValueError as exc:
+        raise IndexFormatError(f"line {lineno}: bad header numbers") from exc
+    if version != VERSION:
+        raise IndexFormatError(f"unsupported version {version}")
+
+    reader = iter_nonempty(lines, start=lineno + 1)
+    lineno, text = _expect(reader, "O", "order line")
+    order = _parse_order(text, lineno, n)
+    index = WCIndex(order, track_parents=bool(tracks))
+
+    for _ in range(n):
+        lineno, text = _expect(reader, "V", "vertex line")
+        parts = text.split()
+        if len(parts) != 3:
+            raise IndexFormatError(f"line {lineno}: bad vertex line {text!r}")
+        try:
+            vertex, count = int(parts[1]), int(parts[2])
+        except ValueError as exc:
+            raise IndexFormatError(f"line {lineno}: bad vertex line") from exc
+        if not 0 <= vertex < n:
+            raise IndexFormatError(f"line {lineno}: vertex {vertex} out of range")
+        for _ in range(count):
+            lineno, text = _expect(reader, "E", "entry line")
+            parts = text.split()
+            expected_len = 5 if tracks else 4
+            if len(parts) != expected_len:
+                raise IndexFormatError(
+                    f"line {lineno}: bad entry line {text!r}"
+                )
+            try:
+                hub = int(parts[1])
+                dist = float(parts[2])
+                quality = float(parts[3])
+                parent = int(parts[4]) if tracks else -1
+            except ValueError as exc:
+                raise IndexFormatError(f"line {lineno}: bad entry line") from exc
+            if not 0 <= hub < n:
+                raise IndexFormatError(f"line {lineno}: hub rank out of range")
+            index.append_entry(vertex, hub, dist, quality, parent)
+    return index
+
+
+def iter_nonempty(lines, start: int):
+    """Yield ``(lineno, stripped_line)`` skipping blanks and comments."""
+    for offset, raw in enumerate(lines, start=start):
+        text = raw.strip()
+        if text and not text.startswith("#"):
+            yield (offset, text)
+
+
+def _expect(reader, tag: str, what: str):
+    item = next(reader, None)
+    if item is None:
+        raise IndexFormatError(f"unexpected end of file: missing {what}")
+    lineno, text = item
+    if not text.startswith(tag + " "):
+        raise IndexFormatError(f"line {lineno}: expected {what}, got {text!r}")
+    return lineno, text
+
+
+def _parse_order(text: str, lineno: int, n: int) -> List[int]:
+    try:
+        order = [int(token) for token in text.split()[1:]]
+    except ValueError as exc:
+        raise IndexFormatError(f"line {lineno}: bad order line") from exc
+    if sorted(order) != list(range(n)):
+        raise IndexFormatError(
+            f"line {lineno}: order is not a permutation of 0..{n - 1}"
+        )
+    return order

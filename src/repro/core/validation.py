@@ -1,0 +1,196 @@
+"""Index invariant checkers (Theorem 1 and Theorem 3).
+
+These are test/diagnostic utilities: they verify that a built
+:class:`~repro.core.labels.WCIndex` is **sound** (every entry corresponds
+to a real w-path), **complete** (every constrained distance is answered
+exactly), and **minimal** (no entry is dominated or unnecessary), plus the
+structural Theorem 3 monotonicity that the query kernels rely on.
+
+All checkers are brute-force by design — they exist to catch bugs in the
+clever code, so they must themselves be too simple to be wrong.  Use on
+small graphs only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..baselines.online import ConstrainedBFS
+from ..graph.graph import Graph
+from .labels import WCIndex
+from .query import group_end
+
+INF = float("inf")
+
+
+def theorem3_violations(index: WCIndex) -> List[Tuple[int, int]]:
+    """Entries violating Theorem 3 (within a (vertex, hub) group, distance
+    and quality must both be strictly increasing) or hub-sortedness.
+
+    Returns ``(vertex, entry_index)`` pairs; empty means the invariant
+    holds.
+    """
+    violations: List[Tuple[int, int]] = []
+    for v in range(index.num_vertices):
+        hubs, dists, quals = index.label_lists(v)
+        for i in range(1, len(hubs)):
+            if hubs[i] < hubs[i - 1]:
+                violations.append((v, i))
+            elif hubs[i] == hubs[i - 1]:
+                if not (dists[i] > dists[i - 1] and quals[i] > quals[i - 1]):
+                    violations.append((v, i))
+    return violations
+
+
+def dominated_entries(index: WCIndex) -> List[Tuple[int, int]]:
+    """Entries dominated by another entry of the same (vertex, hub) group
+    (d' <= d and w' >= w).  An index produced by Algorithm 3 must have
+    none — this is the "minimal" half of the Minimal property."""
+    result: List[Tuple[int, int]] = []
+    for v in range(index.num_vertices):
+        hubs, dists, quals = index.label_lists(v)
+        i = 0
+        while i < len(hubs):
+            j = group_end(hubs, i)
+            for a in range(i, j):
+                for b in range(i, j):
+                    if a == b:
+                        continue
+                    if dists[b] <= dists[a] and quals[b] >= quals[a]:
+                        result.append((v, a))
+                        break
+            i = j
+    return result
+
+
+def unnecessary_entries(index: WCIndex) -> List[Tuple[int, int]]:
+    """Entries whose removal would not change any query answer.
+
+    An entry ``I = (h, d, w)`` in ``L(v)`` is *necessary* unless the pair
+    ``(hub_vertex, v)`` is also covered at quality ``w`` within distance
+    ``d`` by some other hub pairing (the paper's "necessary" condition).
+    A minimal index has none.
+    """
+    result: List[Tuple[int, int]] = []
+    for v in range(index.num_vertices):
+        hubs_v, dists_v, quals_v = index.label_lists(v)
+        for idx in range(len(hubs_v)):
+            h, d, w = hubs_v[idx], dists_v[idx], quals_v[idx]
+            s = index.order[h]
+            if s == v:
+                continue  # self entries anchor every other query; keep
+            if _covered_excluding(index, s, v, w, d, idx):
+                result.append((v, idx))
+    return result
+
+
+def _covered_excluding(
+    index: WCIndex, s: int, v: int, w: float, d: float, excluded_idx: int
+) -> bool:
+    """Does some hub pair other than (self(s), L(v)[excluded_idx]) give
+    ``dist <= d`` at quality ``>= w``?"""
+    hubs_s, dists_s, quals_s = index.label_lists(s)
+    hubs_v, dists_v, quals_v = index.label_lists(v)
+    rank_s = index.rank[s]
+    for a in range(len(hubs_s)):
+        if quals_s[a] < w:
+            continue
+        for b in range(len(hubs_v)):
+            if hubs_v[b] != hubs_s[a] or quals_v[b] < w:
+                continue
+            if hubs_s[a] == rank_s and dists_s[a] == 0 and b == excluded_idx:
+                continue  # the pairing that IS the entry under test
+            if dists_s[a] + dists_v[b] <= d:
+                return True
+    return False
+
+
+def soundness_violations(index: WCIndex, graph: Graph) -> List[Tuple[int, int]]:
+    """Entries ``(h, d, w)`` in ``L(v)`` with no real w-path of length
+    ``<= d`` between the hub vertex and ``v``.  (Algorithm 3 additionally
+    guarantees length exactly ``d``; checked strictly here.)"""
+    oracle = ConstrainedBFS(graph)
+    result: List[Tuple[int, int]] = []
+    for v in range(index.num_vertices):
+        hubs, dists, quals = index.label_lists(v)
+        for i in range(len(hubs)):
+            hub_vertex = index.order[hubs[i]]
+            if hub_vertex == v:
+                continue
+            true_dist = oracle.distance(hub_vertex, v, quals[i])
+            if true_dist != dists[i]:
+                result.append((v, i))
+    return result
+
+
+def completeness_violations(
+    index: WCIndex,
+    graph: Graph,
+    thresholds: Optional[Sequence[float]] = None,
+) -> List[Tuple[int, int, float]]:
+    """Query triples where the index disagrees with brute-force BFS.
+
+    Checks every vertex pair for every threshold in ``thresholds``
+    (defaults to all distinct qualities plus one value above the maximum).
+    Quadratic in |V| — small graphs only.
+    """
+    oracle = ConstrainedBFS(graph)
+    if thresholds is None:
+        qualities = graph.distinct_qualities()
+        thresholds = list(qualities)
+        thresholds.append((qualities[-1] + 1.0) if qualities else 1.0)
+    bad: List[Tuple[int, int, float]] = []
+    n = graph.num_vertices
+    for w in thresholds:
+        for s in range(n):
+            truth = oracle.single_source(s, w)
+            for t in range(s, n):
+                if index.distance(s, t, w) != truth[t]:
+                    bad.append((s, t, w))
+    return bad
+
+
+@dataclass
+class IndexReport:
+    """Aggregate verification result from :func:`verify_index`."""
+
+    sound: bool
+    complete: bool
+    theorem3: bool
+    no_dominated: bool
+    no_unnecessary: bool
+    details: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.sound
+            and self.complete
+            and self.theorem3
+            and self.no_dominated
+            and self.no_unnecessary
+        )
+
+
+def verify_index(index: WCIndex, graph: Graph) -> IndexReport:
+    """Run every checker; intended for tests and small graphs."""
+    t3 = theorem3_violations(index)
+    dom = dominated_entries(index)
+    unnec = unnecessary_entries(index)
+    unsound = soundness_violations(index, graph)
+    incomplete = completeness_violations(index, graph)
+    return IndexReport(
+        sound=not unsound,
+        complete=not incomplete,
+        theorem3=not t3,
+        no_dominated=not dom,
+        no_unnecessary=not unnec,
+        details={
+            "theorem3_violations": t3,
+            "dominated_entries": dom,
+            "unnecessary_entries": unnec,
+            "soundness_violations": unsound,
+            "completeness_violations": incomplete,
+        },
+    )

@@ -1,0 +1,75 @@
+"""Graph substrate: quality-annotated graphs, generators, I/O and analysis.
+
+Public surface:
+
+* :class:`Graph` / :class:`DiGraph` — mutable adjacency structures whose
+  edges carry real-valued qualities.
+* :class:`CSRGraph` — frozen compact adjacency (memory accounting + fast
+  scans).
+* :class:`QualityPartition` — per-distinct-quality filtered subgraphs
+  (substrate of the W-BFS / Dijkstra / Naive baselines).
+* :mod:`~repro.graph.generators` — synthetic road/social/random graphs and
+  the paper's running examples.
+* :mod:`~repro.graph.treedec` — MDE tree decomposition (vertex hierarchy).
+* :mod:`~repro.graph.stats` — dataset-table statistics.
+"""
+
+from .csr import CSRGraph, bfs_distances
+from .digraph import DiGraph
+from .graph import Graph, INFINITY
+from .io import (
+    GraphFormatError,
+    from_edge_list_string,
+    read_dimacs,
+    read_edge_list,
+    to_edge_list_string,
+    write_dimacs,
+    write_edge_list,
+)
+from .partition import QualityPartition
+from .stats import (
+    GraphSummary,
+    connected_component_sizes,
+    degree_histogram,
+    double_sweep_diameter_estimate,
+    graph_storage_bytes,
+    quality_histogram,
+    summarize,
+)
+from .treedec import (
+    TreeDecomposition,
+    is_valid_tree_decomposition,
+    mde_elimination_order,
+    mde_tree_decomposition,
+    tree_decomposition_order,
+    treewidth_upper_bound,
+)
+
+__all__ = [
+    "Graph",
+    "DiGraph",
+    "CSRGraph",
+    "QualityPartition",
+    "INFINITY",
+    "bfs_distances",
+    "GraphFormatError",
+    "read_edge_list",
+    "write_edge_list",
+    "read_dimacs",
+    "write_dimacs",
+    "to_edge_list_string",
+    "from_edge_list_string",
+    "GraphSummary",
+    "summarize",
+    "graph_storage_bytes",
+    "degree_histogram",
+    "quality_histogram",
+    "double_sweep_diameter_estimate",
+    "connected_component_sizes",
+    "TreeDecomposition",
+    "mde_tree_decomposition",
+    "mde_elimination_order",
+    "tree_decomposition_order",
+    "treewidth_upper_bound",
+    "is_valid_tree_decomposition",
+]

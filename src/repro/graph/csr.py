@@ -1,0 +1,126 @@
+"""Compressed sparse row (CSR) adjacency.
+
+The dict-of-dict :class:`~repro.graph.graph.Graph` is convenient to mutate
+but heavy in memory and slow to scan.  :class:`CSRGraph` freezes a graph
+into three flat arrays (``array`` module, no third-party dependency):
+
+* ``offsets[u] .. offsets[u+1]`` — slice of ``u``'s incident edges,
+* ``targets[i]`` — neighbor vertex,
+* ``qualities[i]`` — edge quality.
+
+This is what the online baselines traverse in the benchmarks, and it is the
+structure whose byte size backs the paper's Tables V and VI ("size of road /
+social networks"): a CSR stores each undirected edge twice plus the offset
+array, closely matching how the authors' C++ code would hold the graph.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator, List, Tuple
+
+from .graph import Graph
+
+
+class CSRGraph:
+    """Immutable CSR snapshot of a :class:`Graph`."""
+
+    __slots__ = ("offsets", "targets", "qualities", "_num_edges")
+
+    def __init__(self, graph: Graph) -> None:
+        n = graph.num_vertices
+        offsets = array("l", [0] * (n + 1))
+        adjacency = graph.adjacency()
+        for u in range(n):
+            offsets[u + 1] = offsets[u] + len(adjacency[u])
+        targets = array("l", [0] * offsets[n])
+        qualities = array("d", [0.0] * offsets[n])
+        cursor = list(offsets[:n])
+        for u in range(n):
+            for v, quality in adjacency[u].items():
+                position = cursor[u]
+                targets[position] = v
+                qualities[position] = quality
+                cursor[u] = position + 1
+        self.offsets = offsets
+        self.targets = targets
+        self.qualities = qualities
+        self._num_edges = graph.num_edges
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def degree(self, u: int) -> int:
+        return self.offsets[u + 1] - self.offsets[u]
+
+    def neighbors(self, u: int) -> Iterator[Tuple[int, float]]:
+        start, stop = self.offsets[u], self.offsets[u + 1]
+        targets, qualities = self.targets, self.qualities
+        for i in range(start, stop):
+            yield (targets[i], qualities[i])
+
+    def neighbor_slice(self, u: int) -> Tuple[int, int]:
+        """The ``(start, stop)`` slice of ``u`` in ``targets``/``qualities``.
+
+        Hot loops index the arrays directly instead of going through the
+        generator returned by :meth:`neighbors`.
+        """
+        return self.offsets[u], self.offsets[u + 1]
+
+    def nbytes(self) -> int:
+        """Total byte size of the three arrays (Tables V/VI accounting)."""
+        return (
+            self.offsets.itemsize * len(self.offsets)
+            + self.targets.itemsize * len(self.targets)
+            + self.qualities.itemsize * len(self.qualities)
+        )
+
+    def to_graph(self) -> Graph:
+        """Thaw back into a mutable :class:`Graph` (mainly for tests)."""
+        graph = Graph(self.num_vertices)
+        for u in range(self.num_vertices):
+            start, stop = self.offsets[u], self.offsets[u + 1]
+            for i in range(start, stop):
+                v = self.targets[i]
+                if u < v:
+                    graph.add_edge(u, v, self.qualities[i])
+        return graph
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRGraph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"{self.nbytes()} bytes)"
+        )
+
+
+def bfs_distances(csr: CSRGraph, source: int, min_quality: float = 0.0) -> List[float]:
+    """Single-source constrained BFS over a CSR graph.
+
+    Returns a dense distance list with ``inf`` for unreachable vertices.
+    Used by tests as an independent oracle and by the benchmark harness for
+    full-sweep workloads.
+    """
+    n = csr.num_vertices
+    dist = [float("inf")] * n
+    dist[source] = 0.0
+    frontier = [source]
+    depth = 0
+    offsets, targets, qualities = csr.offsets, csr.targets, csr.qualities
+    while frontier:
+        depth += 1
+        next_frontier: List[int] = []
+        for u in frontier:
+            for i in range(offsets[u], offsets[u + 1]):
+                if qualities[i] < min_quality:
+                    continue
+                v = targets[i]
+                if dist[v] == float("inf"):
+                    dist[v] = depth
+                    next_frontier.append(v)
+        frontier = next_frontier
+    return dist

@@ -1,0 +1,136 @@
+"""Directed quality-annotated graph (Section V extension substrate).
+
+The directed variant of :class:`repro.graph.graph.Graph`.  Each arc
+``u -> v`` carries a quality; the directed WC-INDEX (``repro.core.directed``)
+builds per-vertex in/out label sets over this structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+Edge = Tuple[int, int, float]
+
+
+class DiGraph:
+    """A directed graph with a real-valued quality on every arc."""
+
+    __slots__ = ("_succ", "_pred", "_num_edges")
+
+    def __init__(self, num_vertices: int, edges: Iterable[Edge] = ()) -> None:
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        self._succ: List[Dict[int, float]] = [dict() for _ in range(num_vertices)]
+        self._pred: List[Dict[int, float]] = [dict() for _ in range(num_vertices)]
+        self._num_edges = 0
+        for u, v, quality in edges:
+            self.add_edge(u, v, quality)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int, quality: float) -> None:
+        """Add arc ``u -> v``; parallel arcs keep the maximum quality."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise ValueError(f"self loop on vertex {u} is not allowed")
+        if not quality > 0:
+            raise ValueError(f"edge quality must be positive, got {quality!r}")
+        row = self._succ[u]
+        if v in row:
+            if quality > row[v]:
+                row[v] = quality
+                self._pred[v][u] = quality
+            return
+        row[v] = quality
+        self._pred[v][u] = quality
+        self._num_edges += 1
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def vertices(self) -> range:
+        return range(len(self._succ))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return v in self._succ[u]
+
+    def quality(self, u: int, v: int) -> float:
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return self._succ[u][v]
+
+    def successors(self, u: int) -> Iterator[Tuple[int, float]]:
+        self._check_vertex(u)
+        return iter(self._succ[u].items())
+
+    def predecessors(self, u: int) -> Iterator[Tuple[int, float]]:
+        self._check_vertex(u)
+        return iter(self._pred[u].items())
+
+    def out_degree(self, u: int) -> int:
+        self._check_vertex(u)
+        return len(self._succ[u])
+
+    def in_degree(self, u: int) -> int:
+        self._check_vertex(u)
+        return len(self._pred[u])
+
+    def total_degrees(self) -> List[int]:
+        """in-degree + out-degree per vertex (used for vertex ordering)."""
+        return [len(s) + len(p) for s, p in zip(self._succ, self._pred)]
+
+    def edges(self) -> Iterator[Edge]:
+        for u, row in enumerate(self._succ):
+            for v, quality in row.items():
+                yield (u, v, quality)
+
+    def distinct_qualities(self) -> List[float]:
+        return sorted({quality for _, _, quality in self.edges()})
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def subgraph_at_least(self, w: float) -> "DiGraph":
+        out = DiGraph(self.num_vertices)
+        for u, v, quality in self.edges():
+            if quality >= w:
+                out.add_edge(u, v, quality)
+        return out
+
+    def to_undirected(self) -> "object":
+        """Collapse arcs into undirected edges (max quality wins).
+
+        Mirrors the paper's experimental setting: "Directed graphs were
+        converted to undirected ones in our testings".
+        """
+        from .graph import Graph
+
+        out = Graph(self.num_vertices)
+        for u, v, quality in self.edges():
+            out.add_edge(u, v, quality)
+        return out
+
+    def reversed(self) -> "DiGraph":
+        out = DiGraph(self.num_vertices)
+        for u, v, quality in self.edges():
+            out.add_edge(v, u, quality)
+        return out
+
+    def __repr__(self) -> str:
+        return f"DiGraph(|V|={self.num_vertices}, |E|={self.num_edges})"
+
+    def _check_vertex(self, u: int) -> None:
+        if not 0 <= u < len(self._succ):
+            raise ValueError(f"vertex {u} out of range [0, {len(self._succ)})")

@@ -1,0 +1,442 @@
+"""Synthetic graph generators.
+
+The paper evaluates on DIMACS road networks and KONECT/SNAP social networks,
+neither of which can be downloaded in this offline environment.  These
+generators produce structurally equivalent synthetic graphs (see DESIGN.md
+section 4 for the substitution argument):
+
+* :func:`grid_road_network` — near-planar, low-degree, high-diameter graphs
+  that behave like road networks (small treewidth periphery).
+* :func:`scale_free_network` — preferential-attachment graphs with power-law
+  degrees, the regime where degree ordering shines.
+* :func:`erdos_renyi` / :func:`gnm_random_graph` — uniform random graphs for
+  tests and property checks.
+* :func:`paper_figure3` / :func:`paper_figure1` — the paper's running
+  examples, reconstructed exactly from the text (used as golden tests).
+
+Every generator takes a ``seed`` and is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .graph import Graph
+
+QualitySampler = Callable[[random.Random], float]
+
+
+def uniform_quality_sampler(num_qualities: int) -> QualitySampler:
+    """Qualities drawn uniformly from the integers ``1 .. num_qualities``.
+
+    Matches the paper's setting "for other non-labeled graphs, we randomly
+    generate those weights" with ``|w| = num_qualities`` distinct values.
+    """
+    if num_qualities < 1:
+        raise ValueError("num_qualities must be >= 1")
+
+    def sample(rng: random.Random) -> float:
+        return float(rng.randint(1, num_qualities))
+
+    return sample
+
+
+def ratings_quality_sampler() -> QualitySampler:
+    """A Movielens-like 5-star rating distribution (|w| = 5).
+
+    Star ratings in Movielens are unimodal around 3-4 stars; the exact
+    frequencies only matter in that they make mid-range constraints
+    selective, which this reproduces.
+    """
+    stars = [1.0, 2.0, 3.0, 4.0, 5.0]
+    weights = [6, 11, 27, 35, 21]
+
+    def sample(rng: random.Random) -> float:
+        return rng.choices(stars, weights=weights, k=1)[0]
+
+    return sample
+
+
+# ----------------------------------------------------------------------
+# Paper examples (exact reconstructions)
+# ----------------------------------------------------------------------
+def paper_figure3() -> Graph:
+    """The running example of the paper (Figure 3).
+
+    Edge set reverse-engineered from Examples 2-4 and Table II; building
+    WC-INDEX over this graph with the identity vertex order must reproduce
+    Table II exactly.
+    """
+    edges = [
+        (0, 1, 3.0),
+        (0, 3, 1.0),
+        (1, 2, 5.0),
+        (1, 3, 2.0),
+        (2, 3, 4.0),
+        (3, 4, 4.0),
+        (3, 5, 2.0),
+        (4, 5, 3.0),
+    ]
+    return Graph(6, edges)
+
+
+def paper_figure1() -> Tuple[Graph, dict]:
+    """The communication network of Figure 1 (QoS example).
+
+    Only part of the topology is spelled out in the text; the edges that the
+    example's reasoning depends on are exact:
+
+    * ``R3 - S1`` , ``S1 - R4``, ``R4 - S2``, ``S2 - R2`` all have bandwidth
+      >= 3 Mbps, and
+    * ``S1 - R2`` has bandwidth 2 Mbps,
+
+    so that ``dist(R3, R2 | w=3) == 4`` while the 2-hop route through S1
+    fails the constraint.  Returns ``(graph, name_to_id)``.
+    """
+    names = ["R1", "R2", "R3", "R4", "S1", "S2"]
+    ids = {name: i for i, name in enumerate(names)}
+    edges = [
+        (ids["R3"], ids["S1"], 5.0),
+        (ids["S1"], ids["R2"], 2.0),
+        (ids["S1"], ids["R4"], 4.0),
+        (ids["R4"], ids["S2"], 3.0),
+        (ids["S2"], ids["R2"], 3.0),
+        (ids["R1"], ids["S1"], 1.0),
+        (ids["R1"], ids["S2"], 2.0),
+    ]
+    return Graph(len(names), edges), ids
+
+
+# ----------------------------------------------------------------------
+# Road-like generators
+# ----------------------------------------------------------------------
+def grid_road_network(
+    rows: int,
+    cols: int,
+    *,
+    num_qualities: int = 5,
+    seed: int = 0,
+    perforation: float = 0.08,
+    diagonal_prob: float = 0.03,
+    quality_sampler: Optional[QualitySampler] = None,
+) -> Graph:
+    """A road-network-like graph: a 2D grid with holes and a few diagonals.
+
+    ``perforation`` is the fraction of grid edges removed (city blocks /
+    rivers), ``diagonal_prob`` the probability of adding a diagonal shortcut
+    in a cell (bridges / highways).  The result keeps the defining traits of
+    DIMACS road networks: average degree around 2.5-3.5, near planarity and
+    a diameter that grows with the side length.  Removal never disconnects
+    the graph (an edge is only dropped when both endpoints keep degree
+    >= 2 and the graph stays connected is *not* re-checked globally; the
+    grid's redundancy makes disconnection vanishingly rare and callers that
+    need certainty can use :func:`largest_connected_component`).
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be >= 1")
+    rng = random.Random(seed)
+    sampler = quality_sampler or uniform_quality_sampler(num_qualities)
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    graph = Graph(rows * cols)
+    horizontal = [
+        (vid(r, c), vid(r, c + 1)) for r in range(rows) for c in range(cols - 1)
+    ]
+    vertical = [
+        (vid(r, c), vid(r + 1, c)) for r in range(rows - 1) for c in range(cols)
+    ]
+    grid_edges = horizontal + vertical
+    rng.shuffle(grid_edges)
+    num_removed = int(len(grid_edges) * perforation)
+    kept = grid_edges[num_removed:]
+    removed = grid_edges[:num_removed]
+
+    for u, v in kept:
+        graph.add_edge(u, v, sampler(rng))
+
+    # Re-add removed edges whose absence would isolate an endpoint.
+    degree = [0] * graph.num_vertices
+    for u, v, _ in graph.edges():
+        degree[u] += 1
+        degree[v] += 1
+    for u, v in removed:
+        if degree[u] == 0 or degree[v] == 0:
+            graph.add_edge(u, v, sampler(rng))
+            degree[u] += 1
+            degree[v] += 1
+
+    for r in range(rows - 1):
+        for c in range(cols - 1):
+            if rng.random() < diagonal_prob:
+                graph.add_edge(vid(r, c), vid(r + 1, c + 1), sampler(rng))
+
+    return graph
+
+
+def weighted_grid_road_network(
+    rows: int,
+    cols: int,
+    *,
+    num_qualities: int = 5,
+    seed: int = 0,
+    perforation: float = 0.08,
+    diagonal_prob: float = 0.03,
+    min_length: float = 0.5,
+    max_length: float = 3.0,
+):
+    """Road network with travel-time edge *lengths* plus quality limits.
+
+    Same topology as :func:`grid_road_network`; every edge additionally
+    gets a uniform random length in ``[min_length, max_length]`` (segment
+    travel time).  Substrate for the weighted WC-INDEX (Section V).
+    Returns a :class:`repro.graph.weighted.WeightedGraph`.
+    """
+    from .weighted import WeightedGraph
+
+    if min_length <= 0 or max_length < min_length:
+        raise ValueError("need 0 < min_length <= max_length")
+    base = grid_road_network(
+        rows,
+        cols,
+        num_qualities=num_qualities,
+        seed=seed,
+        perforation=perforation,
+        diagonal_prob=diagonal_prob,
+    )
+    rng = random.Random(seed ^ 0x5EED)
+    weighted = WeightedGraph(base.num_vertices)
+    for u, v, quality in base.edges():
+        length = rng.uniform(min_length, max_length)
+        weighted.add_edge(u, v, length, quality)
+    return weighted
+
+
+# ----------------------------------------------------------------------
+# Social-like generators
+# ----------------------------------------------------------------------
+def scale_free_network(
+    num_vertices: int,
+    edges_per_vertex: int = 3,
+    *,
+    num_qualities: int = 5,
+    seed: int = 0,
+    quality_sampler: Optional[QualitySampler] = None,
+) -> Graph:
+    """Barabasi-Albert preferential attachment with edge qualities.
+
+    Produces the power-law degree distribution and small diameter of the
+    paper's social datasets.  ``edges_per_vertex`` is the number of edges a
+    newly arriving vertex attaches with (the BA ``m`` parameter).
+    """
+    if num_vertices < 1:
+        raise ValueError("num_vertices must be >= 1")
+    if edges_per_vertex < 1:
+        raise ValueError("edges_per_vertex must be >= 1")
+    rng = random.Random(seed)
+    sampler = quality_sampler or uniform_quality_sampler(num_qualities)
+
+    graph = Graph(num_vertices)
+    m = min(edges_per_vertex, max(1, num_vertices - 1))
+    # Seed clique over the first m+1 vertices.
+    seed_size = min(m + 1, num_vertices)
+    targets: List[int] = []  # vertex repeated once per incident edge
+    for u in range(seed_size):
+        for v in range(u + 1, seed_size):
+            graph.add_edge(u, v, sampler(rng))
+            targets.append(u)
+            targets.append(v)
+    if not targets:  # single-vertex graph
+        return graph
+
+    for u in range(seed_size, num_vertices):
+        chosen: set = set()
+        while len(chosen) < m:
+            chosen.add(targets[rng.randrange(len(targets))])
+        for v in chosen:
+            graph.add_edge(u, v, sampler(rng))
+            targets.append(u)
+            targets.append(v)
+    return graph
+
+
+def watts_strogatz(
+    num_vertices: int,
+    nearest_neighbors: int = 4,
+    rewire_prob: float = 0.1,
+    *,
+    num_qualities: int = 5,
+    seed: int = 0,
+    quality_sampler: Optional[QualitySampler] = None,
+) -> Graph:
+    """Watts-Strogatz small-world graph with edge qualities.
+
+    A ring lattice where each vertex connects to its ``nearest_neighbors``
+    closest ring neighbors (must be even), each edge rewired with
+    probability ``rewire_prob``.  Fills the regime between the road grids
+    (high diameter) and the scale-free graphs (hubs): high clustering with
+    short paths, useful for ablations.
+    """
+    if num_vertices < 3:
+        raise ValueError("watts_strogatz needs at least 3 vertices")
+    if nearest_neighbors < 2 or nearest_neighbors % 2:
+        raise ValueError("nearest_neighbors must be even and >= 2")
+    if not 0.0 <= rewire_prob <= 1.0:
+        raise ValueError("rewire_prob must be in [0, 1]")
+    rng = random.Random(seed)
+    sampler = quality_sampler or uniform_quality_sampler(num_qualities)
+    graph = Graph(num_vertices)
+    half = min(nearest_neighbors // 2, (num_vertices - 1) // 2)
+    for u in range(num_vertices):
+        for offset in range(1, half + 1):
+            v = (u + offset) % num_vertices
+            if rng.random() < rewire_prob:
+                # Rewire to a uniform non-neighbor (keep the graph simple).
+                for _ in range(num_vertices):
+                    candidate = rng.randrange(num_vertices)
+                    if candidate != u and not graph.has_edge(u, candidate):
+                        v = candidate
+                        break
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v, sampler(rng))
+    return graph
+
+
+def erdos_renyi(
+    num_vertices: int,
+    edge_prob: float,
+    *,
+    num_qualities: int = 5,
+    seed: int = 0,
+    quality_sampler: Optional[QualitySampler] = None,
+) -> Graph:
+    """G(n, p) with random qualities; mainly used in tests."""
+    if not 0.0 <= edge_prob <= 1.0:
+        raise ValueError("edge_prob must be in [0, 1]")
+    rng = random.Random(seed)
+    sampler = quality_sampler or uniform_quality_sampler(num_qualities)
+    graph = Graph(num_vertices)
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            if rng.random() < edge_prob:
+                graph.add_edge(u, v, sampler(rng))
+    return graph
+
+
+def gnm_random_graph(
+    num_vertices: int,
+    num_edges: int,
+    *,
+    num_qualities: int = 5,
+    seed: int = 0,
+    quality_sampler: Optional[QualitySampler] = None,
+) -> Graph:
+    """G(n, m): exactly ``num_edges`` distinct random edges."""
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if num_edges > max_edges:
+        raise ValueError(f"num_edges {num_edges} exceeds maximum {max_edges}")
+    rng = random.Random(seed)
+    sampler = quality_sampler or uniform_quality_sampler(num_qualities)
+    graph = Graph(num_vertices)
+    added = 0
+    seen = set()
+    while added < num_edges:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
+        graph.add_edge(u, v, sampler(rng))
+        added += 1
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Small deterministic shapes (tests and docs)
+# ----------------------------------------------------------------------
+def path_graph(num_vertices: int, qualities: Optional[Sequence[float]] = None) -> Graph:
+    """A simple path ``0 - 1 - ... - n-1``."""
+    graph = Graph(num_vertices)
+    for i in range(num_vertices - 1):
+        quality = qualities[i] if qualities is not None else 1.0
+        graph.add_edge(i, i + 1, quality)
+    return graph
+
+
+def cycle_graph(num_vertices: int, qualities: Optional[Sequence[float]] = None) -> Graph:
+    """A simple cycle over ``num_vertices >= 3`` vertices."""
+    if num_vertices < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    graph = path_graph(num_vertices, qualities[:-1] if qualities else None)
+    closing = qualities[-1] if qualities is not None else 1.0
+    graph.add_edge(num_vertices - 1, 0, closing)
+    return graph
+
+
+def complete_graph(num_vertices: int, quality: float = 1.0) -> Graph:
+    graph = Graph(num_vertices)
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            graph.add_edge(u, v, quality)
+    return graph
+
+
+def star_graph(num_leaves: int, quality: float = 1.0) -> Graph:
+    """Vertex 0 connected to ``num_leaves`` leaves."""
+    graph = Graph(num_leaves + 1)
+    for leaf in range(1, num_leaves + 1):
+        graph.add_edge(0, leaf, quality)
+    return graph
+
+
+def largest_connected_component(graph: Graph) -> Graph:
+    """The induced subgraph of the largest connected component, relabeled
+    to dense ids ``0 .. k-1`` (preserving relative order)."""
+    n = graph.num_vertices
+    seen = [False] * n
+    best: List[int] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        component = [start]
+        seen[start] = True
+        frontier = [start]
+        while frontier:
+            u = frontier.pop()
+            for v, _ in graph.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    component.append(v)
+                    frontier.append(v)
+        if len(component) > len(best):
+            best = component
+    best.sort()
+    new_id = {old: new for new, old in enumerate(best)}
+    out = Graph(len(best))
+    for u, v, quality in graph.edges():
+        if u in new_id and v in new_id:
+            out.add_edge(new_id[u], new_id[v], quality)
+    return out
+
+
+def is_connected(graph: Graph) -> bool:
+    n = graph.num_vertices
+    if n == 0:
+        return True
+    seen = [False] * n
+    seen[0] = True
+    frontier = [0]
+    count = 1
+    while frontier:
+        u = frontier.pop()
+        for v, _ in graph.neighbors(u):
+            if not seen[v]:
+                seen[v] = True
+                count += 1
+                frontier.append(v)
+    return count == n

@@ -1,0 +1,205 @@
+"""Undirected quality-annotated graph.
+
+This is the substrate every algorithm in the library operates on.  A
+:class:`Graph` models ``G(V, E, Delta, delta)`` from the paper: an undirected,
+unweighted (unit edge length) graph whose edges each carry a real-valued
+*quality* ``delta(e)``.  Vertices are dense integers ``0 .. n-1`` so that
+adjacency can be stored as plain Python lists, which is the fastest portable
+representation for the BFS-heavy algorithms in this package.
+
+Parallel edges are collapsed keeping the **maximum** quality: for the WCSD
+problem a higher-quality parallel edge dominates a lower-quality one for
+every constraint ``w``, so nothing is lost.  Self loops are rejected — they
+can never appear on a shortest path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+INFINITY = float("inf")
+
+Edge = Tuple[int, int, float]
+
+
+class Graph:
+    """An undirected graph with a real-valued quality on every edge.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices; vertex ids are ``0 .. num_vertices - 1``.
+    edges:
+        Optional iterable of ``(u, v, quality)`` triples.
+    """
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self, num_vertices: int, edges: Iterable[Edge] = ()) -> None:
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        self._adj: List[Dict[int, float]] = [dict() for _ in range(num_vertices)]
+        self._num_edges = 0
+        for u, v, quality in edges:
+            self.add_edge(u, v, quality)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int, quality: float) -> None:
+        """Add the undirected edge ``(u, v)`` with the given quality.
+
+        A parallel edge keeps the maximum quality seen.  Raises
+        ``ValueError`` for self loops, out-of-range vertices, or
+        non-positive/NaN qualities (the paper's qualities are positive
+        reals; ``w <= 0`` constraints then mean "unconstrained").
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise ValueError(f"self loop on vertex {u} is not allowed")
+        if not quality > 0:
+            raise ValueError(f"edge quality must be positive, got {quality!r}")
+        row_u = self._adj[u]
+        if v in row_u:
+            if quality > row_u[v]:
+                row_u[v] = quality
+                self._adj[v][u] = quality
+            return
+        row_u[v] = quality
+        self._adj[v][u] = quality
+        self._num_edges += 1
+
+    def remove_edge(self, u: int, v: int) -> float:
+        """Remove edge ``(u, v)`` and return its quality.
+
+        Raises ``KeyError`` if the edge does not exist.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        quality = self._adj[u].pop(v)  # KeyError if absent
+        del self._adj[v][u]
+        self._num_edges -= 1
+        return quality
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def vertices(self) -> range:
+        return range(len(self._adj))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return v in self._adj[u]
+
+    def quality(self, u: int, v: int) -> float:
+        """Quality of edge ``(u, v)``; raises ``KeyError`` if absent."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return self._adj[u][v]
+
+    def neighbors(self, u: int) -> Iterator[Tuple[int, float]]:
+        """Iterate ``(neighbor, quality)`` pairs of ``u``."""
+        self._check_vertex(u)
+        return iter(self._adj[u].items())
+
+    def neighbor_items(self, u: int) -> Sequence[Tuple[int, float]]:
+        """``(neighbor, quality)`` pairs of ``u`` as a concrete sequence."""
+        self._check_vertex(u)
+        return list(self._adj[u].items())
+
+    def adjacency(self) -> List[Dict[int, float]]:
+        """The raw adjacency structure (``adjacency()[u][v] == quality``).
+
+        Exposed for the hot loops of index construction; callers must not
+        mutate it.
+        """
+        return self._adj
+
+    def degree(self, u: int) -> int:
+        self._check_vertex(u)
+        return len(self._adj[u])
+
+    def degrees(self) -> List[int]:
+        return [len(row) for row in self._adj]
+
+    def max_degree(self) -> int:
+        return max((len(row) for row in self._adj), default=0)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate every undirected edge exactly once as ``(u, v, quality)``
+        with ``u < v``."""
+        for u, row in enumerate(self._adj):
+            for v, quality in row.items():
+                if u < v:
+                    yield (u, v, quality)
+
+    def distinct_qualities(self) -> List[float]:
+        """Sorted (ascending) list of distinct edge quality values.
+
+        This is the paper's ``Delta`` restricted to qualities actually in
+        use; its length is ``|w|``.
+        """
+        return sorted({quality for _, _, quality in self.edges()})
+
+    def num_distinct_qualities(self) -> int:
+        return len(self.distinct_qualities())
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def subgraph_at_least(self, w: float) -> "Graph":
+        """The spanning subgraph keeping only edges with quality ``>= w``.
+
+        Vertex ids are preserved (isolated vertices stay).  This is the
+        filtering step of the naive per-``w`` baseline.
+        """
+        out = Graph(self.num_vertices)
+        for u, v, quality in self.edges():
+            if quality >= w:
+                out.add_edge(u, v, quality)
+        return out
+
+    def copy(self) -> "Graph":
+        out = Graph(self.num_vertices)
+        for u, v, quality in self.edges():
+            out.add_edge(u, v, quality)
+        return out
+
+    def relabeled(self, mapping: Sequence[int]) -> "Graph":
+        """A copy with vertex ``u`` renamed to ``mapping[u]``.
+
+        ``mapping`` must be a permutation of ``0 .. n-1``.
+        """
+        if sorted(mapping) != list(range(self.num_vertices)):
+            raise ValueError("mapping must be a permutation of the vertex ids")
+        out = Graph(self.num_vertices)
+        for u, v, quality in self.edges():
+            out.add_edge(mapping[u], mapping[v], quality)
+        return out
+
+    # ------------------------------------------------------------------
+    # Dunder / misc
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self) -> str:
+        return f"Graph(|V|={self.num_vertices}, |E|={self.num_edges})"
+
+    def _check_vertex(self, u: int) -> None:
+        if not 0 <= u < len(self._adj):
+            raise ValueError(
+                f"vertex {u} out of range [0, {len(self._adj)})"
+            )

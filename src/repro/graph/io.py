@@ -1,0 +1,183 @@
+"""Graph serialization.
+
+Two interchange formats are supported:
+
+* **Edge list** — whitespace-separated ``u v quality`` lines, ``#`` comments.
+  This is the format of SNAP/KONECT dumps once qualities are attached.
+* **Quality DIMACS** — a variant of the DIMACS ``.gr`` challenge format used
+  for the road networks in the paper: ``p sp <n> <m>`` problem line and
+  ``a <u> <v> <quality>`` arc lines (1-based vertices).  Because the paper's
+  graphs are undirected, each undirected edge is written once.
+
+Both readers are strict: malformed lines raise ``GraphFormatError`` with the
+line number, matching the guide's advice that errors should never pass
+silently.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import Iterable, List, TextIO, Tuple, Union
+
+from .digraph import DiGraph
+from .graph import Graph
+
+PathLike = Union[str, Path]
+
+
+class GraphFormatError(ValueError):
+    """A graph file could not be parsed."""
+
+
+# ----------------------------------------------------------------------
+# Edge list
+# ----------------------------------------------------------------------
+def write_edge_list(graph: Graph, destination: Union[PathLike, TextIO]) -> None:
+    """Write ``u v quality`` lines (one per undirected edge)."""
+
+    def _write(handle: TextIO) -> None:
+        handle.write(f"# vertices {graph.num_vertices}\n")
+        for u, v, quality in graph.edges():
+            handle.write(f"{u} {v} {quality:g}\n")
+
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            _write(handle)
+    else:
+        _write(destination)
+
+
+def read_edge_list(source: Union[PathLike, TextIO]) -> Graph:
+    """Parse an edge list written by :func:`write_edge_list`.
+
+    A ``# vertices N`` header fixes the vertex count; without it the count
+    is ``max vertex id + 1``.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_edge_list(handle)
+
+    declared_vertices = -1
+    edges: List[Tuple[int, int, float]] = []
+    max_vertex = -1
+    for lineno, raw in enumerate(source, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line[1:].split()
+            if len(parts) == 2 and parts[0] == "vertices":
+                try:
+                    declared_vertices = int(parts[1])
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"line {lineno}: bad vertex count {parts[1]!r}"
+                    ) from exc
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise GraphFormatError(
+                f"line {lineno}: expected 'u v quality', got {line!r}"
+            )
+        try:
+            u, v = int(parts[0]), int(parts[1])
+            quality = float(parts[2])
+        except ValueError as exc:
+            raise GraphFormatError(f"line {lineno}: cannot parse {line!r}") from exc
+        edges.append((u, v, quality))
+        max_vertex = max(max_vertex, u, v)
+
+    num_vertices = declared_vertices if declared_vertices >= 0 else max_vertex + 1
+    if max_vertex >= num_vertices:
+        raise GraphFormatError(
+            f"vertex id {max_vertex} exceeds declared count {num_vertices}"
+        )
+    return Graph(num_vertices, edges)
+
+
+# ----------------------------------------------------------------------
+# Quality DIMACS
+# ----------------------------------------------------------------------
+def write_dimacs(graph: Graph, destination: Union[PathLike, TextIO]) -> None:
+    """Write the quality-DIMACS format (1-based, ``a u v quality``)."""
+
+    def _write(handle: TextIO) -> None:
+        handle.write("c quality constrained shortest distance graph\n")
+        handle.write(f"p sp {graph.num_vertices} {graph.num_edges}\n")
+        for u, v, quality in graph.edges():
+            handle.write(f"a {u + 1} {v + 1} {quality:g}\n")
+
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            _write(handle)
+    else:
+        _write(destination)
+
+
+def read_dimacs(source: Union[PathLike, TextIO]) -> Graph:
+    """Parse the quality-DIMACS format written by :func:`write_dimacs`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_dimacs(handle)
+
+    graph: Graph = None  # type: ignore[assignment]
+    declared_edges = 0
+    seen_edges = 0
+    for lineno, raw in enumerate(source, start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        parts = line.split()
+        if parts[0] == "p":
+            if len(parts) != 4 or parts[1] != "sp":
+                raise GraphFormatError(f"line {lineno}: bad problem line {line!r}")
+            if graph is not None:
+                raise GraphFormatError(f"line {lineno}: duplicate problem line")
+            try:
+                num_vertices, declared_edges = int(parts[2]), int(parts[3])
+            except ValueError as exc:
+                raise GraphFormatError(f"line {lineno}: bad problem line") from exc
+            graph = Graph(num_vertices)
+        elif parts[0] == "a":
+            if graph is None:
+                raise GraphFormatError(f"line {lineno}: arc before problem line")
+            if len(parts) != 4:
+                raise GraphFormatError(f"line {lineno}: bad arc line {line!r}")
+            try:
+                u, v = int(parts[1]) - 1, int(parts[2]) - 1
+                quality = float(parts[3])
+            except ValueError as exc:
+                raise GraphFormatError(f"line {lineno}: bad arc line") from exc
+            graph.add_edge(u, v, quality)
+            seen_edges += 1
+        else:
+            raise GraphFormatError(f"line {lineno}: unknown record {parts[0]!r}")
+
+    if graph is None:
+        raise GraphFormatError("missing problem line")
+    if seen_edges != declared_edges:
+        raise GraphFormatError(
+            f"problem line declared {declared_edges} edges, file has {seen_edges}"
+        )
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Round-trips through strings (handy for tests/examples)
+# ----------------------------------------------------------------------
+def to_edge_list_string(graph: Graph) -> str:
+    buffer = _io.StringIO()
+    write_edge_list(graph, buffer)
+    return buffer.getvalue()
+
+
+def from_edge_list_string(text: str) -> Graph:
+    return read_edge_list(_io.StringIO(text))
+
+
+def digraph_from_edges(
+    num_vertices: int, edges: Iterable[Tuple[int, int, float]]
+) -> DiGraph:
+    """Convenience constructor mirroring ``Graph(num_vertices, edges)``."""
+    return DiGraph(num_vertices, edges)

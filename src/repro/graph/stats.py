@@ -1,0 +1,122 @@
+"""Graph statistics and memory accounting.
+
+Backs the paper's dataset tables: Table III/IV (vertex, edge and ``|w|``
+counts) and Table V/VI (bytes needed to store each network, which we
+account as the CSR snapshot size — the closest Python analogue to how the
+authors' C++ code holds a graph in RAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .csr import CSRGraph
+from .graph import Graph
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """One row of a dataset table."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    num_distinct_qualities: int
+    avg_degree: float
+    max_degree: int
+    storage_bytes: int
+
+    def storage_mib(self) -> float:
+        return self.storage_bytes / (1024.0 * 1024.0)
+
+
+def summarize(graph: Graph, name: str = "") -> GraphSummary:
+    """Compute the table row for ``graph``."""
+    n = graph.num_vertices
+    avg_degree = (2.0 * graph.num_edges / n) if n else 0.0
+    return GraphSummary(
+        name=name,
+        num_vertices=n,
+        num_edges=graph.num_edges,
+        num_distinct_qualities=graph.num_distinct_qualities(),
+        avg_degree=avg_degree,
+        max_degree=graph.max_degree(),
+        storage_bytes=graph_storage_bytes(graph),
+    )
+
+
+def graph_storage_bytes(graph: Graph) -> int:
+    """Bytes to store the graph as CSR (offsets + 2 entries per edge)."""
+    return CSRGraph(graph).nbytes()
+
+
+def degree_histogram(graph: Graph) -> Dict[int, int]:
+    """Map degree -> number of vertices with that degree."""
+    histogram: Dict[int, int] = {}
+    for d in graph.degrees():
+        histogram[d] = histogram.get(d, 0) + 1
+    return histogram
+
+
+def quality_histogram(graph: Graph) -> Dict[float, int]:
+    """Map quality value -> number of edges carrying it."""
+    histogram: Dict[float, int] = {}
+    for _, _, quality in graph.edges():
+        histogram[quality] = histogram.get(quality, 0) + 1
+    return histogram
+
+
+def double_sweep_diameter_estimate(graph: Graph, start: int = 0) -> int:
+    """Lower bound on the diameter via the classic double-sweep heuristic.
+
+    BFS from ``start`` to the farthest vertex ``a``, then BFS from ``a``;
+    the largest distance seen is a diameter lower bound.  Road-like and
+    social-like generators are sanity-checked with this in the tests
+    (road diameter grows with side length, social diameter stays small).
+    """
+    if graph.num_vertices == 0:
+        return 0
+
+    def bfs_far(source: int) -> Tuple[int, int]:
+        dist = {source: 0}
+        frontier = [source]
+        far_vertex, far_dist = source, 0
+        while frontier:
+            next_frontier: List[int] = []
+            for u in frontier:
+                for v, _ in graph.neighbors(u):
+                    if v not in dist:
+                        dist[v] = dist[u] + 1
+                        if dist[v] > far_dist:
+                            far_dist, far_vertex = dist[v], v
+                        next_frontier.append(v)
+            frontier = next_frontier
+        return far_vertex, far_dist
+
+    a, _ = bfs_far(start)
+    _, diameter = bfs_far(a)
+    return diameter
+
+
+def connected_component_sizes(graph: Graph) -> List[int]:
+    """Sizes of connected components, largest first."""
+    n = graph.num_vertices
+    seen = [False] * n
+    sizes: List[int] = []
+    for s in range(n):
+        if seen[s]:
+            continue
+        seen[s] = True
+        stack = [s]
+        count = 0
+        while stack:
+            u = stack.pop()
+            count += 1
+            for v, _ in graph.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    stack.append(v)
+        sizes.append(count)
+    sizes.sort(reverse=True)
+    return sizes

@@ -1,0 +1,113 @@
+"""Undirected graph with per-edge *length* and *quality*.
+
+Substrate for the weighted extension of Section V ("In cases where the
+length of an edge is not 1 ... we can convert the constrained BFS to a
+constrained Dijkstra").  Lengths are positive reals; qualities behave as in
+:class:`repro.graph.graph.Graph`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+WeightedEdge = Tuple[int, int, float, float]  # (u, v, length, quality)
+
+
+class WeightedGraph:
+    """Undirected graph whose edges carry ``(length, quality)``."""
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self, num_vertices: int, edges: Iterable[WeightedEdge] = ()) -> None:
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        self._adj: List[Dict[int, Tuple[float, float]]] = [
+            dict() for _ in range(num_vertices)
+        ]
+        self._num_edges = 0
+        for u, v, length, quality in edges:
+            self.add_edge(u, v, length, quality)
+
+    def add_edge(self, u: int, v: int, length: float, quality: float) -> None:
+        """Add edge with the given length and quality.
+
+        Parallel edges keep the lexicographically better ``(shorter,
+        higher-quality)`` combination only if one dominates; otherwise the
+        newer edge wins on length (a genuinely incomparable multi-edge
+        cannot be represented — callers modelling multigraphs should split
+        the edge with an auxiliary vertex).
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise ValueError(f"self loop on vertex {u} is not allowed")
+        if not length > 0:
+            raise ValueError(f"edge length must be positive, got {length!r}")
+        if not quality > 0:
+            raise ValueError(f"edge quality must be positive, got {quality!r}")
+        row = self._adj[u]
+        if v in row:
+            old_length, old_quality = row[v]
+            if old_length <= length and old_quality >= quality:
+                return  # existing edge dominates
+            if not (length <= old_length and quality >= old_quality):
+                # Incomparable pair: prefer the shorter edge.
+                if old_length <= length:
+                    return
+            row[v] = (length, quality)
+            self._adj[v][u] = (length, quality)
+            return
+        row[v] = (length, quality)
+        self._adj[v][u] = (length, quality)
+        self._num_edges += 1
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def vertices(self) -> range:
+        return range(len(self._adj))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return v in self._adj[u]
+
+    def edge(self, u: int, v: int) -> Tuple[float, float]:
+        """``(length, quality)`` of edge ``(u, v)``; KeyError if absent."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return self._adj[u][v]
+
+    def neighbors(self, u: int) -> Iterator[Tuple[int, float, float]]:
+        """Iterate ``(neighbor, length, quality)``."""
+        self._check_vertex(u)
+        for v, (length, quality) in self._adj[u].items():
+            yield (v, length, quality)
+
+    def degree(self, u: int) -> int:
+        self._check_vertex(u)
+        return len(self._adj[u])
+
+    def degrees(self) -> List[int]:
+        return [len(row) for row in self._adj]
+
+    def edges(self) -> Iterator[WeightedEdge]:
+        for u, row in enumerate(self._adj):
+            for v, (length, quality) in row.items():
+                if u < v:
+                    yield (u, v, length, quality)
+
+    def distinct_qualities(self) -> List[float]:
+        return sorted({q for _, _, _, q in self.edges()})
+
+    def __repr__(self) -> str:
+        return f"WeightedGraph(|V|={self.num_vertices}, |E|={self.num_edges})"
+
+    def _check_vertex(self, u: int) -> None:
+        if not 0 <= u < len(self._adj):
+            raise ValueError(f"vertex {u} out of range [0, {len(self._adj)})")

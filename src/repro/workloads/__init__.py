@@ -1,0 +1,35 @@
+"""Evaluation workloads: query batches and the synthetic dataset suite."""
+
+from .datasets import (
+    DatasetSpec,
+    ROAD_SUITE,
+    SOCIAL_SUITE,
+    dataset_names,
+    default_scale,
+    get_spec,
+    load,
+    road_suite,
+    social_suite,
+)
+from .queries import (
+    QueryWorkload,
+    all_pairs_queries,
+    connected_random_queries,
+    random_queries,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "ROAD_SUITE",
+    "SOCIAL_SUITE",
+    "dataset_names",
+    "default_scale",
+    "get_spec",
+    "load",
+    "road_suite",
+    "social_suite",
+    "QueryWorkload",
+    "random_queries",
+    "connected_random_queries",
+    "all_pairs_queries",
+]

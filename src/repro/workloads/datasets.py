@@ -1,0 +1,187 @@
+"""The synthetic dataset suite mirroring the paper's Tables III and IV.
+
+The paper's datasets (DIMACS USA road networks; KONECT/SNAP social
+networks) cannot be downloaded offline, and a pure-Python index build
+cannot reach 10^7 vertices anyway, so each dataset is replaced by a
+synthetic graph of the *same structural family* with the *same relative
+size ladder* (see DESIGN.md §4):
+
+* Road networks — perforated grids (near-planar, avg degree ~2.6, large
+  diameter).  Vertex counts follow the DIMACS ladder divided by
+  ``ROAD_DIVISOR / scale``.
+* Social networks — preferential-attachment graphs.  ``|w|`` matches the
+  paper exactly (Movielens 5, wikis 3, Stackoverflow 9); edge densities
+  follow the paper's |E|/|V| ladder compressed by ``SOCIAL_EDGE_DIVISOR``
+  (a BA graph with 124 edges per vertex at miniature scale would be
+  near-complete).
+
+Set the environment variable ``REPRO_SCALE`` (float, default 1.0) to grow
+or shrink every dataset proportionally.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from math import sqrt
+from typing import Dict, List, Optional
+
+from ..graph.generators import (
+    grid_road_network,
+    ratings_quality_sampler,
+    scale_free_network,
+)
+from ..graph.graph import Graph
+
+#: Paper vertex counts (Table III / figure datasets) in thousands.
+_ROAD_PAPER_KILOVERTICES = {
+    "NY": 264,
+    "BAY": 321,
+    "COL": 436,
+    "FLA": 1070,
+    "CAL": 1891,
+    "EST": 3599,
+    "WST": 6262,
+    "CTR": 14082,
+}
+
+#: Paper social datasets: (kilovertices, edges-per-vertex, |w|).
+_SOCIAL_PAPER = {
+    "MV-10": (81, 124.0, 5),
+    "EU": (863, 18.7, 3),
+    "ES": (970, 21.8, 3),
+    "MV-25": (222, 112.8, 5),
+    "FR": (1351, 23.0, 3),
+    "UK": (1000, 37.1, 3),
+    "SO-Y": (2602, 10.8, 9),
+}
+
+ROAD_DIVISOR = 4.0  # kilovertices -> vertices/4000 of the paper's size
+SOCIAL_VERTEX_DIVISOR = 1.0  # kilovertices -> vertices (x1000 shrink)
+SOCIAL_EDGE_DIVISOR = 8.0
+DEFAULT_NUM_QUALITIES_ROAD = 5
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named synthetic dataset: how to build it at a given scale."""
+
+    name: str
+    kind: str  # "road" | "social"
+    base_vertices: int  # at scale 1.0
+    num_qualities: int
+    edges_per_vertex: int = 0  # social only
+    seed: int = 0
+
+    def build(
+        self, scale: Optional[float] = None, num_qualities: Optional[int] = None
+    ) -> Graph:
+        """Materialize the graph (deterministic for fixed parameters)."""
+        factor = scale if scale is not None else default_scale()
+        n = max(16, int(self.base_vertices * factor))
+        k = num_qualities if num_qualities is not None else self.num_qualities
+        if self.kind == "road":
+            rows = max(4, int(sqrt(n)))
+            cols = max(4, (n + rows - 1) // rows)
+            return grid_road_network(
+                rows, cols, num_qualities=k, seed=self.seed
+            )
+        if self.kind == "social":
+            sampler = ratings_quality_sampler() if k == 5 else None
+            return scale_free_network(
+                n,
+                self.edges_per_vertex,
+                num_qualities=k,
+                seed=self.seed,
+                quality_sampler=sampler,
+            )
+        raise ValueError(f"unknown dataset kind {self.kind!r}")
+
+
+def default_scale() -> float:
+    """The global dataset scale, from ``REPRO_SCALE`` (default 1.0)."""
+    raw = os.environ.get("REPRO_SCALE", "1.0")
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_SCALE must be a float, got {raw!r}") from None
+    if value <= 0:
+        raise ValueError(f"REPRO_SCALE must be positive, got {value}")
+    return value
+
+
+def _road_spec(name: str, seed: int) -> DatasetSpec:
+    kilovertices = _ROAD_PAPER_KILOVERTICES[name]
+    return DatasetSpec(
+        name=name,
+        kind="road",
+        base_vertices=int(kilovertices * 1000 / (ROAD_DIVISOR * 1000)),
+        num_qualities=DEFAULT_NUM_QUALITIES_ROAD,
+        seed=seed,
+    )
+
+
+def _social_spec(name: str, seed: int) -> DatasetSpec:
+    kilovertices, density, num_w = _SOCIAL_PAPER[name]
+    edges_per_vertex = max(3, min(16, int(round(density / SOCIAL_EDGE_DIVISOR))))
+    return DatasetSpec(
+        name=name,
+        kind="social",
+        base_vertices=int(kilovertices * SOCIAL_VERTEX_DIVISOR),
+        num_qualities=num_w,
+        edges_per_vertex=edges_per_vertex,
+        seed=seed,
+    )
+
+
+ROAD_SUITE: List[DatasetSpec] = [
+    _road_spec(name, seed=10 + i)
+    for i, name in enumerate(["NY", "BAY", "COL", "FLA", "CAL", "EST", "WST", "CTR"])
+]
+
+SOCIAL_SUITE: List[DatasetSpec] = [
+    _social_spec(name, seed=40 + i)
+    for i, name in enumerate(["MV-10", "EU", "ES", "MV-25", "FR", "UK", "SO-Y"])
+]
+
+_ALL: Dict[str, DatasetSpec] = {spec.name: spec for spec in ROAD_SUITE + SOCIAL_SUITE}
+
+
+def dataset_names() -> List[str]:
+    return list(_ALL)
+
+
+def get_spec(name: str) -> DatasetSpec:
+    try:
+        return _ALL[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; choose from {sorted(_ALL)}"
+        ) from None
+
+
+def load(
+    name: str,
+    scale: Optional[float] = None,
+    num_qualities: Optional[int] = None,
+) -> Graph:
+    """Build dataset ``name`` at the given (or env-default) scale."""
+    return get_spec(name).build(scale=scale, num_qualities=num_qualities)
+
+
+def road_suite(
+    scale: Optional[float] = None,
+    num_qualities: Optional[int] = None,
+    limit: Optional[int] = None,
+) -> Dict[str, Graph]:
+    """All road datasets (optionally only the ``limit`` smallest)."""
+    specs = ROAD_SUITE[:limit] if limit else ROAD_SUITE
+    return {s.name: s.build(scale, num_qualities) for s in specs}
+
+
+def social_suite(
+    scale: Optional[float] = None,
+    limit: Optional[int] = None,
+) -> Dict[str, Graph]:
+    specs = SOCIAL_SUITE[:limit] if limit else SOCIAL_SUITE
+    return {s.name: s.build(scale) for s in specs}

@@ -1,0 +1,76 @@
+"""Tests for the LCR-adapt baseline."""
+
+import pytest
+
+from tests.helpers import random_graph, thresholds_for
+
+from repro.baselines.lcr import LCRAdaptIndex, LCRIndexExplosionError
+from repro.baselines.online import ConstrainedBFS
+from repro.core import WCIndexBuilder
+from repro.graph.generators import gnm_random_graph, paper_figure3, path_graph
+
+INF = float("inf")
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("trial", range(12))
+    def test_matches_bfs(self, trial):
+        g = random_graph(trial, max_n=14)
+        lcr = LCRAdaptIndex(g)
+        oracle = ConstrainedBFS(g)
+        for w in thresholds_for(g):
+            for s in g.vertices():
+                truth = oracle.single_source(s, w)
+                for t in g.vertices():
+                    assert lcr.distance(s, t, w) == truth[t], (trial, s, t, w)
+
+    def test_paper_example(self):
+        lcr = LCRAdaptIndex(paper_figure3())
+        assert lcr.distance(2, 5, 2.0) == 2.0
+        assert lcr.distance(0, 8 - 3, 3.0) == lcr.distance(0, 5, 3.0)
+
+    def test_same_vertex(self):
+        lcr = LCRAdaptIndex(path_graph(4))
+        assert lcr.distance(2, 2, 5.0) == 0.0
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            LCRAdaptIndex(path_graph(3), order=[1, 1, 0])
+
+    def test_out_of_range_query(self):
+        lcr = LCRAdaptIndex(path_graph(3))
+        with pytest.raises(ValueError):
+            lcr.distance(0, 3, 1.0)
+
+
+class TestBlowup:
+    def test_entry_budget_raises(self):
+        g = gnm_random_graph(24, 100, num_qualities=5, seed=3)
+        with pytest.raises(LCRIndexExplosionError):
+            LCRAdaptIndex(g, max_total_entries=20)
+
+    def test_larger_than_wc_index(self):
+        # The headline comparison: set-inclusion dominance retains far more
+        # entries than scalar quality dominance.
+        g = gnm_random_graph(30, 90, num_qualities=5, seed=7)
+        lcr = LCRAdaptIndex(g)
+        wc = WCIndexBuilder(g, "degree").build()
+        assert lcr.entry_count() > wc.entry_count()
+
+    def test_size_accounting(self):
+        g = path_graph(5)
+        lcr = LCRAdaptIndex(g)
+        assert lcr.size_bytes() == 16 * lcr.entry_count()
+        assert "entries=" in repr(lcr)
+
+
+class TestMaskSemantics:
+    def test_single_quality_graph_degenerates_to_pll(self):
+        from repro.baselines.pll import PrunedLandmarkLabeling
+
+        g = gnm_random_graph(15, 35, num_qualities=1, seed=4)
+        lcr = LCRAdaptIndex(g, order=list(range(15)))
+        pll = PrunedLandmarkLabeling(g, order=list(range(15)))
+        for s in g.vertices():
+            for t in g.vertices():
+                assert lcr.distance(s, t, 1.0) == pll.distance(s, t)

@@ -1,0 +1,89 @@
+"""Tests for the Naive per-quality 2-hop baseline."""
+
+import pytest
+
+from tests.helpers import random_graph, thresholds_for
+
+from repro.baselines.naive2hop import IndexTooLargeError, NaivePerQualityIndex
+from repro.baselines.online import ConstrainedBFS
+from repro.graph.generators import gnm_random_graph, paper_figure3, path_graph
+from repro.graph.graph import Graph
+
+INF = float("inf")
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("trial", range(12))
+    def test_matches_bfs(self, trial):
+        g = random_graph(trial)
+        naive = NaivePerQualityIndex(g)
+        oracle = ConstrainedBFS(g)
+        for w in thresholds_for(g):
+            for s in g.vertices():
+                truth = oracle.single_source(s, w)
+                for t in g.vertices():
+                    assert naive.distance(s, t, w) == truth[t], (trial, s, t, w)
+
+    def test_paper_example(self):
+        naive = NaivePerQualityIndex(paper_figure3())
+        assert naive.distance(2, 5, 2.0) == 2.0
+        assert naive.distance(0, 4, 3.0) == 4.0
+        assert naive.distance(0, 4, 5.0) == INF
+
+    def test_same_vertex(self):
+        naive = NaivePerQualityIndex(path_graph(3))
+        assert naive.distance(1, 1, 100.0) == 0.0
+
+    def test_constraint_above_max_is_inf(self):
+        naive = NaivePerQualityIndex(path_graph(3, [1.0, 2.0]))
+        assert naive.distance(0, 2, 2.5) == INF
+
+    def test_out_of_range_raises(self):
+        naive = NaivePerQualityIndex(path_graph(3))
+        with pytest.raises(ValueError):
+            naive.distance(0, 9, 1.0)
+
+
+class TestStructure:
+    def test_one_index_per_distinct_quality(self):
+        g = Graph(4, [(0, 1, 1.0), (1, 2, 3.0), (2, 3, 3.0), (0, 3, 7.0)])
+        naive = NaivePerQualityIndex(g)
+        assert naive.thresholds == [1.0, 3.0, 7.0]
+        assert naive.num_indexes == 3
+
+    def test_level_indexes_shrink(self):
+        g = gnm_random_graph(15, 40, num_qualities=4, seed=2)
+        naive = NaivePerQualityIndex(g)
+        # Higher thresholds filter more edges; labels cannot grow.
+        counts = [
+            naive.index_at_level(i).entry_count() for i in range(naive.num_indexes)
+        ]
+        assert counts[0] >= counts[-1]
+
+    def test_entry_and_byte_accounting(self):
+        g = gnm_random_graph(10, 20, num_qualities=3, seed=1)
+        naive = NaivePerQualityIndex(g)
+        assert naive.entry_count() == sum(
+            naive.index_at_level(i).entry_count() for i in range(naive.num_indexes)
+        )
+        assert naive.size_bytes() == 8 * naive.entry_count()
+
+    def test_repr(self):
+        naive = NaivePerQualityIndex(path_graph(4))
+        assert "levels=1" in repr(naive)
+
+
+class TestBudget:
+    def test_budget_exceeded_raises(self):
+        g = gnm_random_graph(30, 120, num_qualities=5, seed=5)
+        with pytest.raises(IndexTooLargeError):
+            NaivePerQualityIndex(g, max_total_entries=10)
+
+    def test_budget_not_exceeded_builds(self):
+        g = path_graph(5)
+        naive = NaivePerQualityIndex(g, max_total_entries=10_000)
+        assert naive.distance(0, 4, 1.0) == 4.0
+
+    def test_budget_error_is_memory_error(self):
+        # The harness treats it as the paper's out-of-memory INF.
+        assert issubclass(IndexTooLargeError, MemoryError)

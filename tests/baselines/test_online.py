@@ -1,0 +1,158 @@
+"""Tests for the online (index-free) baselines."""
+
+import pytest
+
+from tests.helpers import random_graph, thresholds_for
+
+from repro.baselines.online import (
+    BidirectionalConstrainedBFS,
+    ConstrainedBFS,
+    PartitionedBFS,
+    PartitionedDijkstra,
+)
+from repro.graph.generators import paper_figure3, path_graph
+from repro.graph.graph import Graph
+
+INF = float("inf")
+
+
+class TestConstrainedBFS:
+    def test_paper_example_distances(self):
+        # Example 2/3 facts about Figure 3.
+        oracle = ConstrainedBFS(paper_figure3())
+        assert oracle.distance(2, 5, 2.0) == 2.0  # via v3, qualities 4,2
+        assert oracle.distance(0, 4, 1.0) == 2.0  # v0-v3-v4
+        assert oracle.distance(0, 4, 2.0) == 3.0  # v0-v1-v3-v4
+        assert oracle.distance(0, 4, 3.0) == 4.0  # v0-v1-v2-v3-v4
+
+    def test_same_vertex_is_zero(self):
+        oracle = ConstrainedBFS(path_graph(3))
+        assert oracle.distance(1, 1, 99.0) == 0.0
+
+    def test_unreachable_is_inf(self):
+        g = Graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        oracle = ConstrainedBFS(g)
+        assert oracle.distance(0, 3, 1.0) == INF
+
+    def test_constraint_above_all_qualities(self):
+        oracle = ConstrainedBFS(path_graph(3, [1.0, 2.0]))
+        assert oracle.distance(0, 2, 3.0) == INF
+
+    def test_out_of_range_raises(self):
+        oracle = ConstrainedBFS(path_graph(3))
+        with pytest.raises(ValueError):
+            oracle.distance(0, 5, 1.0)
+
+    def test_single_source_matches_pairwise(self):
+        g = random_graph(5)
+        oracle = ConstrainedBFS(g)
+        for w in thresholds_for(g):
+            sweep = oracle.single_source(0, w)
+            for t in g.vertices():
+                assert sweep[t] == oracle.distance(0, t, w)
+
+
+class TestAgreementAcrossEngines:
+    @pytest.mark.parametrize("trial", range(12))
+    def test_all_online_engines_agree(self, trial):
+        g = random_graph(trial)
+        reference = ConstrainedBFS(g)
+        others = [
+            PartitionedBFS(g),
+            PartitionedDijkstra(g),
+            BidirectionalConstrainedBFS(g),
+        ]
+        for w in thresholds_for(g):
+            for s in g.vertices():
+                for t in g.vertices():
+                    expected = reference.distance(s, t, w)
+                    for engine in others:
+                        assert engine.distance(s, t, w) == expected, (
+                            type(engine).__name__,
+                            s,
+                            t,
+                            w,
+                        )
+
+
+class TestPartitionedEngines:
+    def test_partition_reuse(self):
+        g = random_graph(3)
+        wbfs = PartitionedBFS(g)
+        dijkstra = PartitionedDijkstra(g, wbfs.partition)
+        assert dijkstra.distance(0, 0, 1.0) == 0.0
+
+    def test_constraint_above_max_short_circuits(self):
+        g = path_graph(3, [1.0, 1.0])
+        assert PartitionedBFS(g).distance(0, 2, 9.0) == INF
+        assert PartitionedDijkstra(g).distance(0, 2, 9.0) == INF
+
+    def test_out_of_range_raises(self):
+        g = path_graph(3)
+        for engine in (
+            PartitionedBFS(g),
+            PartitionedDijkstra(g),
+            BidirectionalConstrainedBFS(g),
+        ):
+            with pytest.raises(ValueError):
+                engine.distance(-1, 0, 1.0)
+
+
+class TestKNearest:
+    def test_levels_and_order(self):
+        g = path_graph(6)
+        oracle = ConstrainedBFS(g)
+        assert oracle.k_nearest(0, 1.0, 3) == [(1, 1.0), (2, 2.0), (3, 3.0)]
+
+    def test_respects_constraint(self):
+        g = path_graph(4, [3.0, 1.0, 3.0])
+        oracle = ConstrainedBFS(g)
+        assert oracle.k_nearest(0, 2.0, 10) == [(1, 1.0)]
+
+    def test_tie_break_by_vertex_id(self):
+        from repro.graph.generators import star_graph
+
+        oracle = ConstrainedBFS(star_graph(5))
+        assert oracle.k_nearest(0, 1.0, 3) == [(1, 1.0), (2, 1.0), (3, 1.0)]
+
+    def test_include_source(self):
+        g = path_graph(3)
+        oracle = ConstrainedBFS(g)
+        assert oracle.k_nearest(1, 1.0, 2, include_source=True) == [
+            (1, 0.0),
+            (0, 1.0),
+        ]
+
+    def test_fewer_than_k_available(self):
+        g = Graph(4, [(0, 1, 1.0)])
+        oracle = ConstrainedBFS(g)
+        assert oracle.k_nearest(0, 1.0, 10) == [(1, 1.0)]
+
+    def test_matches_single_source(self):
+        g = random_graph(9)
+        oracle = ConstrainedBFS(g)
+        for w in thresholds_for(g):
+            sweep = oracle.single_source(0, w)
+            expected = sorted(
+                ((v, d) for v, d in enumerate(sweep) if v != 0 and d != INF),
+                key=lambda item: (item[1], item[0]),
+            )
+            k = len(expected)
+            assert oracle.k_nearest(0, w, k) == expected
+
+    def test_negative_k_rejected(self):
+        oracle = ConstrainedBFS(path_graph(3))
+        with pytest.raises(ValueError):
+            oracle.k_nearest(0, 1.0, -1)
+
+
+class TestBidirectional:
+    def test_long_path_exact(self):
+        g = path_graph(30)
+        engine = BidirectionalConstrainedBFS(g)
+        assert engine.distance(0, 29, 1.0) == 29.0
+        assert engine.distance(5, 20, 1.0) == 15.0
+
+    def test_adjacent(self):
+        g = path_graph(2)
+        assert BidirectionalConstrainedBFS(g).distance(0, 1, 1.0) == 1.0

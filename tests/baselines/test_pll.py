@@ -1,0 +1,99 @@
+"""Tests for classic Pruned Landmark Labeling."""
+
+import pytest
+
+from tests.helpers import random_graph
+
+from repro.baselines.online import ConstrainedBFS
+from repro.baselines.pll import PrunedLandmarkLabeling, degree_descending_order
+from repro.graph.generators import (
+    complete_graph,
+    gnm_random_graph,
+    path_graph,
+    scale_free_network,
+    star_graph,
+)
+
+INF = float("inf")
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("trial", range(15))
+    def test_matches_bfs_on_random_graphs(self, trial):
+        g = random_graph(trial, max_n=20)
+        pll = PrunedLandmarkLabeling(g)
+        oracle = ConstrainedBFS(g)
+        for s in g.vertices():
+            truth = oracle.single_source(s, 0.0)  # unconstrained
+            for t in g.vertices():
+                assert pll.distance(s, t) == truth[t], (trial, s, t)
+
+    def test_path_graph(self):
+        pll = PrunedLandmarkLabeling(path_graph(12))
+        assert pll.distance(0, 11) == 11
+        assert pll.distance(3, 3) == 0
+
+    def test_disconnected_inf(self):
+        from repro.graph.graph import Graph
+
+        pll = PrunedLandmarkLabeling(Graph(4, [(0, 1, 1.0), (2, 3, 1.0)]))
+        assert pll.distance(0, 2) == INF
+
+    def test_custom_order_still_correct(self):
+        g = gnm_random_graph(12, 24, seed=6)
+        oracle = ConstrainedBFS(g)
+        pll = PrunedLandmarkLabeling(g, order=list(range(12)))
+        for s in g.vertices():
+            truth = oracle.single_source(s, 0.0)
+            for t in g.vertices():
+                assert pll.distance(s, t) == truth[t]
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            PrunedLandmarkLabeling(path_graph(3), order=[0, 0, 1])
+
+    def test_out_of_range_query(self):
+        pll = PrunedLandmarkLabeling(path_graph(3))
+        with pytest.raises(ValueError):
+            pll.distance(0, 7)
+
+
+class TestOrdering:
+    def test_degree_descending(self):
+        g = star_graph(5)
+        order = degree_descending_order(g)
+        assert order[0] == 0  # the hub
+        assert sorted(order) == list(range(6))
+
+    def test_hub_pruning_on_star(self):
+        # With the hub first, every leaf label holds just hub + self.
+        pll = PrunedLandmarkLabeling(star_graph(10))
+        assert pll.entry_count() == 1 + 10 * 2
+
+    def test_complete_graph_label_count(self):
+        # On K_n nothing prunes distance-1 entries (a 2-hop detour through
+        # an earlier hub costs 2 > 1), so each root labels every
+        # lower-ranked vertex once: n self entries + n(n-1)/2.
+        pll = PrunedLandmarkLabeling(complete_graph(8))
+        assert pll.entry_count() == 8 + 28
+
+
+class TestIntrospection:
+    def test_label_of_returns_vertex_ids(self):
+        g = star_graph(3)
+        pll = PrunedLandmarkLabeling(g)
+        labels = pll.label_of(1)
+        assert (0, 1) in labels  # hub at distance 1
+        assert (1, 0) in labels  # self entry
+
+    def test_size_accounting(self):
+        g = scale_free_network(40, 2, seed=0)
+        pll = PrunedLandmarkLabeling(g)
+        assert pll.size_bytes() == 8 * pll.entry_count()
+        assert "entries=" in repr(pll)
+
+    def test_order_property_is_copy(self):
+        pll = PrunedLandmarkLabeling(path_graph(4))
+        order = pll.order
+        order[0] = 99
+        assert pll.order[0] != 99

@@ -1,0 +1,65 @@
+"""Tests for ASCII chart rendering."""
+
+from repro.bench.charts import render_chart, render_charts
+from repro.bench.harness import Cell, ExperimentTable
+
+
+def make_table(values):
+    table = ExperimentTable("figX", "Demo", "s", ["m1", "m2"])
+    for row, (a, b) in values.items():
+        table.set(row, "m1", a)
+        table.set(row, "m2", b)
+    return table
+
+
+class TestRenderChart:
+    def test_contains_bars_and_values(self):
+        table = make_table({"NY": (Cell(1.0), Cell(2.0))})
+        text = render_chart(table)
+        assert "figX: Demo" in text
+        assert "#" in text
+        assert "1" in text and "2" in text
+
+    def test_inf_bar(self):
+        table = make_table({"NY": (Cell(1.0), Cell(None, "INF"))})
+        text = render_chart(table)
+        assert "INF" in text
+        assert "x" in text
+
+    def test_log_scale_triggered_by_spread(self):
+        table = make_table({"NY": (Cell(0.001), Cell(100.0))})
+        assert "log scale" in render_chart(table)
+
+    def test_linear_scale_for_tight_spread(self):
+        table = make_table({"NY": (Cell(1.0), Cell(2.0))})
+        assert "linear scale" in render_chart(table)
+
+    def test_larger_value_longer_bar(self):
+        table = make_table({"NY": (Cell(1.0), Cell(10.0))})
+        lines = [l for l in render_chart(table).splitlines() if "|" in l]
+        bar1 = lines[0].split("|")[1].count("#")
+        bar2 = lines[1].split("|")[1].count("#")
+        assert bar2 > bar1
+
+    def test_missing_cell(self):
+        table = ExperimentTable("figX", "Demo", "s", ["m1", "m2"])
+        table.set("NY", "m1", Cell(1.0))
+        assert "not measured" in render_chart(table)
+
+    def test_empty_table(self):
+        table = ExperimentTable("figX", "Demo", "s", ["m1"])
+        assert "no data" in render_chart(table)
+
+    def test_render_charts_joins(self):
+        t = make_table({"NY": (Cell(1.0), Cell(2.0))})
+        combined = render_charts([t, t])
+        assert combined.count("figX: Demo") == 2
+
+
+class TestCLIChart:
+    def test_chart_flag(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--exp", "table5", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out and "storage" in out

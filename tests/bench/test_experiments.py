@@ -1,0 +1,181 @@
+"""Smoke + shape tests for the experiment definitions (tiny scale).
+
+The full-size shape assertions live in ``benchmarks/``; here we verify the
+experiment plumbing end to end at a scale small enough for unit testing.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    ablation_ordering,
+    ablation_pruning,
+    ablation_query_kernel,
+    exp4_large_w,
+    exp5_social,
+    exp_table3,
+    exp_table4,
+    exp_table5,
+    exp_table6,
+    exp1_indexing_time_road,
+    exp2_index_size_road,
+    exp3_query_time_road,
+    experiment_ids,
+    lcr_comparison,
+)
+
+TINY = 0.1  # scale factor for smoke tests
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(experiment_ids()) == {
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "exp1",
+            "exp2",
+            "exp3",
+            "exp4",
+            "exp5",
+            "ablation-order",
+            "ablation-query",
+            "ablation-prune",
+            "ablation-hybrid",
+            "lcr",
+            "dynamic",
+        }
+        for fn in EXPERIMENTS.values():
+            assert callable(fn)
+
+
+class TestDatasetTables:
+    def test_table3_ladder(self):
+        table = exp_table3(scale=TINY)
+        sizes = [table.feasible_value(n, "|V|") for n in table.rows]
+        assert sizes == sorted(sizes)
+        assert all(table.feasible_value(n, "|w|") == 5 for n in table.rows)
+
+    def test_table4_w_values(self):
+        table = exp_table4(scale=TINY)
+        assert table.feasible_value("SO-Y", "|w|") == 9
+        assert table.feasible_value("MV-10", "|w|") == 5
+
+    def test_table5_storage_grows_with_edges(self):
+        table = exp_table5(scale=TINY)
+        assert table.feasible_value("CTR", "storage") > table.feasible_value(
+            "NY", "storage"
+        )
+
+    def test_table6_rows(self):
+        table = exp_table6(scale=TINY)
+        assert len(table.rows) == 7
+
+
+class TestIndexingExperiments:
+    def test_exp1_columns_and_rows(self):
+        table = exp1_indexing_time_road(scale=TINY, limit=3)
+        assert table.columns == ["Naive", "WC-INDEX", "WC-INDEX+"]
+        assert list(table.rows) == ["NY", "BAY", "COL"]
+        for row in table.rows:
+            assert table.feasible_value(row, "WC-INDEX+") is not None
+
+    def test_exp2_wc_sizes_equal(self):
+        table = exp2_index_size_road(scale=TINY, limit=3)
+        for row in table.rows:
+            assert table.feasible_value(row, "WC-INDEX") == table.feasible_value(
+                row, "WC-INDEX+"
+            )
+
+    def test_exp4_returns_time_and_size(self):
+        tables = exp4_large_w(scale=TINY, limit=2, num_qualities=8)
+        assert set(tables) == {"time", "size"}
+        for row in tables["size"].rows:
+            naive = tables["size"].feasible_value(row, "Naive")
+            wc = tables["size"].feasible_value(row, "WC-INDEX")
+            if naive is not None:
+                assert naive > wc  # per-level duplication dominates
+
+
+class TestQueryExperiments:
+    def test_exp3_online_slower_than_index(self):
+        table = exp3_query_time_road(scale=TINY, limit=2, query_count=30)
+        for row in table.rows:
+            cbfs = table.feasible_value(row, "C-BFS")
+            wcp = table.feasible_value(row, "WC-INDEX+")
+            assert cbfs is not None and wcp is not None
+            assert wcp > 0
+
+    def test_exp5_three_tables(self):
+        tables = exp5_social(scale=TINY, limit=2, query_count=20)
+        assert set(tables) == {"time", "size", "query"}
+        assert "Dijkstra" not in tables["query"].columns
+
+
+class TestAblations:
+    def test_ordering_ablation_shape(self):
+        table = ablation_ordering(scale=TINY)
+        assert "CAL" in table.rows and "EU" in table.rows
+        for ordering in ("degree", "treedec", "hybrid"):
+            assert table.feasible_value("CAL", f"{ordering}-entries") > 0
+
+    def test_query_kernel_ablation(self):
+        table = ablation_query_kernel(scale=TINY, query_count=20)
+        assert set(table.columns) == {"naive", "binary", "linear"}
+
+    def test_pruning_ablation(self):
+        table = ablation_pruning(scale=TINY)
+        assert table.feasible_value("no-memo", "memo_pruned") == 0
+        assert table.feasible_value("with-memo", "cover_tests") <= (
+            table.feasible_value("no-memo", "cover_tests")
+        )
+
+    def test_lcr_comparison(self):
+        table = lcr_comparison(scale=TINY, names=("NY", "BAY"))
+        for row in ("NY", "BAY"):
+            lcr_entries = table.feasible_value(row, "lcr-entries")
+            wc_entries = table.feasible_value(row, "wc+-entries")
+            if lcr_entries is not None:
+                assert lcr_entries >= wc_entries
+
+
+class TestNewExperiments:
+    def test_hybrid_threshold_sweep(self):
+        from repro.bench.experiments import ablation_hybrid_threshold
+
+        table = ablation_hybrid_threshold(scale=TINY, thresholds=(0, 16, None))
+        assert set(table.rows) == {"delta=0", "delta=16", "default"}
+        for row in table.rows:
+            assert table.feasible_value(row, "entries") > 0
+
+    def test_dynamic_updates(self):
+        from repro.bench.experiments import dynamic_updates
+
+        table = dynamic_updates(scale=TINY, num_updates=3)
+        assert table.feasible_value("incremental", "seconds_per_update") > 0
+        assert table.feasible_value("rebuild", "speedup_vs_rebuild") == 1.0
+
+
+class TestCLI:
+    def test_main_runs_small_experiment(self, capsys, tmp_path):
+        from repro.bench.__main__ import main
+
+        out = tmp_path / "report.txt"
+        code = main(["--exp", "ablation-query", "--out", str(out)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Query kernel ablation" in captured.out
+        assert out.read_text().strip()
+
+    def test_main_requires_selection(self):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_main_markdown(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--exp", "table5", "--markdown"]) == 0
+        assert "| dataset |" in capsys.readouterr().out

@@ -1,0 +1,226 @@
+"""Tests for WC-INDEX construction (Algorithm 3)."""
+
+import pytest
+
+from tests.helpers import random_graph, thresholds_for
+
+from repro.baselines.online import ConstrainedBFS
+from repro.core import (
+    WCIndexBuilder,
+    build_wc_index,
+    build_wc_index_plus,
+)
+from repro.graph.generators import (
+    gnm_random_graph,
+    grid_road_network,
+    paper_figure3,
+    path_graph,
+    scale_free_network,
+)
+
+INF = float("inf")
+
+#: Table II of the paper, transcribed: vertex -> list of (hub, dist, w).
+TABLE_II = {
+    0: [(0, 0, INF)],
+    1: [(0, 1, 3.0), (1, 0, INF)],
+    2: [(0, 2, 3.0), (1, 1, 5.0), (2, 0, INF)],
+    3: [
+        (0, 1, 1.0),
+        (0, 2, 2.0),
+        (0, 3, 3.0),
+        (1, 1, 2.0),
+        (1, 2, 4.0),
+        (2, 1, 4.0),
+        (3, 0, INF),
+    ],
+    4: [
+        (0, 2, 1.0),
+        (0, 3, 2.0),
+        (0, 4, 3.0),
+        (1, 2, 2.0),
+        (1, 3, 4.0),
+        (2, 2, 4.0),
+        (3, 1, 4.0),
+        (4, 0, INF),
+    ],
+    5: [
+        (0, 2, 1.0),
+        (0, 3, 2.0),
+        (0, 5, 3.0),
+        (1, 2, 2.0),
+        (1, 4, 3.0),
+        (2, 2, 2.0),
+        (2, 3, 3.0),
+        (3, 1, 2.0),
+        (3, 2, 3.0),
+        (4, 1, 3.0),
+        (5, 0, INF),
+    ],
+}
+
+
+class TestGoldenTableII:
+    """The running example must reproduce the paper's index exactly."""
+
+    @pytest.mark.parametrize("kernel", ["naive", "binary", "linear"])
+    def test_label_sets_match_paper(self, kernel):
+        index = WCIndexBuilder(
+            paper_figure3(), ordering="identity", query_kernel=kernel
+        ).build()
+        for v, expected in TABLE_II.items():
+            got = sorted((h, int(d), q) for h, d, q in index.entries_of(v))
+            assert got == sorted(expected), f"L(v{v})"
+
+    def test_example3_query_walkthrough(self):
+        index = build_wc_index_plus(paper_figure3(), ordering="identity")
+        assert index.distance(2, 5, 2.0) == 2.0  # the worked Example 3
+
+    def test_entry_count_matches_paper(self):
+        index = build_wc_index_plus(paper_figure3(), ordering="identity")
+        assert index.entry_count() == sum(len(v) for v in TABLE_II.values())
+
+
+class TestBuilderConfiguration:
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError, match="query_kernel"):
+            WCIndexBuilder(path_graph(3), query_kernel="warp")
+
+    def test_rejects_bad_ordering(self):
+        with pytest.raises(ValueError):
+            WCIndexBuilder(path_graph(3), ordering="nope")
+        with pytest.raises(ValueError):
+            WCIndexBuilder(path_graph(3), ordering=[0, 0, 1])
+
+    def test_order_property(self):
+        builder = WCIndexBuilder(path_graph(4), ordering="identity")
+        assert builder.order == [0, 1, 2, 3]
+
+    def test_explicit_order_sequence(self):
+        index = WCIndexBuilder(path_graph(4), ordering=[3, 2, 1, 0]).build()
+        assert index.order == [3, 2, 1, 0]
+
+    def test_callable_ordering(self):
+        index = WCIndexBuilder(
+            path_graph(4), ordering=lambda g: list(reversed(range(4)))
+        ).build()
+        assert index.order == [3, 2, 1, 0]
+
+
+class TestKernelEquivalence:
+    """All construction kernels and the memo must yield the same index."""
+
+    @pytest.mark.parametrize("trial", range(8))
+    def test_same_entries_regardless_of_kernel(self, trial):
+        g = random_graph(trial)
+        reference = None
+        for kernel in ("naive", "binary", "linear"):
+            for memo in (False, True):
+                index = WCIndexBuilder(
+                    g, "degree", query_kernel=kernel, further_pruning=memo
+                ).build()
+                entries = [sorted(index.entries_of(v)) for v in g.vertices()]
+                if reference is None:
+                    reference = entries
+                else:
+                    assert entries == reference, (trial, kernel, memo)
+
+    def test_basic_and_plus_build_identical_indexes(self):
+        g = grid_road_network(6, 6, seed=2)
+        basic = build_wc_index(g, "hybrid")
+        plus = build_wc_index_plus(g, "hybrid")
+        for v in g.vertices():
+            assert basic.entries_of(v) == plus.entries_of(v)
+
+
+class TestCorrectnessAcrossOrderings:
+    @pytest.mark.parametrize("ordering", ["degree", "treedec", "hybrid", "identity"])
+    def test_answers_match_bfs(self, ordering):
+        g = gnm_random_graph(18, 40, num_qualities=4, seed=13)
+        index = WCIndexBuilder(g, ordering).build()
+        oracle = ConstrainedBFS(g)
+        for w in thresholds_for(g):
+            for s in g.vertices():
+                truth = oracle.single_source(s, w)
+                for t in g.vertices():
+                    assert index.distance(s, t, w) == truth[t], (ordering, s, t, w)
+
+    def test_random_ordering_correct(self):
+        g = gnm_random_graph(14, 30, num_qualities=3, seed=5)
+        index = WCIndexBuilder(g, "random").build()
+        oracle = ConstrainedBFS(g)
+        for s in g.vertices():
+            truth = oracle.single_source(s, 2.0)
+            for t in g.vertices():
+                assert index.distance(s, t, 2.0) == truth[t]
+
+
+class TestDeterminism:
+    def test_identical_rebuilds(self):
+        g = scale_free_network(50, 3, seed=9)
+        a = build_wc_index_plus(g)
+        b = build_wc_index_plus(g)
+        for v in g.vertices():
+            assert a.entries_of(v) == b.entries_of(v)
+
+
+class TestStats:
+    def test_stats_populated(self):
+        g = grid_road_network(5, 5, seed=1)
+        builder = WCIndexBuilder(g, "degree")
+        index = builder.build()
+        stats = builder.stats
+        assert stats.num_vertices == g.num_vertices
+        assert stats.num_edges == g.num_edges
+        assert stats.entries_added == index.entry_count()
+        assert stats.candidates >= stats.query_pruned + stats.memo_pruned
+        assert stats.build_seconds > 0
+        assert stats.label_entries_per_vertex == pytest.approx(
+            index.entry_count() / g.num_vertices
+        )
+        assert stats.as_dict()["ordering"] == "degree"
+
+    def test_memo_disabled_counts_zero(self):
+        g = grid_road_network(5, 5, seed=1)
+        builder = WCIndexBuilder(g, "degree", further_pruning=False)
+        builder.build()
+        assert builder.stats.memo_pruned == 0
+
+    def test_pruning_keeps_index_subquadratic(self):
+        # Every entry the index holds is useful: the total must be far less
+        # than the quadratic all-pairs Pareto storage (n^2 pairs, up to |w|
+        # entries each).
+        g = scale_free_network(60, 3, seed=4)
+        index = build_wc_index_plus(g)
+        assert index.entry_count() < g.num_vertices * g.num_vertices / 2
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        from repro.graph.graph import Graph
+
+        index = build_wc_index_plus(Graph(0))
+        assert index.entry_count() == 0
+
+    def test_single_vertex(self):
+        from repro.graph.graph import Graph
+
+        index = build_wc_index_plus(Graph(1))
+        assert index.distance(0, 0, 5.0) == 0.0
+        assert index.entry_count() == 1
+
+    def test_no_edges(self):
+        from repro.graph.graph import Graph
+
+        index = build_wc_index_plus(Graph(3))
+        assert index.distance(0, 2, 1.0) == INF
+        assert index.entry_count() == 3  # self entries only
+
+    def test_uniform_quality_collapses_to_pll_shape(self):
+        # With one distinct quality every label has exactly one entry per
+        # hub (no Pareto staircase).
+        g = gnm_random_graph(16, 40, num_qualities=1, seed=8)
+        index = build_wc_index_plus(g, "degree")
+        for v in g.vertices():
+            hubs, _, _ = index.label_lists(v)
+            assert len(hubs) == len(set(hubs))

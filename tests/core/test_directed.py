@@ -1,0 +1,218 @@
+"""Tests for the directed WC-INDEX (Section V)."""
+
+from collections import deque
+
+import pytest
+
+from repro.core.directed import DirectedWCIndex, degree_order_directed
+from repro.graph.digraph import DiGraph
+
+INF = float("inf")
+
+
+def directed_bfs(graph: DiGraph, s: int, t: int, w: float) -> float:
+    """Directed constrained BFS oracle."""
+    if s == t:
+        return 0.0
+    dist = {s: 0}
+    queue = deque([s])
+    while queue:
+        u = queue.popleft()
+        for v, quality in graph.successors(u):
+            if quality >= w and v not in dist:
+                dist[v] = dist[u] + 1
+                if v == t:
+                    return float(dist[v])
+                queue.append(v)
+    return INF
+
+
+def random_digraph(trial: int, max_n: int = 12) -> DiGraph:
+    import random
+
+    rng = random.Random(trial)
+    n = rng.randint(2, max_n)
+    g = DiGraph(n)
+    for _ in range(rng.randint(0, 3 * n)):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            g.add_edge(u, v, float(rng.randint(1, 4)))
+    return g
+
+
+class TestDirectedCorrectness:
+    @pytest.mark.parametrize("trial", range(15))
+    def test_matches_directed_bfs(self, trial):
+        g = random_digraph(trial)
+        index = DirectedWCIndex(g)
+        qualities = g.distinct_qualities() or [1.0]
+        for w in qualities + [qualities[-1] + 1, 0.5]:
+            for s in g.vertices():
+                for t in g.vertices():
+                    assert index.distance(s, t, w) == directed_bfs(g, s, t, w), (
+                        trial,
+                        s,
+                        t,
+                        w,
+                    )
+
+    def test_asymmetry_respected(self):
+        g = DiGraph(3, [(0, 1, 2.0), (1, 2, 2.0)])
+        index = DirectedWCIndex(g)
+        assert index.distance(0, 2, 1.0) == 2.0
+        assert index.distance(2, 0, 1.0) == INF
+
+    def test_antiparallel_different_qualities(self):
+        g = DiGraph(2, [(0, 1, 1.0), (1, 0, 5.0)])
+        index = DirectedWCIndex(g)
+        assert index.distance(0, 1, 3.0) == INF
+        assert index.distance(1, 0, 3.0) == 1.0
+
+    def test_cycle(self):
+        g = DiGraph(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)])
+        index = DirectedWCIndex(g)
+        assert index.distance(0, 3, 1.0) == 3.0
+        assert index.distance(3, 0, 1.0) == 1.0
+
+
+class TestDirectedStructure:
+    def test_order_validation(self):
+        g = DiGraph(3, [(0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            DirectedWCIndex(g, order=[0, 1, 1])
+
+    def test_degree_order_directed(self):
+        g = DiGraph(3, [(0, 1, 1.0), (0, 2, 1.0), (1, 0, 1.0)])
+        assert degree_order_directed(g)[0] == 0  # total degree 3
+
+    def test_query_range_checked(self):
+        g = DiGraph(2, [(0, 1, 1.0)])
+        index = DirectedWCIndex(g)
+        with pytest.raises(ValueError):
+            index.distance(0, 5, 1.0)
+
+    def test_entry_accounting(self):
+        g = DiGraph(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        index = DirectedWCIndex(g)
+        # At least the self entries on both sides.
+        assert index.entry_count() >= 6
+        assert index.size_bytes() == 16 * index.entry_count()
+
+    def test_entries_introspection(self):
+        g = DiGraph(2, [(0, 1, 3.0)])
+        index = DirectedWCIndex(g, order=[0, 1])
+        assert (0, 1.0, 3.0) in index.in_entries_of(1)  # 0 -> 1 certified
+        assert (1, 0.0, INF) in index.out_entries_of(1)
+
+    def test_repr(self):
+        g = DiGraph(2, [(0, 1, 1.0)])
+        assert "DirectedWCIndex" in repr(DirectedWCIndex(g))
+
+
+class TestDirectedProfile:
+    def test_profile_matches_directed_bfs(self):
+        from repro.core.profile import profile_distance, profile_is_staircase
+
+        for trial in range(6):
+            g = random_digraph(trial)
+            index = DirectedWCIndex(g)
+            qualities = g.distinct_qualities() or [1.0]
+            for s in g.vertices():
+                for t in g.vertices():
+                    profile = index.distance_profile(s, t)
+                    assert profile_is_staircase(profile)
+                    for w in qualities + [qualities[-1] + 1, 0.5]:
+                        assert profile_distance(profile, w) == directed_bfs(
+                            g, s, t, w
+                        ), (trial, s, t, w)
+
+    def test_profile_is_asymmetric(self):
+        g = DiGraph(2, [(0, 1, 3.0)])
+        index = DirectedWCIndex(g)
+        assert index.distance_profile(0, 1) == [(3.0, 1.0)]
+        assert index.distance_profile(1, 0) == []
+
+    def test_self_profile(self):
+        g = DiGraph(2, [(0, 1, 1.0)])
+        index = DirectedWCIndex(g)
+        assert index.distance_profile(0, 0) == [(INF, 0.0)]
+
+    def test_profile_range_checked(self):
+        g = DiGraph(2, [(0, 1, 1.0)])
+        index = DirectedWCIndex(g)
+        with pytest.raises(ValueError):
+            index.distance_profile(0, 5)
+
+
+def is_valid_directed_w_path(graph: DiGraph, path, w: float) -> bool:
+    for a, b in zip(path, path[1:]):
+        if not graph.has_edge(a, b) or graph.quality(a, b) < w:
+            return False
+    return True
+
+
+class TestDirectedPaths:
+    def test_requires_parent_tracking(self):
+        g = DiGraph(2, [(0, 1, 1.0)])
+        index = DirectedWCIndex(g)
+        with pytest.raises(ValueError, match="track_parents"):
+            index.path(0, 1, 1.0)
+
+    def test_simple_chain(self):
+        g = DiGraph(4, [(0, 1, 2.0), (1, 2, 2.0), (2, 3, 2.0)])
+        index = DirectedWCIndex(g, track_parents=True)
+        assert index.path(0, 3, 2.0) == [0, 1, 2, 3]
+        assert index.path(3, 0, 1.0) is None
+        assert index.path(2, 2, 9.0) == [2]
+
+    def test_quality_forces_detour(self):
+        g = DiGraph(
+            4,
+            [
+                (0, 3, 1.0),  # direct but low quality
+                (0, 1, 3.0),
+                (1, 2, 3.0),
+                (2, 3, 3.0),
+            ],
+        )
+        index = DirectedWCIndex(g, track_parents=True)
+        assert index.path(0, 3, 1.0) == [0, 3]
+        assert index.path(0, 3, 2.0) == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_paths_valid_and_shortest(self, trial):
+        g = random_digraph(trial)
+        index = DirectedWCIndex(g, track_parents=True)
+        qualities = g.distinct_qualities() or [1.0]
+        for w in qualities + [0.5]:
+            for s in g.vertices():
+                for t in g.vertices():
+                    expected = directed_bfs(g, s, t, w)
+                    path = index.path(s, t, w)
+                    if expected == INF:
+                        assert path is None, (trial, s, t, w)
+                        continue
+                    assert path is not None
+                    assert path[0] == s and path[-1] == t
+                    assert len(path) - 1 == expected, (trial, s, t, w)
+                    assert is_valid_directed_w_path(g, path, w)
+
+
+class TestAgainstUndirectedEquivalence:
+    def test_symmetric_digraph_matches_undirected_index(self):
+        from repro.core import build_wc_index_plus
+        from repro.graph.generators import gnm_random_graph
+
+        und = gnm_random_graph(12, 25, num_qualities=3, seed=21)
+        dig = DiGraph(12)
+        for u, v, q in und.edges():
+            dig.add_edge(u, v, q)
+            dig.add_edge(v, u, q)
+        directed = DirectedWCIndex(dig)
+        undirected = build_wc_index_plus(und, "degree")
+        for w in (0.5, 1.0, 2.0, 3.0, 4.0):
+            for s in range(12):
+                for t in range(12):
+                    assert directed.distance(s, t, w) == undirected.distance(
+                        s, t, w
+                    )

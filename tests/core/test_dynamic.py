@@ -1,0 +1,207 @@
+"""Tests for the dynamic WC-INDEX (insertion repair + deletion rebuild)."""
+
+import random
+
+import pytest
+
+from tests.helpers import random_graph, thresholds_for
+
+from repro.baselines.online import ConstrainedBFS
+from repro.core import DynamicWCIndex
+from repro.graph.generators import gnm_random_graph, path_graph
+from repro.graph.graph import Graph
+
+INF = float("inf")
+
+
+def assert_matches_oracle(dyn: DynamicWCIndex, context=""):
+    oracle = ConstrainedBFS(dyn.graph)
+    for w in thresholds_for(dyn.graph):
+        for s in dyn.graph.vertices():
+            truth = oracle.single_source(s, w)
+            for t in dyn.graph.vertices():
+                assert dyn.distance(s, t, w) == truth[t], (context, s, t, w)
+
+
+class TestInsertion:
+    def test_insert_connects_components(self):
+        g = Graph(4, [(0, 1, 2.0), (2, 3, 2.0)])
+        dyn = DynamicWCIndex(g)
+        assert dyn.distance(0, 3, 1.0) == INF
+        dyn.insert_edge(1, 2, 3.0)
+        assert dyn.distance(0, 3, 1.0) == 3.0
+        assert dyn.distance(0, 3, 2.5) == INF  # bottleneck edges are 2.0
+        assert_matches_oracle(dyn, "connect")
+
+    def test_insert_shortcut_updates_distance(self):
+        dyn = DynamicWCIndex(path_graph(6))
+        assert dyn.distance(0, 5, 1.0) == 5.0
+        dyn.insert_edge(0, 5, 1.0)
+        assert dyn.distance(0, 5, 1.0) == 1.0
+        assert_matches_oracle(dyn, "shortcut")
+
+    def test_insert_higher_quality_parallel_edge(self):
+        g = Graph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        dyn = DynamicWCIndex(g)
+        assert dyn.distance(0, 2, 2.0) == INF
+        dyn.insert_edge(0, 1, 3.0)
+        dyn.insert_edge(1, 2, 3.0)
+        assert dyn.distance(0, 2, 2.0) == 2.0
+        assert_matches_oracle(dyn, "upgrade")
+
+    def test_insert_lower_quality_parallel_edge_is_noop(self):
+        g = Graph(2, [(0, 1, 5.0)])
+        dyn = DynamicWCIndex(g)
+        before = dyn.index.entry_count()
+        dyn.insert_edge(0, 1, 1.0)
+        assert dyn.graph.quality(0, 1) == 5.0
+        assert dyn.index.entry_count() == before
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_random_insertion_sequences(self, trial):
+        rng = random.Random(trial)
+        g = random_graph(trial, max_n=12)
+        dyn = DynamicWCIndex(g.copy())
+        n = g.num_vertices
+        for step in range(8):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            dyn.insert_edge(u, v, float(rng.randint(1, 5)))
+            assert_matches_oracle(dyn, f"trial {trial} step {step}")
+
+    def test_incremental_equals_scratch_answers(self):
+        # Label sets may differ (minimality is not preserved), but answers
+        # must match a from-scratch build exactly.
+        from repro.core import build_wc_index_plus
+
+        g = gnm_random_graph(10, 12, num_qualities=3, seed=17)
+        dyn = DynamicWCIndex(g.copy(), ordering="degree")
+        dyn.insert_edge(0, 9, 2.0)
+        dyn.insert_edge(3, 7, 1.0)
+        scratch = build_wc_index_plus(dyn.graph, "degree")
+        for w in thresholds_for(dyn.graph):
+            for s in range(10):
+                for t in range(10):
+                    assert dyn.distance(s, t, w) == scratch.distance(s, t, w)
+
+
+class TestDeletion:
+    def test_delete_disconnects(self):
+        g = Graph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        dyn = DynamicWCIndex(g)
+        dyn.remove_edge(1, 2)
+        assert dyn.distance(0, 2, 1.0) == INF
+        assert_matches_oracle(dyn, "disconnect")
+
+    def test_delete_forces_detour(self):
+        g = Graph(4, [(0, 1, 1.0), (1, 3, 1.0), (0, 2, 1.0), (2, 3, 1.0)])
+        dyn = DynamicWCIndex(g)
+        dyn.remove_edge(0, 1)
+        assert dyn.distance(0, 3, 1.0) == 2.0  # via vertex 2
+        assert_matches_oracle(dyn, "detour")
+
+    def test_delete_missing_edge_raises(self):
+        dyn = DynamicWCIndex(path_graph(3))
+        with pytest.raises(KeyError):
+            dyn.remove_edge(0, 2)
+
+    @pytest.mark.parametrize("trial", range(6))
+    def test_random_mixed_updates(self, trial):
+        rng = random.Random(100 + trial)
+        g = gnm_random_graph(
+            10, 16, num_qualities=3, seed=trial
+        )
+        dyn = DynamicWCIndex(g.copy())
+        for step in range(6):
+            edges = list(dyn.graph.edges())
+            if edges and rng.random() < 0.4:
+                u, v, _ = rng.choice(edges)
+                dyn.remove_edge(u, v)
+            else:
+                u, v = rng.randrange(10), rng.randrange(10)
+                if u == v:
+                    continue
+                dyn.insert_edge(u, v, float(rng.randint(1, 3)))
+            assert_matches_oracle(dyn, f"trial {trial} step {step}")
+
+
+class TestBatchAndQualityChange:
+    def test_insert_edges_batch(self):
+        dyn = DynamicWCIndex(Graph(4, [(0, 1, 1.0)]))
+        dyn.insert_edges([(1, 2, 2.0), (2, 3, 3.0)])
+        assert dyn.distance(0, 3, 1.0) == 3.0
+        assert_matches_oracle(dyn, "batch-insert")
+
+    def test_remove_edges_batch(self):
+        # 5-cycle plus a chord; dropping the chord and one cycle edge
+        # forces the long way round in a single rebuild.
+        g = Graph(
+            5,
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 0, 1.0),
+                (0, 2, 1.0),
+            ],
+        )
+        dyn = DynamicWCIndex(g)
+        assert dyn.distance(0, 1, 1.0) == 1.0
+        dyn.remove_edges([(0, 1), (0, 2)])
+        assert dyn.distance(0, 1, 1.0) == 4.0  # 0-4-3-2-1
+        assert_matches_oracle(dyn, "batch-remove")
+
+    def test_quality_increase_incremental(self):
+        g = Graph(3, [(0, 1, 1.0), (1, 2, 3.0)])
+        dyn = DynamicWCIndex(g)
+        assert dyn.distance(0, 2, 2.0) == INF
+        dyn.change_quality(0, 1, 3.0)
+        assert dyn.distance(0, 2, 2.0) == 2.0
+        assert_matches_oracle(dyn, "quality-up")
+
+    def test_quality_decrease_rebuilds(self):
+        g = Graph(3, [(0, 1, 3.0), (1, 2, 3.0)])
+        dyn = DynamicWCIndex(g)
+        assert dyn.distance(0, 2, 2.0) == 2.0
+        dyn.change_quality(0, 1, 1.0)
+        assert dyn.distance(0, 2, 2.0) == INF
+        assert dyn.graph.quality(0, 1) == 1.0
+        assert_matches_oracle(dyn, "quality-down")
+
+    def test_quality_noop(self):
+        g = Graph(2, [(0, 1, 2.0)])
+        dyn = DynamicWCIndex(g)
+        before = dyn.index.entry_count()
+        dyn.change_quality(0, 1, 2.0)
+        assert dyn.index.entry_count() == before
+
+    def test_change_quality_missing_edge_raises(self):
+        dyn = DynamicWCIndex(path_graph(3))
+        with pytest.raises(KeyError):
+            dyn.change_quality(0, 2, 5.0)
+
+    @pytest.mark.parametrize("trial", range(5))
+    def test_random_quality_changes(self, trial):
+        rng = random.Random(500 + trial)
+        g = gnm_random_graph(9, 14, num_qualities=3, seed=trial)
+        dyn = DynamicWCIndex(g.copy())
+        for step in range(5):
+            edges = list(dyn.graph.edges())
+            u, v, _ = rng.choice(edges)
+            dyn.change_quality(u, v, float(rng.randint(1, 4)))
+            assert_matches_oracle(dyn, f"trial {trial} step {step}")
+
+
+class TestRebuild:
+    def test_full_rebuild_restores_minimality(self):
+        from repro.core.validation import verify_index
+
+        g = gnm_random_graph(9, 10, num_qualities=3, seed=23)
+        dyn = DynamicWCIndex(g.copy())
+        dyn.insert_edge(0, 8, 3.0)
+        dyn.insert_edge(1, 7, 2.0)
+        dyn.rebuild()
+        report = verify_index(dyn.index, dyn.graph)
+        assert report.ok, report.details

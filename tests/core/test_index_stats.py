@@ -1,0 +1,66 @@
+"""Tests for WC-INDEX introspection statistics."""
+
+import pytest
+
+from repro.core import build_wc_index_plus
+from repro.core.index_stats import collect_statistics
+from repro.graph.generators import paper_figure3, path_graph, scale_free_network
+from repro.graph.graph import Graph
+
+
+class TestCollect:
+    def test_paper_example_counts(self):
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        stats = collect_statistics(index)
+        assert stats.num_vertices == 6
+        assert stats.entry_count == 32  # Table II
+        assert stats.avg_label_size == pytest.approx(32 / 6)
+        assert stats.max_label_size == 11  # L(v5)
+        assert sum(stats.label_size_histogram.values()) == 6
+
+    def test_distance_histogram(self):
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        stats = collect_statistics(index)
+        assert stats.distance_histogram[0.0] == 6  # the self entries
+        assert sum(stats.distance_histogram.values()) == 32
+
+    def test_entries_per_hub_sums(self):
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        stats = collect_statistics(index)
+        assert sum(stats.entries_per_hub.values()) == 32
+        # Rank-0 hub (v0) carries the most entries in Table II.
+        assert stats.top_hubs(1)[0][0] == 0
+
+    def test_median_odd_even(self):
+        index = build_wc_index_plus(path_graph(3))
+        stats = collect_statistics(index)
+        assert stats.median_label_size > 0
+
+    def test_empty_index(self):
+        stats = collect_statistics(build_wc_index_plus(Graph(0)))
+        assert stats.entry_count == 0
+        assert stats.avg_label_size == 0.0
+        assert stats.hub_concentration() == 0.0
+
+
+class TestConcentration:
+    def test_star_concentrates_on_center(self):
+        from repro.graph.generators import star_graph
+
+        index = build_wc_index_plus(star_graph(30), "degree")
+        stats = collect_statistics(index)
+        # The hub carries one entry per leaf: more than half the index.
+        assert stats.hub_concentration(fraction=0.05) > 0.4
+
+    def test_scale_free_top_hubs_dominate(self):
+        g = scale_free_network(150, 3, seed=8)
+        index = build_wc_index_plus(g, "degree")
+        stats = collect_statistics(index)
+        assert stats.hub_concentration(fraction=0.05) > 0.25
+
+    def test_top_hubs_sorted(self):
+        g = scale_free_network(80, 3, seed=9)
+        stats = collect_statistics(build_wc_index_plus(g, "degree"))
+        top = stats.top_hubs(5)
+        counts = [count for _, count in top]
+        assert counts == sorted(counts, reverse=True)

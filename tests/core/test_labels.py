@@ -1,0 +1,193 @@
+"""Tests for the WCIndex label container."""
+
+import pytest
+
+from repro.core.labels import BYTES_PER_ENTRY, WCIndex
+
+INF = float("inf")
+
+
+def make_index(order=(0, 1, 2), track_parents=False):
+    return WCIndex(list(order), track_parents=track_parents)
+
+
+class TestContainer:
+    def test_order_and_rank_are_inverse(self):
+        idx = make_index([2, 0, 1])
+        assert idx.order == [2, 0, 1]
+        assert idx.rank == [1, 2, 0]
+        assert idx.num_vertices == 3
+
+    def test_append_and_introspect(self):
+        idx = make_index()
+        idx.append_entry(1, 0, 2.0, 3.0)
+        assert idx.entries_of(1) == [(0, 2.0, 3.0)]
+        assert idx.label_size(1) == 1
+        assert idx.entry_count() == 1
+        assert idx.max_label_size() == 1
+
+    def test_iter_entries(self):
+        idx = make_index()
+        idx.append_entry(0, 0, 0.0, INF)
+        idx.append_entry(1, 0, 1.0, 2.0)
+        assert list(idx.iter_entries()) == [
+            (0, 0, 0.0, INF),
+            (1, 0, 1.0, 2.0),
+        ]
+
+    def test_size_bytes_model(self):
+        idx = make_index()
+        idx.append_entry(0, 0, 0.0, INF)
+        idx.append_entry(1, 0, 1.0, 1.0)
+        assert idx.size_bytes() == 2 * BYTES_PER_ENTRY
+
+    def test_vertex_range_checked(self):
+        idx = make_index()
+        with pytest.raises(ValueError):
+            idx.distance(0, 5, 1.0)
+        with pytest.raises(ValueError):
+            idx.entries_of(-1)
+
+    def test_parent_tracking_flag(self):
+        bare = make_index()
+        assert not bare.tracks_parents
+        with pytest.raises(ValueError):
+            bare.parent_list(0)
+        tracked = make_index(track_parents=True)
+        tracked.append_entry(1, 0, 1.0, 2.0, parent=0)
+        assert tracked.parent_list(1) == [0]
+
+
+class TestQueriesOnHandBuiltLabels:
+    def make_populated(self):
+        # Hub 0 reaches vertex 1 at (d=1, w=5) and vertex 2 at (d=2, w=3)
+        # and (d=4, w=6) — a Pareto staircase.
+        idx = make_index()
+        idx.append_entry(0, 0, 0.0, INF)
+        idx.append_entry(1, 0, 1.0, 5.0)
+        idx.append_entry(1, 1, 0.0, INF)
+        idx.append_entry(2, 0, 2.0, 3.0)
+        idx.append_entry(2, 0, 4.0, 6.0)
+        idx.append_entry(2, 2, 0.0, INF)
+        return idx
+
+    def test_distance_picks_min_feasible(self):
+        idx = self.make_populated()
+        assert idx.distance(1, 2, 3.0) == 3.0  # 1 + 2
+        assert idx.distance(1, 2, 4.0) == 5.0  # needs the (4, 6) entry
+        assert idx.distance(1, 2, 5.5) == INF  # w=5 entry on the 1-side fails
+
+    def test_self_distance_zero(self):
+        idx = self.make_populated()
+        assert idx.distance(2, 2, 100.0) == 0.0
+
+    def test_all_kernels_agree(self):
+        idx = self.make_populated()
+        for w in (1.0, 3.0, 4.0, 5.5):
+            expected = idx.distance(1, 2, w)
+            for kernel in ("naive", "binary", "linear"):
+                assert idx.distance_with(1, 2, w, kernel) == expected
+
+    def test_unknown_kernel_rejected(self):
+        idx = self.make_populated()
+        with pytest.raises(ValueError, match="unknown kernel"):
+            idx.distance_with(0, 1, 1.0, "quantum")
+
+    def test_reachable(self):
+        idx = self.make_populated()
+        assert idx.reachable(1, 2, 3.0)
+        assert not idx.reachable(1, 2, 9.0)
+
+    def test_witness_indexes(self):
+        idx = self.make_populated()
+        dist, a, b = idx.distance_with_witness(1, 2, 4.0)
+        assert dist == 5.0
+        hubs1, dists1, quals1 = idx.label_lists(1)
+        hubs2, dists2, quals2 = idx.label_lists(2)
+        assert hubs1[a] == hubs2[b] == 0
+        assert dists1[a] + dists2[b] == 5.0
+        assert min(quals1[a], quals2[b]) >= 4.0
+
+    def test_witness_infeasible(self):
+        idx = self.make_populated()
+        dist, a, b = idx.distance_with_witness(1, 2, 99.0)
+        assert dist == INF
+        assert a == b == -1
+
+
+class TestBatchQueries:
+    def test_distance_many_matches_single(self):
+        from repro.core import build_wc_index_plus
+        from repro.graph.generators import paper_figure3
+
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        queries = [
+            (0, 4, 1.0),
+            (0, 4, 2.0),
+            (2, 5, 2.0),
+            (3, 3, 9.0),
+            (0, 5, 99.0),
+        ]
+        batch = index.distance_many(queries)
+        assert batch == [index.distance(s, t, w) for s, t, w in queries]
+
+    def test_distance_many_accepts_workload(self):
+        from repro.core import build_wc_index_plus
+        from repro.graph.generators import paper_figure3
+        from repro.workloads.queries import random_queries
+
+        g = paper_figure3()
+        index = build_wc_index_plus(g, "identity")
+        workload = random_queries(g, 25, seed=1)
+        assert len(index.distance_many(workload)) == 25
+
+    def test_distance_many_range_checked(self):
+        from repro.core import build_wc_index_plus
+        from repro.graph.generators import paper_figure3
+
+        index = build_wc_index_plus(paper_figure3())
+        with pytest.raises(ValueError):
+            index.distance_many([(0, 99, 1.0)])
+
+
+class TestSortedInsertion:
+    def test_insert_into_empty(self):
+        idx = make_index()
+        assert idx.insert_entry_sorted(1, 0, 2.0, 3.0)
+        assert idx.entries_of(1) == [(0, 2.0, 3.0)]
+
+    def test_insert_keeps_hub_order(self):
+        idx = make_index()
+        idx.append_entry(2, 0, 1.0, 1.0)
+        idx.append_entry(2, 2, 0.0, INF)
+        assert idx.insert_entry_sorted(2, 1, 3.0, 2.0)
+        hubs, _, _ = idx.label_lists(2)
+        assert hubs == [0, 1, 2]
+
+    def test_dominated_insert_is_rejected(self):
+        idx = make_index()
+        idx.append_entry(1, 0, 1.0, 5.0)
+        assert not idx.insert_entry_sorted(1, 0, 2.0, 4.0)  # worse both ways
+        assert not idx.insert_entry_sorted(1, 0, 1.0, 5.0)  # duplicate
+        assert idx.entries_of(1) == [(0, 1.0, 5.0)]
+
+    def test_insert_drops_entries_it_dominates(self):
+        idx = make_index()
+        idx.append_entry(1, 0, 3.0, 2.0)
+        assert idx.insert_entry_sorted(1, 0, 2.0, 3.0)  # dominates existing
+        assert idx.entries_of(1) == [(0, 2.0, 3.0)]
+
+    def test_incomparable_entries_coexist_sorted(self):
+        idx = make_index()
+        idx.append_entry(1, 0, 1.0, 1.0)
+        assert idx.insert_entry_sorted(1, 0, 3.0, 4.0)
+        assert idx.insert_entry_sorted(1, 0, 2.0, 2.0)
+        _, dists, quals = idx.label_lists(1)
+        assert dists == [1.0, 2.0, 3.0]
+        assert quals == [1.0, 2.0, 4.0]
+
+    def test_insert_with_parents(self):
+        idx = make_index(track_parents=True)
+        idx.append_entry(1, 0, 3.0, 2.0, parent=5)
+        assert idx.insert_entry_sorted(1, 0, 1.0, 1.0, parent=7)
+        assert idx.parent_list(1) == [7, 5]

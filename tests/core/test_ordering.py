@@ -1,0 +1,141 @@
+"""Tests for vertex ordering strategies (Section IV.D)."""
+
+import pytest
+
+from repro.core.ordering import (
+    default_core_threshold,
+    degree_order,
+    hybrid_order,
+    identity_order,
+    ordering_names,
+    random_order,
+    resolve_order,
+    treedec_order,
+)
+from repro.graph.generators import (
+    grid_road_network,
+    path_graph,
+    scale_free_network,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+
+class TestDegreeOrder:
+    def test_descending_degree(self):
+        g = star_graph(4)
+        order = degree_order(g)
+        assert order[0] == 0
+        assert sorted(order) == list(range(5))
+
+    def test_ties_broken_by_id(self):
+        g = path_graph(4)  # degrees 1,2,2,1
+        assert degree_order(g) == [1, 2, 0, 3]
+
+
+class TestTreedecOrder:
+    def test_permutation(self):
+        g = grid_road_network(5, 5, seed=0)
+        assert sorted(treedec_order(g)) == list(range(g.num_vertices))
+
+    def test_reverse_elimination(self):
+        from repro.graph.treedec import mde_tree_decomposition
+
+        g = grid_road_network(5, 5, seed=0)
+        assert treedec_order(g) == list(
+            reversed(mde_tree_decomposition(g).elimination_order)
+        )
+
+    def test_better_than_identity_on_road(self):
+        # The functional claim behind Observation 3: tree-decomposition
+        # ordering yields a smaller index than an arbitrary ordering on
+        # road-like graphs.
+        from repro.core import WCIndexBuilder
+
+        g = grid_road_network(7, 7, seed=0)
+        treedec_entries = WCIndexBuilder(g, "treedec").build().entry_count()
+        identity_entries = WCIndexBuilder(g, "identity").build().entry_count()
+        assert treedec_entries < identity_entries
+
+
+class TestHybridOrder:
+    def test_permutation(self):
+        g = scale_free_network(80, 3, seed=1)
+        assert sorted(hybrid_order(g)) == list(range(80))
+
+    def test_core_precedes_periphery(self):
+        g = scale_free_network(120, 3, seed=2)
+        threshold = default_core_threshold(g)
+        order = hybrid_order(g)
+        core = {v for v in g.vertices() if g.degree(v) > threshold}
+        if core:  # hubs exist in a BA graph of this size
+            head = order[: len(core)]
+            assert set(head) == core
+
+    def test_core_sorted_by_degree(self):
+        g = scale_free_network(150, 3, seed=3)
+        threshold = default_core_threshold(g)
+        order = hybrid_order(g)
+        core = [v for v in order if g.degree(v) > threshold]
+        degrees = [g.degree(v) for v in core]
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_road_network_has_empty_core(self):
+        # Max degree on a grid stays below the default threshold, so hybrid
+        # degenerates to pure tree-decomposition ordering (Observation 3).
+        g = grid_road_network(8, 8, seed=1)
+        assert hybrid_order(g) == treedec_order(g) or sorted(
+            hybrid_order(g)
+        ) == list(range(g.num_vertices))
+        assert default_core_threshold(g) >= g.max_degree()
+
+    def test_explicit_threshold(self):
+        g = star_graph(20)
+        order = hybrid_order(g, degree_threshold=10)
+        assert order[0] == 0  # only the hub exceeds 10
+
+    def test_all_core(self):
+        g = Graph(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)])
+        order = hybrid_order(g, degree_threshold=0)
+        assert sorted(order) == [0, 1, 2]
+
+
+class TestResolver:
+    def test_names(self):
+        assert set(ordering_names()) == {
+            "degree",
+            "treedec",
+            "hybrid",
+            "betweenness",
+            "identity",
+            "random",
+        }
+
+    def test_resolve_by_name(self):
+        g = path_graph(5)
+        assert resolve_order(g, "identity") == [0, 1, 2, 3, 4]
+        assert resolve_order(g, "degree") == degree_order(g)
+
+    def test_resolve_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown ordering"):
+            resolve_order(path_graph(3), "zigzag")
+
+    def test_resolve_sequence(self):
+        g = path_graph(3)
+        assert resolve_order(g, [2, 1, 0]) == [2, 1, 0]
+
+    def test_resolve_rejects_non_permutation(self):
+        with pytest.raises(ValueError, match="permutation"):
+            resolve_order(path_graph(3), [0, 1])
+
+    def test_resolve_callable(self):
+        g = path_graph(3)
+        assert resolve_order(g, lambda graph: [2, 0, 1]) == [2, 0, 1]
+
+    def test_random_order_deterministic_by_seed(self):
+        g = path_graph(10)
+        assert random_order(g, seed=1) == random_order(g, seed=1)
+        assert random_order(g, seed=1) != random_order(g, seed=2)
+
+    def test_identity(self):
+        assert identity_order(path_graph(4)) == [0, 1, 2, 3]

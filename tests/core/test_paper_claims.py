@@ -1,0 +1,154 @@
+"""Tests encoding specific claims made in the paper's prose.
+
+Each test cites the statement it checks, so a reader can audit the
+reproduction claim by claim.
+"""
+
+import pytest
+
+from tests.helpers import random_graph
+
+from repro.baselines import NaivePerQualityIndex
+from repro.core import WCIndexBuilder, build_wc_index_plus
+from repro.core.paths import path_bottleneck, path_length
+from repro.core.query import group_end
+from repro.graph.generators import paper_figure3
+from repro.graph.graph import Graph
+
+INF = float("inf")
+
+
+class TestExample1Figure2Facts:
+    """Example 1 describes Figure 2; its transferable facts are the
+    definitions it exercises, checked here on Figure 3's graph."""
+
+    def test_w_path_definition(self):
+        # "a w-path ... each of its edges has a quality not smaller than w"
+        g = paper_figure3()
+        path = [0, 1, 2, 3]  # qualities 3, 5, 4
+        assert path_bottleneck(g, path) == 3.0
+        assert path_bottleneck(g, path) >= 3.0  # it is a 3-path
+        assert not path_bottleneck(g, path) >= 4.0  # but not a 4-path
+
+
+class TestExample2Dominance:
+    """Definition 4 / Example 2 dominance relations on Figure 3."""
+
+    def test_same_quality_shorter_dominates(self):
+        g = paper_figure3()
+        p_short = [0, 3, 4]  # len 2, bottleneck 1
+        p_long = [0, 3, 5, 4]  # len 3, bottleneck 1
+        assert path_bottleneck(g, p_short) == path_bottleneck(g, p_long) == 1.0
+        assert path_length(p_short) < path_length(p_long)
+
+    def test_same_length_higher_quality_dominates(self):
+        g = paper_figure3()
+        p_good = [1, 2, 3]  # len 2, bottleneck 4
+        p_bad = [1, 0, 3]  # len 2, bottleneck 1
+        assert path_length(p_good) == path_length(p_bad)
+        assert path_bottleneck(g, p_good) > path_bottleneck(g, p_bad)
+
+    def test_minimal_paths_are_the_label_entries(self):
+        # "{v1 -> v2 -> v3} is both the minimal 3-path and minimal 4-path"
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        assert index.distance(1, 3, 3.0) == 2.0
+        assert index.distance(1, 3, 4.0) == 2.0
+        assert index.distance(1, 3, 5.0) == INF
+
+
+class TestExample3QueryWalkthrough:
+    """The worked query Q(v2, v5, 2) of Example 3."""
+
+    def test_intermediate_candidates(self):
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        # The walkthrough first finds 5 via hub v0, then 3 via hub v1,
+        # finally 2 via hub v2; the index must return the final minimum.
+        assert index.distance(2, 5, 2.0) == 2.0
+        # Hub-v0 route alone would give 2 + 3:
+        entries5 = dict()
+        for hub, d, w in index.entries_of(5):
+            if w >= 2.0:
+                entries5.setdefault(hub, d)
+        entries2 = dict()
+        for hub, d, w in index.entries_of(2):
+            if w >= 2.0:
+                entries2.setdefault(hub, d)
+        assert entries2[0] + entries5[0] == 5.0
+        assert entries2[1] + entries5[1] == 3.0
+
+
+class TestIndexSizeBound:
+    """Section IV.B: 'The size of the index is bounded by
+    sum over pairs of min(D, |w|)' — per (vertex, hub) group, at most one
+    entry per distinct quality value and at most one per distance."""
+
+    @pytest.mark.parametrize("trial", range(8))
+    def test_group_sizes_bounded(self, trial):
+        g = random_graph(trial, num_qualities=3)
+        index = build_wc_index_plus(g, "degree")
+        num_w = max(1, g.num_distinct_qualities())
+        diameter_bound = g.num_vertices  # crude D upper bound
+        for v in g.vertices():
+            hubs, _, _ = index.label_lists(v)
+            i = 0
+            while i < len(hubs):
+                j = group_end(hubs, i)
+                assert j - i <= min(diameter_bound, num_w), (trial, v)
+                i = j
+
+
+class TestObservation1Redundancy:
+    """Observation 1: 'numerous entries in the separate indices are
+    redundant' — the naive method stores strictly more than WC-INDEX on
+    multi-quality graphs."""
+
+    def test_naive_stores_more(self):
+        g = Graph(
+            5,
+            [
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 3.0),
+                (3, 4, 1.0),
+                (0, 4, 2.0),
+            ],
+        )
+        naive = NaivePerQualityIndex(g)
+        wc = build_wc_index_plus(g, "degree")
+        assert naive.entry_count() > wc.entry_count()
+
+    @pytest.mark.parametrize("trial", range(6))
+    def test_naive_stores_at_least_as_much_on_random_graphs(self, trial):
+        g = random_graph(trial, num_qualities=4)
+        naive = NaivePerQualityIndex(g, order=list(range(g.num_vertices)))
+        wc = WCIndexBuilder(g, "identity").build()
+        assert naive.entry_count() >= wc.entry_count()
+
+
+class TestComplexityShape:
+    """Section III: the naive method's cost scales with |w| while
+    WC-INDEX's does not (same graph, more quality levels)."""
+
+    def test_naive_entries_grow_with_w(self):
+        from repro.graph.generators import grid_road_network
+
+        low = grid_road_network(6, 6, num_qualities=2, seed=3)
+        high = grid_road_network(6, 6, num_qualities=8, seed=3)
+        naive_low = NaivePerQualityIndex(low).entry_count()
+        naive_high = NaivePerQualityIndex(high).entry_count()
+        assert naive_high > 2 * naive_low
+
+    def test_wc_entries_grow_slower_with_w(self):
+        from repro.graph.generators import grid_road_network
+
+        low = grid_road_network(6, 6, num_qualities=2, seed=3)
+        high = grid_road_network(6, 6, num_qualities=8, seed=3)
+        naive_ratio = (
+            NaivePerQualityIndex(high).entry_count()
+            / NaivePerQualityIndex(low).entry_count()
+        )
+        wc_ratio = (
+            build_wc_index_plus(high).entry_count()
+            / build_wc_index_plus(low).entry_count()
+        )
+        assert wc_ratio < naive_ratio

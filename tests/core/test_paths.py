@@ -1,0 +1,103 @@
+"""Tests for quality constrained shortest *path* reconstruction."""
+
+import pytest
+
+from tests.helpers import random_graph, thresholds_for
+
+from repro.baselines.online import ConstrainedBFS
+from repro.core import WCIndexBuilder, build_wc_index_plus
+from repro.core.paths import (
+    WCPathIndex,
+    is_valid_w_path,
+    path_bottleneck,
+    path_length,
+)
+from repro.graph.generators import paper_figure3, path_graph
+
+INF = float("inf")
+
+
+class TestPathHelpers:
+    def test_path_length(self):
+        assert path_length([3]) == 0
+        assert path_length([0, 1, 2]) == 2
+
+    def test_path_bottleneck(self):
+        g = paper_figure3()
+        assert path_bottleneck(g, [0, 1, 2]) == 3.0
+        assert path_bottleneck(g, [5]) == INF
+
+    def test_is_valid_w_path(self):
+        g = paper_figure3()
+        assert is_valid_w_path(g, [0, 1, 2, 8 - 5], 3.0)  # v0-v1-v2-v3
+        assert not is_valid_w_path(g, [0, 2], 1.0)  # not an edge
+        assert not is_valid_w_path(g, [0, 3], 2.0)  # quality 1 < 2
+        assert not is_valid_w_path(g, [], 1.0)
+
+
+class TestConstruction:
+    def test_requires_parent_tracking(self):
+        index = build_wc_index_plus(paper_figure3())
+        with pytest.raises(ValueError, match="track_parents"):
+            WCPathIndex(index)
+
+    def test_build_classmethod(self):
+        pindex = WCPathIndex.build(paper_figure3(), "identity")
+        assert pindex.index.tracks_parents
+
+
+class TestPaperExamplePaths:
+    def test_example1_shortest_2_constrained_path(self):
+        # Example 2: v1 -> v2 -> v8... transcribed to Figure 3 ids: the
+        # shortest 2-constrained v0-v8 analogue is v0-v1-v2-v3 at w=3.
+        pindex = WCPathIndex.build(paper_figure3(), "identity")
+        g = paper_figure3()
+        path = pindex.path(0, 3, 3.0)
+        assert path == [0, 1, 2, 3]
+        assert path_bottleneck(g, path) >= 3.0
+
+    def test_quality_changes_route(self):
+        pindex = WCPathIndex.build(paper_figure3(), "identity")
+        assert pindex.path(0, 3, 1.0) == [0, 3]  # direct edge, quality 1
+        assert path_length(pindex.path(0, 3, 2.0)) == 2  # via v1
+        assert path_length(pindex.path(0, 3, 3.0)) == 3  # via v1, v2
+
+    def test_unreachable_returns_none(self):
+        pindex = WCPathIndex.build(paper_figure3(), "identity")
+        assert pindex.path(0, 5, 99.0) is None
+
+    def test_trivial_path(self):
+        pindex = WCPathIndex.build(paper_figure3(), "identity")
+        assert pindex.path(4, 4, 1.0) == [4]
+
+    def test_distance_matches_index(self):
+        pindex = WCPathIndex.build(paper_figure3(), "identity")
+        assert pindex.distance(2, 5, 2.0) == 2.0
+
+
+class TestRandomizedPaths:
+    @pytest.mark.parametrize("ordering", ["degree", "treedec", "hybrid"])
+    def test_paths_valid_and_shortest(self, ordering):
+        for trial in range(8):
+            g = random_graph(trial, max_n=14)
+            pindex = WCPathIndex.build(g, ordering)
+            oracle = ConstrainedBFS(g)
+            for w in thresholds_for(g):
+                for s in g.vertices():
+                    for t in g.vertices():
+                        expected = oracle.distance(s, t, w)
+                        path = pindex.path(s, t, w)
+                        if expected == INF:
+                            assert path is None, (trial, s, t, w)
+                            continue
+                        assert path is not None, (trial, s, t, w)
+                        assert path[0] == s and path[-1] == t
+                        assert path_length(path) == expected, (trial, s, t, w)
+                        if len(path) > 1:
+                            assert is_valid_w_path(g, path, w), (trial, s, t, w)
+
+    def test_long_path_graph(self):
+        g = path_graph(40)
+        pindex = WCPathIndex.build(g, "treedec")
+        path = pindex.path(0, 39, 1.0)
+        assert path == list(range(40))

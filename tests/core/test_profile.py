@@ -1,0 +1,107 @@
+"""Tests for Pareto profile queries."""
+
+import pytest
+
+from tests.helpers import random_graph, thresholds_for
+
+from repro.baselines.online import ConstrainedBFS
+from repro.core import build_wc_index_plus
+from repro.core.profile import (
+    bottleneck_quality,
+    distance_profile,
+    profile_distance,
+    profile_is_staircase,
+    widest_path_quality,
+)
+from repro.graph.generators import paper_figure3, path_graph
+from repro.graph.graph import Graph
+
+INF = float("inf")
+
+
+class TestProfileOnPaperExample:
+    @pytest.fixture
+    def index(self):
+        return build_wc_index_plus(paper_figure3(), "identity")
+
+    def test_profile_v0_v4(self, index):
+        # From Table II: dist_1 = 2, dist_2 = 3, dist_3 = 4, dist_>3 = INF.
+        assert distance_profile(index, 0, 4) == [
+            (1.0, 2.0),
+            (2.0, 3.0),
+            (3.0, 4.0),
+        ]
+
+    def test_profile_evaluates_like_distance(self, index):
+        profile = distance_profile(index, 0, 4)
+        for w in (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5):
+            assert profile_distance(profile, w) == index.distance(0, 4, w)
+
+    def test_self_profile(self, index):
+        assert distance_profile(index, 3, 3) == [(INF, 0.0)]
+
+    def test_staircase_property(self, index):
+        for s in range(6):
+            for t in range(6):
+                assert profile_is_staircase(distance_profile(index, s, t))
+
+    def test_bottleneck_quality(self, index):
+        # Within 2 hops of v0..v4: only quality-1 paths exist.
+        assert bottleneck_quality(index, 0, 4, 2.0) == 1.0
+        assert bottleneck_quality(index, 0, 4, 3.0) == 2.0
+        assert bottleneck_quality(index, 0, 4, 99.0) == 3.0
+        assert bottleneck_quality(index, 0, 4, 1.0) == -INF
+        assert bottleneck_quality(index, 2, 2, 0.0) == INF
+
+    def test_widest_path_quality(self, index):
+        assert widest_path_quality(index, 0, 4) == 3.0
+        assert widest_path_quality(index, 1, 2) == 5.0  # the direct edge
+
+
+class TestProfileAgainstBruteForce:
+    @pytest.mark.parametrize("trial", range(10))
+    def test_profile_matches_bfs_at_every_threshold(self, trial):
+        g = random_graph(trial)
+        index = build_wc_index_plus(g, "degree")
+        oracle = ConstrainedBFS(g)
+        for s in g.vertices():
+            for t in g.vertices():
+                profile = distance_profile(index, s, t)
+                assert profile_is_staircase(profile)
+                for w in thresholds_for(g):
+                    assert profile_distance(profile, w) == oracle.distance(
+                        s, t, w
+                    ), (trial, s, t, w)
+
+    def test_disconnected_pair_empty_profile(self):
+        g = Graph(4, [(0, 1, 2.0), (2, 3, 2.0)])
+        index = build_wc_index_plus(g)
+        assert distance_profile(index, 0, 3) == []
+        assert widest_path_quality(index, 0, 3) == -INF
+
+    def test_profile_length_bounded_by_distinct_qualities(self):
+        for trial in range(6):
+            g = random_graph(trial, num_qualities=3)
+            index = build_wc_index_plus(g, "degree")
+            for s in g.vertices():
+                for t in g.vertices():
+                    if s == t:
+                        continue
+                    assert len(distance_profile(index, s, t)) <= 3
+
+
+class TestProfileHelpers:
+    def test_profile_distance_empty(self):
+        assert profile_distance([], 1.0) == INF
+
+    def test_staircase_checker_rejects_bad(self):
+        assert not profile_is_staircase([(1.0, 2.0), (2.0, 2.0)])
+        assert not profile_is_staircase([(2.0, 1.0), (1.0, 2.0)])
+        assert profile_is_staircase([])
+        assert profile_is_staircase([(1.0, 1.0)])
+
+    def test_path_graph_profile(self):
+        g = path_graph(4, [3.0, 1.0, 2.0])
+        index = build_wc_index_plus(g)
+        assert distance_profile(index, 0, 3) == [(1.0, 3.0)]
+        assert distance_profile(index, 0, 1) == [(3.0, 1.0)]

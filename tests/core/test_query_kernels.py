@@ -1,0 +1,132 @@
+"""Tests for the three query kernels (Algorithms 2/4/5) in isolation."""
+
+import pytest
+
+from repro.core.query import (
+    group_end,
+    merge_binary,
+    merge_linear,
+    merge_linear_with_witness,
+    merge_naive,
+)
+
+INF = float("inf")
+KERNELS = [merge_naive, merge_binary, merge_linear]
+
+
+class TestGroupEnd:
+    def test_single_group(self):
+        assert group_end([3, 3, 3], 0) == 3
+
+    def test_multiple_groups(self):
+        hubs = [0, 0, 1, 2, 2, 2]
+        assert group_end(hubs, 0) == 2
+        assert group_end(hubs, 2) == 3
+        assert group_end(hubs, 3) == 6
+
+    def test_last_element(self):
+        assert group_end([0, 1], 1) == 2
+
+
+def label(*entries):
+    """Build parallel lists from (hub, d, w) triples."""
+    hubs = [e[0] for e in entries]
+    dists = [float(e[1]) for e in entries]
+    quals = [float(e[2]) for e in entries]
+    return hubs, dists, quals
+
+
+class TestKernelsAgree:
+    CASES = [
+        # (side_s, side_t, w, expected)
+        (
+            label((0, 0, INF), (1, 2, 3)),
+            label((0, 4, 2), (1, 1, 5)),
+            2.0,
+            3.0,  # via hub 1: 2+1
+        ),
+        (
+            label((0, 1, 1), (0, 2, 2), (0, 3, 5)),
+            label((0, 1, 1), (0, 4, 9)),
+            2.0,
+            6.0,  # s needs (2,2), t needs (4,9)
+        ),
+        (
+            label((0, 1, 1)),
+            label((1, 1, 9)),
+            1.0,
+            INF,  # no common hub
+        ),
+        (
+            label((2, 5, 4)),
+            label((2, 7, 4)),
+            4.0,
+            12.0,
+        ),
+        (
+            label((2, 5, 4)),
+            label((2, 7, 4)),
+            4.5,
+            INF,  # both entries fail the constraint
+        ),
+        (label(), label((0, 1, 1)), 1.0, INF),  # empty side
+    ]
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("case", range(len(CASES)))
+    def test_known_answers(self, kernel, case):
+        (hs, ds, qs), (ht, dt, qt), w, expected = self.CASES[case]
+        assert kernel(hs, ds, qs, ht, dt, qt, w) == expected
+
+    def test_min_over_multiple_hubs(self):
+        side_s = label((0, 3, 9), (1, 1, 9))
+        side_t = label((0, 1, 9), (1, 2, 9))
+        for kernel in KERNELS:
+            assert kernel(*side_s, *side_t, 1.0) == 3.0  # hub 1: 1+2
+
+    def test_theorem3_first_feasible_is_optimal(self):
+        # Within a group sorted by (d asc, w asc), the first entry with
+        # w >= threshold has the minimum feasible distance.
+        side_s = label((0, 1, 1), (0, 2, 3), (0, 5, 7))
+        side_t = label((0, 0, INF))
+        for kernel in KERNELS:
+            assert kernel(*side_s, *side_t, 2.0) == 2.0
+            assert kernel(*side_s, *side_t, 3.5) == 5.0
+
+
+class TestWitness:
+    def test_witness_matches_linear(self):
+        side_s = label((0, 1, 1), (0, 2, 3), (1, 1, 4))
+        side_t = label((0, 2, 5), (1, 2, 2))
+        for w in (1.0, 2.0, 3.0, 4.5):
+            expected = merge_linear(*side_s, *side_t, w)
+            dist, a, b = merge_linear_with_witness(*side_s, *side_t, w)
+            assert dist == expected
+            if dist != INF:
+                assert side_s[0][a] == side_t[0][b]  # same hub
+                assert side_s[1][a] + side_t[1][b] == dist
+                assert side_s[2][a] >= w and side_t[2][b] >= w
+
+
+class TestRandomizedAgreement:
+    def test_kernels_agree_on_random_staircases(self):
+        import random
+
+        rng = random.Random(42)
+        for _ in range(200):
+            def random_label():
+                entries = []
+                for hub in sorted(rng.sample(range(6), rng.randint(0, 4))):
+                    d, w = rng.randint(0, 3), rng.randint(1, 3)
+                    staircase = []
+                    for _ in range(rng.randint(1, 3)):
+                        staircase.append((hub, d, w))
+                        d += rng.randint(1, 3)
+                        w += rng.randint(1, 3)
+                    entries.extend(staircase)
+                return label(*entries)
+
+            side_s, side_t = random_label(), random_label()
+            for w in (0.5, 1.0, 2.0, 3.5, 9.0):
+                results = {k(*side_s, *side_t, w) for k in KERNELS}
+                assert len(results) == 1, (side_s, side_t, w, results)

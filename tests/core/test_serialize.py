@@ -1,0 +1,113 @@
+"""Tests for WC-INDEX serialization."""
+
+import io
+
+import pytest
+
+from tests.helpers import random_graph, thresholds_for
+
+from repro.core import WCIndexBuilder, build_wc_index_plus
+from repro.core.serialize import IndexFormatError, load_index, save_index
+from repro.graph.generators import paper_figure3
+
+
+def round_trip(index):
+    buffer = io.StringIO()
+    save_index(index, buffer)
+    buffer.seek(0)
+    return load_index(buffer)
+
+
+class TestRoundTrip:
+    def test_entries_preserved(self):
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        loaded = round_trip(index)
+        assert loaded.order == index.order
+        for v in range(index.num_vertices):
+            assert loaded.entries_of(v) == index.entries_of(v)
+
+    def test_answers_preserved(self):
+        for trial in range(6):
+            g = random_graph(trial)
+            index = build_wc_index_plus(g, "degree")
+            loaded = round_trip(index)
+            for w in thresholds_for(g):
+                for s in g.vertices():
+                    for t in g.vertices():
+                        assert loaded.distance(s, t, w) == index.distance(
+                            s, t, w
+                        )
+
+    def test_parents_preserved(self):
+        g = paper_figure3()
+        index = WCIndexBuilder(g, "identity", track_parents=True).build()
+        loaded = round_trip(index)
+        assert loaded.tracks_parents
+        for v in range(g.num_vertices):
+            assert loaded.parent_list(v) == index.parent_list(v)
+
+    def test_infinity_quality_survives(self):
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        loaded = round_trip(index)
+        _, _, quals = loaded.label_lists(0)
+        assert quals[0] == float("inf")
+
+    def test_file_round_trip(self, tmp_path):
+        index = build_wc_index_plus(paper_figure3())
+        path = tmp_path / "example.wci"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.entry_count() == index.entry_count()
+
+    def test_gzip_round_trip(self, tmp_path):
+        index = build_wc_index_plus(paper_figure3())
+        path = tmp_path / "example.wci.gz"
+        save_index(index, path)
+        assert load_index(path).entry_count() == index.entry_count()
+        # Must actually be gzip: starts with the magic bytes.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+
+
+class TestFormatErrors:
+    def test_empty_file(self):
+        with pytest.raises(IndexFormatError, match="empty"):
+            load_index(io.StringIO(""))
+
+    def test_bad_magic(self):
+        with pytest.raises(IndexFormatError, match="header"):
+            load_index(io.StringIO("NOTANINDEX 1 2 0\n"))
+
+    def test_bad_version(self):
+        with pytest.raises(IndexFormatError, match="version"):
+            load_index(io.StringIO("WCINDEX 99 1 0\nO 0\nV 0 0\n"))
+
+    def test_truncated_entries(self):
+        text = "WCINDEX 1 1 0\nO 0\nV 0 2\nE 0 0.0 inf\n"
+        with pytest.raises(IndexFormatError, match="end of file"):
+            load_index(io.StringIO(text))
+
+    def test_order_not_permutation(self):
+        with pytest.raises(IndexFormatError, match="permutation"):
+            load_index(io.StringIO("WCINDEX 1 2 0\nO 0 0\nV 0 0\nV 1 0\n"))
+
+    def test_hub_out_of_range(self):
+        text = "WCINDEX 1 1 0\nO 0\nV 0 1\nE 7 0.0 inf\n"
+        with pytest.raises(IndexFormatError, match="hub rank"):
+            load_index(io.StringIO(text))
+
+    def test_vertex_out_of_range(self):
+        text = "WCINDEX 1 1 0\nO 0\nV 5 0\n"
+        with pytest.raises(IndexFormatError, match="out of range"):
+            load_index(io.StringIO(text))
+
+    def test_malformed_entry(self):
+        text = "WCINDEX 1 1 0\nO 0\nV 0 1\nE zero one two\n"
+        with pytest.raises(IndexFormatError):
+            load_index(io.StringIO(text))
+
+    def test_comments_and_blanks_tolerated(self):
+        index = build_wc_index_plus(paper_figure3())
+        buffer = io.StringIO()
+        save_index(index, buffer)
+        noisy = "# saved index\n\n" + buffer.getvalue()
+        assert load_index(io.StringIO(noisy)).entry_count() == index.entry_count()

@@ -1,0 +1,179 @@
+"""Tests for the weighted WC-INDEX (constrained Dijkstra construction)."""
+
+import pytest
+
+from repro.core.weighted import (
+    WeightedWCIndex,
+    constrained_dijkstra,
+    weighted_degree_order,
+)
+from repro.graph.weighted import WeightedGraph
+
+INF = float("inf")
+
+
+def random_weighted_graph(trial: int, max_n: int = 12) -> WeightedGraph:
+    import random
+
+    rng = random.Random(trial)
+    n = rng.randint(2, max_n)
+    g = WeightedGraph(n)
+    for _ in range(rng.randint(0, 3 * n)):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            g.add_edge(
+                u, v, float(rng.randint(1, 9)), float(rng.randint(1, 4))
+            )
+    return g
+
+
+class TestWeightedCorrectness:
+    @pytest.mark.parametrize("trial", range(15))
+    def test_matches_constrained_dijkstra(self, trial):
+        g = random_weighted_graph(trial)
+        index = WeightedWCIndex(g)
+        qualities = g.distinct_qualities() or [1.0]
+        for w in qualities + [qualities[-1] + 1, 0.5]:
+            for s in g.vertices():
+                for t in g.vertices():
+                    assert index.distance(s, t, w) == constrained_dijkstra(
+                        g, s, t, w
+                    ), (trial, s, t, w)
+
+    def test_length_vs_hops_tradeoff(self):
+        # Direct heavy edge vs two light edges: Dijkstra semantics.
+        g = WeightedGraph(
+            3, [(0, 2, 10.0, 5.0), (0, 1, 2.0, 5.0), (1, 2, 3.0, 5.0)]
+        )
+        index = WeightedWCIndex(g)
+        assert index.distance(0, 2, 1.0) == 5.0
+
+    def test_quality_forces_longer_route(self):
+        g = WeightedGraph(
+            3, [(0, 2, 1.0, 1.0), (0, 1, 5.0, 3.0), (1, 2, 5.0, 3.0)]
+        )
+        index = WeightedWCIndex(g)
+        assert index.distance(0, 2, 1.0) == 1.0
+        assert index.distance(0, 2, 2.0) == 10.0
+
+    def test_fractional_lengths(self):
+        g = WeightedGraph(3, [(0, 1, 0.5, 1.0), (1, 2, 0.25, 1.0)])
+        index = WeightedWCIndex(g)
+        assert index.distance(0, 2, 1.0) == 0.75
+
+    def test_unreachable(self):
+        g = WeightedGraph(3, [(0, 1, 1.0, 1.0)])
+        index = WeightedWCIndex(g)
+        assert index.distance(0, 2, 1.0) == INF
+
+
+class TestWeightedStructure:
+    def test_order_validation(self):
+        g = WeightedGraph(2, [(0, 1, 1.0, 1.0)])
+        with pytest.raises(ValueError):
+            WeightedWCIndex(g, order=[0, 0])
+
+    def test_weighted_degree_order(self):
+        g = WeightedGraph(
+            3, [(0, 1, 1.0, 1.0), (0, 2, 1.0, 1.0)]
+        )
+        assert weighted_degree_order(g)[0] == 0
+
+    def test_query_range_checked(self):
+        g = WeightedGraph(2, [(0, 1, 1.0, 1.0)])
+        index = WeightedWCIndex(g)
+        with pytest.raises(ValueError):
+            index.distance(5, 0, 1.0)
+
+    def test_theorem3_staircase_in_labels(self):
+        # Per (vertex, hub) group: distances and qualities both ascending.
+        for trial in range(6):
+            g = random_weighted_graph(trial)
+            index = WeightedWCIndex(g)
+            for v in g.vertices():
+                entries = index.entries_of(v)
+                by_hub = {}
+                for hub, d, q in entries:
+                    by_hub.setdefault(hub, []).append((d, q))
+                for staircase in by_hub.values():
+                    for (d1, q1), (d2, q2) in zip(staircase, staircase[1:]):
+                        assert d2 > d1 and q2 > q1, (trial, v, staircase)
+
+    def test_size_accounting(self):
+        g = WeightedGraph(2, [(0, 1, 1.0, 1.0)])
+        index = WeightedWCIndex(g)
+        assert index.size_bytes() == 16 * index.entry_count()
+        assert "WeightedWCIndex" in repr(index)
+
+
+class TestWeightedPaths:
+    def test_requires_parent_tracking(self):
+        g = WeightedGraph(2, [(0, 1, 1.0, 1.0)])
+        index = WeightedWCIndex(g)
+        with pytest.raises(ValueError, match="track_parents"):
+            index.path(0, 1, 1.0)
+
+    def test_picks_cheaper_route(self):
+        g = WeightedGraph(
+            3, [(0, 2, 10.0, 5.0), (0, 1, 2.0, 5.0), (1, 2, 3.0, 5.0)]
+        )
+        index = WeightedWCIndex(g, track_parents=True)
+        assert index.path(0, 2, 1.0) == [0, 1, 2]
+
+    def test_quality_forces_expensive_route(self):
+        g = WeightedGraph(
+            3, [(0, 2, 1.0, 1.0), (0, 1, 5.0, 3.0), (1, 2, 5.0, 3.0)]
+        )
+        index = WeightedWCIndex(g, track_parents=True)
+        assert index.path(0, 2, 1.0) == [0, 2]
+        assert index.path(0, 2, 2.0) == [0, 1, 2]
+        assert index.path(0, 2, 4.0) is None
+
+    def test_trivial_and_unreachable(self):
+        g = WeightedGraph(3, [(0, 1, 1.0, 1.0)])
+        index = WeightedWCIndex(g, track_parents=True)
+        assert index.path(1, 1, 9.0) == [1]
+        assert index.path(0, 2, 1.0) is None
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_paths_valid_and_optimal(self, trial):
+        g = random_weighted_graph(trial)
+        index = WeightedWCIndex(g, track_parents=True)
+        qualities = g.distinct_qualities() or [1.0]
+        for w in qualities + [0.5]:
+            for s in g.vertices():
+                for t in g.vertices():
+                    expected = constrained_dijkstra(g, s, t, w)
+                    path = index.path(s, t, w)
+                    if expected == INF:
+                        assert path is None, (trial, s, t, w)
+                        continue
+                    assert path is not None
+                    assert path[0] == s and path[-1] == t
+                    # Every hop a real edge meeting the constraint, and
+                    # the summed length optimal.
+                    total = 0.0
+                    for a, b in zip(path, path[1:]):
+                        length, quality = g.edge(a, b)
+                        assert quality >= w, (trial, s, t, w)
+                        total += length
+                    assert total == pytest.approx(expected), (trial, s, t, w)
+
+
+class TestUnitLengthsMatchUnweighted:
+    def test_degenerates_to_bfs_index(self):
+        from repro.core import build_wc_index_plus
+        from repro.graph.generators import gnm_random_graph
+
+        und = gnm_random_graph(12, 25, num_qualities=3, seed=31)
+        wg = WeightedGraph(12)
+        for u, v, q in und.edges():
+            wg.add_edge(u, v, 1.0, q)
+        weighted = WeightedWCIndex(wg)
+        unweighted = build_wc_index_plus(und, "degree")
+        for w in (0.5, 1.0, 2.0, 3.0, 4.0):
+            for s in range(12):
+                for t in range(12):
+                    assert weighted.distance(s, t, w) == unweighted.distance(
+                        s, t, w
+                    )

@@ -1,0 +1,93 @@
+"""Tests for Brandes betweenness centrality and the derived ordering."""
+
+import pytest
+
+from repro.graph.betweenness import betweenness_centrality, betweenness_order
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnm_random_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.graph import Graph
+
+
+class TestExactValues:
+    def test_path_graph(self):
+        # Path 0-1-2: the middle vertex covers exactly one pair.
+        assert betweenness_centrality(path_graph(3)) == [0.0, 1.0, 0.0]
+
+    def test_longer_path(self):
+        # Path of 5: interior vertex v covers (v-left pairs) x (right).
+        c = betweenness_centrality(path_graph(5))
+        assert c == [0.0, 3.0, 4.0, 3.0, 0.0]
+
+    def test_star_center_covers_all_pairs(self):
+        k = 6
+        c = betweenness_centrality(star_graph(k))
+        assert c[0] == k * (k - 1) / 2  # all leaf pairs
+        assert all(value == 0.0 for value in c[1:])
+
+    def test_complete_graph_zero(self):
+        assert betweenness_centrality(complete_graph(5)) == [0.0] * 5
+
+    def test_cycle_symmetry(self):
+        c = betweenness_centrality(cycle_graph(6))
+        assert len(set(round(x, 9) for x in c)) == 1  # all equal
+
+    def test_split_paths_counted_fractionally(self):
+        # Diamond: 0-1, 0-2, 1-3, 2-3.  Pair (0,3) splits across 1 and 2;
+        # pair (1,2) splits across 0 and 3 — every vertex covers half a
+        # pair.
+        g = Graph(4, [(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)])
+        c = betweenness_centrality(g)
+        assert c == pytest.approx([0.5, 0.5, 0.5, 0.5])
+
+    def test_empty_graph(self):
+        assert betweenness_centrality(Graph(0)) == []
+
+
+class TestSampling:
+    def test_full_sample_equals_exact(self):
+        g = gnm_random_graph(15, 30, seed=2)
+        exact = betweenness_centrality(g)
+        sampled_all = betweenness_centrality(g, sample_size=15)
+        assert sampled_all == pytest.approx(exact)
+
+    def test_sampling_deterministic(self):
+        g = gnm_random_graph(30, 60, seed=3)
+        a = betweenness_centrality(g, sample_size=8, seed=5)
+        b = betweenness_centrality(g, sample_size=8, seed=5)
+        assert a == b
+
+    def test_sampling_approximates(self):
+        g = gnm_random_graph(40, 120, seed=4)
+        exact = betweenness_centrality(g)
+        approx = betweenness_centrality(g, sample_size=20, seed=1)
+        # The top-ranked exact vertex should rank highly under sampling.
+        top_exact = max(range(40), key=lambda v: exact[v])
+        rank = sorted(range(40), key=lambda v: -approx[v]).index(top_exact)
+        assert rank < 10
+
+
+class TestOrdering:
+    def test_order_is_permutation(self):
+        g = gnm_random_graph(20, 50, seed=6)
+        assert sorted(betweenness_order(g)) == list(range(20))
+
+    def test_star_center_first(self):
+        assert betweenness_order(star_graph(8), sample_size=None)[0] == 0
+
+    def test_usable_as_index_ordering(self):
+        from repro.baselines.online import ConstrainedBFS
+        from repro.core import WCIndexBuilder
+
+        g = gnm_random_graph(14, 30, num_qualities=3, seed=7)
+        index = WCIndexBuilder(g, "betweenness").build()
+        oracle = ConstrainedBFS(g)
+        for w in (1.0, 2.0, 3.0):
+            for s in range(14):
+                truth = oracle.single_source(s, w)
+                for t in range(14):
+                    assert index.distance(s, t, w) == truth[t]

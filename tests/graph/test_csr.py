@@ -1,0 +1,78 @@
+"""Tests for the CSR snapshot."""
+
+from repro.baselines.online import ConstrainedBFS
+from repro.graph.csr import CSRGraph, bfs_distances
+from repro.graph.generators import gnm_random_graph, grid_road_network
+from repro.graph.graph import Graph
+
+
+class TestCSRStructure:
+    def test_round_trip(self):
+        g = gnm_random_graph(20, 40, seed=7)
+        assert CSRGraph(g).to_graph() == g
+
+    def test_degrees_match(self):
+        g = gnm_random_graph(15, 25, seed=1)
+        csr = CSRGraph(g)
+        for v in g.vertices():
+            assert csr.degree(v) == g.degree(v)
+
+    def test_neighbors_match(self):
+        g = gnm_random_graph(15, 25, seed=2)
+        csr = CSRGraph(g)
+        for v in g.vertices():
+            assert sorted(csr.neighbors(v)) == sorted(g.neighbors(v))
+
+    def test_counts(self):
+        g = gnm_random_graph(10, 13, seed=3)
+        csr = CSRGraph(g)
+        assert csr.num_vertices == 10
+        assert csr.num_edges == 13
+        assert len(csr.targets) == 26  # each undirected edge twice
+
+    def test_neighbor_slice(self):
+        g = Graph(3, [(0, 1, 1.0), (0, 2, 2.0)])
+        csr = CSRGraph(g)
+        start, stop = csr.neighbor_slice(0)
+        assert stop - start == 2
+
+    def test_empty_graph(self):
+        csr = CSRGraph(Graph(0))
+        assert csr.num_vertices == 0
+        assert csr.nbytes() > 0  # the offsets sentinel
+
+
+class TestCSRMemory:
+    def test_nbytes_grows_with_edges(self):
+        small = CSRGraph(gnm_random_graph(20, 10, seed=0))
+        large = CSRGraph(gnm_random_graph(20, 80, seed=0))
+        assert large.nbytes() > small.nbytes()
+
+    def test_nbytes_formula(self):
+        g = gnm_random_graph(10, 15, seed=4)
+        csr = CSRGraph(g)
+        expected = (
+            csr.offsets.itemsize * 11
+            + csr.targets.itemsize * 30
+            + csr.qualities.itemsize * 30
+        )
+        assert csr.nbytes() == expected
+
+
+class TestCSRBFS:
+    def test_matches_constrained_bfs(self):
+        g = grid_road_network(6, 6, num_qualities=3, seed=5)
+        csr = CSRGraph(g)
+        oracle = ConstrainedBFS(g)
+        for w in (1.0, 2.0, 3.0, 4.0):
+            for s in range(0, g.num_vertices, 7):
+                assert bfs_distances(csr, s, w) == oracle.single_source(s, w)
+
+    def test_unconstrained_default(self):
+        g = Graph(3, [(0, 1, 1.0), (1, 2, 5.0)])
+        assert bfs_distances(CSRGraph(g), 0) == [0.0, 1.0, 2.0]
+
+    def test_unreachable_is_inf(self):
+        g = Graph(3, [(0, 1, 1.0)])
+        dist = bfs_distances(CSRGraph(g), 0)
+        assert dist[2] == float("inf")

@@ -1,0 +1,72 @@
+"""Unit tests for the directed quality graph."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+
+
+class TestDiGraphBasics:
+    def test_arcs_are_directional(self):
+        g = DiGraph(2, [(0, 1, 3.0)])
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+        assert g.out_degree(0) == 1
+        assert g.in_degree(0) == 0
+        assert g.in_degree(1) == 1
+
+    def test_successors_and_predecessors(self):
+        g = DiGraph(3, [(0, 1, 1.0), (2, 1, 2.0)])
+        assert list(g.successors(0)) == [(1, 1.0)]
+        assert sorted(g.predecessors(1)) == [(0, 1.0), (2, 2.0)]
+
+    def test_parallel_arc_keeps_max(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 1, 4.0)
+        g.add_edge(0, 1, 2.0)
+        assert g.num_edges == 1
+        assert g.quality(0, 1) == 4.0
+
+    def test_antiparallel_arcs_are_distinct(self):
+        g = DiGraph(2, [(0, 1, 1.0), (1, 0, 2.0)])
+        assert g.num_edges == 2
+        assert g.quality(0, 1) == 1.0
+        assert g.quality(1, 0) == 2.0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self loop"):
+            DiGraph(1, [(0, 0, 1.0)])
+
+    def test_bad_quality_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            DiGraph(2, [(0, 1, 0.0)])
+
+    def test_total_degrees(self):
+        g = DiGraph(3, [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
+        assert g.total_degrees() == [2, 2, 2]
+
+
+class TestDiGraphDerivation:
+    def test_subgraph_at_least(self):
+        g = DiGraph(3, [(0, 1, 1.0), (1, 2, 3.0)])
+        sub = g.subgraph_at_least(2.0)
+        assert not sub.has_edge(0, 1)
+        assert sub.has_edge(1, 2)
+
+    def test_to_undirected_max_quality_wins(self):
+        g = DiGraph(2, [(0, 1, 1.0), (1, 0, 5.0)])
+        und = g.to_undirected()
+        assert und.num_edges == 1
+        assert und.quality(0, 1) == 5.0
+
+    def test_reversed(self):
+        g = DiGraph(3, [(0, 1, 2.0), (1, 2, 3.0)])
+        r = g.reversed()
+        assert r.has_edge(1, 0)
+        assert r.has_edge(2, 1)
+        assert not r.has_edge(0, 1)
+        assert r.quality(1, 0) == 2.0
+
+    def test_distinct_qualities(self):
+        g = DiGraph(3, [(0, 1, 2.0), (1, 2, 2.0), (2, 0, 7.0)])
+        assert g.distinct_qualities() == [2.0, 7.0]

@@ -1,0 +1,305 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.baselines.online import ConstrainedBFS
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    gnm_random_graph,
+    grid_road_network,
+    is_connected,
+    largest_connected_component,
+    paper_figure1,
+    paper_figure3,
+    path_graph,
+    ratings_quality_sampler,
+    scale_free_network,
+    star_graph,
+    uniform_quality_sampler,
+)
+from repro.graph.stats import double_sweep_diameter_estimate
+
+
+class TestPaperExamples:
+    def test_figure3_shape(self):
+        g = paper_figure3()
+        assert g.num_vertices == 6
+        assert g.num_edges == 8
+
+    def test_figure3_matches_example1_distances(self):
+        # Example 2 facts: quality of each named edge.
+        g = paper_figure3()
+        assert g.quality(0, 1) == 3.0
+        assert g.quality(0, 3) == 1.0
+        assert g.quality(1, 2) == 5.0
+        assert g.quality(1, 3) == 2.0
+        assert g.quality(2, 3) == 4.0
+        assert g.quality(3, 4) == 4.0
+        assert g.quality(3, 5) == 2.0
+        assert g.quality(4, 5) == 3.0
+
+    def test_figure1_qos_semantics(self):
+        g, ids = paper_figure1()
+        oracle = ConstrainedBFS(g)
+        # With a 3 Mbps guarantee the S1->R2 shortcut is unusable: dist 4.
+        assert oracle.distance(ids["R3"], ids["R2"], 3.0) == 4.0
+        # Without the guarantee the 2-hop route works.
+        assert oracle.distance(ids["R3"], ids["R2"], 1.0) == 2.0
+
+
+class TestGridRoadNetwork:
+    def test_size_and_determinism(self):
+        a = grid_road_network(10, 12, seed=5)
+        b = grid_road_network(10, 12, seed=5)
+        assert a == b
+        assert a.num_vertices == 120
+
+    def test_different_seeds_differ(self):
+        a = grid_road_network(10, 12, seed=5)
+        b = grid_road_network(10, 12, seed=6)
+        assert a != b
+
+    def test_road_like_degree(self):
+        g = grid_road_network(20, 20, seed=1)
+        avg = 2.0 * g.num_edges / g.num_vertices
+        assert 2.0 <= avg <= 4.2  # road regime, never dense
+        assert g.max_degree() <= 8
+
+    def test_no_isolated_vertices(self):
+        g = grid_road_network(15, 15, seed=2, perforation=0.3)
+        assert all(g.degree(v) >= 1 for v in g.vertices())
+
+    def test_diameter_grows_with_side(self):
+        small = grid_road_network(5, 5, seed=0, perforation=0.0)
+        large = grid_road_network(15, 15, seed=0, perforation=0.0)
+        assert double_sweep_diameter_estimate(large) > double_sweep_diameter_estimate(
+            small
+        )
+
+    def test_quality_range(self):
+        g = grid_road_network(8, 8, num_qualities=3, seed=0)
+        assert set(q for _, _, q in g.edges()) <= {1.0, 2.0, 3.0}
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            grid_road_network(0, 5)
+
+
+class TestWeightedGridRoadNetwork:
+    def test_topology_matches_unweighted(self):
+        from repro.graph.generators import weighted_grid_road_network
+
+        base = grid_road_network(6, 6, seed=4)
+        weighted = weighted_grid_road_network(6, 6, seed=4)
+        assert weighted.num_vertices == base.num_vertices
+        assert weighted.num_edges == base.num_edges
+        for u, v, quality in base.edges():
+            length, w_quality = weighted.edge(u, v)
+            assert w_quality == quality
+            assert 0.5 <= length <= 3.0
+
+    def test_length_range_configurable(self):
+        from repro.graph.generators import weighted_grid_road_network
+
+        weighted = weighted_grid_road_network(
+            5, 5, seed=1, min_length=2.0, max_length=2.0
+        )
+        assert all(length == 2.0 for _, _, length, _ in weighted.edges())
+
+    def test_bad_length_range_rejected(self):
+        from repro.graph.generators import weighted_grid_road_network
+
+        with pytest.raises(ValueError):
+            weighted_grid_road_network(4, 4, min_length=0.0)
+        with pytest.raises(ValueError):
+            weighted_grid_road_network(4, 4, min_length=3.0, max_length=1.0)
+
+    def test_weighted_index_on_generated_network(self):
+        from repro.core.weighted import WeightedWCIndex, constrained_dijkstra
+        from repro.graph.generators import weighted_grid_road_network
+
+        g = weighted_grid_road_network(5, 5, seed=2, num_qualities=3)
+        index = WeightedWCIndex(g)
+        for s in range(0, g.num_vertices, 6):
+            for t in range(0, g.num_vertices, 5):
+                for w in (1.0, 2.0, 3.0):
+                    # approx: the hub split sums the two halves in a
+                    # different order than sequential Dijkstra.
+                    assert index.distance(s, t, w) == pytest.approx(
+                        constrained_dijkstra(g, s, t, w)
+                    )
+
+
+class TestScaleFreeNetwork:
+    def test_size_and_determinism(self):
+        a = scale_free_network(100, 3, seed=9)
+        b = scale_free_network(100, 3, seed=9)
+        assert a == b
+        assert a.num_vertices == 100
+
+    def test_is_connected(self):
+        g = scale_free_network(200, 2, seed=4)
+        assert is_connected(g)
+
+    def test_hub_formation(self):
+        g = scale_free_network(300, 3, seed=1)
+        degrees = sorted(g.degrees(), reverse=True)
+        # Preferential attachment: the top hub dwarfs the median degree.
+        assert degrees[0] >= 4 * degrees[len(degrees) // 2]
+
+    def test_small_diameter(self):
+        g = scale_free_network(300, 3, seed=2)
+        assert double_sweep_diameter_estimate(g) <= 10
+
+    def test_single_vertex(self):
+        g = scale_free_network(1, 3, seed=0)
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            scale_free_network(0, 3)
+        with pytest.raises(ValueError):
+            scale_free_network(10, 0)
+
+
+class TestWattsStrogatz:
+    def test_size_and_determinism(self):
+        from repro.graph.generators import watts_strogatz
+
+        a = watts_strogatz(50, 4, 0.1, seed=1)
+        b = watts_strogatz(50, 4, 0.1, seed=1)
+        assert a == b
+        assert a.num_vertices == 50
+
+    def test_zero_rewire_is_ring_lattice(self):
+        from repro.graph.generators import watts_strogatz
+
+        g = watts_strogatz(20, 4, 0.0, seed=0)
+        assert g.num_edges == 40  # n * k / 2
+        assert all(g.degree(v) == 4 for v in g.vertices())
+        assert g.has_edge(0, 1) and g.has_edge(0, 2)
+
+    def test_rewiring_shrinks_diameter(self):
+        from repro.graph.generators import watts_strogatz
+
+        lattice = watts_strogatz(200, 4, 0.0, seed=3)
+        rewired = watts_strogatz(200, 4, 0.3, seed=3)
+        assert double_sweep_diameter_estimate(
+            rewired
+        ) < double_sweep_diameter_estimate(lattice)
+
+    def test_parameter_validation(self):
+        from repro.graph.generators import watts_strogatz
+
+        with pytest.raises(ValueError):
+            watts_strogatz(2, 4)
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 3)  # odd neighbor count
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 4, 1.5)
+
+    def test_index_correct_on_small_world(self):
+        from repro.baselines.online import ConstrainedBFS
+        from repro.core import build_wc_index_plus
+        from repro.graph.generators import watts_strogatz
+
+        g = watts_strogatz(30, 4, 0.2, num_qualities=3, seed=5)
+        index = build_wc_index_plus(g)
+        oracle = ConstrainedBFS(g)
+        for w in (1.0, 2.0, 3.0):
+            for s in range(0, 30, 5):
+                truth = oracle.single_source(s, w)
+                for t in range(30):
+                    assert index.distance(s, t, w) == truth[t]
+
+
+class TestRandomGraphs:
+    def test_erdos_renyi_probability_extremes(self):
+        empty = erdos_renyi(10, 0.0, seed=0)
+        full = erdos_renyi(10, 1.0, seed=0)
+        assert empty.num_edges == 0
+        assert full.num_edges == 45
+
+    def test_erdos_renyi_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(5, 1.5)
+
+    def test_gnm_exact_edge_count(self):
+        g = gnm_random_graph(12, 20, seed=3)
+        assert g.num_edges == 20
+
+    def test_gnm_rejects_overfull(self):
+        with pytest.raises(ValueError):
+            gnm_random_graph(4, 7)
+
+    def test_gnm_determinism(self):
+        assert gnm_random_graph(10, 15, seed=8) == gnm_random_graph(10, 15, seed=8)
+
+
+class TestShapes:
+    def test_path_graph(self):
+        g = path_graph(4, [1.0, 2.0, 3.0])
+        assert g.num_edges == 3
+        assert g.quality(1, 2) == 2.0
+
+    def test_cycle_graph(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete_graph(self):
+        g = complete_graph(6, quality=2.0)
+        assert g.num_edges == 15
+        assert all(q == 2.0 for _, _, q in g.edges())
+
+    def test_star_graph(self):
+        g = star_graph(7)
+        assert g.degree(0) == 7
+        assert g.num_vertices == 8
+
+
+class TestSamplers:
+    def test_uniform_sampler_range(self):
+        import random
+
+        sampler = uniform_quality_sampler(4)
+        rng = random.Random(0)
+        values = {sampler(rng) for _ in range(200)}
+        assert values == {1.0, 2.0, 3.0, 4.0}
+
+    def test_uniform_sampler_rejects_zero(self):
+        with pytest.raises(ValueError):
+            uniform_quality_sampler(0)
+
+    def test_ratings_sampler_five_stars(self):
+        import random
+
+        sampler = ratings_quality_sampler()
+        rng = random.Random(0)
+        values = {sampler(rng) for _ in range(500)}
+        assert values == {1.0, 2.0, 3.0, 4.0, 5.0}
+
+
+class TestComponents:
+    def test_largest_connected_component(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(6, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)])
+        lcc = largest_connected_component(g)
+        assert lcc.num_vertices == 3
+        assert lcc.num_edges == 2
+        assert is_connected(lcc)
+
+    def test_is_connected_trivial(self):
+        from repro.graph.graph import Graph
+
+        assert is_connected(Graph(0))
+        assert is_connected(Graph(1))
+        assert not is_connected(Graph(2))

@@ -1,0 +1,169 @@
+"""Unit tests for the undirected quality graph."""
+
+import pytest
+
+from repro.graph.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0)
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_vertices_without_edges(self):
+        g = Graph(5)
+        assert g.num_vertices == 5
+        assert all(g.degree(v) == 0 for v in g.vertices())
+
+    def test_edges_in_constructor(self):
+        g = Graph(3, [(0, 1, 2.0), (1, 2, 3.0)])
+        assert g.num_edges == 2
+        assert g.quality(0, 1) == 2.0
+        assert g.quality(1, 2) == 3.0
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+
+class TestAddEdge:
+    def test_undirected_symmetry(self):
+        g = Graph(2, [(0, 1, 4.0)])
+        assert g.quality(0, 1) == 4.0
+        assert g.quality(1, 0) == 4.0
+        assert g.has_edge(1, 0)
+
+    def test_parallel_edge_keeps_max_quality(self):
+        g = Graph(2)
+        g.add_edge(0, 1, 2.0)
+        g.add_edge(0, 1, 5.0)
+        assert g.num_edges == 1
+        assert g.quality(0, 1) == 5.0
+        assert g.quality(1, 0) == 5.0
+
+    def test_parallel_edge_lower_quality_ignored(self):
+        g = Graph(2, [(0, 1, 5.0)])
+        g.add_edge(1, 0, 2.0)
+        assert g.quality(0, 1) == 5.0
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph(2)
+        with pytest.raises(ValueError, match="self loop"):
+            g.add_edge(1, 1, 1.0)
+
+    def test_out_of_range_vertex_rejected(self):
+        g = Graph(2)
+        with pytest.raises(ValueError, match="out of range"):
+            g.add_edge(0, 2, 1.0)
+        with pytest.raises(ValueError, match="out of range"):
+            g.add_edge(-1, 0, 1.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan")])
+    def test_non_positive_quality_rejected(self, bad):
+        g = Graph(2)
+        with pytest.raises(ValueError, match="positive"):
+            g.add_edge(0, 1, bad)
+
+
+class TestRemoveEdge:
+    def test_remove_returns_quality(self):
+        g = Graph(2, [(0, 1, 3.5)])
+        assert g.remove_edge(0, 1) == 3.5
+        assert g.num_edges == 0
+        assert not g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph(2)
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 1)
+
+    def test_remove_then_readd(self):
+        g = Graph(2, [(0, 1, 1.0)])
+        g.remove_edge(0, 1)
+        g.add_edge(0, 1, 2.0)
+        assert g.num_edges == 1
+        assert g.quality(0, 1) == 2.0
+
+
+class TestInspection:
+    def test_degrees(self):
+        g = Graph(4, [(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+        assert g.degrees() == [3, 1, 1, 1]
+        assert g.max_degree() == 3
+
+    def test_neighbors(self):
+        g = Graph(3, [(0, 1, 2.0), (0, 2, 3.0)])
+        assert sorted(g.neighbors(0)) == [(1, 2.0), (2, 3.0)]
+        assert g.neighbor_items(1) == [(0, 2.0)]
+
+    def test_edges_each_once_with_u_less_than_v(self):
+        g = Graph(3, [(2, 0, 1.0), (1, 2, 2.0)])
+        edges = sorted(g.edges())
+        assert edges == [(0, 2, 1.0), (1, 2, 2.0)]
+
+    def test_distinct_qualities_sorted(self):
+        g = Graph(4, [(0, 1, 3.0), (1, 2, 1.0), (2, 3, 3.0), (0, 3, 2.0)])
+        assert g.distinct_qualities() == [1.0, 2.0, 3.0]
+        assert g.num_distinct_qualities() == 3
+
+    def test_quality_missing_edge_raises(self):
+        g = Graph(3)
+        with pytest.raises(KeyError):
+            g.quality(0, 1)
+
+    def test_repr(self):
+        g = Graph(3, [(0, 1, 1.0)])
+        assert "|V|=3" in repr(g)
+        assert "|E|=1" in repr(g)
+
+
+class TestDerivation:
+    def test_subgraph_at_least_filters(self):
+        g = Graph(4, [(0, 1, 3.0), (1, 2, 1.0), (2, 3, 2.0)])
+        sub = g.subgraph_at_least(2.0)
+        assert sub.num_vertices == 4
+        assert sub.has_edge(0, 1)
+        assert not sub.has_edge(1, 2)
+        assert sub.has_edge(2, 3)
+
+    def test_subgraph_at_least_identity_below_min(self):
+        g = Graph(3, [(0, 1, 2.0), (1, 2, 3.0)])
+        assert g.subgraph_at_least(1.0) == g
+
+    def test_subgraph_above_max_is_empty(self):
+        g = Graph(3, [(0, 1, 2.0)])
+        assert g.subgraph_at_least(99.0).num_edges == 0
+
+    def test_copy_is_independent(self):
+        g = Graph(3, [(0, 1, 1.0)])
+        h = g.copy()
+        h.add_edge(1, 2, 2.0)
+        assert g.num_edges == 1
+        assert h.num_edges == 2
+        assert g == Graph(3, [(0, 1, 1.0)])
+
+    def test_relabeled_permutes(self):
+        g = Graph(3, [(0, 1, 5.0)])
+        h = g.relabeled([2, 0, 1])
+        assert h.has_edge(2, 0)
+        assert h.quality(2, 0) == 5.0
+        assert not h.has_edge(0, 1)
+
+    def test_relabeled_rejects_non_permutation(self):
+        g = Graph(3)
+        with pytest.raises(ValueError):
+            g.relabeled([0, 0, 1])
+
+    def test_equality(self):
+        a = Graph(2, [(0, 1, 1.0)])
+        b = Graph(2, [(1, 0, 1.0)])
+        c = Graph(2, [(0, 1, 2.0)])
+        assert a == b
+        assert a != c
+        assert a != "not a graph"

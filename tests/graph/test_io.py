@@ -1,0 +1,102 @@
+"""Tests for graph serialization (edge list + quality DIMACS)."""
+
+import io
+
+import pytest
+
+from repro.graph.generators import gnm_random_graph
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    GraphFormatError,
+    from_edge_list_string,
+    read_dimacs,
+    read_edge_list,
+    to_edge_list_string,
+    write_dimacs,
+    write_edge_list,
+)
+
+
+class TestEdgeList:
+    def test_round_trip_string(self):
+        g = gnm_random_graph(15, 30, seed=1)
+        assert from_edge_list_string(to_edge_list_string(g)) == g
+
+    def test_round_trip_file(self, tmp_path):
+        g = gnm_random_graph(10, 12, seed=2)
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_header_preserves_isolated_vertices(self):
+        g = Graph(5, [(0, 1, 1.0)])  # vertices 2..4 isolated
+        assert from_edge_list_string(to_edge_list_string(g)).num_vertices == 5
+
+    def test_without_header_uses_max_id(self):
+        g = read_edge_list(io.StringIO("0 3 2.5\n"))
+        assert g.num_vertices == 4
+        assert g.quality(0, 3) == 2.5
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# a comment\n\n0 1 1.0\n# another\n1 2 2.0\n"
+        g = read_edge_list(io.StringIO(text))
+        assert g.num_edges == 2
+
+    def test_malformed_line_reports_lineno(self):
+        with pytest.raises(GraphFormatError, match="line 2"):
+            read_edge_list(io.StringIO("0 1 1.0\n0 1\n"))
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_edge_list(io.StringIO("a b c\n"))
+
+    def test_vertex_exceeding_header_rejected(self):
+        with pytest.raises(GraphFormatError, match="exceeds"):
+            read_edge_list(io.StringIO("# vertices 2\n0 5 1.0\n"))
+
+    def test_bad_header_count(self):
+        with pytest.raises(GraphFormatError):
+            read_edge_list(io.StringIO("# vertices many\n"))
+
+
+class TestDimacs:
+    def test_round_trip(self, tmp_path):
+        g = gnm_random_graph(12, 25, seed=3)
+        path = tmp_path / "graph.gr"
+        write_dimacs(g, path)
+        assert read_dimacs(path) == g
+
+    def test_format_shape(self):
+        g = Graph(2, [(0, 1, 2.0)])
+        buffer = io.StringIO()
+        write_dimacs(g, buffer)
+        lines = buffer.getvalue().splitlines()
+        assert lines[0].startswith("c ")
+        assert lines[1] == "p sp 2 1"
+        assert lines[2] == "a 1 2 2"
+
+    def test_missing_problem_line(self):
+        with pytest.raises(GraphFormatError, match="problem line"):
+            read_dimacs(io.StringIO("a 1 2 1.0\n"))
+
+    def test_duplicate_problem_line(self):
+        with pytest.raises(GraphFormatError, match="duplicate"):
+            read_dimacs(io.StringIO("p sp 2 0\np sp 2 0\n"))
+
+    def test_edge_count_mismatch(self):
+        with pytest.raises(GraphFormatError, match="declared"):
+            read_dimacs(io.StringIO("p sp 3 2\na 1 2 1.0\n"))
+
+    def test_unknown_record(self):
+        with pytest.raises(GraphFormatError, match="unknown record"):
+            read_dimacs(io.StringIO("p sp 2 0\nx 1 2\n"))
+
+    def test_empty_file(self):
+        with pytest.raises(GraphFormatError):
+            read_dimacs(io.StringIO(""))
+
+
+class TestQualityPrecision:
+    def test_float_qualities_survive_round_trip(self):
+        g = Graph(3, [(0, 1, 2.25), (1, 2, 0.125)])
+        assert from_edge_list_string(to_edge_list_string(g)) == g

@@ -1,0 +1,84 @@
+"""Tests for quality-level partitioning."""
+
+import pytest
+
+from repro.graph.generators import gnm_random_graph
+from repro.graph.graph import Graph
+from repro.graph.partition import QualityPartition
+
+
+@pytest.fixture
+def graph():
+    return Graph(
+        5,
+        [
+            (0, 1, 1.0),
+            (1, 2, 2.0),
+            (2, 3, 2.0),
+            (3, 4, 5.0),
+            (0, 4, 1.0),
+        ],
+    )
+
+
+class TestPartitionStructure:
+    def test_thresholds_sorted_distinct(self, graph):
+        p = QualityPartition(graph)
+        assert p.thresholds == [1.0, 2.0, 5.0]
+        assert p.num_levels == 3
+        assert len(p) == 3
+
+    def test_level_zero_is_full_graph(self, graph):
+        p = QualityPartition(graph)
+        assert p.subgraph_at_level(0) == graph
+
+    def test_each_level_filters(self, graph):
+        p = QualityPartition(graph)
+        assert p.subgraph_at_level(1).num_edges == 3  # quality >= 2
+        assert p.subgraph_at_level(2).num_edges == 1  # quality >= 5
+
+    def test_total_edges_blowup(self, graph):
+        p = QualityPartition(graph)
+        assert p.total_edges() == 5 + 3 + 1
+
+
+class TestLevelSelection:
+    def test_exact_threshold(self, graph):
+        p = QualityPartition(graph)
+        assert p.level_for(2.0) == 1
+        assert p.subgraph_for(2.0).num_edges == 3
+
+    def test_between_thresholds_rounds_up(self, graph):
+        p = QualityPartition(graph)
+        assert p.level_for(1.5) == 1
+        assert p.level_for(2.5) == 2
+
+    def test_below_minimum_maps_to_level_zero(self, graph):
+        p = QualityPartition(graph)
+        assert p.level_for(0.1) == 0
+        assert p.level_for(1.0) == 0
+
+    def test_above_maximum_is_none(self, graph):
+        p = QualityPartition(graph)
+        assert p.level_for(5.1) is None
+        assert p.subgraph_for(99.0) is None
+
+    def test_selection_semantics_match_filtering(self):
+        g = gnm_random_graph(12, 30, num_qualities=4, seed=9)
+        p = QualityPartition(g)
+        for w in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0):
+            expected = g.subgraph_at_least(w)
+            got = p.subgraph_for(w)
+            assert got is not None
+            assert got == expected
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        p = QualityPartition(Graph(3))
+        assert p.num_levels == 0
+        assert p.level_for(1.0) is None
+
+    def test_repr(self, graph):
+        text = repr(QualityPartition(graph))
+        assert "levels=3" in text

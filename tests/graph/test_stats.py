@@ -1,0 +1,80 @@
+"""Tests for graph statistics and memory accounting."""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import (
+    complete_graph,
+    gnm_random_graph,
+    grid_road_network,
+    path_graph,
+    scale_free_network,
+)
+from repro.graph.graph import Graph
+from repro.graph.stats import (
+    connected_component_sizes,
+    degree_histogram,
+    double_sweep_diameter_estimate,
+    graph_storage_bytes,
+    quality_histogram,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_fields(self):
+        g = Graph(4, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 2.0)])
+        s = summarize(g, "toy")
+        assert s.name == "toy"
+        assert s.num_vertices == 4
+        assert s.num_edges == 3
+        assert s.num_distinct_qualities == 2
+        assert s.avg_degree == 1.5
+        assert s.max_degree == 2
+        assert s.storage_bytes == CSRGraph(g).nbytes()
+        assert s.storage_mib() == s.storage_bytes / (1024 * 1024)
+
+    def test_empty_graph(self):
+        s = summarize(Graph(0))
+        assert s.avg_degree == 0.0
+        assert s.max_degree == 0
+
+    def test_storage_bytes_matches_csr(self):
+        g = gnm_random_graph(30, 60, seed=1)
+        assert graph_storage_bytes(g) == CSRGraph(g).nbytes()
+
+
+class TestHistograms:
+    def test_degree_histogram(self):
+        g = path_graph(4)  # degrees 1,2,2,1
+        assert degree_histogram(g) == {1: 2, 2: 2}
+
+    def test_quality_histogram(self):
+        g = Graph(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 3.0)])
+        assert quality_histogram(g) == {1.0: 2, 3.0: 1}
+
+
+class TestDiameter:
+    def test_path_graph_exact(self):
+        assert double_sweep_diameter_estimate(path_graph(10)) == 9
+
+    def test_complete_graph(self):
+        assert double_sweep_diameter_estimate(complete_graph(5)) == 1
+
+    def test_empty(self):
+        assert double_sweep_diameter_estimate(Graph(0)) == 0
+
+    def test_road_larger_than_social(self):
+        road = grid_road_network(16, 16, seed=0)
+        social = scale_free_network(256, 3, seed=0)
+        assert double_sweep_diameter_estimate(road) > double_sweep_diameter_estimate(
+            social
+        )
+
+
+class TestComponents:
+    def test_sizes_sorted(self):
+        g = Graph(7, [(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0)])
+        assert connected_component_sizes(g) == [3, 2, 1, 1]
+
+    def test_connected_graph_single_component(self):
+        g = path_graph(9)
+        assert connected_component_sizes(g) == [9]

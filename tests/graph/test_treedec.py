@@ -1,0 +1,122 @@
+"""Tests for MDE tree decomposition."""
+
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnm_random_graph,
+    grid_road_network,
+    path_graph,
+    star_graph,
+)
+from repro.graph.treedec import (
+    is_valid_tree_decomposition,
+    mde_elimination_order,
+    mde_tree_decomposition,
+    tree_decomposition_order,
+    treewidth_upper_bound,
+)
+
+
+class TestKnownWidths:
+    def test_path_has_width_one(self):
+        assert treewidth_upper_bound(path_graph(10)) == 1
+
+    def test_star_has_width_one(self):
+        assert treewidth_upper_bound(star_graph(8)) == 1
+
+    def test_cycle_has_width_two(self):
+        assert treewidth_upper_bound(cycle_graph(12)) == 2
+
+    def test_complete_graph_width(self):
+        # K_n has treewidth n-1; MDE is exact here.
+        assert treewidth_upper_bound(complete_graph(6)) == 5
+
+    def test_grid_width_reasonable(self):
+        # An r x c grid has treewidth min(r, c); MDE should stay close.
+        g = grid_road_network(6, 12, seed=0, perforation=0.0, diagonal_prob=0.0)
+        assert 6 <= treewidth_upper_bound(g) + 1 <= 14
+
+    def test_single_vertex(self):
+        from repro.graph.graph import Graph
+
+        td = mde_tree_decomposition(Graph(1))
+        assert td.width == 0
+        assert td.elimination_order == [0]
+
+
+class TestDecompositionValidity:
+    def test_valid_on_random_graphs(self):
+        for trial in range(10):
+            n = 6 + trial
+            g = gnm_random_graph(n, min(2 * n, n * (n - 1) // 2), seed=trial)
+            td = mde_tree_decomposition(g)
+            assert is_valid_tree_decomposition(g, td), f"trial {trial}"
+
+    def test_valid_on_road_grid(self):
+        g = grid_road_network(7, 7, seed=1)
+        td = mde_tree_decomposition(g)
+        assert is_valid_tree_decomposition(g, td)
+
+    def test_valid_on_disconnected(self):
+        from repro.graph.graph import Graph
+
+        g = Graph(6, [(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0)])
+        td = mde_tree_decomposition(g)
+        assert is_valid_tree_decomposition(g, td)
+        assert len(td.roots()) >= 2  # forest: one root per component (5 isolated)
+
+
+class TestOrdering:
+    def test_elimination_order_is_permutation(self):
+        g = gnm_random_graph(20, 40, seed=2)
+        order = mde_elimination_order(g)
+        assert sorted(order) == list(range(20))
+
+    def test_hub_order_reverses_elimination(self):
+        g = gnm_random_graph(15, 25, seed=3)
+        td = mde_tree_decomposition(g)
+        assert td.hub_order() == list(reversed(td.elimination_order))
+        assert tree_decomposition_order(g) == td.hub_order()
+
+    def test_min_degree_first_on_star(self):
+        # The hub (degree 6) cannot be eliminated until enough leaves have
+        # gone for its degree to reach the minimum (ties then go by id).
+        g = star_graph(6)
+        td = mde_tree_decomposition(g)
+        assert td.elimination_order[0] != 0
+        assert td.position(0) >= 5
+
+    def test_deterministic(self):
+        g = gnm_random_graph(25, 60, seed=4)
+        assert mde_elimination_order(g) == mde_elimination_order(g)
+
+
+class TestTreeStructure:
+    def test_positions(self):
+        g = path_graph(5)
+        td = mde_tree_decomposition(g)
+        for i, v in enumerate(td.elimination_order):
+            assert td.position(v) == i
+
+    def test_height_bounds(self):
+        g = path_graph(16)
+        td = mde_tree_decomposition(g)
+        assert 1 <= td.height() <= 16
+
+    def test_bag_of(self):
+        g = path_graph(4)
+        td = mde_tree_decomposition(g)
+        for v in range(4):
+            assert v in td.bag_of(v)
+
+    def test_parent_is_later_eliminated(self):
+        g = gnm_random_graph(18, 36, seed=5)
+        td = mde_tree_decomposition(g)
+        for v in range(18):
+            p = td.parent[v]
+            if p is not None:
+                assert td.position(p) > td.position(v)
+
+    def test_repr(self):
+        g = path_graph(5)
+        assert "width=1" in repr(mde_tree_decomposition(g))

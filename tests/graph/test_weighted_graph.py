@@ -1,0 +1,57 @@
+"""Unit tests for the weighted (length + quality) graph."""
+
+import pytest
+
+from repro.graph.weighted import WeightedGraph
+
+
+class TestWeightedGraph:
+    def test_edge_carries_length_and_quality(self):
+        g = WeightedGraph(2, [(0, 1, 2.5, 3.0)])
+        assert g.edge(0, 1) == (2.5, 3.0)
+        assert g.edge(1, 0) == (2.5, 3.0)
+        assert g.num_edges == 1
+
+    def test_neighbors_iteration(self):
+        g = WeightedGraph(3, [(0, 1, 1.0, 2.0), (0, 2, 4.0, 1.0)])
+        assert sorted(g.neighbors(0)) == [(1, 1.0, 2.0), (2, 4.0, 1.0)]
+
+    def test_dominating_replacement(self):
+        g = WeightedGraph(2, [(0, 1, 5.0, 1.0)])
+        g.add_edge(0, 1, 2.0, 3.0)  # shorter AND better quality: replaces
+        assert g.edge(0, 1) == (2.0, 3.0)
+        assert g.num_edges == 1
+
+    def test_dominated_parallel_edge_ignored(self):
+        g = WeightedGraph(2, [(0, 1, 2.0, 3.0)])
+        g.add_edge(0, 1, 5.0, 1.0)
+        assert g.edge(0, 1) == (2.0, 3.0)
+
+    def test_incomparable_parallel_edge_prefers_shorter(self):
+        g = WeightedGraph(2, [(0, 1, 2.0, 1.0)])
+        g.add_edge(0, 1, 5.0, 9.0)  # longer but higher quality: ignored
+        assert g.edge(0, 1) == (2.0, 1.0)
+        g.add_edge(0, 1, 1.0, 0.5)  # shorter but worse quality: wins
+        assert g.edge(0, 1) == (1.0, 0.5)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self loop"):
+            WeightedGraph(1, [(0, 0, 1.0, 1.0)])
+
+    def test_non_positive_length_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            WeightedGraph(2, [(0, 1, 0.0, 1.0)])
+
+    def test_non_positive_quality_rejected(self):
+        with pytest.raises(ValueError, match="quality"):
+            WeightedGraph(2, [(0, 1, 1.0, -2.0)])
+
+    def test_edges_and_distinct_qualities(self):
+        g = WeightedGraph(3, [(0, 1, 1.0, 2.0), (1, 2, 2.0, 2.0)])
+        assert sorted(g.edges()) == [(0, 1, 1.0, 2.0), (1, 2, 2.0, 2.0)]
+        assert g.distinct_qualities() == [2.0]
+
+    def test_degrees(self):
+        g = WeightedGraph(3, [(0, 1, 1.0, 1.0), (0, 2, 1.0, 1.0)])
+        assert g.degree(0) == 2
+        assert g.degrees() == [2, 1, 1]

@@ -1,0 +1,145 @@
+"""End-to-end tests for the ``python -m repro`` command line interface."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.graph.generators import paper_figure3
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "net.edges"
+    write_edge_list(paper_figure3(), path)
+    return path
+
+
+@pytest.fixture
+def index_file(graph_file, tmp_path):
+    path = tmp_path / "net.wci"
+    code = main(
+        ["build", "--graph", str(graph_file), "--out", str(path),
+         "--ordering", "identity"]
+    )
+    assert code == 0
+    return path
+
+
+class TestBuild:
+    def test_build_reports_entries(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "x.wci"
+        assert main(["build", "--graph", str(graph_file), "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "entries" in text and "6 vertices" in text
+        assert out.exists()
+
+    def test_build_gzip(self, graph_file, tmp_path):
+        out = tmp_path / "x.wci.gz"
+        assert main(["build", "--graph", str(graph_file), "--out", str(out)]) == 0
+        assert out.read_bytes()[:2] == b"\x1f\x8b"
+
+    def test_build_with_paths(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "p.wci"
+        assert (
+            main(
+                ["build", "--graph", str(graph_file), "--out", str(out), "--paths"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["stats", "--index", str(out)]) == 0
+        assert "tracks parents:  True" in capsys.readouterr().out
+
+
+class TestBuildFromDataset:
+    def test_build_named_dataset(self, tmp_path, capsys):
+        out = tmp_path / "ny.wci"
+        assert main(["build", "--dataset", "NY", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "entries" in capsys.readouterr().out
+
+    def test_graph_and_dataset_mutually_exclusive(self, graph_file, tmp_path):
+        out = tmp_path / "x.wci"
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(
+                ["build", "--graph", str(graph_file), "--dataset", "NY",
+                 "--out", str(out)]
+            )
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["build", "--out", str(out)])
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            main(["build", "--dataset", "NOPE", "--out", str(tmp_path / "x")])
+
+
+class TestQuery:
+    def test_single_query(self, index_file, capsys):
+        assert main(["query", "--index", str(index_file), "2", "5", "2.0"]) == 0
+        assert "2 5 2 -> 2" in capsys.readouterr().out
+
+    def test_infeasible_query(self, index_file, capsys):
+        assert main(["query", "--index", str(index_file), "0", "5", "99"]) == 0
+        assert "INF" in capsys.readouterr().out
+
+    def test_stdin_queries(self, index_file, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("2 5 2.0\n0 4 1.0\n"))
+        assert main(["query", "--index", str(index_file), "-"]) == 0
+        out = capsys.readouterr().out
+        assert "2 5 2 -> 2" in out
+        assert "0 4 1 -> 2" in out
+
+    def test_malformed_query_raises(self, index_file):
+        with pytest.raises(ValueError, match="expected"):
+            main(["query", "--index", str(index_file), "1", "2"])
+
+
+class TestProfileCommand:
+    def test_profile_output(self, index_file, capsys):
+        assert main(["profile", "--index", str(index_file), "0", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "profile of (0, 4)" in out
+        assert "dist 2" in out and "dist 4" in out
+
+    def test_disconnected_profile(self, tmp_path, capsys):
+        from repro.core import build_wc_index_plus, save_index
+        from repro.graph.graph import Graph
+
+        index = build_wc_index_plus(Graph(3, [(0, 1, 1.0)]))
+        path = tmp_path / "d.wci"
+        save_index(index, path)
+        assert main(["profile", "--index", str(path), "0", "2"]) == 0
+        assert "disconnected" in capsys.readouterr().out
+
+
+class TestStatsAndVerify:
+    def test_stats(self, index_file, capsys):
+        assert main(["stats", "--index", str(index_file)]) == 0
+        out = capsys.readouterr().out
+        assert "vertices:        6" in out
+        assert "entries:         32" in out  # Table II total
+
+    def test_verify_ok(self, graph_file, index_file, capsys):
+        assert (
+            main(
+                ["verify", "--graph", str(graph_file), "--index", str(index_file)]
+            )
+            == 0
+        )
+        assert "VERDICT: OK" in capsys.readouterr().out
+
+    def test_verify_detects_corruption(self, graph_file, index_file, capsys):
+        # Corrupt the saved index: double one entry's distance.
+        text = index_file.read_text().splitlines()
+        for i, line in enumerate(text):
+            if line.startswith("E ") and " 1.0 " in line:
+                text[i] = line.replace(" 1.0 ", " 3.0 ", 1)
+                break
+        index_file.write_text("\n".join(text) + "\n")
+        code = main(
+            ["verify", "--graph", str(graph_file), "--index", str(index_file)]
+        )
+        assert code == 1
+        assert "BROKEN" in capsys.readouterr().out

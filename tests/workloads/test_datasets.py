@@ -1,0 +1,88 @@
+"""Tests for the synthetic dataset suite."""
+
+import pytest
+
+from repro.workloads import datasets as ds
+
+
+class TestRegistry:
+    def test_all_names_present(self):
+        names = ds.dataset_names()
+        for expected in ("NY", "BAY", "COL", "FLA", "CAL", "EST", "WST", "CTR"):
+            assert expected in names
+        for expected in ("MV-10", "EU", "ES", "MV-25", "FR", "UK", "SO-Y"):
+            assert expected in names
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            ds.get_spec("ATLANTIS")
+
+    def test_road_size_ladder_matches_paper(self):
+        # Table III order: NY < BAY < COL < FLA < CAL < EST < WST < CTR.
+        sizes = [spec.base_vertices for spec in ds.ROAD_SUITE]
+        assert sizes == sorted(sizes)
+
+    def test_social_w_values_match_paper(self):
+        by_name = {spec.name: spec for spec in ds.SOCIAL_SUITE}
+        assert by_name["MV-10"].num_qualities == 5
+        assert by_name["MV-25"].num_qualities == 5
+        assert by_name["EU"].num_qualities == 3
+        assert by_name["SO-Y"].num_qualities == 9
+
+
+class TestBuild:
+    def test_deterministic(self):
+        assert ds.load("NY", scale=0.5) == ds.load("NY", scale=0.5)
+
+    def test_scale_changes_size(self):
+        small = ds.load("NY", scale=0.5)
+        large = ds.load("NY", scale=2.0)
+        assert large.num_vertices > small.num_vertices
+
+    def test_num_qualities_override(self):
+        g = ds.load("COL", scale=0.5, num_qualities=20)
+        assert g.num_distinct_qualities() <= 20
+        assert g.num_distinct_qualities() > 5
+
+    def test_road_graphs_are_sparse(self):
+        g = ds.load("FLA", scale=0.5)
+        assert 2.0 * g.num_edges / g.num_vertices < 5.0
+
+    def test_social_graphs_are_denser(self):
+        g = ds.load("MV-10", scale=1.0)
+        road = ds.load("NY", scale=1.0)
+        assert (2.0 * g.num_edges / g.num_vertices) > (
+            2.0 * road.num_edges / road.num_vertices
+        )
+
+    def test_movielens_uses_rating_qualities(self):
+        g = ds.load("MV-10", scale=1.0)
+        assert set(g.distinct_qualities()) <= {1.0, 2.0, 3.0, 4.0, 5.0}
+
+    def test_suites(self):
+        road = ds.road_suite(scale=0.3, limit=3)
+        assert list(road) == ["NY", "BAY", "COL"]
+        social = ds.social_suite(scale=0.3, limit=2)
+        assert list(social) == ["MV-10", "EU"]
+
+
+class TestScaleEnv:
+    def test_default_scale_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert ds.default_scale() == 2.5
+
+    def test_default_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert ds.default_scale() == 1.0
+
+    def test_bad_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "banana")
+        with pytest.raises(ValueError):
+            ds.default_scale()
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ValueError):
+            ds.default_scale()
+
+    def test_minimum_size_floor(self):
+        g = ds.get_spec("NY").build(scale=0.0001)
+        assert g.num_vertices >= 16

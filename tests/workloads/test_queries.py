@@ -1,0 +1,88 @@
+"""Tests for query workload generation."""
+
+import pytest
+
+from repro.baselines.online import ConstrainedBFS
+from repro.graph.generators import gnm_random_graph, path_graph
+from repro.graph.graph import Graph
+from repro.workloads.queries import (
+    all_pairs_queries,
+    connected_random_queries,
+    random_queries,
+)
+
+
+class TestRandomQueries:
+    def test_count_and_determinism(self):
+        g = gnm_random_graph(20, 40, seed=1)
+        a = random_queries(g, 50, seed=7)
+        b = random_queries(g, 50, seed=7)
+        assert len(a) == 50
+        assert a.queries == b.queries
+
+    def test_different_seeds_differ(self):
+        g = gnm_random_graph(20, 40, seed=1)
+        assert random_queries(g, 50, seed=1).queries != random_queries(
+            g, 50, seed=2
+        ).queries
+
+    def test_constraints_from_graph_qualities(self):
+        g = gnm_random_graph(15, 30, num_qualities=3, seed=2)
+        workload = random_queries(g, 100, seed=0)
+        used = {w for _, _, w in workload}
+        assert used <= set(g.distinct_qualities())
+
+    def test_custom_constraint_pool(self):
+        g = path_graph(5)
+        workload = random_queries(g, 30, seed=0, constraints=[7.0, 9.0])
+        assert {w for _, _, w in workload} <= {7.0, 9.0}
+
+    def test_vertices_in_range(self):
+        g = gnm_random_graph(10, 20, seed=3)
+        for s, t, _ in random_queries(g, 200, seed=1):
+            assert 0 <= s < 10 and 0 <= t < 10
+
+    def test_empty_graph(self):
+        assert len(random_queries(Graph(0), 10)) == 0
+
+    def test_edgeless_graph_uses_default_pool(self):
+        workload = random_queries(Graph(5), 10, seed=0)
+        assert {w for _, _, w in workload} == {1.0}
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            random_queries(path_graph(3), -1)
+
+    def test_iteration(self):
+        g = path_graph(4)
+        workload = random_queries(g, 5, seed=0, name="probe")
+        assert workload.name == "probe"
+        assert len(list(workload)) == 5
+
+
+class TestConnectedQueries:
+    def test_all_pairs_connected(self):
+        g = gnm_random_graph(12, 30, num_qualities=2, seed=5)
+        workload = connected_random_queries(g, 20, seed=1)
+        oracle = ConstrainedBFS(g)
+        for s, t, w in workload:
+            assert oracle.distance(s, t, w) != float("inf")
+
+    def test_gives_up_gracefully_when_impossible(self):
+        g = Graph(4)  # no edges: only s == t pairs connect
+        workload = connected_random_queries(g, 5, seed=0, max_attempts_factor=10)
+        for s, t, _ in workload:
+            assert s == t
+
+
+class TestAllPairs:
+    def test_cartesian_product(self):
+        g = path_graph(3, [1.0, 2.0])
+        workload = all_pairs_queries(g)
+        assert len(workload) == 3 * 3 * 2
+
+    def test_custom_constraints(self):
+        g = path_graph(2)
+        workload = all_pairs_queries(g, constraints=[5.0])
+        assert len(workload) == 4
+        assert all(w == 5.0 for _, _, w in workload)
