@@ -1,0 +1,138 @@
+"""Frozen vs list-backed query engine: the smoke perf gate.
+
+Builds WC-INDEX+ over one synthetic road and one synthetic social dataset,
+freezes it, answers the same random workload through
+``WCIndex.distance_many`` (list engine) and ``FrozenWCIndex.distance_many``
+(frozen engine), checks the answers are identical, and writes
+``BENCH_query_engines.json`` with build time and queries/sec per engine —
+the trajectory file future PRs compare against.
+
+Run directly (CI does)::
+
+    PYTHONPATH=src python benchmarks/bench_frozen_vs_list.py
+
+Exits non-zero when the frozen engine fails the speedup gate
+(``--gate``, default 2.0x) on any dataset, or when the engines disagree.
+Dataset scale follows ``REPRO_SCALE``; pass ``--queries`` / ``--repeats``
+to trade precision for wall clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.bench.harness import time_build
+from repro.core import WCIndexBuilder
+from repro.workloads import datasets as ds
+from repro.workloads.queries import random_queries
+
+#: One mid-size road and one social dataset, as in Figures 7 / 12.
+DEFAULT_DATASETS = ("FLA", "EU")
+
+
+def bench_dataset(
+    name: str, query_count: int, repeats: int
+) -> Dict[str, object]:
+    """Measure both engines on one dataset; returns the result record."""
+    graph = ds.load(name)
+    build_seconds, index = time_build(
+        WCIndexBuilder(graph, "hybrid", query_kernel="linear").build
+    )
+    freeze_seconds, frozen = time_build(index.freeze)
+    workload = list(random_queries(graph, query_count, seed=3))
+
+    list_answers = index.distance_many(workload)
+    frozen_answers = frozen.distance_many(workload)
+    identical = list_answers == frozen_answers
+
+    def best_rate(batch) -> float:
+        best = 0.0
+        for _ in range(repeats):
+            started = time.perf_counter()
+            batch(workload)
+            elapsed = time.perf_counter() - started
+            best = max(best, len(workload) / elapsed)
+        return best
+
+    list_qps = best_rate(index.distance_many)
+    frozen_qps = best_rate(frozen.distance_many)
+    return {
+        "dataset": name,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "queries": len(workload),
+        "identical_results": identical,
+        "engines": {
+            "list": {
+                "build_seconds": build_seconds,
+                "queries_per_sec": list_qps,
+            },
+            "frozen": {
+                "build_seconds": build_seconds + freeze_seconds,
+                "freeze_seconds": freeze_seconds,
+                "queries_per_sec": frozen_qps,
+            },
+        },
+        "speedup": frozen_qps / list_qps if list_qps else float("inf"),
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default="BENCH_query_engines.json",
+        help="result file (default: BENCH_query_engines.json in the cwd)",
+    )
+    parser.add_argument(
+        "--datasets", nargs="+", default=list(DEFAULT_DATASETS),
+        help=f"dataset names (default: {' '.join(DEFAULT_DATASETS)})",
+    )
+    parser.add_argument("--queries", type=int, default=2000)
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repetitions per engine; the best rate is kept",
+    )
+    parser.add_argument(
+        "--gate", type=float, default=2.0,
+        help="minimum frozen/list speedup required to pass (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    results = []
+    failed = False
+    for name in args.datasets:
+        record = bench_dataset(name, args.queries, args.repeats)
+        results.append(record)
+        ok = record["identical_results"] and record["speedup"] >= args.gate
+        failed = failed or not ok
+        print(
+            f"{name}: list {record['engines']['list']['queries_per_sec']:,.0f} q/s, "
+            f"frozen {record['engines']['frozen']['queries_per_sec']:,.0f} q/s, "
+            f"speedup {record['speedup']:.2f}x "
+            f"(identical={record['identical_results']}) "
+            f"{'ok' if ok else 'FAIL'}"
+        )
+
+    payload = {
+        "benchmark": "frozen_vs_list",
+        "gate": args.gate,
+        "results": results,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    if failed:
+        print(f"FAILED: frozen engine below {args.gate:.1f}x gate "
+              "or results diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,11 +8,17 @@ figure's bar group for that dataset.
 
 import pytest
 
-from repro.bench.harness import build_all_indexes, query_engines
+from repro.bench.harness import (
+    EXTRA_QUERY_METHODS,
+    QUERY_METHODS_ROAD,
+    QUERY_METHODS_SOCIAL,
+    build_all_indexes,
+    query_engines,
+)
 from repro.workloads.queries import random_queries
 
-ROAD_ENGINES = ["W-BFS", "Dijkstra", "C-BFS", "Naive", "WC-INDEX", "WC-INDEX+"]
-SOCIAL_ENGINES = ["W-BFS", "C-BFS", "Naive", "WC-INDEX", "WC-INDEX+"]
+ROAD_ENGINES = list(QUERY_METHODS_ROAD) + list(EXTRA_QUERY_METHODS)
+SOCIAL_ENGINES = list(QUERY_METHODS_SOCIAL) + list(EXTRA_QUERY_METHODS)
 
 
 @pytest.fixture(scope="module")

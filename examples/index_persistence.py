@@ -2,12 +2,14 @@
 
 A production deployment builds the WC-INDEX offline, ships the serialized
 index next to the service, and answers queries (single, batched, or whole
-quality/distance profiles) without touching the graph again.  The same
-flow is scriptable through the CLI::
+quality/distance profiles) without touching the graph again.  For serving,
+the binary ``.wcxb`` format loads straight into the frozen flat-array
+engine — no per-entry parsing, faster batched queries.  The same flow is
+scriptable through the CLI::
 
-    python -m repro build --graph net.edges --out net.wci.gz
-    python -m repro query --index net.wci.gz 0 42 3.0
-    python -m repro profile --index net.wci.gz 0 42
+    python -m repro build --graph net.edges --out net.wcxb
+    python -m repro query --engine frozen --index net.wcxb 0 42 3.0
+    python -m repro profile --index net.wcxb 0 42
 
 Run with::
 
@@ -23,7 +25,9 @@ from repro.core import (
     build_wc_index_plus,
     collect_statistics,
     distance_profile,
+    load_frozen,
     load_index,
+    save_frozen,
     save_index,
     widest_path_quality,
 )
@@ -59,6 +63,20 @@ def main() -> None:
         print(
             f"answered {len(answers)} queries in {elapsed * 1000:.1f} ms "
             f"({reachable} reachable)"
+        )
+
+        # The serving format: a binary image of the frozen engine.
+        binary_path = Path(tmp) / "network.wcxb"
+        save_frozen(index, binary_path)
+        frozen = load_frozen(binary_path)
+        started = time.perf_counter()
+        frozen_answers = frozen.distance_many(workload)
+        frozen_ms = (time.perf_counter() - started) * 1000
+        assert frozen_answers == answers
+        print(
+            f"frozen engine ({binary_path.name}, "
+            f"{binary_path.stat().st_size} bytes): same answers in "
+            f"{frozen_ms:.1f} ms"
         )
 
         # Full quality/distance trade-off for one pair:

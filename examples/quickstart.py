@@ -1,5 +1,5 @@
 """Quickstart: build a WC-INDEX and answer quality constrained distance
-queries.
+queries — including the frozen flat-array engine for query-heavy serving.
 
 Run with::
 
@@ -48,6 +48,20 @@ def main() -> None:
     pindex = WCPathIndex.build(graph)
     for w in (1.0, 2.0, 3.0):
         print(f"path(v0, v4 | w >= {w:g}) = {pindex.path(0, 4, w)}")
+
+    # Serving heavy query traffic?  Freeze the index into flat-array
+    # storage: same answers, contiguous memory, a precomputed hub-group
+    # directory, and a fast batch path.  (The CLI equivalent is
+    # `python -m repro build --out net.wcxb` then
+    # `python -m repro query --engine frozen --index net.wcxb ...`.)
+    frozen = index.freeze()
+    print(f"frozen: {frozen}")
+    batch = frozen.distance_many([(0, 4, 1.0), (0, 4, 2.0), (0, 4, 99.0)])
+    print(f"batch dist(v0, v4 | w in 1, 2, 99) = {batch}")
+    assert batch == [index.distance(0, 4, w) for w in (1.0, 2.0, 99.0)]
+
+    # Frozen indexes thaw back into mutable ones for dynamic updates:
+    assert frozen.thaw().entries_of(0) == index.entries_of(0)
 
 
 if __name__ == "__main__":

@@ -13,7 +13,9 @@ Package map:
 
 * :mod:`repro.graph` — graph substrate (structures, generators, I/O,
   partitioning, tree decomposition, statistics).
-* :mod:`repro.core` — WC-INDEX and its variants (the paper's contribution).
+* :mod:`repro.core` — WC-INDEX and its variants (the paper's
+  contribution), plus the frozen flat-array query engine
+  (``index.freeze()``) for query-heavy serving.
 * :mod:`repro.baselines` — C-BFS / W-BFS / Dijkstra / Naive / LCR-adapt.
 * :mod:`repro.workloads` — query workloads and the synthetic dataset suite.
 * :mod:`repro.bench` — the experiment harness regenerating every figure
@@ -32,6 +34,7 @@ from .baselines import (
 from .core import (
     DirectedWCIndex,
     DynamicWCIndex,
+    FrozenWCIndex,
     WCIndex,
     WCIndexBuilder,
     WCPathIndex,
@@ -51,6 +54,7 @@ __all__ = [
     "CSRGraph",
     "QualityPartition",
     "WCIndex",
+    "FrozenWCIndex",
     "WCIndexBuilder",
     "WCPathIndex",
     "DirectedWCIndex",

@@ -2,18 +2,22 @@
 
 Subcommands:
 
-* ``build``   — build a WC-INDEX from an edge-list file and save it.
+* ``build``   — build a WC-INDEX from an edge-list file and save it
+  (``--out x.wcxb`` writes the compact binary frozen format).
 * ``query``   — answer ``s t w`` queries (arguments or stdin) from a saved
-  index.
+  index; ``--engine {list,frozen}`` picks the storage engine (the
+  list-backed merge or the flat-array
+  :class:`~repro.core.frozen.FrozenWCIndex`).
 * ``profile`` — print the full quality/distance Pareto staircase of a pair.
-* ``stats``   — index statistics (entries, max label, modelled bytes).
+* ``stats``   — index statistics (entries, max label, modelled bytes; adds
+  the real frozen footprint for ``.wcxb`` files).
 * ``verify``  — check a saved index against its graph (small graphs).
 
 Example::
 
-    python -m repro build --graph net.edges --out net.wci --ordering hybrid
-    python -m repro query --index net.wci 0 42 3.0
-    echo "0 42 3.0" | python -m repro query --index net.wci -
+    python -m repro build --graph net.edges --out net.wcxb --ordering hybrid
+    python -m repro query --engine frozen --index net.wcxb 0 42 3.0
+    echo "0 42 3.0" | python -m repro query --index net.wcxb -
 """
 
 from __future__ import annotations
@@ -21,12 +25,32 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from .core.construction import WCIndexBuilder
 from .core.profile import distance_profile
-from .core.serialize import load_index, save_index
+from .core.serialize import (
+    BINARY_SUFFIX,
+    load_frozen,
+    load_index,
+    save_index,
+)
 from .core.validation import verify_index
 from .graph.io import read_edge_list
+
+
+def _load_engine(path: str, engine: str):
+    """Load ``path`` as the requested query engine.
+
+    ``.wcxb`` files hold a frozen image: ``frozen`` serves it directly,
+    ``list`` thaws it.  Text indexes are loaded list-backed and frozen on
+    demand.
+    """
+    if Path(path).suffix == BINARY_SUFFIX:
+        frozen = load_frozen(path)
+        return frozen if engine == "frozen" else frozen.thaw()
+    index = load_index(path)
+    return index.freeze() if engine == "frozen" else index
 
 
 def _cmd_build(args) -> int:
@@ -46,6 +70,8 @@ def _cmd_build(args) -> int:
         track_parents=args.paths,
     )
     index = builder.build()
+    if args.engine == "frozen" or Path(args.out).suffix == BINARY_SUFFIX:
+        index = index.freeze()
     elapsed = time.perf_counter() - started
     save_index(index, args.out)
     print(
@@ -63,14 +89,15 @@ def _parse_query_line(text: str):
 
 
 def _cmd_query(args) -> int:
-    index = load_index(args.index)
+    index = _load_engine(args.index, args.engine)
     if args.query == ["-"]:
         lines = [line for line in sys.stdin if line.strip()]
     else:
         lines = [" ".join(args.query)]
-    for line in lines:
-        s, t, w = _parse_query_line(line)
-        dist = index.distance(s, t, w)
+    # Batch through distance_many so stdin workloads hit the engines'
+    # batch hot path (the frozen engine's hash-intersection merge).
+    queries = [_parse_query_line(line) for line in lines]
+    for (s, t, w), dist in zip(queries, index.distance_many(queries)):
         rendered = "INF" if dist == float("inf") else f"{dist:g}"
         print(f"{s} {t} {w:g} -> {rendered}")
     return 0
@@ -90,13 +117,20 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_stats(args) -> int:
-    index = load_index(args.index)
+    from .core.labels import BYTES_PER_ENTRY
+
+    # A .wcxb is reported straight from the frozen engine — no thaw, so
+    # stats on a large serving index stays as cheap as loading it.
+    is_binary = Path(args.index).suffix == BINARY_SUFFIX
+    index = load_frozen(args.index) if is_binary else load_index(args.index)
     print(f"vertices:        {index.num_vertices}")
     print(f"entries:         {index.entry_count()}")
     print(f"max label size:  {index.max_label_size()}")
     if index.num_vertices:
         print(f"avg label size:  {index.entry_count() / index.num_vertices:.2f}")
-    print(f"modelled bytes:  {index.size_bytes()}")
+    print(f"modelled bytes:  {BYTES_PER_ENTRY * index.entry_count()}")
+    if is_binary:
+        print(f"frozen bytes:    {index.nbytes()}")
     print(f"tracks parents:  {index.tracks_parents}")
     return 0
 
@@ -138,10 +172,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument(
         "--paths", action="store_true", help="track parents for path queries"
     )
+    p_build.add_argument(
+        "--engine",
+        default="list",
+        choices=["list", "frozen"],
+        help="freeze the built index into flat-array storage before saving "
+        "(implied by a .wcxb --out)",
+    )
     p_build.set_defaults(func=_cmd_build)
 
     p_query = sub.add_parser("query", help="answer s t w queries")
     p_query.add_argument("--index", required=True)
+    p_query.add_argument(
+        "--engine",
+        default="list",
+        choices=["list", "frozen"],
+        help="query engine: list-backed merge or the flat-array frozen index",
+    )
     p_query.add_argument(
         "query",
         nargs="+",

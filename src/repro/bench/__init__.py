@@ -33,6 +33,7 @@ from .harness import (
     Cell,
     DEFAULT_NAIVE_ENTRY_BUDGET,
     DEFAULT_QUERY_COUNT,
+    EXTRA_QUERY_METHODS,
     ExperimentTable,
     build_all_indexes,
     query_engines,
@@ -65,6 +66,7 @@ __all__ = [
     "ExperimentTable",
     "DEFAULT_NAIVE_ENTRY_BUDGET",
     "DEFAULT_QUERY_COUNT",
+    "EXTRA_QUERY_METHODS",
     "build_all_indexes",
     "query_engines",
     "time_build",

@@ -23,6 +23,7 @@ from .harness import (
     Cell,
     DEFAULT_NAIVE_ENTRY_BUDGET,
     DEFAULT_QUERY_COUNT,
+    EXTRA_QUERY_METHODS,
     ExperimentTable,
     INDEXING_METHODS,
     QUERY_METHODS_ROAD,
@@ -111,7 +112,10 @@ def exp_indexing(
         exp_id, f"{title} — index size", "entries", list(INDEXING_METHODS)
     )
     for name, graph in suite.items():
-        built = build_all_indexes(graph, naive_entry_budget=naive_entry_budget)
+        # Build-only experiment: skip the WC-FROZEN snapshot.
+        built = build_all_indexes(
+            graph, naive_entry_budget=naive_entry_budget, freeze=False
+        )
         if built.naive is None:
             time_table.set(name, "Naive", Cell(None, "INF"))
             size_table.set(name, "Naive", Cell(None, "INF"))
@@ -156,9 +160,11 @@ def exp_query_time(
     naive_entry_budget: Optional[int] = DEFAULT_NAIVE_ENTRY_BUDGET,
     seed: int = 0,
 ) -> ExperimentTable:
+    # The paper's line-up plus the repo's extra engines (WC-FROZEN), so
+    # the query-time tables compare both storage engines side by side.
     columns = list(
         QUERY_METHODS_ROAD if include_dijkstra else QUERY_METHODS_SOCIAL
-    )
+    ) + list(EXTRA_QUERY_METHODS)
     table = ExperimentTable(exp_id, title, "ms/query", columns)
     for name, graph in suite.items():
         built = build_all_indexes(graph, naive_entry_budget=naive_entry_budget)

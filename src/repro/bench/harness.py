@@ -135,10 +135,19 @@ INDEXING_METHODS = ("Naive", "WC-INDEX", "WC-INDEX+")
 QUERY_METHODS_ROAD = ("W-BFS", "Dijkstra", "C-BFS", "Naive", "WC-INDEX", "WC-INDEX+")
 QUERY_METHODS_SOCIAL = ("W-BFS", "C-BFS", "Naive", "WC-INDEX", "WC-INDEX+")
 
+#: Engines beyond the paper's line-up that the harness also wires in:
+#: WC-FROZEN is the flat-array FrozenWCIndex snapshot of WC-INDEX+.
+EXTRA_QUERY_METHODS = ("WC-FROZEN",)
+
 
 @dataclass
 class BuiltIndexes:
-    """The three indexing methods built over one dataset."""
+    """The indexing methods built over one dataset.
+
+    ``wc_frozen`` is the flat-array snapshot of ``wc_plus`` (shares its
+    label sets by construction); ``freeze_seconds`` is the cost of the
+    freeze alone, not an extra index build.
+    """
 
     naive: Optional[NaivePerQualityIndex]
     naive_seconds: Optional[float]
@@ -146,6 +155,8 @@ class BuiltIndexes:
     wc_seconds: float
     wc_plus: object
     wc_plus_seconds: float
+    wc_frozen: Optional[object] = None
+    freeze_seconds: Optional[float] = None
 
 
 def build_all_indexes(
@@ -153,13 +164,15 @@ def build_all_indexes(
     *,
     ordering: str = "hybrid",
     naive_entry_budget: Optional[int] = DEFAULT_NAIVE_ENTRY_BUDGET,
+    freeze: bool = True,
 ) -> BuiltIndexes:
     """Build Naive, WC-INDEX and WC-INDEX+ over ``graph``.
 
     WC-INDEX and WC-INDEX+ share the vertex ordering (as in the paper's
     experiments), so their label sets — and sizes — coincide; only
     construction internals differ (Algorithm 4 vs Algorithm 5 cover tests,
-    further pruning).
+    further pruning).  ``freeze=False`` skips the WC-FROZEN snapshot for
+    build-only callers (it duplicates the WC-INDEX+ label storage).
     """
     naive = None
     naive_seconds: Optional[float] = None
@@ -180,6 +193,10 @@ def build_all_indexes(
             graph, ordering, query_kernel="linear", further_pruning=True
         ).build()
     )
+    if freeze:
+        freeze_seconds, wc_frozen = time_build(wc_plus.freeze)
+    else:
+        freeze_seconds, wc_frozen = None, None
     return BuiltIndexes(
         naive=naive,
         naive_seconds=naive_seconds,
@@ -187,6 +204,8 @@ def build_all_indexes(
         wc_seconds=wc_seconds,
         wc_plus=wc_plus,
         wc_plus_seconds=wc_plus_seconds,
+        wc_frozen=wc_frozen,
+        freeze_seconds=freeze_seconds,
     )
 
 
@@ -200,7 +219,8 @@ def query_engines(
 
     WC-INDEX answers with the naive kernel (Algorithm 2), WC-INDEX+ with
     the linear Query+ kernel (Algorithm 5) — the query-side counterpart of
-    their construction difference.
+    their construction difference.  WC-FROZEN answers from the flat-array
+    snapshot of WC-INDEX+ (same labels, frozen storage engine).
     """
     partition_bfs = PartitionedBFS(graph)
     engines: Dict[str, Callable[[int, int, float], float]] = {
@@ -216,4 +236,6 @@ def query_engines(
     wc = built.wc
     engines["WC-INDEX"] = lambda s, t, w: wc.distance_with(s, t, w, "naive")
     engines["WC-INDEX+"] = built.wc_plus.distance
+    if built.wc_frozen is not None:
+        engines["WC-FROZEN"] = built.wc_frozen.distance
     return engines

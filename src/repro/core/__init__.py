@@ -3,7 +3,11 @@
 * :class:`WCIndex` + :class:`WCIndexBuilder` /
   :func:`build_wc_index` / :func:`build_wc_index_plus` — the undirected
   unweighted index (Sections IV).
-* Query kernels (Algorithms 2/4/5) in :mod:`~repro.core.query`.
+* :class:`FrozenWCIndex` — the immutable flat-array query engine
+  (``WCIndex.freeze()`` / ``FrozenWCIndex.thaw()``); binary ``.wcxb``
+  persistence via :func:`save_frozen` / :func:`load_frozen`.
+* Query kernels (Algorithms 2/4/5) in :mod:`~repro.core.query`, each in a
+  list-layout and a flat-layout (``*_flat``) variant.
 * Vertex orderings (Section IV.D) in :mod:`~repro.core.ordering`.
 * Extensions (Section V): :class:`WCPathIndex` (shortest paths),
   :class:`DirectedWCIndex`, :class:`WeightedWCIndex`.
@@ -19,6 +23,7 @@ from .construction import (
 )
 from .directed import DirectedWCIndex
 from .dynamic import DynamicWCIndex
+from .frozen import BYTES_PER_GROUP, FrozenWCIndex
 from .index_stats import IndexStatistics, collect_statistics
 from .labels import BYTES_PER_ENTRY, WCIndex
 from .ordering import (
@@ -39,8 +44,21 @@ from .profile import (
     profile_is_staircase,
     widest_path_quality,
 )
-from .query import merge_binary, merge_linear, merge_naive
-from .serialize import IndexFormatError, load_index, save_index
+from .query import (
+    merge_binary,
+    merge_binary_flat,
+    merge_linear,
+    merge_linear_flat,
+    merge_naive,
+    merge_naive_flat,
+)
+from .serialize import (
+    IndexFormatError,
+    load_frozen,
+    load_index,
+    save_frozen,
+    save_index,
+)
 from .validation import (
     IndexReport,
     completeness_violations,
@@ -54,11 +72,13 @@ from .weighted import WeightedWCIndex, constrained_dijkstra
 
 __all__ = [
     "WCIndex",
+    "FrozenWCIndex",
     "WCIndexBuilder",
     "ConstructionStats",
     "build_wc_index",
     "build_wc_index_plus",
     "BYTES_PER_ENTRY",
+    "BYTES_PER_GROUP",
     "WCPathIndex",
     "path_length",
     "path_bottleneck",
@@ -74,6 +94,8 @@ __all__ = [
     "profile_is_staircase",
     "save_index",
     "load_index",
+    "save_frozen",
+    "load_frozen",
     "IndexFormatError",
     "IndexStatistics",
     "collect_statistics",
@@ -88,6 +110,9 @@ __all__ = [
     "merge_naive",
     "merge_binary",
     "merge_linear",
+    "merge_naive_flat",
+    "merge_binary_flat",
+    "merge_linear_flat",
     "verify_index",
     "IndexReport",
     "theorem3_violations",

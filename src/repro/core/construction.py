@@ -29,6 +29,17 @@ ablation benchmarks can measure them:
 * **Efficient initialization** — the per-root scratch arrays (``R``, the
   hub-indexed view ``T`` of ``L(root)``, the memo) are allocated once and
   reset via touched-lists, avoiding ``O(n)`` work per root.
+
+Two implementation choices keep the hot path honest:
+
+* adjacency is scanned through :class:`~repro.graph.csr.CSRGraph` slices
+  (flat ``targets``/``qualities`` arrays) instead of a rebuilt
+  lists-of-tuples copy of the graph, and
+* label storage is **builder-owned** list buffers for the whole build —
+  the finished :class:`WCIndex` adopts them at the end via
+  :meth:`WCIndex.from_label_lists`, so the builder never reaches into the
+  index's internals and alternative storage backends (e.g. the frozen
+  flat engine) stay decoupled.
 """
 
 from __future__ import annotations
@@ -38,6 +49,7 @@ from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..graph.csr import CSRGraph
 from ..graph.graph import Graph
 from .labels import WCIndex
 from .ordering import resolve_order
@@ -127,15 +139,17 @@ class WCIndexBuilder:
         graph = self._graph
         order = self._order
         n = graph.num_vertices
-        index = WCIndex(order, track_parents=self._track_parents)
-        rank = index.rank
+        rank: List[int] = [0] * n
+        for r, v in enumerate(order):
+            rank[v] = r
         track_parents = self._track_parents
         stats = self.stats
 
-        # Adjacency frozen as lists of (neighbor, quality) for scan speed.
-        adj: List[List[Tuple[int, float]]] = [
-            list(row.items()) for row in graph.adjacency()
-        ]
+        # Adjacency scanned as flat CSR slices — no lists-of-tuples rebuild.
+        csr = CSRGraph(graph)
+        g_offsets = csr.offsets
+        g_targets = csr.targets
+        g_qualities = csr.qualities
 
         # Per-root scratch, allocated once (efficient initialization).
         t_dists: List[Optional[List[float]]] = [None] * n
@@ -145,9 +159,13 @@ class WCIndexBuilder:
 
         kernel = self._query_kernel
         use_memo = self._further_pruning
-        label_hubs = index._hub_ranks
-        label_dists = index._dists
-        label_quals = index._quals
+        # Builder-owned label buffers; the index adopts them at the end.
+        label_hubs: List[List[int]] = [[] for _ in range(n)]
+        label_dists: List[List[float]] = [[] for _ in range(n)]
+        label_quals: List[List[float]] = [[] for _ in range(n)]
+        label_parents: Optional[List[List[int]]] = (
+            [[] for _ in range(n)] if track_parents else None
+        )
 
         entries_added = 0
         candidates_seen = 0
@@ -179,7 +197,11 @@ class WCIndexBuilder:
             # Self entry — appended now so hub ranks in L(root) stay sorted
             # (all future entries for root would need a higher-rank hub and
             # never happen).
-            index.append_entry(root, k, 0.0, INF)
+            hubs_r.append(k)
+            dists_r.append(0.0)
+            quals_r.append(INF)
+            if label_parents is not None:
+                label_parents[root].append(-1)
             entries_added += 1
 
             touched_vertices: List[int] = []
@@ -194,9 +216,11 @@ class WCIndexBuilder:
                 # ------------------------------------------------------
                 cand: Dict[int, int] = {}
                 for u, wu in frontier:
-                    for v, q in adj[u]:
+                    for e in range(g_offsets[u], g_offsets[u + 1]):
+                        v = g_targets[e]
                         if rank[v] <= k:
                             continue
+                        q = g_qualities[e]
                         w2 = q if q < wu else wu
                         if w2 <= best_quality[v]:
                             continue
@@ -287,12 +311,11 @@ class WCIndexBuilder:
                             cover_memo[v] = cover_q
                         continue
 
-                    if track_parents:
-                        index.append_entry(v, k, depth, w2, parent)
-                    else:
-                        hubs_v.append(k)
-                        dists_v.append(depth)
-                        quals_v.append(w2)
+                    hubs_v.append(k)
+                    dists_v.append(depth)
+                    quals_v.append(w2)
+                    if label_parents is not None:
+                        label_parents[v].append(parent)
                     entries_added += 1
                     next_frontier.append((v, w2))
                 frontier = next_frontier
@@ -307,6 +330,9 @@ class WCIndexBuilder:
                 best_quality[v] = 0.0
                 cover_memo[v] = 0.0
 
+        index = WCIndex.from_label_lists(
+            order, label_hubs, label_dists, label_quals, label_parents
+        )
         stats.entries_added = entries_added
         stats.candidates = candidates_seen
         stats.query_pruned = query_pruned
@@ -322,22 +348,26 @@ def build_wc_index(
     ordering="hybrid",
     *,
     track_parents: bool = False,
-) -> WCIndex:
+    freeze: bool = False,
+):
     """**WC-INDEX** — the basic algorithm of the paper.
 
     Uses the naive (Algorithm 4) cover test and no further pruning; combine
     with :func:`build_wc_index_plus` to reproduce the paper's WC-INDEX vs
     WC-INDEX+ comparisons (both default to the same ordering, so their
     index contents — and hence sizes — are identical; only construction
-    speed differs).
+    speed differs).  ``freeze=True`` returns the flat-array
+    :class:`~repro.core.frozen.FrozenWCIndex` snapshot instead of the
+    mutable list-backed index.
     """
-    return WCIndexBuilder(
+    index = WCIndexBuilder(
         graph,
         ordering,
         query_kernel="naive",
         further_pruning=False,
         track_parents=track_parents,
     ).build()
+    return index.freeze() if freeze else index
 
 
 def build_wc_index_plus(
@@ -345,13 +375,18 @@ def build_wc_index_plus(
     ordering="hybrid",
     *,
     track_parents: bool = False,
-) -> WCIndex:
+    freeze: bool = False,
+):
     """**WC-INDEX+** — the advanced algorithm: Query+ cover test
-    (Algorithm 5), further pruning, hybrid ordering by default."""
-    return WCIndexBuilder(
+    (Algorithm 5), further pruning, hybrid ordering by default.
+    ``freeze=True`` returns the flat-array
+    :class:`~repro.core.frozen.FrozenWCIndex` snapshot instead of the
+    mutable list-backed index."""
+    index = WCIndexBuilder(
         graph,
         ordering,
         query_kernel="linear",
         further_pruning=True,
         track_parents=track_parents,
     ).build()
+    return index.freeze() if freeze else index

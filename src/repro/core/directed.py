@@ -363,7 +363,11 @@ class DirectedWCIndex:
         )
 
     def size_bytes(self) -> int:
-        return 16 * self.entry_count()
+        """Modelled footprint at the family-wide per-entry rate
+        (:data:`~repro.core.labels.BYTES_PER_ENTRY`)."""
+        from .labels import BYTES_PER_ENTRY
+
+        return BYTES_PER_ENTRY * self.entry_count()
 
     def in_entries_of(self, v: int) -> List[Tuple[int, float, float]]:
         return [

@@ -1,0 +1,404 @@
+"""Frozen flat-array WC-INDEX storage — the zero-copy query engine.
+
+A built :class:`~repro.core.labels.WCIndex` stores labels as per-vertex
+Python lists, which is what a builder wants (cheap appends, in-place
+repairs) but not what a query engine wants: every merge re-discovers hub
+group boundaries with ``group_end`` scans and chases one list object per
+vertex per side.  :class:`FrozenWCIndex` is the immutable counterpart, the
+same idea that makes pruned-landmark-labeling implementations fast —
+all labels in flat, contiguous stdlib-``array`` storage:
+
+* ``hubs`` (``"i"``), ``dists`` (``"d"``), ``quals`` (``"d"``) — one global
+  parallel array triple holding every entry of every vertex,
+* ``offsets`` (``"q"``, length ``n + 1``) — ``offsets[v] .. offsets[v+1]``
+  is the slice of vertex ``v``,
+* a precomputed **group directory** — per vertex, the list of
+  ``(hub_rank, group_start, group_end)`` triples (global positions), so
+  the ``*_flat`` merge kernels step one group at a time and never scan for
+  a boundary, plus a ``hub_rank -> (start, end)`` map per vertex that the
+  batch path uses to intersect the *smaller* side's groups against the
+  larger side in ``O(min)`` hash lookups,
+* ``parents`` (``"i"``, optional) — BFS parents when the source index
+  tracked them.
+
+The per-entry cost is :data:`~repro.core.labels.BYTES_PER_ENTRY` bytes
+(4 + 8 + 8); :meth:`FrozenWCIndex.nbytes` reports the real total
+footprint including the offset table and directory.  Label access methods
+(:meth:`label_lists`, :meth:`distance_many`) hand out ``memoryview``
+slices of the arrays — views, never copies.
+
+Freezing is lossless and reversible: ``WCIndex.freeze()`` →
+``FrozenWCIndex`` → :meth:`thaw` → ``WCIndex`` round-trips every entry,
+so a frozen index can be thawed for dynamic updates and re-frozen.  The
+compact binary serialization (``.wcxb``) lives in
+:mod:`repro.core.serialize`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .query import (
+    MERGE_KERNELS_FLAT,
+    merge_linear_flat,
+    merge_linear_flat_with_witness,
+)
+
+INF = float("inf")
+
+#: Explicit typecodes of the flat arrays.  ``"i"`` (C int, 4 bytes) holds
+#: hub ranks / vertex ids / parents, ``"d"`` (8 bytes) distances and
+#: qualities, ``"q"`` (8 bytes) offsets — chosen over the
+#: platform-dependent ``"l"`` so footprints are deterministic everywhere.
+HUB_TYPECODE = "i"
+VALUE_TYPECODE = "d"
+OFFSET_TYPECODE = "q"
+
+#: Modelled bytes per group-directory record: hub rank (4) plus the two
+#: 8-byte positions — what a flat ``(i, q, q)`` triple costs.
+BYTES_PER_GROUP = 4 + 8 + 8
+
+
+class FrozenWCIndex:
+    """Immutable flat-array snapshot of a :class:`WCIndex`.
+
+    Answers the same queries through the same kernel line-up, but over the
+    frozen layout; construct via :meth:`freeze` (or
+    ``WCIndex.freeze()``), never directly from user code.
+    """
+
+    __slots__ = (
+        "order",
+        "rank",
+        "_offsets",
+        "_hubs",
+        "_dists",
+        "_quals",
+        "_parents",
+        "_directory",
+        "_hub_map",
+    )
+
+    def __init__(
+        self,
+        order: Sequence[int],
+        offsets: array,
+        hubs: array,
+        dists: array,
+        quals: array,
+        parents: Optional[array] = None,
+    ) -> None:
+        n = len(order)
+        if len(offsets) != n + 1:
+            raise ValueError(
+                f"offsets must have {n + 1} entries, got {len(offsets)}"
+            )
+        total = offsets[n] if n else 0
+        if not (len(hubs) == len(dists) == len(quals) == total):
+            raise ValueError("hub/dist/quality arrays disagree with offsets")
+        if parents is not None and len(parents) != total:
+            raise ValueError("parents array disagrees with offsets")
+        self.order: List[int] = list(order)
+        self.rank: List[int] = [0] * n
+        for r, v in enumerate(self.order):
+            self.rank[v] = r
+        self._offsets = offsets
+        self._hubs = hubs
+        self._dists = dists
+        self._quals = quals
+        self._parents = parents
+        # Both directory views are built lazily on first use, so loading
+        # a frozen image (e.g. load_frozen(..., validate=False)) stays
+        # at raw array-read speed, and consumers that never query — or
+        # never batch — do not pay for structures they do not touch.
+        self._directory: Optional[List[List[Tuple[int, int, int]]]] = None
+        self._hub_map: Optional[List[dict]] = None
+
+    def _groups(self) -> List[List[Tuple[int, int, int]]]:
+        """The per-vertex group directory, built on first use."""
+        directory = self._directory
+        if directory is None:
+            directory = self._directory = _build_directory(
+                self._offsets, self._hubs
+            )
+        return directory
+
+    # ------------------------------------------------------------------
+    # Freezing / thawing
+    # ------------------------------------------------------------------
+    @classmethod
+    def freeze(cls, index) -> "FrozenWCIndex":
+        """Snapshot a list-backed :class:`WCIndex` into flat storage."""
+        n = index.num_vertices
+        offsets = array(OFFSET_TYPECODE, [0] * (n + 1))
+        hubs = array(HUB_TYPECODE)
+        dists = array(VALUE_TYPECODE)
+        quals = array(VALUE_TYPECODE)
+        parents = array(HUB_TYPECODE) if index.tracks_parents else None
+        for v in range(n):
+            hubs_v, dists_v, quals_v = index.label_lists(v)
+            offsets[v + 1] = offsets[v] + len(hubs_v)
+            hubs.extend(hubs_v)
+            dists.extend(dists_v)
+            quals.extend(quals_v)
+            if parents is not None:
+                parents.extend(index.parent_list(v))
+        return cls(index.order, offsets, hubs, dists, quals, parents)
+
+    def thaw(self):
+        """Expand back into a mutable list-backed :class:`WCIndex` (for
+        dynamic updates); ``freeze(thaw(f))`` reproduces ``f`` exactly."""
+        from .labels import WCIndex
+
+        n = self.num_vertices
+        offsets = self._offsets
+        hub_lists = [list(self._hubs[offsets[v]:offsets[v + 1]]) for v in range(n)]
+        dist_lists = [list(self._dists[offsets[v]:offsets[v + 1]]) for v in range(n)]
+        qual_lists = [list(self._quals[offsets[v]:offsets[v + 1]]) for v in range(n)]
+        parent_lists = None
+        if self._parents is not None:
+            parent_lists = [
+                list(self._parents[offsets[v]:offsets[v + 1]]) for v in range(n)
+            ]
+        return WCIndex.from_label_lists(
+            self.order, hub_lists, dist_lists, qual_lists, parent_lists
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def distance(self, s: int, t: int, w: float) -> float:
+        """w-constrained distance via the flat Query+ merge (Alg. 5)."""
+        self._check_vertex(s)
+        self._check_vertex(t)
+        directory = self._groups()
+        dists = self._dists
+        quals = self._quals
+        return merge_linear_flat(
+            directory[s], dists, quals, directory[t], dists, quals, w
+        )
+
+    def distance_with(self, s: int, t: int, w: float, kernel: str) -> float:
+        """w-constrained distance using a named flat kernel
+        (``"naive"`` / ``"binary"`` / ``"linear"``)."""
+        self._check_vertex(s)
+        self._check_vertex(t)
+        try:
+            merge = MERGE_KERNELS_FLAT[kernel]
+        except KeyError:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; "
+                f"choose from {sorted(MERGE_KERNELS_FLAT)}"
+            ) from None
+        directory = self._groups()
+        dists = self._dists
+        quals = self._quals
+        return merge(directory[s], dists, quals, directory[t], dists, quals, w)
+
+    def distance_with_witness(
+        self, s: int, t: int, w: float
+    ) -> Tuple[float, int, int]:
+        """Distance plus the winning entry indexes *within* ``L(s)`` /
+        ``L(t)`` — same local-index contract as the list engine."""
+        self._check_vertex(s)
+        self._check_vertex(t)
+        directory = self._groups()
+        dists = self._dists
+        quals = self._quals
+        best, a, b = merge_linear_flat_with_witness(
+            directory[s], dists, quals, directory[t], dists, quals, w
+        )
+        if a < 0:
+            return best, -1, -1
+        offsets = self._offsets
+        return best, a - offsets[s], b - offsets[t]
+
+    def reachable(self, s: int, t: int, w: float) -> bool:
+        """Whether any w-path connects ``s`` and ``t``."""
+        return self.distance(s, t, w) != INF
+
+    def distance_many(self, queries) -> List[float]:
+        """Answer a batch of ``(s, t, w)`` queries over the frozen layout.
+
+        The hot path of the frozen engine: one pair of global
+        ``memoryview`` slices of ``dists``/``quals`` is taken once and
+        reused for every query (views, never copies), and the merge is
+        inlined — the *smaller* side's group directory is intersected
+        against the larger side's precomputed ``hub -> (start, end)`` map,
+        so each query costs ``O(min(groups))`` hash probes plus the
+        feasibility scans of matched groups.  No per-query slicing, list
+        chasing, or ``group_end`` boundary scans.
+        """
+        directory = self._groups()
+        hub_map = self._hub_map
+        if hub_map is None:
+            hub_map = self._hub_map = [
+                {hub: (start, end) for hub, start, end in groups}
+                for groups in directory
+            ]
+        dists = memoryview(self._dists)
+        quals = memoryview(self._quals)
+        n = len(self.order)
+        inf = INF
+        results: List[float] = []
+        append = results.append
+        for s, t, w in queries:
+            if not 0 <= s < n or not 0 <= t < n:
+                raise ValueError(f"query vertex out of range in ({s}, {t})")
+            dir_s = directory[s]
+            if len(dir_s) <= len(directory[t]):
+                lookup = hub_map[t].get
+            else:
+                dir_s = directory[t]
+                lookup = hub_map[s].get
+            best = inf
+            for hub, s_start, s_end in dir_s:
+                match = lookup(hub)
+                if match is None:
+                    continue
+                a = s_start
+                while a < s_end and quals[a] < w:
+                    a += 1
+                if a < s_end:
+                    b, t_end = match
+                    while b < t_end and quals[b] < w:
+                        b += 1
+                    if b < t_end:
+                        total = dists[a] + dists[b]
+                        if total < best:
+                            best = total
+            append(best)
+        return results
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.order)
+
+    @property
+    def tracks_parents(self) -> bool:
+        return self._parents is not None
+
+    def label_lists(self, v: int):
+        """Zero-copy ``memoryview`` slices ``(hub_ranks, dists, quals)`` of
+        vertex ``v``'s entries in the global arrays."""
+        self._check_vertex(v)
+        start, stop = self._offsets[v], self._offsets[v + 1]
+        return (
+            memoryview(self._hubs)[start:stop],
+            memoryview(self._dists)[start:stop],
+            memoryview(self._quals)[start:stop],
+        )
+
+    def parent_list(self, v: int):
+        if self._parents is None:
+            raise ValueError("index was built without parent tracking")
+        self._check_vertex(v)
+        return memoryview(self._parents)[self._offsets[v]:self._offsets[v + 1]]
+
+    def raw_arrays(self):
+        """The canonical flat arrays ``(offsets, hubs, dists, quals,
+        parents)`` — ``parents`` is ``None`` without parent tracking.
+        Exposed for serialization and tests; callers must not mutate."""
+        return (
+            self._offsets,
+            self._hubs,
+            self._dists,
+            self._quals,
+            self._parents,
+        )
+
+    def group_directory(self, v: int) -> List[Tuple[int, int, int]]:
+        """The precomputed ``(hub_rank, start, end)`` triples of ``v``
+        (global positions into the flat arrays)."""
+        self._check_vertex(v)
+        return list(self._groups()[v])
+
+    def entries_of(self, v: int) -> List[Tuple[int, float, float]]:
+        """Label set of ``v`` as ``(hub_vertex, dist, quality)`` triples."""
+        hubs, dists, quals = self.label_lists(v)
+        order = self.order
+        return [(order[h], d, q) for h, d, q in zip(hubs, dists, quals)]
+
+    def iter_entries(self) -> Iterator[Tuple[int, int, float, float]]:
+        """All entries as ``(vertex, hub_vertex, dist, quality)``."""
+        order = self.order
+        offsets = self._offsets
+        hubs, dists, quals = self._hubs, self._dists, self._quals
+        for v in range(self.num_vertices):
+            for i in range(offsets[v], offsets[v + 1]):
+                yield (v, order[hubs[i]], dists[i], quals[i])
+
+    def label_size(self, v: int) -> int:
+        self._check_vertex(v)
+        return self._offsets[v + 1] - self._offsets[v]
+
+    def entry_count(self) -> int:
+        return len(self._hubs)
+
+    def max_label_size(self) -> int:
+        offsets = self._offsets
+        return max(
+            (offsets[v + 1] - offsets[v] for v in range(self.num_vertices)),
+            default=0,
+        )
+
+    def group_count(self) -> int:
+        """Total number of hub groups across all vertices."""
+        return sum(len(d) for d in self._groups())
+
+    def nbytes(self) -> int:
+        """Actual frozen footprint: the flat arrays plus the group
+        directory modelled at flat-array rates (:data:`BYTES_PER_GROUP`
+        per group plus one offset per vertex)."""
+        total = (
+            self._offsets.itemsize * len(self._offsets)
+            + self._hubs.itemsize * len(self._hubs)
+            + self._dists.itemsize * len(self._dists)
+            + self._quals.itemsize * len(self._quals)
+        )
+        if self._parents is not None:
+            total += self._parents.itemsize * len(self._parents)
+        total += BYTES_PER_GROUP * self.group_count()
+        total += 8 * (self.num_vertices + 1)  # directory offset table
+        return total
+
+    def size_bytes(self) -> int:
+        """Alias for :meth:`nbytes` (``WCIndex`` API parity)."""
+        return self.nbytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"FrozenWCIndex(n={self.num_vertices}, "
+            f"entries={self.entry_count()}, groups={self.group_count()}, "
+            f"{self.nbytes()} bytes)"
+        )
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < len(self.order):
+            raise ValueError(f"vertex {v} out of range [0, {len(self.order)})")
+
+
+def _build_directory(
+    offsets: array, hubs: array
+) -> List[List[Tuple[int, int, int]]]:
+    """Per-vertex ``(hub_rank, start, end)`` triples — the one pass that
+    pays the ``group_end`` scan so no query ever does."""
+    directory: List[List[Tuple[int, int, int]]] = []
+    n = len(offsets) - 1
+    for v in range(n):
+        stop = offsets[v + 1]
+        groups: List[Tuple[int, int, int]] = []
+        i = offsets[v]
+        while i < stop:
+            hub = hubs[i]
+            j = i + 1
+            while j < stop and hubs[j] == hub:
+                j += 1
+            groups.append((hub, i, j))
+            i = j
+        directory.append(groups)
+    return directory

@@ -9,7 +9,10 @@ quality), which is what makes the ``Query+`` kernel linear.
 
 The class is a passive container: construction lives in
 :mod:`repro.core.construction`, invariant checkers in
-:mod:`repro.core.validation`.
+:mod:`repro.core.validation`.  For query-heavy serving, :meth:`WCIndex.freeze`
+snapshots the lists into the flat-array
+:class:`~repro.core.frozen.FrozenWCIndex` engine (same answers, contiguous
+storage, precomputed group directory).
 """
 
 from __future__ import annotations
@@ -20,9 +23,13 @@ from .query import MERGE_KERNELS, merge_linear, merge_linear_with_witness
 
 INF = float("inf")
 
-#: Storage model per entry, matching a C++ struct: 4-byte hub id,
-#: 4-byte distance, 8-byte quality.
-BYTES_PER_ENTRY = 16
+#: Storage cost per entry in the frozen flat layout
+#: (:class:`~repro.core.frozen.FrozenWCIndex`): a 4-byte hub rank
+#: (``array("i")``) plus 8-byte distance and quality (``array("d")``).
+#: ``WCIndex.size_bytes`` models this rate so the list engine reports the
+#: same per-entry footprint its frozen snapshot actually occupies (the
+#: frozen ``nbytes`` adds only the offset table and group directory).
+BYTES_PER_ENTRY = 4 + 8 + 8
 
 
 class WCIndex:
@@ -61,6 +68,34 @@ class WCIndex:
     # ------------------------------------------------------------------
     # Population (used by the builders)
     # ------------------------------------------------------------------
+    @classmethod
+    def from_label_lists(
+        cls,
+        order: Sequence[int],
+        hub_ranks: List[List[int]],
+        dists: List[List[float]],
+        quals: List[List[float]],
+        parents: Optional[List[List[int]]] = None,
+    ) -> "WCIndex":
+        """Adopt builder-owned per-vertex label lists wholesale.
+
+        The supported way for builders (and :meth:`FrozenWCIndex.thaw
+        <repro.core.frozen.FrozenWCIndex.thaw>`) to hand over finished
+        label storage without appending entry by entry — the lists are
+        taken over, not copied, so callers must not keep mutating them.
+        """
+        index = cls(order, track_parents=parents is not None)
+        n = index.num_vertices
+        if not (len(hub_ranks) == len(dists) == len(quals) == n):
+            raise ValueError(f"label lists must have {n} rows")
+        if parents is not None and len(parents) != n:
+            raise ValueError(f"parent lists must have {n} rows")
+        index._hub_ranks = hub_ranks
+        index._dists = dists
+        index._quals = quals
+        index._parents = parents
+        return index
+
     def append_entry(
         self, v: int, hub_rank: int, dist: float, quality: float, parent: int = -1
     ) -> None:
@@ -201,6 +236,18 @@ class WCIndex:
                 )
             )
         return results
+
+    # ------------------------------------------------------------------
+    # Freezing
+    # ------------------------------------------------------------------
+    def freeze(self):
+        """Snapshot into a :class:`~repro.core.frozen.FrozenWCIndex` —
+        the flat-array query engine.  The frozen copy is independent:
+        further mutation of this index does not affect it, and
+        ``freeze().thaw()`` reproduces the index exactly."""
+        from .frozen import FrozenWCIndex
+
+        return FrozenWCIndex.freeze(self)
 
     # ------------------------------------------------------------------
     # Introspection

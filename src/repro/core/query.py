@@ -15,6 +15,16 @@ Three kernels answer ``min { d_s + d_t : common hub, both quals >= w }``:
 
 All kernels are pure functions so the undirected, directed, weighted and
 dynamic indexes can share them.
+
+Each kernel exists in two storage layouts:
+
+* the *list* layout above, where hub-group boundaries are re-discovered at
+  query time by :func:`group_end` scans, and
+* the *flat* layout of :class:`~repro.core.frozen.FrozenWCIndex`
+  (``*_flat`` kernels), where each side supplies a precomputed **group
+  directory** — a sequence of ``(hub_rank, start, end)`` triples indexing
+  into that side's global ``dists``/``quals`` arrays — so the merge visits
+  each group in a single step and never scans for boundaries.
 """
 
 from __future__ import annotations
@@ -194,4 +204,170 @@ MERGE_KERNELS = {
     "naive": merge_naive,
     "binary": merge_binary,
     "linear": merge_linear,
+}
+
+
+# ----------------------------------------------------------------------
+# Flat-layout kernels (group-directory storage, see repro.core.frozen)
+# ----------------------------------------------------------------------
+def merge_naive_flat(
+    dir_s: Sequence[Tuple[int, int, int]],
+    dists_s: Sequence[float],
+    quals_s: Sequence[float],
+    dir_t: Sequence[Tuple[int, int, int]],
+    dists_t: Sequence[float],
+    quals_t: Sequence[float],
+    w: float,
+) -> float:
+    """Algorithm 2 over group directories: enumerate all feasible entry
+    pairs per common hub.  ``dists``/``quals`` are the side's *global*
+    arrays; the directory triples carry global ``(start, end)`` bounds."""
+    best = INF
+    i, j = 0, 0
+    len_s, len_t = len(dir_s), len(dir_t)
+    while i < len_s and j < len_t:
+        hs, s_start, s_end = dir_s[i]
+        ht, t_start, t_end = dir_t[j]
+        if hs < ht:
+            i += 1
+            continue
+        if hs > ht:
+            j += 1
+            continue
+        for a in range(s_start, s_end):
+            if quals_s[a] < w:
+                continue
+            da = dists_s[a]
+            for b in range(t_start, t_end):
+                if quals_t[b] < w:
+                    continue
+                total = da + dists_t[b]
+                if total < best:
+                    best = total
+        i += 1
+        j += 1
+    return best
+
+
+def merge_binary_flat(
+    dir_s: Sequence[Tuple[int, int, int]],
+    dists_s: Sequence[float],
+    quals_s: Sequence[float],
+    dir_t: Sequence[Tuple[int, int, int]],
+    dists_t: Sequence[float],
+    quals_t: Sequence[float],
+    w: float,
+) -> float:
+    """Binary-search variant over group directories: ``bisect`` the first
+    feasible entry of each matched group directly in the global arrays."""
+    best = INF
+    i, j = 0, 0
+    len_s, len_t = len(dir_s), len(dir_t)
+    while i < len_s and j < len_t:
+        hs, s_start, s_end = dir_s[i]
+        ht, t_start, t_end = dir_t[j]
+        if hs < ht:
+            i += 1
+            continue
+        if hs > ht:
+            j += 1
+            continue
+        a = bisect_left(quals_s, w, s_start, s_end)
+        if a < s_end:
+            b = bisect_left(quals_t, w, t_start, t_end)
+            if b < t_end:
+                total = dists_s[a] + dists_t[b]
+                if total < best:
+                    best = total
+        i += 1
+        j += 1
+    return best
+
+
+def merge_linear_flat(
+    dir_s: Sequence[Tuple[int, int, int]],
+    dists_s: Sequence[float],
+    quals_s: Sequence[float],
+    dir_t: Sequence[Tuple[int, int, int]],
+    dists_t: Sequence[float],
+    quals_t: Sequence[float],
+    w: float,
+) -> float:
+    """Algorithm 5 (``Query+``) over group directories: one directory step
+    per hub group, a linear feasibility scan inside matched groups only."""
+    best = INF
+    i, j = 0, 0
+    len_s, len_t = len(dir_s), len(dir_t)
+    while i < len_s and j < len_t:
+        hs, s_start, s_end = dir_s[i]
+        ht, t_start, t_end = dir_t[j]
+        if hs < ht:
+            i += 1
+            continue
+        if hs > ht:
+            j += 1
+            continue
+        a = s_start
+        while a < s_end and quals_s[a] < w:
+            a += 1
+        if a < s_end:
+            b = t_start
+            while b < t_end and quals_t[b] < w:
+                b += 1
+            if b < t_end:
+                total = dists_s[a] + dists_t[b]
+                if total < best:
+                    best = total
+        i += 1
+        j += 1
+    return best
+
+
+def merge_linear_flat_with_witness(
+    dir_s: Sequence[Tuple[int, int, int]],
+    dists_s: Sequence[float],
+    quals_s: Sequence[float],
+    dir_t: Sequence[Tuple[int, int, int]],
+    dists_t: Sequence[float],
+    quals_t: Sequence[float],
+    w: float,
+) -> Tuple[float, int, int]:
+    """Like :func:`merge_linear_flat` but also returns the winning *global*
+    entry positions ``(distance, pos_in_s_arrays, pos_in_t_arrays)``
+    (``-1`` when no feasible hub exists)."""
+    best = INF
+    best_a = -1
+    best_b = -1
+    i, j = 0, 0
+    len_s, len_t = len(dir_s), len(dir_t)
+    while i < len_s and j < len_t:
+        hs, s_start, s_end = dir_s[i]
+        ht, t_start, t_end = dir_t[j]
+        if hs < ht:
+            i += 1
+            continue
+        if hs > ht:
+            j += 1
+            continue
+        a = s_start
+        while a < s_end and quals_s[a] < w:
+            a += 1
+        if a < s_end:
+            b = t_start
+            while b < t_end and quals_t[b] < w:
+                b += 1
+            if b < t_end:
+                total = dists_s[a] + dists_t[b]
+                if total < best:
+                    best = total
+                    best_a, best_b = a, b
+        i += 1
+        j += 1
+    return best, best_a, best_b
+
+
+MERGE_KERNELS_FLAT = {
+    "naive": merge_naive_flat,
+    "binary": merge_binary_flat,
+    "linear": merge_linear_flat,
 }

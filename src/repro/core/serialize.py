@@ -1,8 +1,10 @@
 """WC-INDEX serialization.
 
 A built index is expensive (it is the whole point of an index) so it must
-be persistable.  The format is a line-oriented text format, gzip-compressed
-when the path ends in ``.gz``:
+be persistable.  Two formats exist, selected by file suffix:
+
+**Text** (``.wci``, gzip-compressed when the path ends in ``.gz``) — a
+line-oriented, diffable format:
 
 .. code-block:: text
 
@@ -13,22 +15,48 @@ when the path ends in ``.gz``:
     ...
 
 Qualities serialize via ``repr(float)`` (round-trip exact, including
-``inf``).  The reader is strict and reports line numbers on malformed
-input, mirroring :mod:`repro.graph.io`.
+``inf``).  The reader is strict, reports line numbers on malformed input
+(mirroring :mod:`repro.graph.io`), and rejects trailing garbage after the
+last vertex block.
+
+**Binary** (``.wcxb``) — the compact struct-packed image of a
+:class:`~repro.core.frozen.FrozenWCIndex`: a fixed little-endian header
+followed by the raw ``order`` / ``offsets`` / ``hubs`` / ``dists`` /
+``quals`` (/ ``parents``) arrays.  Loading is one read per array straight
+into flat storage — no per-entry parsing — plus an optional (default-on)
+integrity scan of the kernel invariants; trusted reloads can disable it
+for raw array-read startup.  :func:`save_index` / :func:`load_index` dispatch on the
+suffix; :func:`save_frozen` / :func:`load_frozen` are the direct binary
+entry points (``load_frozen`` returns the frozen engine without thawing).
 """
 
 from __future__ import annotations
 
 import gzip
 import io
+import struct
+import sys
+from array import array
 from pathlib import Path
-from typing import List, TextIO, Union
+from typing import BinaryIO, List, TextIO, Union
 
+from .frozen import (
+    HUB_TYPECODE,
+    OFFSET_TYPECODE,
+    VALUE_TYPECODE,
+    FrozenWCIndex,
+)
 from .labels import WCIndex
 
 PathLike = Union[str, Path]
 MAGIC = "WCINDEX"
 VERSION = 1
+
+BINARY_MAGIC = b"WCXB"
+BINARY_VERSION = 1
+BINARY_SUFFIX = ".wcxb"
+_BINARY_HEADER = struct.Struct("<4sHHq")  # magic, version, flags, n
+_FLAG_PARENTS = 1
 
 
 class IndexFormatError(ValueError):
@@ -49,9 +77,17 @@ def _open_read(source: PathLike) -> TextIO:
     return open(path, "r", encoding="utf-8")
 
 
-def save_index(index: WCIndex, destination: Union[PathLike, TextIO]) -> None:
-    """Write ``index`` to ``destination`` (path or open text handle)."""
+def save_index(index, destination: Union[PathLike, TextIO]) -> None:
+    """Write ``index`` to ``destination`` (path or open text handle).
+
+    Accepts both the list-backed :class:`WCIndex` and a
+    :class:`FrozenWCIndex`; a path ending in ``.wcxb`` selects the binary
+    frozen format, anything else the text format.
+    """
     if isinstance(destination, (str, Path)):
+        if Path(destination).suffix == BINARY_SUFFIX:
+            save_frozen(index, destination)
+            return
         with _open_write(destination) as handle:
             save_index(index, handle)
         return
@@ -72,8 +108,15 @@ def save_index(index: WCIndex, destination: Union[PathLike, TextIO]) -> None:
 
 
 def load_index(source: Union[PathLike, TextIO]) -> WCIndex:
-    """Read an index written by :func:`save_index`."""
+    """Read an index written by :func:`save_index`.
+
+    Always returns the list-backed :class:`WCIndex`; a ``.wcxb`` path is
+    loaded through the binary reader and thawed (use :func:`load_frozen`
+    to keep the frozen engine).
+    """
     if isinstance(source, (str, Path)):
+        if Path(source).suffix == BINARY_SUFFIX:
+            return load_frozen(source).thaw()
         with _open_read(source) as handle:
             return load_index(handle)
 
@@ -126,6 +169,12 @@ def load_index(source: Union[PathLike, TextIO]) -> WCIndex:
             if not 0 <= hub < n:
                 raise IndexFormatError(f"line {lineno}: hub rank out of range")
             index.append_entry(vertex, hub, dist, quality, parent)
+    trailing = next(reader, None)
+    if trailing is not None:
+        lineno, text = trailing
+        raise IndexFormatError(
+            f"line {lineno}: trailing data after last vertex block: {text!r}"
+        )
     return index
 
 
@@ -157,3 +206,155 @@ def _parse_order(text: str, lineno: int, n: int) -> List[int]:
             f"line {lineno}: order is not a permutation of 0..{n - 1}"
         )
     return order
+
+
+# ----------------------------------------------------------------------
+# Binary frozen format (.wcxb)
+# ----------------------------------------------------------------------
+def save_frozen(index, destination: Union[PathLike, BinaryIO]) -> None:
+    """Write the binary frozen image of ``index`` (path or binary handle).
+
+    A list-backed :class:`WCIndex` is frozen first; a
+    :class:`FrozenWCIndex` is dumped as-is.  The layout is the header
+    followed by the raw little-endian arrays — see the module docstring.
+    """
+    if isinstance(destination, (str, Path)):
+        with open(destination, "wb") as handle:
+            save_frozen(index, handle)
+        return
+    frozen = index if isinstance(index, FrozenWCIndex) else index.freeze()
+    out = destination
+    n = frozen.num_vertices
+    flags = _FLAG_PARENTS if frozen.tracks_parents else 0
+    out.write(_BINARY_HEADER.pack(BINARY_MAGIC, BINARY_VERSION, flags, n))
+    offsets, hubs, dists, quals, parents = frozen.raw_arrays()
+    _write_array(out, array(OFFSET_TYPECODE, frozen.order))
+    _write_array(out, offsets)
+    _write_array(out, hubs)
+    _write_array(out, dists)
+    _write_array(out, quals)
+    if parents is not None:
+        _write_array(out, parents)
+
+
+def load_frozen(
+    source: Union[PathLike, BinaryIO], *, validate: bool = True
+) -> FrozenWCIndex:
+    """Read a ``.wcxb`` file into a :class:`FrozenWCIndex` — the arrays
+    land directly in flat storage, no per-entry parsing.
+
+    ``validate`` (default on) additionally runs an O(entries) integrity
+    scan — offset monotonicity, hub sortedness, the Theorem 3 staircase —
+    so a corrupted file fails loudly instead of silently answering
+    queries wrongly.  Servers reloading images they themselves wrote can
+    pass ``validate=False`` to keep startup at raw array-read speed.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as handle:
+            return load_frozen(handle, validate=validate)
+    data = source.read()
+    if len(data) < _BINARY_HEADER.size:
+        raise IndexFormatError("truncated binary index: missing header")
+    magic, version, flags, n = _BINARY_HEADER.unpack_from(data)
+    if magic != BINARY_MAGIC:
+        raise IndexFormatError(f"bad binary magic {magic!r}")
+    if version != BINARY_VERSION:
+        raise IndexFormatError(f"unsupported binary version {version}")
+    if n < 0:
+        raise IndexFormatError(f"negative vertex count {n}")
+    cursor = _BINARY_HEADER.size
+    order_arr, cursor = _read_array(data, cursor, OFFSET_TYPECODE, n)
+    offsets, cursor = _read_array(data, cursor, OFFSET_TYPECODE, n + 1)
+    total = offsets[n] if n else 0
+    if total < 0:
+        raise IndexFormatError("negative entry count in offset table")
+    hubs, cursor = _read_array(data, cursor, HUB_TYPECODE, total)
+    dists, cursor = _read_array(data, cursor, VALUE_TYPECODE, total)
+    quals, cursor = _read_array(data, cursor, VALUE_TYPECODE, total)
+    parents = None
+    if flags & _FLAG_PARENTS:
+        parents, cursor = _read_array(data, cursor, HUB_TYPECODE, total)
+    if cursor != len(data):
+        raise IndexFormatError(
+            f"trailing data after index body ({len(data) - cursor} bytes)"
+        )
+    order = list(order_arr)
+    if sorted(order) != list(range(n)):
+        raise IndexFormatError("order is not a permutation of the vertex ids")
+    if validate:
+        _validate_frozen_body(n, offsets, hubs, dists, quals, parents)
+    try:
+        return FrozenWCIndex(order, offsets, hubs, dists, quals, parents)
+    except ValueError as exc:
+        raise IndexFormatError(f"inconsistent binary index: {exc}") from exc
+
+
+def _validate_frozen_body(n, offsets, hubs, dists, quals, parents) -> None:
+    """Integrity scan over the loaded arrays.
+
+    Checks exactly the structural invariants the merge kernels rely on:
+    offsets monotonic from 0; per vertex, hub ranks in range and
+    non-decreasing (groups contiguous and sorted); within a hub group,
+    distances and qualities non-decreasing (the Theorem 3 staircase —
+    the kernels take the first quality-feasible entry of a group as the
+    minimal-distance one).  A file violating them would load but
+    silently answer queries wrongly.  Dominated duplicate entries (equal
+    distance/quality) are wasteful but harmless, so — like the text
+    loader — they are accepted.
+    """
+    if n and offsets[0] != 0:
+        raise IndexFormatError(f"offset table must start at 0, got {offsets[0]}")
+    previous = 0
+    for v in range(n):
+        if offsets[v + 1] < previous:
+            raise IndexFormatError(
+                f"offset table not monotonic at vertex {v}"
+            )
+        previous = offsets[v + 1]
+    for v in range(n):
+        start, stop = offsets[v], offsets[v + 1]
+        for i in range(start, stop):
+            hub = hubs[i]
+            if not 0 <= hub < n:
+                raise IndexFormatError(
+                    f"hub rank {hub} out of range [0, {n})"
+                )
+            if i > start:
+                if hub < hubs[i - 1]:
+                    raise IndexFormatError(
+                        f"hub ranks of vertex {v} not sorted at entry {i}"
+                    )
+                if hub == hubs[i - 1] and (
+                    quals[i] < quals[i - 1] or dists[i] < dists[i - 1]
+                ):
+                    raise IndexFormatError(
+                        f"entries of vertex {v}, hub {hub} not an ascending "
+                        f"distance/quality staircase at entry {i}"
+                    )
+    if parents is not None:
+        for parent in parents:
+            if not -1 <= parent < n:
+                raise IndexFormatError(
+                    f"parent id {parent} out of range [-1, {n})"
+                )
+
+
+def _write_array(out: BinaryIO, values: array) -> None:
+    if sys.byteorder == "big":
+        values = array(values.typecode, values)
+        values.byteswap()
+    out.write(values.tobytes())
+
+
+def _read_array(data: bytes, cursor: int, typecode: str, count: int):
+    values = array(typecode)
+    nbytes = values.itemsize * count
+    if cursor + nbytes > len(data):
+        raise IndexFormatError(
+            f"truncated binary index: wanted {nbytes} bytes at {cursor}, "
+            f"have {len(data) - cursor}"
+        )
+    values.frombytes(memoryview(data)[cursor:cursor + nbytes])
+    if sys.byteorder == "big":
+        values.byteswap()
+    return values, cursor + nbytes

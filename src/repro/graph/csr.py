@@ -21,6 +21,15 @@ from typing import Iterator, List, Tuple
 
 from .graph import Graph
 
+#: Explicit array typecodes.  ``"l"`` (C long) is 4 bytes on some
+#: platforms and 8 on others, which made ``nbytes()`` — the quantity
+#: behind the paper's size tables — platform-dependent.  ``"q"``
+#: (8 bytes, offsets can exceed 2^31 edge endpoints) and ``"i"``
+#: (4 bytes, vertex ids fit easily) are the same size everywhere.
+OFFSET_TYPECODE = "q"
+TARGET_TYPECODE = "i"
+QUALITY_TYPECODE = "d"
+
 
 class CSRGraph:
     """Immutable CSR snapshot of a :class:`Graph`."""
@@ -29,12 +38,12 @@ class CSRGraph:
 
     def __init__(self, graph: Graph) -> None:
         n = graph.num_vertices
-        offsets = array("l", [0] * (n + 1))
+        offsets = array(OFFSET_TYPECODE, [0] * (n + 1))
         adjacency = graph.adjacency()
         for u in range(n):
             offsets[u + 1] = offsets[u] + len(adjacency[u])
-        targets = array("l", [0] * offsets[n])
-        qualities = array("d", [0.0] * offsets[n])
+        targets = array(TARGET_TYPECODE, [0] * offsets[n])
+        qualities = array(QUALITY_TYPECODE, [0.0] * offsets[n])
         cursor = list(offsets[:n])
         for u in range(n):
             for v, quality in adjacency[u].items():
@@ -73,7 +82,11 @@ class CSRGraph:
         return self.offsets[u], self.offsets[u + 1]
 
     def nbytes(self) -> int:
-        """Total byte size of the three arrays (Tables V/VI accounting)."""
+        """Total byte size of the three arrays (Tables V/VI accounting).
+
+        Deterministic across platforms: 8 bytes per offset, 4 per target,
+        8 per quality (see the module typecode constants).
+        """
         return (
             self.offsets.itemsize * len(self.offsets)
             + self.targets.itemsize * len(self.targets)

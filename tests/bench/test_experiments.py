@@ -107,10 +107,17 @@ class TestQueryExperiments:
             assert cbfs is not None and wcp is not None
             assert wcp > 0
 
+    def test_exp3_times_frozen_engine(self):
+        table = exp3_query_time_road(scale=TINY, limit=1, query_count=20)
+        assert "WC-FROZEN" in table.columns
+        for row in table.rows:
+            assert table.feasible_value(row, "WC-FROZEN") is not None
+
     def test_exp5_three_tables(self):
         tables = exp5_social(scale=TINY, limit=2, query_count=20)
         assert set(tables) == {"time", "size", "query"}
         assert "Dijkstra" not in tables["query"].columns
+        assert "WC-FROZEN" in tables["query"].columns
 
 
 class TestAblations:

@@ -77,6 +77,20 @@ class TestBuildAllIndexes:
         assert built.wc.entry_count() == built.wc_plus.entry_count()
         assert built.wc_seconds > 0 and built.wc_plus_seconds > 0
 
+    def test_frozen_snapshot_built(self):
+        g = gnm_random_graph(20, 40, num_qualities=3, seed=1)
+        built = build_all_indexes(g, naive_entry_budget=None)
+        assert built.wc_frozen is not None
+        assert built.freeze_seconds is not None and built.freeze_seconds > 0
+        assert built.wc_frozen.entry_count() == built.wc_plus.entry_count()
+
+    def test_freeze_opt_out(self):
+        g = gnm_random_graph(20, 40, num_qualities=3, seed=1)
+        built = build_all_indexes(g, naive_entry_budget=None, freeze=False)
+        assert built.wc_frozen is None and built.freeze_seconds is None
+        engines = query_engines(g, built, include_dijkstra=False)
+        assert "WC-FROZEN" not in engines
+
     def test_naive_budget_triggers_inf(self):
         g = gnm_random_graph(25, 80, num_qualities=4, seed=2)
         built = build_all_indexes(g, naive_entry_budget=5)
@@ -105,6 +119,7 @@ class TestQueryEngines:
             "Naive",
             "WC-INDEX",
             "WC-INDEX+",
+            "WC-FROZEN",
         }
 
     def test_lineup_social_drops_dijkstra(self):

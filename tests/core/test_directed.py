@@ -5,6 +5,7 @@ from collections import deque
 import pytest
 
 from repro.core.directed import DirectedWCIndex, degree_order_directed
+from repro.core.labels import BYTES_PER_ENTRY
 from repro.graph.digraph import DiGraph
 
 INF = float("inf")
@@ -96,7 +97,7 @@ class TestDirectedStructure:
         index = DirectedWCIndex(g)
         # At least the self entries on both sides.
         assert index.entry_count() >= 6
-        assert index.size_bytes() == 16 * index.entry_count()
+        assert index.size_bytes() == BYTES_PER_ENTRY * index.entry_count()
 
     def test_entries_introspection(self):
         g = DiGraph(2, [(0, 1, 3.0)])

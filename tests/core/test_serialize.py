@@ -7,7 +7,14 @@ import pytest
 from tests.helpers import random_graph, thresholds_for
 
 from repro.core import WCIndexBuilder, build_wc_index_plus
-from repro.core.serialize import IndexFormatError, load_index, save_index
+from repro.core.frozen import FrozenWCIndex
+from repro.core.serialize import (
+    IndexFormatError,
+    load_frozen,
+    load_index,
+    save_frozen,
+    save_index,
+)
 from repro.graph.generators import paper_figure3
 
 
@@ -111,3 +118,249 @@ class TestFormatErrors:
         save_index(index, buffer)
         noisy = "# saved index\n\n" + buffer.getvalue()
         assert load_index(io.StringIO(noisy)).entry_count() == index.entry_count()
+
+    def test_trailing_garbage_rejected(self):
+        # Regression: the reader used to stop after the last vertex block
+        # and silently ignore whatever followed.
+        index = build_wc_index_plus(paper_figure3())
+        buffer = io.StringIO()
+        save_index(index, buffer)
+        for garbage in ("E 0 1.0 1.0\n", "V 0 0\n", "stray tokens\n"):
+            with pytest.raises(IndexFormatError, match="trailing"):
+                load_index(io.StringIO(buffer.getvalue() + garbage))
+
+    def test_trailing_comments_and_blanks_still_ok(self):
+        index = build_wc_index_plus(paper_figure3())
+        buffer = io.StringIO()
+        save_index(index, buffer)
+        padded = buffer.getvalue() + "\n# trailing comment\n\n"
+        assert (
+            load_index(io.StringIO(padded)).entry_count()
+            == index.entry_count()
+        )
+
+
+class TestBinaryFormat:
+    def binary_round_trip(self, index):
+        buffer = io.BytesIO()
+        save_frozen(index, buffer)
+        buffer.seek(0)
+        return load_frozen(buffer)
+
+    def test_round_trip_from_list_index(self):
+        for trial in range(5):
+            g = random_graph(trial)
+            index = build_wc_index_plus(g, "degree")
+            loaded = self.binary_round_trip(index)
+            assert isinstance(loaded, FrozenWCIndex)
+            assert loaded.order == index.order
+            for v in g.vertices():
+                assert loaded.entries_of(v) == index.entries_of(v)
+
+    def test_round_trip_from_frozen(self):
+        g = random_graph(2)
+        frozen = build_wc_index_plus(g, "degree").freeze()
+        loaded = self.binary_round_trip(frozen)
+        assert loaded.raw_arrays()[:4] == frozen.raw_arrays()[:4]
+
+    def test_answers_preserved(self):
+        g = random_graph(4)
+        index = build_wc_index_plus(g, "degree")
+        loaded = self.binary_round_trip(index)
+        for w in thresholds_for(g):
+            for s in g.vertices():
+                for t in g.vertices():
+                    assert loaded.distance(s, t, w) == index.distance(s, t, w)
+
+    def test_inf_quality_survives(self):
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        loaded = self.binary_round_trip(index)
+        _, _, quals = loaded.label_lists(0)
+        assert quals[0] == float("inf")
+
+    def test_parents_survive(self):
+        g = paper_figure3()
+        index = WCIndexBuilder(g, "identity", track_parents=True).build()
+        loaded = self.binary_round_trip(index)
+        assert loaded.tracks_parents
+        for v in g.vertices():
+            assert list(loaded.parent_list(v)) == index.parent_list(v)
+
+    def test_wcxb_path_dispatch(self, tmp_path):
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        path = tmp_path / "example.wcxb"
+        save_index(index, path)
+        frozen = load_frozen(path)
+        assert isinstance(frozen, FrozenWCIndex)
+        thawed = load_index(path)
+        assert not isinstance(thawed, FrozenWCIndex)
+        for v in range(index.num_vertices):
+            assert frozen.entries_of(v) == index.entries_of(v)
+            assert thawed.entries_of(v) == index.entries_of(v)
+
+    def test_bad_magic(self):
+        with pytest.raises(IndexFormatError, match="magic"):
+            load_frozen(io.BytesIO(b"NOPE" + b"\x00" * 12))
+
+    def test_truncated_header(self):
+        with pytest.raises(IndexFormatError, match="truncated"):
+            load_frozen(io.BytesIO(b"WCXB"))
+
+    def test_truncated_body(self):
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        buffer = io.BytesIO()
+        save_frozen(index, buffer)
+        clipped = buffer.getvalue()[:-8]
+        with pytest.raises(IndexFormatError, match="truncated"):
+            load_frozen(io.BytesIO(clipped))
+
+    def test_trailing_bytes_rejected(self):
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        buffer = io.BytesIO()
+        save_frozen(index, buffer)
+        with pytest.raises(IndexFormatError, match="trailing"):
+            load_frozen(io.BytesIO(buffer.getvalue() + b"\x00"))
+
+    def test_bad_version(self):
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        buffer = io.BytesIO()
+        save_frozen(index, buffer)
+        data = bytearray(buffer.getvalue())
+        data[4] = 99  # version halfword
+        with pytest.raises(IndexFormatError, match="version"):
+            load_frozen(io.BytesIO(bytes(data)))
+
+    def test_order_must_be_permutation(self):
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        buffer = io.BytesIO()
+        save_frozen(index, buffer)
+        data = bytearray(buffer.getvalue())
+        # The order array starts right after the 16-byte header; clobber
+        # the first vertex id with a duplicate of the second.
+        data[16:24] = data[24:32]
+        with pytest.raises(IndexFormatError, match="permutation"):
+            load_frozen(io.BytesIO(bytes(data)))
+
+    def corrupt_wcxb(self):
+        """Valid paper_figure3 image (n=6, identity order) as a mutable
+        buffer plus the byte positions of its sections."""
+        import struct
+
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        buffer = io.BytesIO()
+        save_frozen(index, buffer)
+        n = 6
+        order_at = 16
+        offsets_at = order_at + 8 * n
+        hubs_at = offsets_at + 8 * (n + 1)
+        return bytearray(buffer.getvalue()), offsets_at, hubs_at, struct
+
+    def test_non_monotonic_offsets_rejected(self):
+        # Regression: in-range but decreasing offsets used to load
+        # "successfully" and silently answer INF for the clobbered vertex.
+        data, offsets_at, _, struct = self.corrupt_wcxb()
+        second = struct.unpack_from("<q", data, offsets_at + 16)[0]
+        struct.pack_into("<q", data, offsets_at + 8, second + 1)
+        with pytest.raises(IndexFormatError, match="monotonic"):
+            load_frozen(io.BytesIO(bytes(data)))
+
+    def test_offset_table_must_start_at_zero(self):
+        data, offsets_at, _, struct = self.corrupt_wcxb()
+        struct.pack_into("<q", data, offsets_at, 1)
+        with pytest.raises(IndexFormatError, match="start at 0"):
+            load_frozen(io.BytesIO(bytes(data)))
+
+    def test_out_of_range_offset_rejected(self):
+        # An interior offset past the entry total breaks monotonicity at
+        # the next vertex — it used to escape as a bare IndexError from
+        # the directory build.
+        data, offsets_at, _, struct = self.corrupt_wcxb()
+        struct.pack_into("<q", data, offsets_at + 8, 10_000)
+        with pytest.raises(IndexFormatError, match="monotonic"):
+            load_frozen(io.BytesIO(bytes(data)))
+
+    def test_out_of_range_hub_rejected(self):
+        data, _, hubs_at, struct = self.corrupt_wcxb()
+        struct.pack_into("<i", data, hubs_at, 99)
+        with pytest.raises(IndexFormatError, match="hub rank"):
+            load_frozen(io.BytesIO(bytes(data)))
+
+    def test_unsorted_hubs_rejected(self):
+        # Regression: in-range but unsorted hub ranks used to load and
+        # silently break the sorted merge (reachable pairs answered INF).
+        data, offsets_at, hubs_at, struct = self.corrupt_wcxb()
+        # Vertex 1's label in the identity-ordered figure-3 index starts
+        # with hubs [0, 1, ...]; swapping the first two breaks ordering.
+        start = struct.unpack_from("<q", data, offsets_at + 8)[0]
+        at = hubs_at + 4 * start
+        first = struct.unpack_from("<i", data, at)[0]
+        second = struct.unpack_from("<i", data, at + 4)[0]
+        assert first < second  # sanity: the slice really was sorted
+        struct.pack_into("<i", data, at, second)
+        struct.pack_into("<i", data, at + 4, first)
+        with pytest.raises(IndexFormatError, match="not sorted"):
+            load_frozen(io.BytesIO(bytes(data)))
+
+    def test_unsorted_group_distances_rejected(self):
+        # Regression: swapping only the distances of a multi-entry group
+        # (qualities untouched) used to load and make the linear/binary
+        # kernels return a non-minimal distance.
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        hubs, dists, _ = index.label_lists(4)
+        target = next(
+            i for i in range(1, len(hubs))
+            if hubs[i] == hubs[i - 1]
+        )
+        dists[target], dists[target - 1] = dists[target - 1], dists[target]
+        buffer = io.BytesIO()
+        save_frozen(index, buffer)
+        with pytest.raises(IndexFormatError, match="staircase"):
+            load_frozen(io.BytesIO(buffer.getvalue()))
+
+    def test_unsorted_group_qualities_rejected(self):
+        # Vertex 4 of the figure-3 index has a multi-entry hub group
+        # (Pareto staircase); reversing its qualities must be rejected.
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        hubs, _, quals = index.label_lists(4)
+        target = next(
+            i for i in range(1, len(hubs))
+            if hubs[i] == hubs[i - 1]
+        )
+        quals[target], quals[target - 1] = quals[target - 1], quals[target]
+        buffer = io.BytesIO()
+        save_frozen(index, buffer)
+        with pytest.raises(IndexFormatError, match="staircase"):
+            load_frozen(io.BytesIO(buffer.getvalue()))
+
+    def test_dominated_duplicate_entries_tolerated(self):
+        # Parity with the text loader: a hand-written index may carry
+        # dominated entries (equal-quality, longer-distance); they are
+        # harmless for the kernels and must survive the integrity scan.
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        hubs, dists, quals = index.label_lists(0)
+        hubs.append(hubs[-1])
+        dists.append(dists[-1] + 1.0)
+        quals.append(quals[-1])
+        buffer = io.BytesIO()
+        save_frozen(index, buffer)
+        loaded = load_frozen(io.BytesIO(buffer.getvalue()))
+        assert loaded.entry_count() == index.entry_count()
+
+    def test_validate_false_skips_integrity_scan(self):
+        # Trusted reloads may disable the O(entries) scan: the same
+        # corrupt image that validation rejects loads raw.
+        data, offsets_at, hubs_at, struct = self.corrupt_wcxb()
+        struct.pack_into("<i", data, hubs_at, 99)
+        with pytest.raises(IndexFormatError):
+            load_frozen(io.BytesIO(bytes(data)))
+        loaded = load_frozen(io.BytesIO(bytes(data)), validate=False)
+        assert loaded.entry_count() == 32
+
+    def test_out_of_range_parent_rejected(self):
+        g = paper_figure3()
+        index = WCIndexBuilder(g, "identity", track_parents=True).build()
+        index.parent_list(2)[0] = 77
+        buffer = io.BytesIO()
+        save_frozen(index, buffer)
+        with pytest.raises(IndexFormatError, match="parent"):
+            load_frozen(io.BytesIO(buffer.getvalue()))

@@ -7,6 +7,7 @@ from repro.core.weighted import (
     constrained_dijkstra,
     weighted_degree_order,
 )
+from repro.core.labels import BYTES_PER_ENTRY
 from repro.graph.weighted import WeightedGraph
 
 INF = float("inf")
@@ -102,7 +103,7 @@ class TestWeightedStructure:
     def test_size_accounting(self):
         g = WeightedGraph(2, [(0, 1, 1.0, 1.0)])
         index = WeightedWCIndex(g)
-        assert index.size_bytes() == 16 * index.entry_count()
+        assert index.size_bytes() == BYTES_PER_ENTRY * index.entry_count()
         assert "WeightedWCIndex" in repr(index)
 
 

@@ -43,6 +43,21 @@ class TestCSRStructure:
 
 
 class TestCSRMemory:
+    def test_typecodes_are_platform_independent(self):
+        # Regression: array("l") is 4 bytes on some platforms and 8 on
+        # others, which made nbytes() — the paper's size accounting —
+        # machine-dependent.
+        csr = CSRGraph(gnm_random_graph(10, 15, seed=4))
+        assert csr.offsets.typecode == "q" and csr.offsets.itemsize == 8
+        assert csr.targets.typecode == "i" and csr.targets.itemsize == 4
+        assert csr.qualities.typecode == "d" and csr.qualities.itemsize == 8
+
+    def test_nbytes_deterministic_formula(self):
+        g = gnm_random_graph(10, 15, seed=4)
+        csr = CSRGraph(g)
+        # 8 bytes per offset, 4 per target, 8 per quality — exactly.
+        assert csr.nbytes() == 8 * 11 + 4 * 30 + 8 * 30
+
     def test_nbytes_grows_with_edges(self):
         small = CSRGraph(gnm_random_graph(20, 10, seed=0))
         large = CSRGraph(gnm_random_graph(20, 80, seed=0))

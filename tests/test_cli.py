@@ -96,6 +96,88 @@ class TestQuery:
             main(["query", "--index", str(index_file), "1", "2"])
 
 
+class TestFrozenEngine:
+    @pytest.fixture
+    def binary_index_file(self, graph_file, tmp_path):
+        path = tmp_path / "net.wcxb"
+        code = main(
+            ["build", "--graph", str(graph_file), "--out", str(path),
+             "--ordering", "identity"]
+        )
+        assert code == 0
+        return path
+
+    def test_build_writes_binary_magic(self, binary_index_file):
+        assert binary_index_file.read_bytes()[:4] == b"WCXB"
+
+    def test_query_frozen_from_wcxb(self, binary_index_file, capsys):
+        # The acceptance path: a .wcxb built and saved by the CLI answers
+        # queries through the frozen engine.
+        assert (
+            main(
+                ["query", "--engine", "frozen", "--index",
+                 str(binary_index_file), "2", "5", "2.0"]
+            )
+            == 0
+        )
+        assert "2 5 2 -> 2" in capsys.readouterr().out
+
+    def test_query_list_engine_from_wcxb(self, binary_index_file, capsys):
+        assert (
+            main(["query", "--index", str(binary_index_file), "2", "5", "2.0"])
+            == 0
+        )
+        assert "2 5 2 -> 2" in capsys.readouterr().out
+
+    def test_query_frozen_from_text_index(self, index_file, capsys):
+        assert (
+            main(
+                ["query", "--engine", "frozen", "--index", str(index_file),
+                 "0", "4", "1.0"]
+            )
+            == 0
+        )
+        assert "0 4 1 -> 2" in capsys.readouterr().out
+
+    def test_engines_agree_on_stdin_batch(
+        self, index_file, binary_index_file, capsys, monkeypatch
+    ):
+        import io
+
+        batch = "2 5 2.0\n0 4 1.0\n0 5 99\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(batch))
+        assert main(["query", "--index", str(index_file), "-"]) == 0
+        expected = capsys.readouterr().out
+        monkeypatch.setattr("sys.stdin", io.StringIO(batch))
+        assert (
+            main(
+                ["query", "--engine", "frozen", "--index",
+                 str(binary_index_file), "-"]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == expected
+
+    def test_build_engine_frozen_flag(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "f.wci"
+        assert (
+            main(
+                ["build", "--graph", str(graph_file), "--out", str(out),
+                 "--engine", "frozen"]
+            )
+            == 0
+        )
+        assert "entries" in capsys.readouterr().out
+        # Frozen build saved through the text format stays loadable.
+        assert main(["stats", "--index", str(out)]) == 0
+
+    def test_stats_reports_frozen_bytes(self, binary_index_file, capsys):
+        assert main(["stats", "--index", str(binary_index_file)]) == 0
+        out = capsys.readouterr().out
+        assert "frozen bytes:" in out
+        assert "entries:         32" in out
+
+
 class TestProfileCommand:
     def test_profile_output(self, index_file, capsys):
         assert main(["profile", "--index", str(index_file), "0", "4"]) == 0

@@ -87,6 +87,19 @@ class TestCrossEngineAgreement:
                 assert index.distance_with(s, t, w, kernel) == expected
 
     @given(graphs_with_query())
+    def test_frozen_engine_agrees(self, case):
+        # Frozen == list == brute force, on every flat kernel and the
+        # batch path.
+        graph, s, t, w = case
+        expected = brute_force(graph, s, t, w)
+        index = build_wc_index_plus(graph, "degree")
+        frozen = index.freeze()
+        assert frozen.distance(s, t, w) == expected
+        for kernel in ("naive", "binary", "linear"):
+            assert frozen.distance_with(s, t, w, kernel) == expected
+        assert frozen.distance_many([(s, t, w)]) == [expected]
+
+    @given(graphs_with_query())
     def test_baselines_agree(self, case):
         graph, s, t, w = case
         expected = brute_force(graph, s, t, w)
@@ -175,6 +188,28 @@ class TestSerializationProperties:
         assert loaded.order == index.order
         for v in range(graph.num_vertices):
             assert loaded.entries_of(v) == index.entries_of(v)
+
+    @given(quality_graphs())
+    def test_binary_round_trip_preserves_everything(self, graph):
+        import io
+
+        from repro.core.serialize import load_frozen, save_frozen
+
+        index = build_wc_index_plus(graph, "degree")
+        buffer = io.BytesIO()
+        save_frozen(index, buffer)
+        buffer.seek(0)
+        loaded = load_frozen(buffer)
+        assert loaded.order == index.order
+        for v in range(graph.num_vertices):
+            assert loaded.entries_of(v) == index.entries_of(v)
+
+    @given(quality_graphs())
+    def test_freeze_thaw_freeze_is_identity(self, graph):
+        index = build_wc_index_plus(graph, "degree")
+        frozen = index.freeze()
+        refrozen = frozen.thaw().freeze()
+        assert frozen.raw_arrays()[:4] == refrozen.raw_arrays()[:4]
 
 
 class TestProfileProperties:
