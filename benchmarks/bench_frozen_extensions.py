@@ -1,18 +1,19 @@
-"""Frozen vs list-backed query engine: the smoke perf gate.
+"""Frozen vs list engines for the directed and weighted extensions.
 
-Builds WC-INDEX+ over one synthetic road and one synthetic social dataset,
-freezes it, answers the same random workload through
-``WCIndex.distance_many`` (list engine) and ``FrozenWCIndex.distance_many``
-(frozen engine), checks the answers are identical, and merges its
-``family: undirected`` rows into ``BENCH_query_engines.json`` — the
-trajectory file future PRs compare against (the directed/weighted rows
-come from ``bench_frozen_extensions.py`` and are preserved).
+The extension counterpart of ``bench_frozen_vs_list.py``: builds
+``DirectedWCIndex`` and ``WeightedWCIndex`` over derivatives of the small
+synthetic road datasets, freezes both, answers the same random workload
+through the list and frozen ``distance_many`` batch paths, checks the
+answers are identical, and merges its ``family: directed`` /
+``family: weighted`` rows into ``BENCH_query_engines.json`` — growing the
+perf trajectory started by the undirected gate (whose rows are
+preserved).
 
 Run directly (CI does)::
 
-    PYTHONPATH=src python benchmarks/bench_frozen_vs_list.py
+    PYTHONPATH=src python benchmarks/bench_frozen_extensions.py
 
-Exits non-zero when the frozen engine fails the speedup gate
+Exits non-zero when either frozen extension engine fails the speedup gate
 (``--gate``, default 2.0x) on any dataset, or when the engines disagree.
 Dataset scale follows ``REPRO_SCALE``; pass ``--queries`` / ``--repeats``
 to trade precision for wall clock.
@@ -27,22 +28,26 @@ from typing import Dict, List
 
 from repro.bench.harness import time_build
 from repro.bench.reporting import merge_query_engine_rows
-from repro.core import WCIndexBuilder
+from repro.core import DirectedWCIndex, WeightedWCIndex
 from repro.workloads import datasets as ds
 from repro.workloads.queries import random_queries
 
-#: One mid-size road and one social dataset, as in Figures 7 / 12.
-DEFAULT_DATASETS = ("FLA", "EU")
+#: Two small road datasets — the extension builds run two BFS/Dijkstra
+#: sweeps per vertex, so the suite stays below the undirected bench's
+#: wall clock at the same names.
+DEFAULT_DATASETS = ("NY", "BAY")
 
 
-def bench_dataset(
-    name: str, query_count: int, repeats: int
+def _measure(
+    name: str,
+    family: str,
+    graph,
+    build_index,
+    query_count: int,
+    repeats: int,
 ) -> Dict[str, object]:
-    """Measure both engines on one dataset; returns the result record."""
-    graph = ds.load(name)
-    build_seconds, index = time_build(
-        WCIndexBuilder(graph, "hybrid", query_kernel="linear").build
-    )
+    """Build, freeze and race one list/frozen engine pair."""
+    build_seconds, index = time_build(build_index)
     freeze_seconds, frozen = time_build(index.freeze)
     workload = list(random_queries(graph, query_count, seed=3))
 
@@ -63,7 +68,7 @@ def bench_dataset(
     frozen_qps = best_rate(frozen.distance_many)
     return {
         "dataset": name,
-        "family": "undirected",
+        "family": family,
         "num_vertices": graph.num_vertices,
         "num_edges": graph.num_edges,
         "queries": len(workload),
@@ -81,6 +86,33 @@ def bench_dataset(
         },
         "speedup": frozen_qps / list_qps if list_qps else float("inf"),
     }
+
+
+def bench_dataset(
+    name: str, query_count: int, repeats: int
+) -> List[Dict[str, object]]:
+    """Measure both extension families on one dataset; returns the two
+    result records (directed, weighted)."""
+    digraph = ds.load_directed(name)
+    wgraph = ds.load_weighted(name)
+    return [
+        _measure(
+            name,
+            "directed",
+            digraph,
+            lambda: DirectedWCIndex(digraph),
+            query_count,
+            repeats,
+        ),
+        _measure(
+            name,
+            "weighted",
+            wgraph,
+            lambda: WeightedWCIndex(wgraph),
+            query_count,
+            repeats,
+        ),
+    ]
 
 
 def main(argv: List[str] = None) -> int:
@@ -108,23 +140,26 @@ def main(argv: List[str] = None) -> int:
     results = []
     failed = False
     for name in args.datasets:
-        record = bench_dataset(name, args.queries, args.repeats)
-        results.append(record)
-        ok = record["identical_results"] and record["speedup"] >= args.gate
-        failed = failed or not ok
-        print(
-            f"{name}: list {record['engines']['list']['queries_per_sec']:,.0f} q/s, "
-            f"frozen {record['engines']['frozen']['queries_per_sec']:,.0f} q/s, "
-            f"speedup {record['speedup']:.2f}x "
-            f"(identical={record['identical_results']}) "
-            f"{'ok' if ok else 'FAIL'}"
-        )
+        for record in bench_dataset(name, args.queries, args.repeats):
+            results.append(record)
+            ok = record["identical_results"] and record["speedup"] >= args.gate
+            failed = failed or not ok
+            print(
+                f"{name}/{record['family']}: "
+                f"list {record['engines']['list']['queries_per_sec']:,.0f} q/s, "
+                f"frozen {record['engines']['frozen']['queries_per_sec']:,.0f} q/s, "
+                f"speedup {record['speedup']:.2f}x "
+                f"(identical={record['identical_results']}) "
+                f"{'ok' if ok else 'FAIL'}"
+            )
 
-    merge_query_engine_rows(args.out, {"undirected": args.gate}, results)
+    merge_query_engine_rows(
+        args.out, {"directed": args.gate, "weighted": args.gate}, results
+    )
     print(f"wrote {args.out}")
     if failed:
-        print(f"FAILED: frozen engine below {args.gate:.1f}x gate "
-              "or results diverged", file=sys.stderr)
+        print(f"FAILED: a frozen extension engine below {args.gate:.1f}x "
+              "gate or results diverged", file=sys.stderr)
         return 1
     return 0
 

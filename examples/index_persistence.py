@@ -11,6 +11,14 @@ scriptable through the CLI::
     python -m repro query --engine frozen --index net.wcxb 0 42 3.0
     python -m repro profile --index net.wcxb 0 42
 
+The ``.wcxb`` header carries a variant tag, so the same binary format —
+and the same ``save_frozen`` / ``load_frozen`` entry points — serve the
+directed and weighted extension indexes too (shown below with a directed
+round-trip)::
+
+    python -m repro build --graph net.arcs --directed --out net.wcxb
+    python -m repro query --engine frozen --index net.wcxb 0 42 3.0
+
 Run with::
 
     python examples/index_persistence.py
@@ -21,6 +29,7 @@ import time
 from pathlib import Path
 
 from repro.core import (
+    DirectedWCIndex,
     bottleneck_quality,
     build_wc_index_plus,
     collect_statistics,
@@ -31,7 +40,7 @@ from repro.core import (
     save_index,
     widest_path_quality,
 )
-from repro.graph.generators import scale_free_network
+from repro.graph.generators import oriented_copy, scale_free_network
 from repro.workloads.queries import random_queries
 
 
@@ -77,6 +86,28 @@ def main() -> None:
             f"frozen engine ({binary_path.name}, "
             f"{binary_path.stat().st_size} bytes): same answers in "
             f"{frozen_ms:.1f} ms"
+        )
+
+        # The same binary format serves the extensions: freeze a
+        # directed index, save it, and the loader dispatches on the
+        # header's variant tag — no separate format, no thaw.
+        digraph = oriented_copy(graph, one_way_prob=0.4, seed=23)
+        directed = DirectedWCIndex(digraph)
+        directed_path = Path(tmp) / "network-directed.wcxb"
+        save_frozen(directed, directed_path)
+        frozen_directed = load_frozen(directed_path)
+        directed_answers = frozen_directed.distance_many(workload)
+        assert directed_answers == directed.distance_many(workload)
+        one_way = sum(
+            1
+            for (s, t, w), d in zip(workload, directed_answers)
+            if d == float("inf")
+            and frozen_directed.distance(t, s, w) != float("inf")
+        )
+        print(
+            f"directed variant ({type(frozen_directed).__name__} from "
+            f"{directed_path.name}): {len(directed_answers)} queries, "
+            f"{one_way} pairs reachable only in the other direction"
         )
 
         # Full quality/distance trade-off for one pair:

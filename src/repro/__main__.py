@@ -3,11 +3,13 @@
 Subcommands:
 
 * ``build``   — build a WC-INDEX from an edge-list file and save it
-  (``--out x.wcxb`` writes the compact binary frozen format).
+  (``--out x.wcxb`` writes the compact binary frozen format;
+  ``--directed`` / ``--weighted`` build the Section V extension indexes,
+  which persist through the variant-tagged binary format).
 * ``query``   — answer ``s t w`` queries (arguments or stdin) from a saved
   index; ``--engine {list,frozen}`` picks the storage engine (the
-  list-backed merge or the flat-array
-  :class:`~repro.core.frozen.FrozenWCIndex`).
+  list-backed merge or the flat-array frozen engine of whatever family
+  the index holds).
 * ``profile`` — print the full quality/distance Pareto staircase of a pair.
 * ``stats``   — index statistics (entries, max label, modelled bytes; adds
   the real frozen footprint for ``.wcxb`` files).
@@ -16,6 +18,7 @@ Subcommands:
 Example::
 
     python -m repro build --graph net.edges --out net.wcxb --ordering hybrid
+    python -m repro build --graph roads.arcs --directed --out roads.wcxb
     python -m repro query --engine frozen --index net.wcxb 0 42 3.0
     echo "0 42 3.0" | python -m repro query --index net.wcxb -
 """
@@ -25,52 +28,83 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from pathlib import Path
 
 from .core.construction import WCIndexBuilder
+from .core.directed import DirectedWCIndex
+from .core.labels import WCIndex
 from .core.profile import distance_profile
 from .core.serialize import (
-    BINARY_SUFFIX,
+    is_binary_index_path,
     load_frozen,
     load_index,
     save_index,
 )
 from .core.validation import verify_index
-from .graph.io import read_edge_list
+from .core.weighted import WeightedWCIndex
+from .graph.io import (
+    read_directed_edge_list,
+    read_edge_list,
+    read_weighted_edge_list,
+)
 
 
 def _load_engine(path: str, engine: str):
     """Load ``path`` as the requested query engine.
 
-    ``.wcxb`` files hold a frozen image: ``frozen`` serves it directly,
-    ``list`` thaws it.  Text indexes are loaded list-backed and frozen on
-    demand.
+    ``.wcxb`` files (suffix matched case-insensitively) hold a frozen
+    image of any index family: ``frozen`` serves it directly, ``list``
+    thaws it.  Text indexes are loaded list-backed and frozen on demand.
     """
-    if Path(path).suffix == BINARY_SUFFIX:
+    if is_binary_index_path(path):
         frozen = load_frozen(path)
         return frozen if engine == "frozen" else frozen.thaw()
     index = load_index(path)
     return index.freeze() if engine == "frozen" else index
 
 
+def _build_graph(args):
+    """Materialize the build substrate: an edge list or a named dataset,
+    in the family the flags select."""
+    if args.dataset is not None:
+        from .workloads import datasets as ds
+
+        if args.directed:
+            return ds.load_directed(args.dataset)
+        if args.weighted:
+            return ds.load_weighted(args.dataset)
+        return ds.load(args.dataset)
+    if args.directed:
+        return read_directed_edge_list(args.graph)
+    if args.weighted:
+        return read_weighted_edge_list(args.graph)
+    return read_edge_list(args.graph)
+
+
 def _cmd_build(args) -> int:
     if (args.graph is None) == (args.dataset is None):
         raise SystemExit("build: give exactly one of --graph or --dataset")
-    if args.dataset is not None:
-        from .workloads.datasets import load
-
-        graph = load(args.dataset)
-    else:
-        graph = read_edge_list(args.graph)
+    if args.directed and args.weighted:
+        raise SystemExit("build: --directed and --weighted are exclusive")
+    if (args.directed or args.weighted) and not is_binary_index_path(args.out):
+        raise SystemExit(
+            "build: directed/weighted indexes persist in the binary "
+            "frozen format; use a .wcxb --out"
+        )
+    graph = _build_graph(args)
     started = time.perf_counter()
-    builder = WCIndexBuilder(
-        graph,
-        args.ordering,
-        query_kernel=args.kernel,
-        track_parents=args.paths,
-    )
-    index = builder.build()
-    if args.engine == "frozen" or Path(args.out).suffix == BINARY_SUFFIX:
+    if args.directed:
+        index = DirectedWCIndex(graph, track_parents=args.paths)
+    elif args.weighted:
+        index = WeightedWCIndex(graph, track_parents=args.paths)
+    else:
+        builder = WCIndexBuilder(
+            graph,
+            args.ordering,
+            query_kernel=args.kernel,
+            track_parents=args.paths,
+        )
+        index = builder.build()
+    if args.engine == "frozen" or is_binary_index_path(args.out):
         index = index.freeze()
     elapsed = time.perf_counter() - started
     save_index(index, args.out)
@@ -105,7 +139,15 @@ def _cmd_query(args) -> int:
 
 def _cmd_profile(args) -> int:
     index = load_index(args.index)
-    profile = distance_profile(index, args.s, args.t)
+    if isinstance(index, WeightedWCIndex):
+        raise SystemExit(
+            "profile: quality/distance profiles are not supported for "
+            "weighted indexes"
+        )
+    if isinstance(index, DirectedWCIndex):
+        profile = index.distance_profile(args.s, args.t)
+    else:
+        profile = distance_profile(index, args.s, args.t)
     if not profile:
         print(f"{args.s} and {args.t} are disconnected at every threshold")
         return 0
@@ -121,8 +163,10 @@ def _cmd_stats(args) -> int:
 
     # A .wcxb is reported straight from the frozen engine — no thaw, so
     # stats on a large serving index stays as cheap as loading it.
-    is_binary = Path(args.index).suffix == BINARY_SUFFIX
+    is_binary = is_binary_index_path(args.index)
     index = load_frozen(args.index) if is_binary else load_index(args.index)
+    if is_binary:
+        print(f"engine:          {type(index).__name__}")
     print(f"vertices:        {index.num_vertices}")
     print(f"entries:         {index.entry_count()}")
     print(f"max label size:  {index.max_label_size()}")
@@ -138,6 +182,11 @@ def _cmd_stats(args) -> int:
 def _cmd_verify(args) -> int:
     graph = read_edge_list(args.graph)
     index = load_index(args.index)
+    if not isinstance(index, WCIndex):
+        raise SystemExit(
+            f"verify: only undirected indexes are supported, "
+            f"{args.index} holds a {type(index).__name__}"
+        )
     report = verify_index(index, graph)
     for key, violations in report.details.items():
         status = "ok" if not violations else f"{len(violations)} violations"
@@ -173,6 +222,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--paths", action="store_true", help="track parents for path queries"
     )
     p_build.add_argument(
+        "--directed",
+        action="store_true",
+        help="build a DirectedWCIndex over 'u v quality' arcs "
+        "(requires a .wcxb --out; --ordering/--kernel apply to "
+        "undirected builds only)",
+    )
+    p_build.add_argument(
+        "--weighted",
+        action="store_true",
+        help="build a WeightedWCIndex over 'u v length quality' edges "
+        "(requires a .wcxb --out; --ordering/--kernel apply to "
+        "undirected builds only)",
+    )
+    p_build.add_argument(
         "--engine",
         default="list",
         choices=["list", "frozen"],
@@ -187,7 +250,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine",
         default="list",
         choices=["list", "frozen"],
-        help="query engine: list-backed merge or the flat-array frozen index",
+        help="query engine: list-backed merge or the flat-array frozen "
+        "engine (works for all index families a .wcxb may hold)",
     )
     p_query.add_argument(
         "query",

@@ -1,7 +1,8 @@
 """Baseline WCSD solutions (Section III + LCR-adapt).
 
 * Online engines: :class:`ConstrainedBFS` (C-BFS), :class:`PartitionedBFS`
-  (W-BFS), :class:`PartitionedDijkstra`, :class:`BidirectionalConstrainedBFS`.
+  (W-BFS), :class:`PartitionedDijkstra`, :class:`BidirectionalConstrainedBFS`,
+  :class:`DirectedConstrainedBFS` (the Section V directed oracle).
 * Index-based: :class:`PrunedLandmarkLabeling` (classic PLL substrate),
   :class:`NaivePerQualityIndex` (one PLL per distinct quality),
   :class:`LCRAdaptIndex` (label-set 2-hop adaptation).
@@ -12,6 +13,7 @@ from .naive2hop import IndexTooLargeError, NaivePerQualityIndex
 from .online import (
     BidirectionalConstrainedBFS,
     ConstrainedBFS,
+    DirectedConstrainedBFS,
     PartitionedBFS,
     PartitionedDijkstra,
 )
@@ -22,6 +24,7 @@ __all__ = [
     "PartitionedBFS",
     "PartitionedDijkstra",
     "BidirectionalConstrainedBFS",
+    "DirectedConstrainedBFS",
     "PrunedLandmarkLabeling",
     "degree_descending_order",
     "NaivePerQualityIndex",

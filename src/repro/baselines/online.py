@@ -12,6 +12,11 @@ Three query engines that traverse the graph at query time:
   edges this does strictly more work than BFS, which is exactly why the
   paper finds it the slowest baseline (Exp 3).
 
+:class:`DirectedConstrainedBFS` is the Section V counterpart of C-BFS
+over a :class:`~repro.graph.digraph.DiGraph` — the index-free oracle the
+directed WC-INDEX engines are cross-validated against (the weighted
+oracle is :func:`repro.core.weighted.constrained_dijkstra`).
+
 All engines implement ``distance(s, t, w) -> float`` returning the hop
 count of the shortest w-path or ``inf``.
 """
@@ -195,6 +200,57 @@ class PartitionedDijkstra:
                     dist[v] = candidate
                     heapq.heappush(heap, (candidate, v))
         return INF
+
+
+class DirectedConstrainedBFS:
+    """Directed C-BFS: breadth-first search along successor arcs whose
+    quality meets the constraint.  ``O(|V| + |E|)`` per query, no
+    preprocessing — the brute-force oracle for the directed extension."""
+
+    def __init__(self, graph) -> None:
+        self._graph = graph
+
+    def distance(self, s: int, t: int, w: float) -> float:
+        graph = self._graph
+        if not 0 <= s < graph.num_vertices or not 0 <= t < graph.num_vertices:
+            raise ValueError("query vertex out of range")
+        if s == t:
+            return 0.0
+        visited = [False] * graph.num_vertices
+        visited[s] = True
+        frontier = [s]
+        dist = 0
+        while frontier:
+            dist += 1
+            next_frontier: List[int] = []
+            for u in frontier:
+                for v, quality in graph.successors(u):
+                    if quality < w or visited[v]:
+                        continue
+                    if v == t:
+                        return float(dist)
+                    visited[v] = True
+                    next_frontier.append(v)
+            frontier = next_frontier
+        return INF
+
+    def single_source(self, s: int, w: float) -> List[float]:
+        """All w-constrained directed distances from ``s`` (test oracle)."""
+        graph = self._graph
+        dist = [INF] * graph.num_vertices
+        dist[s] = 0.0
+        frontier = [s]
+        depth = 0
+        while frontier:
+            depth += 1
+            next_frontier: List[int] = []
+            for u in frontier:
+                for v, quality in graph.successors(u):
+                    if quality >= w and dist[v] == INF:
+                        dist[v] = float(depth)
+                        next_frontier.append(v)
+            frontier = next_frontier
+        return dist
 
 
 class BidirectionalConstrainedBFS:

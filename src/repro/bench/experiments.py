@@ -23,12 +23,15 @@ from .harness import (
     Cell,
     DEFAULT_NAIVE_ENTRY_BUDGET,
     DEFAULT_QUERY_COUNT,
+    EXTENSION_QUERY_METHODS,
     EXTRA_QUERY_METHODS,
     ExperimentTable,
     INDEXING_METHODS,
     QUERY_METHODS_ROAD,
     QUERY_METHODS_SOCIAL,
     build_all_indexes,
+    build_extension_indexes,
+    extension_query_engines,
     query_engines,
     time_build,
     time_queries,
@@ -235,6 +238,42 @@ def exp5_social(
 
 
 # ----------------------------------------------------------------------
+# Section V extensions: directed and weighted engines, list vs frozen
+# ----------------------------------------------------------------------
+def exp_extensions(
+    scale: Optional[float] = None,
+    names: tuple = ("NY", "BAY"),
+    query_count: int = DEFAULT_QUERY_COUNT,
+) -> ExperimentTable:
+    """Query time of the Section V extension engines: the directed and
+    weighted list indexes against their flat-array frozen snapshots
+    (WC-FROZEN-DIR / WC-FROZEN-W), on directed/weighted derivatives of
+    the small road datasets."""
+    table = ExperimentTable(
+        "extensions",
+        "Directed/weighted engines — query time",
+        "ms/query",
+        list(EXTENSION_QUERY_METHODS),
+    )
+    for name in names:
+        digraph = ds.load_directed(name, scale)
+        wgraph = ds.load_weighted(name, scale)
+        built = build_extension_indexes(digraph, wgraph)
+        engines = extension_query_engines(built)
+        directed_workload = random_queries(digraph, query_count, seed=0)
+        weighted_workload = random_queries(wgraph, query_count, seed=0)
+        for method, distance in engines.items():
+            workload = (
+                directed_workload
+                if method in ("WC-DIR", "WC-FROZEN-DIR")
+                else weighted_workload
+            )
+            seconds = time_queries(distance, workload)
+            table.set(name, method, Cell(seconds * 1000.0))
+    return table
+
+
+# ----------------------------------------------------------------------
 # Ablations (Observations 2/3 and Section IV.C/IV.D design choices)
 # ----------------------------------------------------------------------
 def ablation_ordering(
@@ -438,6 +477,7 @@ EXPERIMENTS = {
     "exp3": exp3_query_time_road,
     "exp4": exp4_large_w,
     "exp5": exp5_social,
+    "extensions": exp_extensions,
     "ablation-order": ablation_ordering,
     "ablation-query": ablation_query_kernel,
     "ablation-prune": ablation_pruning,

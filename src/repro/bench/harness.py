@@ -139,6 +139,16 @@ QUERY_METHODS_SOCIAL = ("W-BFS", "C-BFS", "Naive", "WC-INDEX", "WC-INDEX+")
 #: WC-FROZEN is the flat-array FrozenWCIndex snapshot of WC-INDEX+.
 EXTRA_QUERY_METHODS = ("WC-FROZEN",)
 
+#: The Section V extension engines: the directed and weighted list
+#: indexes plus their flat-array frozen snapshots (same labels, frozen
+#: storage engine — the extension counterpart of WC-INDEX+ vs WC-FROZEN).
+EXTENSION_QUERY_METHODS = (
+    "WC-DIR",
+    "WC-FROZEN-DIR",
+    "WC-W",
+    "WC-FROZEN-W",
+)
+
 
 @dataclass
 class BuiltIndexes:
@@ -207,6 +217,61 @@ def build_all_indexes(
         wc_frozen=wc_frozen,
         freeze_seconds=freeze_seconds,
     )
+
+
+@dataclass
+class BuiltExtensionIndexes:
+    """The Section V extension indexes built over one dataset pair (a
+    directed and a weighted derivative of the same network).
+
+    As with :class:`BuiltIndexes`, the frozen engines are snapshots of
+    the list engines — they share label sets by construction, and
+    ``*_freeze_seconds`` is the cost of the freeze alone.
+    """
+
+    directed: object
+    directed_seconds: float
+    directed_frozen: object
+    directed_freeze_seconds: float
+    weighted: object
+    weighted_seconds: float
+    weighted_frozen: object
+    weighted_freeze_seconds: float
+
+
+def build_extension_indexes(digraph, wgraph) -> BuiltExtensionIndexes:
+    """Build the directed and weighted WC-INDEX variants plus their
+    frozen snapshots."""
+    from ..core import DirectedWCIndex, WeightedWCIndex
+
+    directed_seconds, directed = time_build(lambda: DirectedWCIndex(digraph))
+    directed_freeze_seconds, directed_frozen = time_build(directed.freeze)
+    weighted_seconds, weighted = time_build(lambda: WeightedWCIndex(wgraph))
+    weighted_freeze_seconds, weighted_frozen = time_build(weighted.freeze)
+    return BuiltExtensionIndexes(
+        directed=directed,
+        directed_seconds=directed_seconds,
+        directed_frozen=directed_frozen,
+        directed_freeze_seconds=directed_freeze_seconds,
+        weighted=weighted,
+        weighted_seconds=weighted_seconds,
+        weighted_frozen=weighted_frozen,
+        weighted_freeze_seconds=weighted_freeze_seconds,
+    )
+
+
+def extension_query_engines(
+    built: BuiltExtensionIndexes,
+) -> Dict[str, Callable[[int, int, float], float]]:
+    """The extension line-up as ``name -> distance`` — the four
+    :data:`EXTENSION_QUERY_METHODS` engines (list vs frozen storage for
+    each family)."""
+    return {
+        "WC-DIR": built.directed.distance,
+        "WC-FROZEN-DIR": built.directed_frozen.distance,
+        "WC-W": built.weighted.distance,
+        "WC-FROZEN-W": built.weighted_frozen.distance,
+    }
 
 
 def query_engines(

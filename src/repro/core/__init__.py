@@ -3,9 +3,10 @@
 * :class:`WCIndex` + :class:`WCIndexBuilder` /
   :func:`build_wc_index` / :func:`build_wc_index_plus` — the undirected
   unweighted index (Sections IV).
-* :class:`FrozenWCIndex` — the immutable flat-array query engine
-  (``WCIndex.freeze()`` / ``FrozenWCIndex.thaw()``); binary ``.wcxb``
-  persistence via :func:`save_frozen` / :func:`load_frozen`.
+* :class:`FrozenWCIndex` / :class:`FrozenDirectedWCIndex` /
+  :class:`FrozenWeightedWCIndex` — the immutable flat-array query engines
+  (``freeze()`` / ``thaw()`` on every list engine); variant-tagged binary
+  ``.wcxb`` persistence via :func:`save_frozen` / :func:`load_frozen`.
 * Query kernels (Algorithms 2/4/5) in :mod:`~repro.core.query`, each in a
   list-layout and a flat-layout (``*_flat``) variant.
 * Vertex orderings (Section IV.D) in :mod:`~repro.core.ordering`.
@@ -23,7 +24,12 @@ from .construction import (
 )
 from .directed import DirectedWCIndex
 from .dynamic import DynamicWCIndex
-from .frozen import BYTES_PER_GROUP, FrozenWCIndex
+from .frozen import (
+    BYTES_PER_GROUP,
+    FrozenDirectedWCIndex,
+    FrozenWCIndex,
+    FrozenWeightedWCIndex,
+)
 from .index_stats import IndexStatistics, collect_statistics
 from .labels import BYTES_PER_ENTRY, WCIndex
 from .ordering import (
@@ -54,6 +60,7 @@ from .query import (
 )
 from .serialize import (
     IndexFormatError,
+    is_binary_index_path,
     load_frozen,
     load_index,
     save_frozen,
@@ -84,7 +91,9 @@ __all__ = [
     "path_bottleneck",
     "is_valid_w_path",
     "DirectedWCIndex",
+    "FrozenDirectedWCIndex",
     "WeightedWCIndex",
+    "FrozenWeightedWCIndex",
     "constrained_dijkstra",
     "DynamicWCIndex",
     "distance_profile",
@@ -96,6 +105,7 @@ __all__ = [
     "load_index",
     "save_frozen",
     "load_frozen",
+    "is_binary_index_path",
     "IndexFormatError",
     "IndexStatistics",
     "collect_statistics",

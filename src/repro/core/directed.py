@@ -63,6 +63,54 @@ class DirectedWCIndex:
         )
         self._build(graph)
 
+    @classmethod
+    def from_label_lists(
+        cls,
+        order: Sequence[int],
+        in_hubs: List[List[int]],
+        in_dists: List[List[float]],
+        in_quals: List[List[float]],
+        out_hubs: List[List[int]],
+        out_dists: List[List[float]],
+        out_quals: List[List[float]],
+        in_parents: Optional[List[List[int]]] = None,
+        out_parents: Optional[List[List[int]]] = None,
+    ) -> "DirectedWCIndex":
+        """Adopt builder-owned per-vertex label lists wholesale.
+
+        The supported way for ``FrozenDirectedWCIndex.thaw`` to hand over
+        finished label storage without rebuilding from a graph — the
+        lists are taken over, not copied.
+        """
+        if (in_parents is None) != (out_parents is None):
+            raise ValueError("parent tracking must match on both sides")
+        index = cls.__new__(cls)
+        n = len(order)
+        if sorted(order) != list(range(n)):
+            raise ValueError("order must be a permutation of the vertex ids")
+        rows = (in_hubs, in_dists, in_quals, out_hubs, out_dists, out_quals)
+        if any(len(lists) != n for lists in rows):
+            raise ValueError(f"label lists must have {n} rows")
+        if in_parents is not None and (
+            len(in_parents) != n or len(out_parents) != n
+        ):
+            raise ValueError(f"parent lists must have {n} rows")
+        index._num_vertices = n
+        index._track_parents = in_parents is not None
+        index._order = list(order)
+        index._rank = [0] * n
+        for r, v in enumerate(index._order):
+            index._rank[v] = r
+        index._in_hubs = in_hubs
+        index._in_dists = in_dists
+        index._in_quals = in_quals
+        index._out_hubs = out_hubs
+        index._out_dists = out_dists
+        index._out_quals = out_quals
+        index._in_parents = in_parents
+        index._out_parents = out_parents
+        return index
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
@@ -243,6 +291,52 @@ class DirectedWCIndex:
             w,
         )
 
+    def distance_many(self, queries) -> List[float]:
+        """Answer a batch of directed ``(s, t, w)`` queries with the
+        Query+ kernel (list storage; the batch counterpart of
+        :meth:`distance`)."""
+        out_hubs, out_dists, out_quals = (
+            self._out_hubs,
+            self._out_dists,
+            self._out_quals,
+        )
+        in_hubs, in_dists, in_quals = (
+            self._in_hubs,
+            self._in_dists,
+            self._in_quals,
+        )
+        n = self._num_vertices
+        results: List[float] = []
+        append = results.append
+        for s, t, w in queries:
+            if not 0 <= s < n or not 0 <= t < n:
+                raise ValueError(f"query vertex out of range in ({s}, {t})")
+            append(
+                merge_linear(
+                    out_hubs[s],
+                    out_dists[s],
+                    out_quals[s],
+                    in_hubs[t],
+                    in_dists[t],
+                    in_quals[t],
+                    w,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Freezing
+    # ------------------------------------------------------------------
+    def freeze(self):
+        """Snapshot into a
+        :class:`~repro.core.frozen.FrozenDirectedWCIndex` — the
+        flat-array query engine for directed indexes.  The frozen copy is
+        independent, and ``freeze().thaw()`` reproduces the index
+        exactly."""
+        from .frozen import FrozenDirectedWCIndex
+
+        return FrozenDirectedWCIndex.freeze(self)
+
     def distance_profile(self, s: int, t: int) -> List[Tuple[float, float]]:
         """The quality/distance Pareto staircase for the directed pair
         ``s -> t`` (see :func:`repro.core.profile.distance_profile`)."""
@@ -357,6 +451,40 @@ class DirectedWCIndex:
     def order(self) -> List[int]:
         return list(self._order)
 
+    @property
+    def num_vertices(self) -> int:
+        return self._num_vertices
+
+    @property
+    def tracks_parents(self) -> bool:
+        return self._track_parents
+
+    def in_label_lists(
+        self, v: int
+    ) -> Tuple[List[int], List[float], List[float]]:
+        """Raw per-vertex ``L_in`` parallel lists ``(hubs, dists, quals)``."""
+        self._check_vertex(v)
+        return self._in_hubs[v], self._in_dists[v], self._in_quals[v]
+
+    def out_label_lists(
+        self, v: int
+    ) -> Tuple[List[int], List[float], List[float]]:
+        """Raw per-vertex ``L_out`` parallel lists ``(hubs, dists, quals)``."""
+        self._check_vertex(v)
+        return self._out_hubs[v], self._out_dists[v], self._out_quals[v]
+
+    def in_parent_list(self, v: int) -> List[int]:
+        if self._in_parents is None:
+            raise ValueError("index was built without parent tracking")
+        self._check_vertex(v)
+        return self._in_parents[v]
+
+    def out_parent_list(self, v: int) -> List[int]:
+        if self._out_parents is None:
+            raise ValueError("index was built without parent tracking")
+        self._check_vertex(v)
+        return self._out_parents[v]
+
     def entry_count(self) -> int:
         return sum(len(h) for h in self._in_hubs) + sum(
             len(h) for h in self._out_hubs
@@ -388,3 +516,9 @@ class DirectedWCIndex:
             f"DirectedWCIndex(n={self._num_vertices}, "
             f"entries={self.entry_count()})"
         )
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self._num_vertices:
+            raise ValueError(
+                f"vertex {v} out of range [0, {self._num_vertices})"
+            )

@@ -32,6 +32,13 @@ Freezing is lossless and reversible: ``WCIndex.freeze()`` →
 so a frozen index can be thawed for dynamic updates and re-frozen.  The
 compact binary serialization (``.wcxb``) lives in
 :mod:`repro.core.serialize`.
+
+The Section V extensions freeze the same way: the shared
+:class:`_FlatSide` store carries one flat label side, and
+:class:`FrozenDirectedWCIndex` (two sides, ``L_in`` / ``L_out``) /
+:class:`FrozenWeightedWCIndex` (one side, real-valued distances) answer
+through the identical ``*_flat`` kernels and the shared
+:func:`~repro.core.query.batch_merge_flat` batch loop.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 from .query import (
     MERGE_KERNELS_FLAT,
+    batch_merge_flat,
     merge_linear_flat,
     merge_linear_flat_with_witness,
 )
@@ -68,17 +76,7 @@ class FrozenWCIndex:
     ``WCIndex.freeze()``), never directly from user code.
     """
 
-    __slots__ = (
-        "order",
-        "rank",
-        "_offsets",
-        "_hubs",
-        "_dists",
-        "_quals",
-        "_parents",
-        "_directory",
-        "_hub_map",
-    )
+    __slots__ = ("order", "rank", "_side")
 
     def __init__(
         self,
@@ -90,39 +88,16 @@ class FrozenWCIndex:
         parents: Optional[array] = None,
     ) -> None:
         n = len(order)
-        if len(offsets) != n + 1:
-            raise ValueError(
-                f"offsets must have {n + 1} entries, got {len(offsets)}"
-            )
-        total = offsets[n] if n else 0
-        if not (len(hubs) == len(dists) == len(quals) == total):
-            raise ValueError("hub/dist/quality arrays disagree with offsets")
-        if parents is not None and len(parents) != total:
-            raise ValueError("parents array disagrees with offsets")
+        # The side validates the array shapes and owns the lazily built
+        # directory views, so loading a frozen image (e.g.
+        # load_frozen(..., validate=False)) stays at raw array-read
+        # speed, and consumers that never query — or never batch — do
+        # not pay for structures they do not touch.
+        self._side = _FlatSide(n, offsets, hubs, dists, quals, parents)
         self.order: List[int] = list(order)
         self.rank: List[int] = [0] * n
         for r, v in enumerate(self.order):
             self.rank[v] = r
-        self._offsets = offsets
-        self._hubs = hubs
-        self._dists = dists
-        self._quals = quals
-        self._parents = parents
-        # Both directory views are built lazily on first use, so loading
-        # a frozen image (e.g. load_frozen(..., validate=False)) stays
-        # at raw array-read speed, and consumers that never query — or
-        # never batch — do not pay for structures they do not touch.
-        self._directory: Optional[List[List[Tuple[int, int, int]]]] = None
-        self._hub_map: Optional[List[dict]] = None
-
-    def _groups(self) -> List[List[Tuple[int, int, int]]]:
-        """The per-vertex group directory, built on first use."""
-        directory = self._directory
-        if directory is None:
-            directory = self._directory = _build_directory(
-                self._offsets, self._hubs
-            )
-        return directory
 
     # ------------------------------------------------------------------
     # Freezing / thawing
@@ -130,37 +105,19 @@ class FrozenWCIndex:
     @classmethod
     def freeze(cls, index) -> "FrozenWCIndex":
         """Snapshot a list-backed :class:`WCIndex` into flat storage."""
-        n = index.num_vertices
-        offsets = array(OFFSET_TYPECODE, [0] * (n + 1))
-        hubs = array(HUB_TYPECODE)
-        dists = array(VALUE_TYPECODE)
-        quals = array(VALUE_TYPECODE)
-        parents = array(HUB_TYPECODE) if index.tracks_parents else None
-        for v in range(n):
-            hubs_v, dists_v, quals_v = index.label_lists(v)
-            offsets[v + 1] = offsets[v] + len(hubs_v)
-            hubs.extend(hubs_v)
-            dists.extend(dists_v)
-            quals.extend(quals_v)
-            if parents is not None:
-                parents.extend(index.parent_list(v))
-        return cls(index.order, offsets, hubs, dists, quals, parents)
+        side = _FlatSide.from_lists(
+            index.num_vertices,
+            index.label_lists,
+            index.parent_list if index.tracks_parents else None,
+        )
+        return cls(index.order, *side.raw_arrays())
 
     def thaw(self):
         """Expand back into a mutable list-backed :class:`WCIndex` (for
         dynamic updates); ``freeze(thaw(f))`` reproduces ``f`` exactly."""
         from .labels import WCIndex
 
-        n = self.num_vertices
-        offsets = self._offsets
-        hub_lists = [list(self._hubs[offsets[v]:offsets[v + 1]]) for v in range(n)]
-        dist_lists = [list(self._dists[offsets[v]:offsets[v + 1]]) for v in range(n)]
-        qual_lists = [list(self._quals[offsets[v]:offsets[v + 1]]) for v in range(n)]
-        parent_lists = None
-        if self._parents is not None:
-            parent_lists = [
-                list(self._parents[offsets[v]:offsets[v + 1]]) for v in range(n)
-            ]
+        hub_lists, dist_lists, qual_lists, parent_lists = self._side.to_lists()
         return WCIndex.from_label_lists(
             self.order, hub_lists, dist_lists, qual_lists, parent_lists
         )
@@ -172,11 +129,12 @@ class FrozenWCIndex:
         """w-constrained distance via the flat Query+ merge (Alg. 5)."""
         self._check_vertex(s)
         self._check_vertex(t)
-        directory = self._groups()
-        dists = self._dists
-        quals = self._quals
+        side = self._side
+        directory = side.directory()
         return merge_linear_flat(
-            directory[s], dists, quals, directory[t], dists, quals, w
+            directory[s], side.dists, side.quals,
+            directory[t], side.dists, side.quals,
+            w,
         )
 
     def distance_with(self, s: int, t: int, w: float, kernel: str) -> float:
@@ -191,10 +149,13 @@ class FrozenWCIndex:
                 f"unknown kernel {kernel!r}; "
                 f"choose from {sorted(MERGE_KERNELS_FLAT)}"
             ) from None
-        directory = self._groups()
-        dists = self._dists
-        quals = self._quals
-        return merge(directory[s], dists, quals, directory[t], dists, quals, w)
+        side = self._side
+        directory = side.directory()
+        return merge(
+            directory[s], side.dists, side.quals,
+            directory[t], side.dists, side.quals,
+            w,
+        )
 
     def distance_with_witness(
         self, s: int, t: int, w: float
@@ -203,15 +164,16 @@ class FrozenWCIndex:
         ``L(t)`` — same local-index contract as the list engine."""
         self._check_vertex(s)
         self._check_vertex(t)
-        directory = self._groups()
-        dists = self._dists
-        quals = self._quals
+        side = self._side
+        directory = side.directory()
         best, a, b = merge_linear_flat_with_witness(
-            directory[s], dists, quals, directory[t], dists, quals, w
+            directory[s], side.dists, side.quals,
+            directory[t], side.dists, side.quals,
+            w,
         )
         if a < 0:
             return best, -1, -1
-        offsets = self._offsets
+        offsets = side.offsets
         return best, a - offsets[s], b - offsets[t]
 
     def reachable(self, s: int, t: int, w: float) -> bool:
@@ -223,53 +185,28 @@ class FrozenWCIndex:
 
         The hot path of the frozen engine: one pair of global
         ``memoryview`` slices of ``dists``/``quals`` is taken once and
-        reused for every query (views, never copies), and the merge is
-        inlined — the *smaller* side's group directory is intersected
-        against the larger side's precomputed ``hub -> (start, end)`` map,
-        so each query costs ``O(min(groups))`` hash probes plus the
-        feasibility scans of matched groups.  No per-query slicing, list
-        chasing, or ``group_end`` boundary scans.
+        reused for every query (views, never copies), then the whole
+        batch runs through :func:`~repro.core.query.batch_merge_flat` —
+        the hash-intersection merge loop shared with the directed and
+        weighted frozen engines.
         """
-        directory = self._groups()
-        hub_map = self._hub_map
-        if hub_map is None:
-            hub_map = self._hub_map = [
-                {hub: (start, end) for hub, start, end in groups}
-                for groups in directory
-            ]
-        dists = memoryview(self._dists)
-        quals = memoryview(self._quals)
-        n = len(self.order)
-        inf = INF
-        results: List[float] = []
-        append = results.append
-        for s, t, w in queries:
-            if not 0 <= s < n or not 0 <= t < n:
-                raise ValueError(f"query vertex out of range in ({s}, {t})")
-            dir_s = directory[s]
-            if len(dir_s) <= len(directory[t]):
-                lookup = hub_map[t].get
-            else:
-                dir_s = directory[t]
-                lookup = hub_map[s].get
-            best = inf
-            for hub, s_start, s_end in dir_s:
-                match = lookup(hub)
-                if match is None:
-                    continue
-                a = s_start
-                while a < s_end and quals[a] < w:
-                    a += 1
-                if a < s_end:
-                    b, t_end = match
-                    while b < t_end and quals[b] < w:
-                        b += 1
-                    if b < t_end:
-                        total = dists[a] + dists[b]
-                        if total < best:
-                            best = total
-            append(best)
-        return results
+        side = self._side
+        directory = side.directory()
+        hub_map = side.hub_map()
+        dists = memoryview(side.dists)
+        quals = memoryview(side.quals)
+        return batch_merge_flat(
+            queries,
+            directory,
+            hub_map,
+            dists,
+            quals,
+            directory,
+            hub_map,
+            dists,
+            quals,
+            len(self.order),
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -280,42 +217,34 @@ class FrozenWCIndex:
 
     @property
     def tracks_parents(self) -> bool:
-        return self._parents is not None
+        return self._side.parents is not None
 
     def label_lists(self, v: int):
         """Zero-copy ``memoryview`` slices ``(hub_ranks, dists, quals)`` of
         vertex ``v``'s entries in the global arrays."""
         self._check_vertex(v)
-        start, stop = self._offsets[v], self._offsets[v + 1]
-        return (
-            memoryview(self._hubs)[start:stop],
-            memoryview(self._dists)[start:stop],
-            memoryview(self._quals)[start:stop],
-        )
+        return self._side.label_slices(v)
 
     def parent_list(self, v: int):
-        if self._parents is None:
+        side = self._side
+        if side.parents is None:
             raise ValueError("index was built without parent tracking")
         self._check_vertex(v)
-        return memoryview(self._parents)[self._offsets[v]:self._offsets[v + 1]]
+        return memoryview(side.parents)[
+            side.offsets[v]:side.offsets[v + 1]
+        ]
 
     def raw_arrays(self):
         """The canonical flat arrays ``(offsets, hubs, dists, quals,
         parents)`` — ``parents`` is ``None`` without parent tracking.
         Exposed for serialization and tests; callers must not mutate."""
-        return (
-            self._offsets,
-            self._hubs,
-            self._dists,
-            self._quals,
-            self._parents,
-        )
+        return self._side.raw_arrays()
 
     def group_directory(self, v: int) -> List[Tuple[int, int, int]]:
         """The precomputed ``(hub_rank, start, end)`` triples of ``v``
         (global positions into the flat arrays)."""
         self._check_vertex(v)
-        return list(self._groups()[v])
+        return list(self._side.directory()[v])
 
     def entries_of(self, v: int) -> List[Tuple[int, float, float]]:
         """Label set of ``v`` as ``(hub_vertex, dist, quality)`` triples."""
@@ -326,45 +255,32 @@ class FrozenWCIndex:
     def iter_entries(self) -> Iterator[Tuple[int, int, float, float]]:
         """All entries as ``(vertex, hub_vertex, dist, quality)``."""
         order = self.order
-        offsets = self._offsets
-        hubs, dists, quals = self._hubs, self._dists, self._quals
+        side = self._side
+        offsets = side.offsets
+        hubs, dists, quals = side.hubs, side.dists, side.quals
         for v in range(self.num_vertices):
             for i in range(offsets[v], offsets[v + 1]):
                 yield (v, order[hubs[i]], dists[i], quals[i])
 
     def label_size(self, v: int) -> int:
         self._check_vertex(v)
-        return self._offsets[v + 1] - self._offsets[v]
+        return self._side.label_size(v)
 
     def entry_count(self) -> int:
-        return len(self._hubs)
+        return self._side.entry_count()
 
     def max_label_size(self) -> int:
-        offsets = self._offsets
-        return max(
-            (offsets[v + 1] - offsets[v] for v in range(self.num_vertices)),
-            default=0,
-        )
+        return self._side.max_label_size()
 
     def group_count(self) -> int:
         """Total number of hub groups across all vertices."""
-        return sum(len(d) for d in self._groups())
+        return self._side.group_count()
 
     def nbytes(self) -> int:
         """Actual frozen footprint: the flat arrays plus the group
         directory modelled at flat-array rates (:data:`BYTES_PER_GROUP`
         per group plus one offset per vertex)."""
-        total = (
-            self._offsets.itemsize * len(self._offsets)
-            + self._hubs.itemsize * len(self._hubs)
-            + self._dists.itemsize * len(self._dists)
-            + self._quals.itemsize * len(self._quals)
-        )
-        if self._parents is not None:
-            total += self._parents.itemsize * len(self._parents)
-        total += BYTES_PER_GROUP * self.group_count()
-        total += 8 * (self.num_vertices + 1)  # directory offset table
-        return total
+        return self._side.nbytes()
 
     def size_bytes(self) -> int:
         """Alias for :meth:`nbytes` (``WCIndex`` API parity)."""
@@ -402,3 +318,519 @@ def _build_directory(
             i = j
         directory.append(groups)
     return directory
+
+
+class _FlatSide:
+    """One flat label store: the global parallel array triple, its offset
+    table, optional parents, and the lazily built group directory plus
+    ``hub_rank -> (start, end)`` map.
+
+    The single source of truth for the flat layout: the undirected and
+    weighted engines own one side each, the directed engine two
+    (``L_in`` / ``L_out``).
+    """
+
+    __slots__ = (
+        "offsets",
+        "hubs",
+        "dists",
+        "quals",
+        "parents",
+        "_directory",
+        "_hub_map",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        offsets: array,
+        hubs: array,
+        dists: array,
+        quals: array,
+        parents: Optional[array] = None,
+    ) -> None:
+        if len(offsets) != n + 1:
+            raise ValueError(
+                f"offsets must have {n + 1} entries, got {len(offsets)}"
+            )
+        total = offsets[n] if n else 0
+        if not (len(hubs) == len(dists) == len(quals) == total):
+            raise ValueError("hub/dist/quality arrays disagree with offsets")
+        if parents is not None and len(parents) != total:
+            raise ValueError("parents array disagrees with offsets")
+        self.offsets = offsets
+        self.hubs = hubs
+        self.dists = dists
+        self.quals = quals
+        self.parents = parents
+        self._directory: Optional[List[List[Tuple[int, int, int]]]] = None
+        self._hub_map: Optional[List[dict]] = None
+
+    @classmethod
+    def from_lists(
+        cls,
+        n: int,
+        label_lists,
+        parent_lists=None,
+    ) -> "_FlatSide":
+        """Flatten per-vertex parallel lists; ``label_lists(v)`` returns
+        ``(hubs, dists, quals)``, ``parent_lists(v)`` a parent list."""
+        offsets = array(OFFSET_TYPECODE, [0] * (n + 1))
+        hubs = array(HUB_TYPECODE)
+        dists = array(VALUE_TYPECODE)
+        quals = array(VALUE_TYPECODE)
+        parents = array(HUB_TYPECODE) if parent_lists is not None else None
+        for v in range(n):
+            hubs_v, dists_v, quals_v = label_lists(v)
+            offsets[v + 1] = offsets[v] + len(hubs_v)
+            hubs.extend(hubs_v)
+            dists.extend(dists_v)
+            quals.extend(quals_v)
+            if parents is not None:
+                parents.extend(parent_lists(v))
+        return cls(n, offsets, hubs, dists, quals, parents)
+
+    def directory(self) -> List[List[Tuple[int, int, int]]]:
+        groups = self._directory
+        if groups is None:
+            groups = self._directory = _build_directory(self.offsets, self.hubs)
+        return groups
+
+    def hub_map(self) -> List[dict]:
+        hub_map = self._hub_map
+        if hub_map is None:
+            hub_map = self._hub_map = [
+                {hub: (start, end) for hub, start, end in groups}
+                for groups in self.directory()
+            ]
+        return hub_map
+
+    def label_slices(self, v: int):
+        """Zero-copy ``memoryview`` slices of vertex ``v``'s entries."""
+        start, stop = self.offsets[v], self.offsets[v + 1]
+        return (
+            memoryview(self.hubs)[start:stop],
+            memoryview(self.dists)[start:stop],
+            memoryview(self.quals)[start:stop],
+        )
+
+    def to_lists(self):
+        """Expand back into per-vertex Python lists (for thawing)."""
+        offsets = self.offsets
+        n = len(offsets) - 1
+        hubs = [list(self.hubs[offsets[v]:offsets[v + 1]]) for v in range(n)]
+        dists = [list(self.dists[offsets[v]:offsets[v + 1]]) for v in range(n)]
+        quals = [list(self.quals[offsets[v]:offsets[v + 1]]) for v in range(n)]
+        parents = None
+        if self.parents is not None:
+            parents = [
+                list(self.parents[offsets[v]:offsets[v + 1]]) for v in range(n)
+            ]
+        return hubs, dists, quals, parents
+
+    def label_size(self, v: int) -> int:
+        return self.offsets[v + 1] - self.offsets[v]
+
+    def entry_count(self) -> int:
+        return len(self.hubs)
+
+    def max_label_size(self) -> int:
+        offsets = self.offsets
+        return max(
+            (offsets[v + 1] - offsets[v] for v in range(len(offsets) - 1)),
+            default=0,
+        )
+
+    def group_count(self) -> int:
+        return sum(len(groups) for groups in self.directory())
+
+    def nbytes(self) -> int:
+        """Flat arrays plus the group directory at flat-array rates."""
+        total = (
+            self.offsets.itemsize * len(self.offsets)
+            + self.hubs.itemsize * len(self.hubs)
+            + self.dists.itemsize * len(self.dists)
+            + self.quals.itemsize * len(self.quals)
+        )
+        if self.parents is not None:
+            total += self.parents.itemsize * len(self.parents)
+        total += BYTES_PER_GROUP * self.group_count()
+        total += 8 * len(self.offsets)  # directory offset table
+        return total
+
+    def raw_arrays(self):
+        return (self.offsets, self.hubs, self.dists, self.quals, self.parents)
+
+
+class FrozenDirectedWCIndex:
+    """Immutable flat-array snapshot of a
+    :class:`~repro.core.directed.DirectedWCIndex`.
+
+    Two :class:`_FlatSide` stores — ``L_in`` and ``L_out`` — share the
+    vertex order (the hub-group directory of either side indexes hub
+    *ranks* of that one order).  A query ``(s, t, w)`` merges the out-side
+    directory of ``s`` against the in-side directory of ``t`` through the
+    same flat kernels as the undirected engine.  Construct via
+    :meth:`freeze` (or ``DirectedWCIndex.freeze()``).
+    """
+
+    __slots__ = ("order", "rank", "_in", "_out")
+
+    def __init__(
+        self, order: Sequence[int], in_side: _FlatSide, out_side: _FlatSide
+    ) -> None:
+        n = len(order)
+        if len(in_side.offsets) != n + 1 or len(out_side.offsets) != n + 1:
+            raise ValueError("label sides disagree with the vertex order")
+        if (in_side.parents is None) != (out_side.parents is None):
+            raise ValueError("parent tracking must match on both sides")
+        self.order: List[int] = list(order)
+        self.rank: List[int] = [0] * n
+        for r, v in enumerate(self.order):
+            self.rank[v] = r
+        self._in = in_side
+        self._out = out_side
+
+    # ------------------------------------------------------------------
+    # Freezing / thawing
+    # ------------------------------------------------------------------
+    @classmethod
+    def freeze(cls, index) -> "FrozenDirectedWCIndex":
+        """Snapshot a list-backed ``DirectedWCIndex`` into flat storage."""
+        n = index.num_vertices
+        tracks = index.tracks_parents
+        in_side = _FlatSide.from_lists(
+            n,
+            index.in_label_lists,
+            index.in_parent_list if tracks else None,
+        )
+        out_side = _FlatSide.from_lists(
+            n,
+            index.out_label_lists,
+            index.out_parent_list if tracks else None,
+        )
+        return cls(index.order, in_side, out_side)
+
+    def thaw(self):
+        """Expand back into a mutable list-backed ``DirectedWCIndex``;
+        ``freeze(thaw(f))`` reproduces ``f`` exactly."""
+        from .directed import DirectedWCIndex
+
+        in_hubs, in_dists, in_quals, in_parents = self._in.to_lists()
+        out_hubs, out_dists, out_quals, out_parents = self._out.to_lists()
+        return DirectedWCIndex.from_label_lists(
+            self.order,
+            in_hubs,
+            in_dists,
+            in_quals,
+            out_hubs,
+            out_dists,
+            out_quals,
+            in_parents,
+            out_parents,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def distance(self, s: int, t: int, w: float) -> float:
+        """w-constrained directed distance ``s -> t`` via the flat merge
+        of ``L_out(s)`` and ``L_in(t)``."""
+        self._check_vertex(s)
+        self._check_vertex(t)
+        out = self._out
+        inn = self._in
+        return merge_linear_flat(
+            out.directory()[s],
+            out.dists,
+            out.quals,
+            inn.directory()[t],
+            inn.dists,
+            inn.quals,
+            w,
+        )
+
+    def reachable(self, s: int, t: int, w: float) -> bool:
+        """Whether any directed w-path leads from ``s`` to ``t``."""
+        return self.distance(s, t, w) != INF
+
+    def distance_many(self, queries) -> List[float]:
+        """Answer a batch of directed ``(s, t, w)`` queries through the
+        shared hash-intersection merge (out-side for sources, in-side for
+        targets)."""
+        out = self._out
+        inn = self._in
+        return batch_merge_flat(
+            queries,
+            out.directory(),
+            out.hub_map(),
+            memoryview(out.dists),
+            memoryview(out.quals),
+            inn.directory(),
+            inn.hub_map(),
+            memoryview(inn.dists),
+            memoryview(inn.quals),
+            len(self.order),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.order)
+
+    @property
+    def tracks_parents(self) -> bool:
+        return self._in.parents is not None
+
+    def in_entries_of(self, v: int) -> List[Tuple[int, float, float]]:
+        """``L_in(v)`` as ``(hub_vertex, dist, quality)`` triples."""
+        self._check_vertex(v)
+        hubs, dists, quals = self._in.label_slices(v)
+        order = self.order
+        return [(order[h], d, q) for h, d, q in zip(hubs, dists, quals)]
+
+    def out_entries_of(self, v: int) -> List[Tuple[int, float, float]]:
+        """``L_out(v)`` as ``(hub_vertex, dist, quality)`` triples."""
+        self._check_vertex(v)
+        hubs, dists, quals = self._out.label_slices(v)
+        order = self.order
+        return [(order[h], d, q) for h, d, q in zip(hubs, dists, quals)]
+
+    def raw_sides(self):
+        """The canonical flat array 5-tuples ``(in_arrays, out_arrays)``
+        — each ``(offsets, hubs, dists, quals, parents)``.  Exposed for
+        serialization and tests; callers must not mutate."""
+        return self._in.raw_arrays(), self._out.raw_arrays()
+
+    def entry_count(self) -> int:
+        return self._in.entry_count() + self._out.entry_count()
+
+    def label_size(self, v: int) -> int:
+        self._check_vertex(v)
+        return self._in.label_size(v) + self._out.label_size(v)
+
+    def max_label_size(self) -> int:
+        return max(self._in.max_label_size(), self._out.max_label_size())
+
+    def group_count(self) -> int:
+        return self._in.group_count() + self._out.group_count()
+
+    def nbytes(self) -> int:
+        """Actual frozen footprint of both sides (arrays + directories)."""
+        return self._in.nbytes() + self._out.nbytes()
+
+    def size_bytes(self) -> int:
+        """Alias for :meth:`nbytes` (``DirectedWCIndex`` API parity)."""
+        return self.nbytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"FrozenDirectedWCIndex(n={self.num_vertices}, "
+            f"entries={self.entry_count()}, {self.nbytes()} bytes)"
+        )
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < len(self.order):
+            raise ValueError(f"vertex {v} out of range [0, {len(self.order)})")
+
+
+class FrozenWeightedWCIndex:
+    """Immutable flat-array snapshot of a
+    :class:`~repro.core.weighted.WeightedWCIndex`.
+
+    Same single-side layout as :class:`FrozenWCIndex` — the 64-bit
+    ``array("d")`` distance store carries real-valued path lengths instead
+    of hop counts, so the flat kernels apply unchanged.  Parent pointers
+    (``(parent_vertex, parent_entry_index)`` pairs in the list engine)
+    freeze into two parallel ``array("i")`` columns.  Construct via
+    :meth:`freeze` (or ``WeightedWCIndex.freeze()``).
+    """
+
+    __slots__ = ("order", "rank", "_side", "_parent_vertices", "_parent_entries")
+
+    def __init__(
+        self,
+        order: Sequence[int],
+        side: _FlatSide,
+        parent_vertices: Optional[array] = None,
+        parent_entries: Optional[array] = None,
+    ) -> None:
+        n = len(order)
+        if len(side.offsets) != n + 1:
+            raise ValueError("label arrays disagree with the vertex order")
+        if (parent_vertices is None) != (parent_entries is None):
+            raise ValueError("parent vertex/entry arrays must come together")
+        if parent_vertices is not None:
+            total = side.entry_count()
+            if len(parent_vertices) != total or len(parent_entries) != total:
+                raise ValueError("parent arrays disagree with offsets")
+        self.order: List[int] = list(order)
+        self.rank: List[int] = [0] * n
+        for r, v in enumerate(self.order):
+            self.rank[v] = r
+        self._side = side
+        self._parent_vertices = parent_vertices
+        self._parent_entries = parent_entries
+
+    # ------------------------------------------------------------------
+    # Freezing / thawing
+    # ------------------------------------------------------------------
+    @classmethod
+    def freeze(cls, index) -> "FrozenWeightedWCIndex":
+        """Snapshot a list-backed ``WeightedWCIndex`` into flat storage."""
+        n = index.num_vertices
+        side = _FlatSide.from_lists(n, index.label_lists)
+        parent_vertices = None
+        parent_entries = None
+        if index.tracks_parents:
+            parent_vertices = array(HUB_TYPECODE)
+            parent_entries = array(HUB_TYPECODE)
+            for v in range(n):
+                for parent_vertex, parent_idx in index.parent_pairs(v):
+                    parent_vertices.append(parent_vertex)
+                    parent_entries.append(parent_idx)
+        return cls(index.order, side, parent_vertices, parent_entries)
+
+    def thaw(self):
+        """Expand back into a mutable list-backed ``WeightedWCIndex``;
+        ``freeze(thaw(f))`` reproduces ``f`` exactly."""
+        from .weighted import WeightedWCIndex
+
+        hubs, dists, quals, _ = self._side.to_lists()
+        parents = None
+        if self._parent_vertices is not None:
+            offsets = self._side.offsets
+            pv, pe = self._parent_vertices, self._parent_entries
+            parents = [
+                [
+                    (pv[i], pe[i])
+                    for i in range(offsets[v], offsets[v + 1])
+                ]
+                for v in range(self.num_vertices)
+            ]
+        return WeightedWCIndex.from_label_lists(
+            self.order, hubs, dists, quals, parents
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def distance(self, s: int, t: int, w: float) -> float:
+        """w-constrained weighted distance via the flat Query+ merge."""
+        self._check_vertex(s)
+        self._check_vertex(t)
+        side = self._side
+        directory = side.directory()
+        return merge_linear_flat(
+            directory[s], side.dists, side.quals,
+            directory[t], side.dists, side.quals,
+            w,
+        )
+
+    def reachable(self, s: int, t: int, w: float) -> bool:
+        """Whether any w-path connects ``s`` and ``t``."""
+        return self.distance(s, t, w) != INF
+
+    def distance_many(self, queries) -> List[float]:
+        """Answer a batch of weighted ``(s, t, w)`` queries through the
+        shared hash-intersection merge."""
+        side = self._side
+        directory = side.directory()
+        hub_map = side.hub_map()
+        dists = memoryview(side.dists)
+        quals = memoryview(side.quals)
+        return batch_merge_flat(
+            queries,
+            directory,
+            hub_map,
+            dists,
+            quals,
+            directory,
+            hub_map,
+            dists,
+            quals,
+            len(self.order),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.order)
+
+    @property
+    def tracks_parents(self) -> bool:
+        return self._parent_vertices is not None
+
+    def label_lists(self, v: int):
+        """Zero-copy ``memoryview`` slices ``(hub_ranks, dists, quals)``."""
+        self._check_vertex(v)
+        return self._side.label_slices(v)
+
+    def entries_of(self, v: int) -> List[Tuple[int, float, float]]:
+        """Label set of ``v`` as ``(hub_vertex, dist, quality)`` triples."""
+        hubs, dists, quals = self.label_lists(v)
+        order = self.order
+        return [(order[h], d, q) for h, d, q in zip(hubs, dists, quals)]
+
+    def parent_pairs(self, v: int) -> List[Tuple[int, int]]:
+        """``(parent_vertex, parent_entry_index)`` pairs of vertex ``v``."""
+        if self._parent_vertices is None:
+            raise ValueError("index was built without parent tracking")
+        self._check_vertex(v)
+        offsets = self._side.offsets
+        pv, pe = self._parent_vertices, self._parent_entries
+        return [(pv[i], pe[i]) for i in range(offsets[v], offsets[v + 1])]
+
+    def raw_arrays(self):
+        """``(offsets, hubs, dists, quals, parent_vertices,
+        parent_entries)`` — the last two are ``None`` without parent
+        tracking.  Exposed for serialization and tests; callers must not
+        mutate."""
+        offsets, hubs, dists, quals, _ = self._side.raw_arrays()
+        return (
+            offsets,
+            hubs,
+            dists,
+            quals,
+            self._parent_vertices,
+            self._parent_entries,
+        )
+
+    def entry_count(self) -> int:
+        return self._side.entry_count()
+
+    def label_size(self, v: int) -> int:
+        self._check_vertex(v)
+        return self._side.label_size(v)
+
+    def max_label_size(self) -> int:
+        return self._side.max_label_size()
+
+    def group_count(self) -> int:
+        return self._side.group_count()
+
+    def nbytes(self) -> int:
+        """Actual frozen footprint (arrays + group directory)."""
+        total = self._side.nbytes()
+        if self._parent_vertices is not None:
+            total += self._parent_vertices.itemsize * len(self._parent_vertices)
+            total += self._parent_entries.itemsize * len(self._parent_entries)
+        return total
+
+    def size_bytes(self) -> int:
+        """Alias for :meth:`nbytes` (``WeightedWCIndex`` API parity)."""
+        return self.nbytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"FrozenWeightedWCIndex(n={self.num_vertices}, "
+            f"entries={self.entry_count()}, {self.nbytes()} bytes)"
+        )
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < len(self.order):
+            raise ValueError(f"vertex {v} out of range [0, {len(self.order)})")

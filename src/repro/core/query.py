@@ -30,7 +30,7 @@ Each kernel exists in two storage layouts:
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 INF = float("inf")
 
@@ -371,3 +371,63 @@ MERGE_KERNELS_FLAT = {
     "binary": merge_binary_flat,
     "linear": merge_linear_flat,
 }
+
+
+def batch_merge_flat(
+    queries,
+    dirs_s: Sequence[Sequence[Tuple[int, int, int]]],
+    maps_s: Sequence[dict],
+    dists_s,
+    quals_s,
+    dirs_t: Sequence[Sequence[Tuple[int, int, int]]],
+    maps_t: Sequence[dict],
+    dists_t,
+    quals_t,
+    n: int,
+) -> List[float]:
+    """The batch hot path shared by every frozen engine.
+
+    ``dirs_s``/``maps_s`` describe the side the query source indexes into
+    (for the undirected and weighted engines both sides are the same
+    directory; the directed engine passes its out-side for ``s`` and its
+    in-side for ``t``).  Per query the *smaller* side's group directory is
+    intersected against the larger side's precomputed
+    ``hub -> (start, end)`` map, so each query costs ``O(min(groups))``
+    hash probes plus the feasibility scans of matched groups — no
+    per-query slicing, list chasing, or ``group_end`` boundary scans.
+    """
+    inf = INF
+    results: List[float] = []
+    append = results.append
+    for s, t, w in queries:
+        if not 0 <= s < n or not 0 <= t < n:
+            raise ValueError(f"query vertex out of range in ({s}, {t})")
+        dir_small = dirs_s[s]
+        dir_other = dirs_t[t]
+        if len(dir_small) <= len(dir_other):
+            lookup = maps_t[t].get
+            d_small, q_small = dists_s, quals_s
+            d_large, q_large = dists_t, quals_t
+        else:
+            dir_small = dir_other
+            lookup = maps_s[s].get
+            d_small, q_small = dists_t, quals_t
+            d_large, q_large = dists_s, quals_s
+        best = inf
+        for hub, a_start, a_end in dir_small:
+            match = lookup(hub)
+            if match is None:
+                continue
+            a = a_start
+            while a < a_end and q_small[a] < w:
+                a += 1
+            if a < a_end:
+                b, b_end = match
+                while b < b_end and q_large[b] < w:
+                    b += 1
+                if b < b_end:
+                    total = d_small[a] + d_large[b]
+                    if total < best:
+                        best = total
+        append(best)
+    return results

@@ -19,15 +19,30 @@ Qualities serialize via ``repr(float)`` (round-trip exact, including
 (mirroring :mod:`repro.graph.io`), and rejects trailing garbage after the
 last vertex block.
 
-**Binary** (``.wcxb``) — the compact struct-packed image of a
-:class:`~repro.core.frozen.FrozenWCIndex`: a fixed little-endian header
-followed by the raw ``order`` / ``offsets`` / ``hubs`` / ``dists`` /
-``quals`` (/ ``parents``) arrays.  Loading is one read per array straight
-into flat storage — no per-entry parsing — plus an optional (default-on)
-integrity scan of the kernel invariants; trusted reloads can disable it
-for raw array-read startup.  :func:`save_index` / :func:`load_index` dispatch on the
-suffix; :func:`save_frozen` / :func:`load_frozen` are the direct binary
-entry points (``load_frozen`` returns the frozen engine without thawing).
+**Binary** (``.wcxb``) — the compact struct-packed image of a frozen
+index.  Version 2 of the format serves all three index families through
+one header: a fixed little-endian header carrying a **variant tag**
+(undirected / directed / weighted) and a **per-section offset table**
+(one absolute byte offset per array section), followed by the raw
+little-endian arrays.  Section line-up per variant (parent sections only
+when the parents flag is set):
+
+* undirected — ``order, offsets, hubs, dists, quals[, parents]``
+* directed — ``order``, then the ``L_in`` side
+  (``offsets, hubs, dists, quals[, parents]``), then the ``L_out`` side
+* weighted — ``order, offsets, hubs, dists, quals[, parent_vertices,
+  parent_entries]``
+
+Loading is one read per section straight into flat storage — no
+per-entry parsing — with the offset table cross-checked against the real
+section positions, plus an optional (default-on) integrity scan of the
+kernel invariants; trusted reloads can disable it for raw array-read
+startup.  Version 1 images (the undirected-only layout of PR 1) are
+still read.  :func:`save_index` / :func:`load_index` dispatch on the
+suffix (case-insensitive); :func:`save_frozen` / :func:`load_frozen` are
+the direct binary entry points (``load_frozen`` returns the matching
+frozen engine — :class:`FrozenWCIndex`, :class:`FrozenDirectedWCIndex`
+or :class:`FrozenWeightedWCIndex` — without thawing).
 """
 
 from __future__ import annotations
@@ -40,23 +55,52 @@ from array import array
 from pathlib import Path
 from typing import BinaryIO, List, TextIO, Union
 
+from .directed import DirectedWCIndex
 from .frozen import (
     HUB_TYPECODE,
     OFFSET_TYPECODE,
     VALUE_TYPECODE,
+    FrozenDirectedWCIndex,
     FrozenWCIndex,
+    FrozenWeightedWCIndex,
+    _FlatSide,
 )
 from .labels import WCIndex
+from .weighted import WeightedWCIndex
 
 PathLike = Union[str, Path]
 MAGIC = "WCINDEX"
 VERSION = 1
 
 BINARY_MAGIC = b"WCXB"
-BINARY_VERSION = 1
+BINARY_VERSION = 2
 BINARY_SUFFIX = ".wcxb"
-_BINARY_HEADER = struct.Struct("<4sHHq")  # magic, version, flags, n
+_BINARY_PREFIX = struct.Struct("<4sH")  # magic, version (shared by v1/v2)
+_BINARY_HEADER_V1 = struct.Struct("<4sHHq")  # magic, version, flags, n
+#: v2 header: magic, version, variant, flags, section count, n.
+_BINARY_HEADER = struct.Struct("<4sHHHHq")
 _FLAG_PARENTS = 1
+
+#: Variant tags of the binary header — which index family the image holds.
+VARIANT_UNDIRECTED = 0
+VARIANT_DIRECTED = 1
+VARIANT_WEIGHTED = 2
+_VARIANT_NAMES = {
+    VARIANT_UNDIRECTED: "undirected",
+    VARIANT_DIRECTED: "directed",
+    VARIANT_WEIGHTED: "weighted",
+}
+
+
+def is_binary_index_path(path: PathLike) -> bool:
+    """Whether ``path`` selects the binary frozen format.
+
+    The suffix check is case-insensitive — ``INDEX.WCXB`` is the same
+    format as ``index.wcxb`` (files shuttled through case-normalizing
+    filesystems used to fall through to the text loader and die with a
+    confusing parse error).
+    """
+    return Path(path).suffix.lower() == BINARY_SUFFIX
 
 
 class IndexFormatError(ValueError):
@@ -77,20 +121,33 @@ def _open_read(source: PathLike) -> TextIO:
     return open(path, "r", encoding="utf-8")
 
 
+def _require_text_serializable(index) -> None:
+    if not isinstance(index, (WCIndex, FrozenWCIndex)):
+        raise ValueError(
+            f"the text index format holds only the undirected family; "
+            f"save {type(index).__name__} to a .wcxb path instead"
+        )
+
+
 def save_index(index, destination: Union[PathLike, TextIO]) -> None:
     """Write ``index`` to ``destination`` (path or open text handle).
 
     Accepts both the list-backed :class:`WCIndex` and a
-    :class:`FrozenWCIndex`; a path ending in ``.wcxb`` selects the binary
-    frozen format, anything else the text format.
+    :class:`FrozenWCIndex`; a path ending in ``.wcxb`` (case-insensitive)
+    selects the binary frozen format — which also covers the directed and
+    weighted families — anything else the text format (undirected only).
     """
     if isinstance(destination, (str, Path)):
-        if Path(destination).suffix == BINARY_SUFFIX:
+        if is_binary_index_path(destination):
             save_frozen(index, destination)
             return
+        # Reject before _open_write: opening first would truncate an
+        # existing index file and leave an empty .wci on the error path.
+        _require_text_serializable(index)
         with _open_write(destination) as handle:
             save_index(index, handle)
         return
+    _require_text_serializable(index)
     out = destination
     n = index.num_vertices
     tracks = 1 if index.tracks_parents else 0
@@ -110,12 +167,13 @@ def save_index(index, destination: Union[PathLike, TextIO]) -> None:
 def load_index(source: Union[PathLike, TextIO]) -> WCIndex:
     """Read an index written by :func:`save_index`.
 
-    Always returns the list-backed :class:`WCIndex`; a ``.wcxb`` path is
-    loaded through the binary reader and thawed (use :func:`load_frozen`
-    to keep the frozen engine).
+    Returns a list-backed index; a ``.wcxb`` path (case-insensitive) is
+    loaded through the binary reader and thawed into the list engine of
+    whatever family its variant tag names (use :func:`load_frozen` to
+    keep the frozen engine).
     """
     if isinstance(source, (str, Path)):
-        if Path(source).suffix == BINARY_SUFFIX:
+        if is_binary_index_path(source):
             return load_frozen(source).thaw()
         with _open_read(source) as handle:
             return load_index(handle)
@@ -211,37 +269,150 @@ def _parse_order(text: str, lineno: int, n: int) -> List[int]:
 # ----------------------------------------------------------------------
 # Binary frozen format (.wcxb)
 # ----------------------------------------------------------------------
+def _freeze_for_save(index):
+    """Normalize any supported index to ``(variant, frozen_engine)``."""
+    if isinstance(index, (WCIndex, FrozenWCIndex)):
+        variant = VARIANT_UNDIRECTED
+    elif isinstance(index, (DirectedWCIndex, FrozenDirectedWCIndex)):
+        variant = VARIANT_DIRECTED
+    elif isinstance(index, (WeightedWCIndex, FrozenWeightedWCIndex)):
+        variant = VARIANT_WEIGHTED
+    else:
+        raise ValueError(
+            f"cannot serialize {type(index).__name__} as a frozen index"
+        )
+    if isinstance(
+        index, (FrozenWCIndex, FrozenDirectedWCIndex, FrozenWeightedWCIndex)
+    ):
+        return variant, index
+    return variant, index.freeze()
+
+
+def _sections_of(variant: int, frozen) -> List[array]:
+    """The ordered array sections of a frozen image (module docstring)."""
+    sections: List[array] = [array(OFFSET_TYPECODE, frozen.order)]
+    if variant == VARIANT_DIRECTED:
+        for offsets, hubs, dists, quals, parents in frozen.raw_sides():
+            sections += [offsets, hubs, dists, quals]
+            if parents is not None:
+                sections.append(parents)
+        return sections
+    if variant == VARIANT_WEIGHTED:
+        offsets, hubs, dists, quals, pv, pe = frozen.raw_arrays()
+        sections += [offsets, hubs, dists, quals]
+        if pv is not None:
+            sections += [pv, pe]
+        return sections
+    offsets, hubs, dists, quals, parents = frozen.raw_arrays()
+    sections += [offsets, hubs, dists, quals]
+    if parents is not None:
+        sections.append(parents)
+    return sections
+
+
 def save_frozen(index, destination: Union[PathLike, BinaryIO]) -> None:
     """Write the binary frozen image of ``index`` (path or binary handle).
 
-    A list-backed :class:`WCIndex` is frozen first; a
-    :class:`FrozenWCIndex` is dumped as-is.  The layout is the header
-    followed by the raw little-endian arrays — see the module docstring.
+    Accepts every index family — list-backed engines are frozen first,
+    frozen engines are dumped as-is; the header's variant tag records
+    which family the image holds.  The layout is the header, the
+    per-section offset table, then the raw little-endian arrays — see the
+    module docstring.
     """
     if isinstance(destination, (str, Path)):
         with open(destination, "wb") as handle:
             save_frozen(index, handle)
         return
-    frozen = index if isinstance(index, FrozenWCIndex) else index.freeze()
+    variant, frozen = _freeze_for_save(index)
+    sections = _sections_of(variant, frozen)
     out = destination
-    n = frozen.num_vertices
     flags = _FLAG_PARENTS if frozen.tracks_parents else 0
-    out.write(_BINARY_HEADER.pack(BINARY_MAGIC, BINARY_VERSION, flags, n))
-    offsets, hubs, dists, quals, parents = frozen.raw_arrays()
-    _write_array(out, array(OFFSET_TYPECODE, frozen.order))
-    _write_array(out, offsets)
-    _write_array(out, hubs)
-    _write_array(out, dists)
-    _write_array(out, quals)
-    if parents is not None:
-        _write_array(out, parents)
+    header = _BINARY_HEADER.pack(
+        BINARY_MAGIC,
+        BINARY_VERSION,
+        variant,
+        flags,
+        len(sections),
+        frozen.num_vertices,
+    )
+    cursor = len(header) + 8 * len(sections)
+    table = array(OFFSET_TYPECODE)
+    for section in sections:
+        table.append(cursor)
+        cursor += section.itemsize * len(section)
+    out.write(header)
+    _write_array(out, table)
+    for section in sections:
+        _write_array(out, section)
+
+
+class _SectionReader:
+    """Sequential section reads cross-checked against the offset table."""
+
+    def __init__(self, data: bytes, cursor: int, table: array) -> None:
+        self._data = data
+        self._cursor = cursor
+        self._table = table
+        self._next = 0
+
+    def read(self, typecode: str, count: int) -> array:
+        index = self._next
+        if index >= len(self._table):
+            raise IndexFormatError(
+                "section table exhausted: more sections than declared"
+            )
+        expected = self._table[index]
+        if expected != self._cursor:
+            raise IndexFormatError(
+                f"section {index} offset {expected} disagrees with its "
+                f"actual position {self._cursor}"
+            )
+        values, self._cursor = _read_array(
+            self._data, self._cursor, typecode, count
+        )
+        self._next += 1
+        return values
+
+    def finish(self) -> None:
+        if self._next != len(self._table):
+            raise IndexFormatError(
+                f"section table declares {len(self._table)} sections, "
+                f"image uses {self._next}"
+            )
+        if self._cursor != len(self._data):
+            raise IndexFormatError(
+                f"trailing data after index body "
+                f"({len(self._data) - self._cursor} bytes)"
+            )
+
+
+def _read_order(reader: _SectionReader, n: int) -> List[int]:
+    order = list(reader.read(OFFSET_TYPECODE, n))
+    if sorted(order) != list(range(n)):
+        raise IndexFormatError("order is not a permutation of the vertex ids")
+    return order
+
+
+def _read_side(reader: _SectionReader, n: int, with_parents: bool):
+    """One label side: offsets, hubs, dists, quals (, parents)."""
+    offsets = reader.read(OFFSET_TYPECODE, n + 1)
+    total = offsets[n] if n else 0
+    if total < 0:
+        raise IndexFormatError("negative entry count in offset table")
+    hubs = reader.read(HUB_TYPECODE, total)
+    dists = reader.read(VALUE_TYPECODE, total)
+    quals = reader.read(VALUE_TYPECODE, total)
+    parents = reader.read(HUB_TYPECODE, total) if with_parents else None
+    return offsets, hubs, dists, quals, parents
 
 
 def load_frozen(
     source: Union[PathLike, BinaryIO], *, validate: bool = True
-) -> FrozenWCIndex:
-    """Read a ``.wcxb`` file into a :class:`FrozenWCIndex` — the arrays
-    land directly in flat storage, no per-entry parsing.
+):
+    """Read a ``.wcxb`` file into the frozen engine its variant tag names
+    (:class:`FrozenWCIndex`, :class:`FrozenDirectedWCIndex` or
+    :class:`FrozenWeightedWCIndex`) — the arrays land directly in flat
+    storage, no per-entry parsing.
 
     ``validate`` (default on) additionally runs an O(entries) integrity
     scan — offset monotonicity, hub sortedness, the Theorem 3 staircase —
@@ -253,16 +424,105 @@ def load_frozen(
         with open(source, "rb") as handle:
             return load_frozen(handle, validate=validate)
     data = source.read()
-    if len(data) < _BINARY_HEADER.size:
+    if len(data) < _BINARY_PREFIX.size:
         raise IndexFormatError("truncated binary index: missing header")
-    magic, version, flags, n = _BINARY_HEADER.unpack_from(data)
+    magic, version = _BINARY_PREFIX.unpack_from(data)
     if magic != BINARY_MAGIC:
         raise IndexFormatError(f"bad binary magic {magic!r}")
+    if version == 1:
+        return _load_frozen_v1(data, validate)
     if version != BINARY_VERSION:
         raise IndexFormatError(f"unsupported binary version {version}")
+    if len(data) < _BINARY_HEADER.size:
+        raise IndexFormatError("truncated binary index: missing header")
+    _, _, variant, flags, section_count, n = _BINARY_HEADER.unpack_from(data)
+    if variant not in _VARIANT_NAMES:
+        raise IndexFormatError(f"unknown index variant tag {variant}")
     if n < 0:
         raise IndexFormatError(f"negative vertex count {n}")
-    cursor = _BINARY_HEADER.size
+    expected_sections = _expected_section_count(variant, flags)
+    if section_count != expected_sections:
+        raise IndexFormatError(
+            f"{_VARIANT_NAMES[variant]} image must have "
+            f"{expected_sections} sections, header declares {section_count}"
+        )
+    table, cursor = _read_array(
+        data, _BINARY_HEADER.size, OFFSET_TYPECODE, section_count
+    )
+    reader = _SectionReader(data, cursor, table)
+    with_parents = bool(flags & _FLAG_PARENTS)
+    order = _read_order(reader, n)
+
+    if variant == VARIANT_DIRECTED:
+        in_arrays = _read_side(reader, n, with_parents)
+        out_arrays = _read_side(reader, n, with_parents)
+        reader.finish()
+        if validate:
+            for side in (in_arrays, out_arrays):
+                _validate_frozen_body(n, *side)
+        try:
+            return FrozenDirectedWCIndex(
+                order, _FlatSide(n, *in_arrays), _FlatSide(n, *out_arrays)
+            )
+        except ValueError as exc:
+            raise IndexFormatError(
+                f"inconsistent binary index: {exc}"
+            ) from exc
+
+    if variant == VARIANT_WEIGHTED:
+        offsets, hubs, dists, quals, _ = _read_side(reader, n, False)
+        parent_vertices = None
+        parent_entries = None
+        if with_parents:
+            total = offsets[n] if n else 0
+            parent_vertices = reader.read(HUB_TYPECODE, total)
+            parent_entries = reader.read(HUB_TYPECODE, total)
+        reader.finish()
+        if validate:
+            _validate_frozen_body(n, offsets, hubs, dists, quals, None)
+            if parent_vertices is not None:
+                _validate_weighted_parents(
+                    n, offsets, parent_vertices, parent_entries
+                )
+        try:
+            return FrozenWeightedWCIndex(
+                order,
+                _FlatSide(n, offsets, hubs, dists, quals),
+                parent_vertices,
+                parent_entries,
+            )
+        except ValueError as exc:
+            raise IndexFormatError(
+                f"inconsistent binary index: {exc}"
+            ) from exc
+
+    offsets, hubs, dists, quals, parents = _read_side(reader, n, with_parents)
+    reader.finish()
+    if validate:
+        _validate_frozen_body(n, offsets, hubs, dists, quals, parents)
+    try:
+        return FrozenWCIndex(order, offsets, hubs, dists, quals, parents)
+    except ValueError as exc:
+        raise IndexFormatError(f"inconsistent binary index: {exc}") from exc
+
+
+def _expected_section_count(variant: int, flags: int) -> int:
+    with_parents = bool(flags & _FLAG_PARENTS)
+    if variant == VARIANT_DIRECTED:
+        return 1 + 2 * (5 if with_parents else 4)
+    if variant == VARIANT_WEIGHTED:
+        return 5 + (2 if with_parents else 0)
+    return 5 + (1 if with_parents else 0)
+
+
+def _load_frozen_v1(data: bytes, validate: bool) -> FrozenWCIndex:
+    """The PR 1 layout: undirected only, no variant tag or section table."""
+    if len(data) < _BINARY_HEADER_V1.size:
+        raise IndexFormatError("truncated binary index: missing header")
+    _, _, flags, n = _BINARY_HEADER_V1.unpack_from(data)
+    if n < 0:
+        raise IndexFormatError(f"negative vertex count {n}")
+    cursor = _BINARY_HEADER_V1.size
     order_arr, cursor = _read_array(data, cursor, OFFSET_TYPECODE, n)
     offsets, cursor = _read_array(data, cursor, OFFSET_TYPECODE, n + 1)
     total = offsets[n] if n else 0
@@ -337,6 +597,26 @@ def _validate_frozen_body(n, offsets, hubs, dists, quals, parents) -> None:
                 raise IndexFormatError(
                     f"parent id {parent} out of range [-1, {n})"
                 )
+
+
+def _validate_weighted_parents(n, offsets, parent_vertices, parent_entries):
+    """Weighted parents are ``(vertex, entry_index)`` pairs: the vertex in
+    range, and the entry index addressing an existing entry of that
+    parent's label (or ``(-1, -1)`` for a hub's self entry)."""
+    for i in range(len(parent_vertices)):
+        parent = parent_vertices[i]
+        entry = parent_entries[i]
+        if not -1 <= parent < n:
+            raise IndexFormatError(
+                f"parent vertex {parent} out of range [-1, {n})"
+            )
+        if parent < 0:
+            continue
+        if not 0 <= entry < offsets[parent + 1] - offsets[parent]:
+            raise IndexFormatError(
+                f"parent entry index {entry} out of range for "
+                f"vertex {parent}"
+            )
 
 
 def _write_array(out: BinaryIO, values: array) -> None:

@@ -54,6 +54,41 @@ class WeightedWCIndex:
         )
         self._build(graph)
 
+    @classmethod
+    def from_label_lists(
+        cls,
+        order: Sequence[int],
+        hubs: List[List[int]],
+        dists: List[List[float]],
+        quals: List[List[float]],
+        parents: Optional[List[List[Tuple[int, int]]]] = None,
+    ) -> "WeightedWCIndex":
+        """Adopt builder-owned per-vertex label lists wholesale.
+
+        The supported way for ``FrozenWeightedWCIndex.thaw`` to hand over
+        finished label storage without re-running the constrained
+        Dijkstra — the lists are taken over, not copied.
+        """
+        index = cls.__new__(cls)
+        n = len(order)
+        if sorted(order) != list(range(n)):
+            raise ValueError("order must be a permutation of the vertex ids")
+        if not (len(hubs) == len(dists) == len(quals) == n):
+            raise ValueError(f"label lists must have {n} rows")
+        if parents is not None and len(parents) != n:
+            raise ValueError(f"parent lists must have {n} rows")
+        index._num_vertices = n
+        index._track_parents = parents is not None
+        index._order = list(order)
+        index._rank = [0] * n
+        for r, v in enumerate(index._order):
+            index._rank[v] = r
+        index._hubs = hubs
+        index._dists = dists
+        index._quals = quals
+        index._parents = parents
+        return index
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
@@ -176,6 +211,47 @@ class WeightedWCIndex:
             w,
         )
 
+    def distance_many(self, queries) -> List[float]:
+        """Answer a batch of weighted ``(s, t, w)`` queries with the
+        Query+ kernel (list storage; the batch counterpart of
+        :meth:`distance`)."""
+        hub_lists, dist_lists, qual_lists = (
+            self._hubs,
+            self._dists,
+            self._quals,
+        )
+        n = self._num_vertices
+        results: List[float] = []
+        append = results.append
+        for s, t, w in queries:
+            if not 0 <= s < n or not 0 <= t < n:
+                raise ValueError(f"query vertex out of range in ({s}, {t})")
+            append(
+                merge_linear(
+                    hub_lists[s],
+                    dist_lists[s],
+                    qual_lists[s],
+                    hub_lists[t],
+                    dist_lists[t],
+                    qual_lists[t],
+                    w,
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Freezing
+    # ------------------------------------------------------------------
+    def freeze(self):
+        """Snapshot into a
+        :class:`~repro.core.frozen.FrozenWeightedWCIndex` — the
+        flat-array query engine for weighted indexes.  The frozen copy is
+        independent, and ``freeze().thaw()`` reproduces the index
+        exactly."""
+        from .frozen import FrozenWeightedWCIndex
+
+        return FrozenWeightedWCIndex.freeze(self)
+
     # ------------------------------------------------------------------
     # Path reconstruction (requires track_parents=True)
     # ------------------------------------------------------------------
@@ -229,6 +305,26 @@ class WeightedWCIndex:
     def order(self) -> List[int]:
         return list(self._order)
 
+    @property
+    def num_vertices(self) -> int:
+        return self._num_vertices
+
+    @property
+    def tracks_parents(self) -> bool:
+        return self._track_parents
+
+    def label_lists(self, v: int) -> Tuple[List[int], List[float], List[float]]:
+        """Raw per-vertex parallel lists ``(hub_ranks, dists, quals)``."""
+        self._check_vertex(v)
+        return self._hubs[v], self._dists[v], self._quals[v]
+
+    def parent_pairs(self, v: int) -> List[Tuple[int, int]]:
+        """``(parent_vertex, parent_entry_index)`` pairs of vertex ``v``."""
+        if self._parents is None:
+            raise ValueError("index was built without parent tracking")
+        self._check_vertex(v)
+        return self._parents[v]
+
     def entry_count(self) -> int:
         return sum(len(h) for h in self._hubs)
 
@@ -247,6 +343,12 @@ class WeightedWCIndex:
 
     def __repr__(self) -> str:
         return f"WeightedWCIndex(n={self._num_vertices}, entries={self.entry_count()})"
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self._num_vertices:
+            raise ValueError(
+                f"vertex {v} out of range [0, {self._num_vertices})"
+            )
 
 
 def constrained_dijkstra(

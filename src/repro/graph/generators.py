@@ -194,10 +194,6 @@ def weighted_grid_road_network(
     travel time).  Substrate for the weighted WC-INDEX (Section V).
     Returns a :class:`repro.graph.weighted.WeightedGraph`.
     """
-    from .weighted import WeightedGraph
-
-    if min_length <= 0 or max_length < min_length:
-        raise ValueError("need 0 < min_length <= max_length")
     base = grid_road_network(
         rows,
         cols,
@@ -206,12 +202,58 @@ def weighted_grid_road_network(
         perforation=perforation,
         diagonal_prob=diagonal_prob,
     )
+    return with_random_lengths(
+        base, min_length=min_length, max_length=max_length, seed=seed
+    )
+
+
+def oriented_copy(graph: Graph, *, one_way_prob: float = 0.5, seed: int = 0):
+    """A directed copy of ``graph``: each edge becomes either a one-way
+    arc (random direction, probability ``one_way_prob``) or an
+    antiparallel arc pair.
+
+    Substrate for the directed WC-INDEX (Section V) — the paper's
+    directed road/web graphs are not downloadable offline, so the
+    synthetic suite derives digraphs from its undirected datasets the
+    same way one-way streets thin a road grid.  Returns a
+    :class:`repro.graph.digraph.DiGraph`.
+    """
+    from .digraph import DiGraph
+
+    if not 0.0 <= one_way_prob <= 1.0:
+        raise ValueError("one_way_prob must be in [0, 1]")
+    rng = random.Random(seed)
+    out = DiGraph(graph.num_vertices)
+    for u, v, quality in graph.edges():
+        if rng.random() < one_way_prob:
+            if rng.random() < 0.5:
+                u, v = v, u
+            out.add_edge(u, v, quality)
+        else:
+            out.add_edge(u, v, quality)
+            out.add_edge(v, u, quality)
+    return out
+
+
+def with_random_lengths(
+    graph: Graph,
+    *,
+    min_length: float = 0.5,
+    max_length: float = 3.0,
+    seed: int = 0,
+):
+    """A weighted copy of ``graph``: every edge keeps its quality and
+    gains a uniform random length in ``[min_length, max_length]`` (travel
+    time).  Returns a :class:`repro.graph.weighted.WeightedGraph`."""
+    from .weighted import WeightedGraph
+
+    if min_length <= 0 or max_length < min_length:
+        raise ValueError("need 0 < min_length <= max_length")
     rng = random.Random(seed ^ 0x5EED)
-    weighted = WeightedGraph(base.num_vertices)
-    for u, v, quality in base.edges():
-        length = rng.uniform(min_length, max_length)
-        weighted.add_edge(u, v, length, quality)
-    return weighted
+    out = WeightedGraph(graph.num_vertices)
+    for u, v, quality in graph.edges():
+        out.add_edge(u, v, rng.uniform(min_length, max_length), quality)
+    return out
 
 
 # ----------------------------------------------------------------------

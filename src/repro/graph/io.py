@@ -4,6 +4,8 @@ Two interchange formats are supported:
 
 * **Edge list** — whitespace-separated ``u v quality`` lines, ``#`` comments.
   This is the format of SNAP/KONECT dumps once qualities are attached.
+  Directed (``u v quality`` arcs) and weighted (``u v length quality``)
+  variants cover the Section V extensions.
 * **Quality DIMACS** — a variant of the DIMACS ``.gr`` challenge format used
   for the road networks in the paper: ``p sp <n> <m>`` problem line and
   ``a <u> <v> <quality>`` arc lines (1-based vertices).  Because the paper's
@@ -18,7 +20,7 @@ from __future__ import annotations
 
 import io as _io
 from pathlib import Path
-from typing import Iterable, List, TextIO, Tuple, Union
+from typing import Iterable, TextIO, Tuple, Union
 
 from .digraph import DiGraph
 from .graph import Graph
@@ -57,10 +59,19 @@ def read_edge_list(source: Union[PathLike, TextIO]) -> Graph:
     if isinstance(source, (str, Path)):
         with open(source, "r", encoding="utf-8") as handle:
             return read_edge_list(handle)
+    return _parse_edge_lines(source, 3, "u v quality", Graph)
 
-    declared_vertices = -1
-    edges: List[Tuple[int, int, float]] = []
-    max_vertex = -1
+
+# ----------------------------------------------------------------------
+# Shared edge-list machinery (undirected + Section V substrates)
+# ----------------------------------------------------------------------
+def _iter_edge_lines(source: TextIO):
+    """Shared edge-list scanner: returns ``(declared_vertices, payload)``
+    where ``payload`` is the ``(lineno, split_parts)`` list of data lines
+    and ``declared_vertices`` comes from the optional ``# vertices N``
+    header (``-1`` when absent)."""
+    declared = -1
+    payload = []
     for lineno, raw in enumerate(source, start=1):
         line = raw.strip()
         if not line:
@@ -69,31 +80,102 @@ def read_edge_list(source: Union[PathLike, TextIO]) -> Graph:
             parts = line[1:].split()
             if len(parts) == 2 and parts[0] == "vertices":
                 try:
-                    declared_vertices = int(parts[1])
+                    declared = int(parts[1])
                 except ValueError as exc:
                     raise GraphFormatError(
                         f"line {lineno}: bad vertex count {parts[1]!r}"
                     ) from exc
             continue
-        parts = line.split()
-        if len(parts) != 3:
+        payload.append((lineno, line.split()))
+    return declared, payload
+
+
+def _parse_edge_lines(source: TextIO, arity: int, shape: str, build):
+    """Shared payload parser of every edge-list reader: each line is
+    ``u v`` plus ``arity - 2`` floats; ``build(num_vertices, edges)``
+    constructs the graph."""
+    declared, payload = _iter_edge_lines(source)
+    edges = []
+    max_vertex = -1
+    for lineno, parts in payload:
+        if len(parts) != arity:
             raise GraphFormatError(
-                f"line {lineno}: expected 'u v quality', got {line!r}"
+                f"line {lineno}: expected {shape!r}, got {' '.join(parts)!r}"
             )
         try:
             u, v = int(parts[0]), int(parts[1])
-            quality = float(parts[2])
+            values = tuple(float(part) for part in parts[2:])
         except ValueError as exc:
-            raise GraphFormatError(f"line {lineno}: cannot parse {line!r}") from exc
-        edges.append((u, v, quality))
+            raise GraphFormatError(
+                f"line {lineno}: cannot parse {' '.join(parts)!r}"
+            ) from exc
+        edges.append((u, v) + values)
         max_vertex = max(max_vertex, u, v)
-
-    num_vertices = declared_vertices if declared_vertices >= 0 else max_vertex + 1
+    num_vertices = declared if declared >= 0 else max_vertex + 1
     if max_vertex >= num_vertices:
         raise GraphFormatError(
             f"vertex id {max_vertex} exceeds declared count {num_vertices}"
         )
-    return Graph(num_vertices, edges)
+    return build(num_vertices, edges)
+
+
+# ----------------------------------------------------------------------
+# Directed / weighted edge lists (Section V substrates)
+# ----------------------------------------------------------------------
+def write_directed_edge_list(
+    graph: DiGraph, destination: Union[PathLike, TextIO]
+) -> None:
+    """Write ``u v quality`` lines (one per arc ``u -> v``)."""
+
+    def _write(handle: TextIO) -> None:
+        handle.write(f"# vertices {graph.num_vertices}\n")
+        for u, v, quality in graph.edges():
+            handle.write(f"{u} {v} {quality:g}\n")
+
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            _write(handle)
+    else:
+        _write(destination)
+
+
+def read_directed_edge_list(source: Union[PathLike, TextIO]) -> DiGraph:
+    """Parse an arc list written by :func:`write_directed_edge_list`.
+
+    Same shape as :func:`read_edge_list`, but every ``u v quality`` line
+    is one directed arc.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_directed_edge_list(handle)
+    return _parse_edge_lines(source, 3, "u v quality", DiGraph)
+
+
+def write_weighted_edge_list(graph, destination: Union[PathLike, TextIO]) -> None:
+    """Write ``u v length quality`` lines (one per undirected edge)."""
+
+    def _write(handle: TextIO) -> None:
+        handle.write(f"# vertices {graph.num_vertices}\n")
+        for u, v, length, quality in graph.edges():
+            handle.write(f"{u} {v} {length!r} {quality:g}\n")
+
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            _write(handle)
+    else:
+        _write(destination)
+
+
+def read_weighted_edge_list(source: Union[PathLike, TextIO]):
+    """Parse a ``u v length quality`` list written by
+    :func:`write_weighted_edge_list`; returns a
+    :class:`repro.graph.weighted.WeightedGraph`."""
+    from .weighted import WeightedGraph
+
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_weighted_edge_list(handle)
+    return _parse_edge_lines(source, 4, "u v length quality", WeightedGraph)
 
 
 # ----------------------------------------------------------------------

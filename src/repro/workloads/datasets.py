@@ -28,8 +28,10 @@ from typing import Dict, List, Optional
 
 from ..graph.generators import (
     grid_road_network,
+    oriented_copy,
     ratings_quality_sampler,
     scale_free_network,
+    with_random_lengths,
 )
 from ..graph.graph import Graph
 
@@ -167,6 +169,33 @@ def load(
 ) -> Graph:
     """Build dataset ``name`` at the given (or env-default) scale."""
     return get_spec(name).build(scale=scale, num_qualities=num_qualities)
+
+
+def load_directed(
+    name: str,
+    scale: Optional[float] = None,
+    *,
+    one_way_prob: float = 0.5,
+):
+    """The directed derivative of dataset ``name``: each edge becomes a
+    one-way arc or an antiparallel pair (deterministic per dataset seed).
+    Substrate for the Section V directed extension — cf. TopCom's
+    directed road/web distance indexing."""
+    spec = get_spec(name)
+    return oriented_copy(
+        spec.build(scale), one_way_prob=one_way_prob, seed=spec.seed
+    )
+
+
+def load_weighted(
+    name: str,
+    scale: Optional[float] = None,
+):
+    """The weighted derivative of dataset ``name``: every edge keeps its
+    quality and gains a deterministic travel-time length.  Substrate for
+    the Section V weighted extension."""
+    spec = get_spec(name)
+    return with_random_lengths(spec.build(scale), seed=spec.seed)
 
 
 def road_suite(

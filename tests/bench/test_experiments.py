@@ -39,6 +39,7 @@ class TestRegistry:
             "exp3",
             "exp4",
             "exp5",
+            "extensions",
             "ablation-order",
             "ablation-query",
             "ablation-prune",

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.bench.harness import (
-    BuiltIndexes,
     Cell,
     ExperimentTable,
     build_all_indexes,
@@ -138,3 +137,43 @@ class TestQueryEngines:
                 for t in range(0, 15, 4):
                     answers = {name: fn(s, t, w) for name, fn in engines.items()}
                     assert len(set(answers.values())) == 1, answers
+
+
+class TestExtensionEngines:
+    def make(self):
+        from repro.bench.harness import (
+            build_extension_indexes,
+            extension_query_engines,
+        )
+        from repro.graph.generators import (
+            gnm_random_graph,
+            oriented_copy,
+            with_random_lengths,
+        )
+
+        base = gnm_random_graph(15, 35, num_qualities=3, seed=4)
+        digraph = oriented_copy(base, seed=4)
+        wgraph = with_random_lengths(base, seed=4)
+        built = build_extension_indexes(digraph, wgraph)
+        return digraph, wgraph, built, extension_query_engines(built)
+
+    def test_lineup(self):
+        from repro.bench.harness import EXTENSION_QUERY_METHODS
+
+        _, _, built, engines = self.make()
+        assert set(engines) == set(EXTENSION_QUERY_METHODS)
+        assert built.directed_seconds > 0
+        assert built.weighted_seconds > 0
+        assert built.directed_freeze_seconds is not None
+
+    def test_frozen_engines_agree_with_list(self):
+        _, _, _, engines = self.make()
+        for w in (1.0, 2.0, 3.0):
+            for s in range(0, 15, 3):
+                for t in range(0, 15, 4):
+                    assert engines["WC-DIR"](s, t, w) == engines[
+                        "WC-FROZEN-DIR"
+                    ](s, t, w)
+                    assert engines["WC-W"](s, t, w) == engines[
+                        "WC-FROZEN-W"
+                    ](s, t, w)

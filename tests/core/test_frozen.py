@@ -152,12 +152,13 @@ class TestStructure:
         # directory appears on the first query, the hub map on the first
         # batch.
         frozen = build_wc_index_plus(paper_figure3(), "identity").freeze()
-        assert frozen._directory is None and frozen._hub_map is None
+        side = frozen._side
+        assert side._directory is None and side._hub_map is None
         frozen.distance(0, 4, 1.0)
-        assert frozen._directory is not None
-        assert frozen._hub_map is None
+        assert side._directory is not None
+        assert side._hub_map is None
         frozen.distance_many([(0, 4, 1.0)])
-        assert frozen._hub_map is not None
+        assert side._hub_map is not None
 
     def test_label_lists_are_views(self):
         frozen = build_wc_index_plus(paper_figure3(), "identity").freeze()

@@ -5,7 +5,7 @@ import pytest
 from tests.helpers import random_graph, thresholds_for
 
 from repro.baselines.online import ConstrainedBFS
-from repro.core import WCIndexBuilder, build_wc_index_plus
+from repro.core import build_wc_index_plus
 from repro.core.paths import (
     WCPathIndex,
     is_valid_w_path,

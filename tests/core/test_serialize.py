@@ -6,16 +6,23 @@ import pytest
 
 from tests.helpers import random_graph, thresholds_for
 
-from repro.core import WCIndexBuilder, build_wc_index_plus
-from repro.core.frozen import FrozenWCIndex
+from repro.core import DirectedWCIndex, WCIndexBuilder, WeightedWCIndex, build_wc_index_plus
+from repro.core.frozen import (
+    FrozenDirectedWCIndex,
+    FrozenWCIndex,
+    FrozenWeightedWCIndex,
+)
 from repro.core.serialize import (
     IndexFormatError,
+    is_binary_index_path,
     load_frozen,
     load_index,
     save_frozen,
     save_index,
 )
+from repro.graph.digraph import DiGraph
 from repro.graph.generators import paper_figure3
+from repro.graph.weighted import WeightedGraph
 
 
 def round_trip(index):
@@ -235,22 +242,25 @@ class TestBinaryFormat:
         buffer = io.BytesIO()
         save_frozen(index, buffer)
         data = bytearray(buffer.getvalue())
-        # The order array starts right after the 16-byte header; clobber
-        # the first vertex id with a duplicate of the second.
-        data[16:24] = data[24:32]
+        # The order array is the first section, right after the 20-byte
+        # v2 header and the five-entry section table; clobber the first
+        # vertex id with a duplicate of the second.
+        order_at = 20 + 8 * 5
+        data[order_at:order_at + 8] = data[order_at + 8:order_at + 16]
         with pytest.raises(IndexFormatError, match="permutation"):
             load_frozen(io.BytesIO(bytes(data)))
 
     def corrupt_wcxb(self):
         """Valid paper_figure3 image (n=6, identity order) as a mutable
-        buffer plus the byte positions of its sections."""
+        buffer plus the byte positions of its sections (v2 layout: 20-byte
+        header, 5-entry section table, then the arrays)."""
         import struct
 
         index = build_wc_index_plus(paper_figure3(), "identity")
         buffer = io.BytesIO()
         save_frozen(index, buffer)
         n = 6
-        order_at = 16
+        order_at = 20 + 8 * 5
         offsets_at = order_at + 8 * n
         hubs_at = offsets_at + 8 * (n + 1)
         return bytearray(buffer.getvalue()), offsets_at, hubs_at, struct
@@ -364,3 +374,183 @@ class TestBinaryFormat:
         save_frozen(index, buffer)
         with pytest.raises(IndexFormatError, match="parent"):
             load_frozen(io.BytesIO(buffer.getvalue()))
+
+
+def sample_digraph() -> DiGraph:
+    return DiGraph(
+        4, [(0, 1, 3.0), (1, 2, 1.0), (2, 3, 2.0), (3, 0, 4.0), (0, 2, 2.0)]
+    )
+
+
+def sample_weighted_graph() -> WeightedGraph:
+    return WeightedGraph(
+        4,
+        [
+            (0, 1, 2.0, 3.0),
+            (1, 2, 1.5, 1.0),
+            (2, 3, 0.5, 2.0),
+            (0, 3, 10.0, 4.0),
+        ],
+    )
+
+
+class TestBinaryVariants:
+    """The v2 format: one header, three index families."""
+
+    def binary_round_trip(self, index):
+        buffer = io.BytesIO()
+        save_frozen(index, buffer)
+        buffer.seek(0)
+        return load_frozen(buffer)
+
+    @pytest.mark.parametrize("track_parents", [False, True])
+    def test_directed_round_trip(self, track_parents):
+        index = DirectedWCIndex(sample_digraph(), track_parents=track_parents)
+        loaded = self.binary_round_trip(index)
+        assert isinstance(loaded, FrozenDirectedWCIndex)
+        assert loaded.tracks_parents == track_parents
+        assert loaded.raw_sides() == index.freeze().raw_sides()
+
+    @pytest.mark.parametrize("track_parents", [False, True])
+    def test_weighted_round_trip(self, track_parents):
+        index = WeightedWCIndex(
+            sample_weighted_graph(), track_parents=track_parents
+        )
+        loaded = self.binary_round_trip(index)
+        assert isinstance(loaded, FrozenWeightedWCIndex)
+        assert loaded.tracks_parents == track_parents
+        assert loaded.raw_arrays() == index.freeze().raw_arrays()
+
+    def test_answers_preserved_across_families(self):
+        queries = [
+            (s, t, w) for s in range(4) for t in range(4)
+            for w in (0.5, 1.0, 2.0, 3.0, 9.0)
+        ]
+        for index in (
+            DirectedWCIndex(sample_digraph()),
+            WeightedWCIndex(sample_weighted_graph()),
+        ):
+            loaded = self.binary_round_trip(index)
+            assert loaded.distance_many(queries) == index.distance_many(queries)
+
+    def test_load_index_thaws_to_list_engines(self, tmp_path):
+        directed = DirectedWCIndex(sample_digraph())
+        path = tmp_path / "d.wcxb"
+        save_index(directed, path)
+        assert isinstance(load_index(path), DirectedWCIndex)
+        weighted = WeightedWCIndex(sample_weighted_graph())
+        path = tmp_path / "w.wcxb"
+        save_index(weighted, path)
+        assert isinstance(load_index(path), WeightedWCIndex)
+
+    def test_text_format_rejects_extensions(self, tmp_path):
+        with pytest.raises(ValueError, match="undirected"):
+            save_index(DirectedWCIndex(sample_digraph()), io.StringIO())
+        with pytest.raises(ValueError, match="undirected"):
+            save_index(
+                WeightedWCIndex(sample_weighted_graph()),
+                tmp_path / "w.wci",
+            )
+        # Regression: the path branch used to open (truncate) the
+        # destination before rejecting, leaving an empty file behind —
+        # or destroying an existing index.
+        assert not (tmp_path / "w.wci").exists()
+        existing = tmp_path / "existing.wci"
+        save_index(build_wc_index_plus(paper_figure3()), existing)
+        before = existing.read_bytes()
+        with pytest.raises(ValueError, match="undirected"):
+            save_index(DirectedWCIndex(sample_digraph()), existing)
+        assert existing.read_bytes() == before
+
+    def test_uppercase_suffix_selects_binary_format(self, tmp_path):
+        # Regression: the suffix dispatch was case-sensitive, so
+        # INDEX.WCXB fell through to the text loader and died with a
+        # confusing parse error.
+        assert is_binary_index_path("INDEX.WCXB")
+        assert is_binary_index_path("index.WcXb")
+        assert not is_binary_index_path("index.wci")
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        path = tmp_path / "INDEX.WCXB"
+        save_index(index, path)
+        assert path.read_bytes()[:4] == b"WCXB"
+        loaded = load_index(path)
+        for v in range(index.num_vertices):
+            assert loaded.entries_of(v) == index.entries_of(v)
+        assert isinstance(load_frozen(path), FrozenWCIndex)
+
+    def corrupt_header(self, index):
+        buffer = io.BytesIO()
+        save_frozen(index, buffer)
+        return bytearray(buffer.getvalue())
+
+    def test_unknown_variant_rejected(self):
+        import struct
+
+        data = self.corrupt_header(build_wc_index_plus(paper_figure3()))
+        struct.pack_into("<H", data, 6, 99)  # variant halfword
+        with pytest.raises(IndexFormatError, match="variant"):
+            load_frozen(io.BytesIO(bytes(data)))
+
+    def test_section_count_mismatch_rejected(self):
+        import struct
+
+        data = self.corrupt_header(build_wc_index_plus(paper_figure3()))
+        struct.pack_into("<H", data, 10, 7)  # section-count halfword
+        with pytest.raises(IndexFormatError, match="sections"):
+            load_frozen(io.BytesIO(bytes(data)))
+
+    def test_section_offset_mismatch_rejected(self):
+        import struct
+
+        data = self.corrupt_header(build_wc_index_plus(paper_figure3()))
+        # Shift the second section table entry (the offsets array).
+        at = 20 + 8
+        value = struct.unpack_from("<q", data, at)[0]
+        struct.pack_into("<q", data, at, value + 8)
+        with pytest.raises(IndexFormatError, match="disagrees"):
+            load_frozen(io.BytesIO(bytes(data)))
+
+    def test_directed_sides_validated(self):
+        # Corrupt a hub rank in the out-side of a directed image: the
+        # integrity scan must reject it, validate=False must load it raw.
+        import struct
+
+        index = DirectedWCIndex(sample_digraph())
+        buffer = io.BytesIO()
+        save_frozen(index, buffer)
+        data = bytearray(buffer.getvalue())
+        # Sections (no parents): 0 order, 1-4 the in side, 5 out_offsets,
+        # 6 out_hubs — whose offset lives in the table at 20 + 8*6.
+        out_hubs_at = struct.unpack_from("<q", data, 20 + 8 * 6)[0]
+        struct.pack_into("<i", data, out_hubs_at, 99)
+        with pytest.raises(IndexFormatError, match="hub rank"):
+            load_frozen(io.BytesIO(bytes(data)))
+        loaded = load_frozen(io.BytesIO(bytes(data)), validate=False)
+        assert loaded.entry_count() == index.entry_count()
+
+    def test_weighted_parent_entry_validated(self):
+        index = WeightedWCIndex(sample_weighted_graph(), track_parents=True)
+        frozen = index.freeze()
+        _, _, _, _, pv, pe = frozen.raw_arrays()
+        target = next(i for i in range(len(pv)) if pv[i] >= 0)
+        pe[target] = 1_000
+        buffer = io.BytesIO()
+        save_frozen(frozen, buffer)
+        with pytest.raises(IndexFormatError, match="parent entry"):
+            load_frozen(io.BytesIO(buffer.getvalue()))
+
+    def test_v1_images_still_load(self):
+        # Back-compat: a PR 1 undirected image (version 1, no variant
+        # tag or section table) loads into the same frozen engine.
+        import struct
+        from array import array
+
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        frozen = index.freeze()
+        offsets, hubs, dists, quals, _ = frozen.raw_arrays()
+        v1 = struct.pack("<4sHHq", b"WCXB", 1, 0, frozen.num_vertices)
+        v1 += array("q", frozen.order).tobytes()
+        v1 += offsets.tobytes() + hubs.tobytes()
+        v1 += dists.tobytes() + quals.tobytes()
+        loaded = load_frozen(io.BytesIO(v1))
+        assert loaded.raw_arrays()[:4] == frozen.raw_arrays()[:4]

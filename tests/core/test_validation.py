@@ -4,7 +4,6 @@ catch planted violations (failure injection)."""
 from tests.helpers import random_graph
 
 from repro.core import WCIndexBuilder, build_wc_index_plus
-from repro.core.labels import WCIndex
 from repro.core.validation import (
     completeness_violations,
     dominated_entries,

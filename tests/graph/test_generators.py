@@ -303,3 +303,70 @@ class TestComponents:
         assert is_connected(Graph(0))
         assert is_connected(Graph(1))
         assert not is_connected(Graph(2))
+
+
+class TestOrientedCopy:
+    def test_all_two_way_at_prob_zero(self):
+        from repro.graph.generators import gnm_random_graph, oriented_copy
+
+        base = gnm_random_graph(10, 20, seed=2)
+        digraph = oriented_copy(base, one_way_prob=0.0, seed=2)
+        assert digraph.num_vertices == base.num_vertices
+        for u, v, quality in base.edges():
+            assert digraph.quality(u, v) == quality
+            assert digraph.quality(v, u) == quality
+
+    def test_one_way_at_prob_one(self):
+        from repro.graph.generators import gnm_random_graph, oriented_copy
+
+        base = gnm_random_graph(10, 20, seed=2)
+        digraph = oriented_copy(base, one_way_prob=1.0, seed=2)
+        assert digraph.num_edges == base.num_edges
+        for u, v, _ in base.edges():
+            assert digraph.has_edge(u, v) != digraph.has_edge(v, u)
+
+    def test_deterministic(self):
+        from repro.graph.generators import gnm_random_graph, oriented_copy
+
+        base = gnm_random_graph(10, 20, seed=2)
+        a = oriented_copy(base, seed=7)
+        b = oriented_copy(base, seed=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_bad_prob_rejected(self):
+        from repro.graph.generators import gnm_random_graph, oriented_copy
+
+        with pytest.raises(ValueError):
+            oriented_copy(gnm_random_graph(4, 3, seed=0), one_way_prob=1.5)
+
+
+class TestWithRandomLengths:
+    def test_qualities_preserved_lengths_bounded(self):
+        from repro.graph.generators import gnm_random_graph, with_random_lengths
+
+        base = gnm_random_graph(10, 20, seed=3)
+        weighted = with_random_lengths(
+            base, min_length=0.5, max_length=3.0, seed=3
+        )
+        assert weighted.num_edges == base.num_edges
+        for u, v, length, quality in weighted.edges():
+            assert base.quality(u, v) == quality
+            assert 0.5 <= length <= 3.0
+
+    def test_matches_weighted_grid_seeding(self):
+        # weighted_grid_road_network delegates here: same seed, same graph.
+        from repro.graph.generators import (
+            grid_road_network,
+            weighted_grid_road_network,
+            with_random_lengths,
+        )
+
+        direct = weighted_grid_road_network(5, 5, seed=9)
+        via_helper = with_random_lengths(grid_road_network(5, 5, seed=9), seed=9)
+        assert sorted(direct.edges()) == sorted(via_helper.edges())
+
+    def test_bad_lengths_rejected(self):
+        from repro.graph.generators import gnm_random_graph, with_random_lengths
+
+        with pytest.raises(ValueError):
+            with_random_lengths(gnm_random_graph(4, 3, seed=0), min_length=0.0)

@@ -10,10 +10,14 @@ from repro.graph.io import (
     GraphFormatError,
     from_edge_list_string,
     read_dimacs,
+    read_directed_edge_list,
     read_edge_list,
+    read_weighted_edge_list,
     to_edge_list_string,
     write_dimacs,
+    write_directed_edge_list,
     write_edge_list,
+    write_weighted_edge_list,
 )
 
 
@@ -100,3 +104,52 @@ class TestQualityPrecision:
     def test_float_qualities_survive_round_trip(self):
         g = Graph(3, [(0, 1, 2.25), (1, 2, 0.125)])
         assert from_edge_list_string(to_edge_list_string(g)) == g
+
+
+class TestDirectedEdgeList:
+    def test_round_trip(self):
+        from repro.graph.digraph import DiGraph
+
+        g = DiGraph(4, [(0, 1, 3.0), (1, 0, 1.0), (2, 3, 2.5)])
+        buffer = io.StringIO()
+        write_directed_edge_list(g, buffer)
+        loaded = read_directed_edge_list(io.StringIO(buffer.getvalue()))
+        assert loaded.num_vertices == 4
+        assert sorted(loaded.edges()) == sorted(g.edges())
+
+    def test_arcs_stay_directed(self):
+        loaded = read_directed_edge_list(io.StringIO("0 1 2.0\n"))
+        assert loaded.has_edge(0, 1)
+        assert not loaded.has_edge(1, 0)
+
+    def test_malformed_line(self):
+        with pytest.raises(GraphFormatError, match="line 1"):
+            read_directed_edge_list(io.StringIO("0 1\n"))
+
+    def test_vertex_exceeds_declared_count(self):
+        with pytest.raises(GraphFormatError, match="exceeds"):
+            read_directed_edge_list(
+                io.StringIO("# vertices 2\n0 5 1.0\n")
+            )
+
+
+class TestWeightedEdgeList:
+    def test_round_trip(self):
+        from repro.graph.weighted import WeightedGraph
+
+        g = WeightedGraph(
+            4, [(0, 1, 2.25, 3.0), (1, 2, 0.125, 1.0), (2, 3, 9.0, 2.0)]
+        )
+        buffer = io.StringIO()
+        write_weighted_edge_list(g, buffer)
+        loaded = read_weighted_edge_list(io.StringIO(buffer.getvalue()))
+        assert loaded.num_vertices == 4
+        assert sorted(loaded.edges()) == sorted(g.edges())
+
+    def test_malformed_line(self):
+        with pytest.raises(GraphFormatError, match="line 2"):
+            read_weighted_edge_list(io.StringIO("0 1 1.0 1.0\n0 2 1.0\n"))
+
+    def test_cannot_parse(self):
+        with pytest.raises(GraphFormatError, match="cannot parse"):
+            read_weighted_edge_list(io.StringIO("a b c d\n"))

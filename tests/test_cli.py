@@ -178,6 +178,156 @@ class TestFrozenEngine:
         assert "entries:         32" in out
 
 
+class TestExtensionBuilds:
+    @pytest.fixture
+    def arcs_file(self, tmp_path):
+        from repro.graph.digraph import DiGraph
+        from repro.graph.io import write_directed_edge_list
+
+        g = DiGraph(4, [(0, 1, 3.0), (1, 2, 3.0), (2, 3, 1.0), (3, 0, 2.0)])
+        path = tmp_path / "net.arcs"
+        write_directed_edge_list(g, path)
+        return path
+
+    @pytest.fixture
+    def weighted_file(self, tmp_path):
+        from repro.graph.io import write_weighted_edge_list
+        from repro.graph.weighted import WeightedGraph
+
+        g = WeightedGraph(
+            3, [(0, 1, 2.0, 3.0), (1, 2, 3.0, 3.0), (0, 2, 10.0, 1.0)]
+        )
+        path = tmp_path / "net.wedges"
+        write_weighted_edge_list(g, path)
+        return path
+
+    def test_directed_build_and_query_both_engines(
+        self, arcs_file, tmp_path, capsys
+    ):
+        out = tmp_path / "d.wcxb"
+        assert (
+            main(
+                ["build", "--graph", str(arcs_file), "--directed",
+                 "--out", str(out)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        for engine in ("frozen", "list"):
+            assert (
+                main(
+                    ["query", "--engine", engine, "--index", str(out),
+                     "0", "2", "3.0"]
+                )
+                == 0
+            )
+            assert "0 2 3 -> 2" in capsys.readouterr().out
+        # The arc 2 -> 3 has quality 1: reachable at 1.0, not at 2.0.
+        assert main(["query", "--index", str(out), "0", "3", "2.0"]) == 0
+        assert "INF" in capsys.readouterr().out
+
+    def test_weighted_build_and_query_both_engines(
+        self, weighted_file, tmp_path, capsys
+    ):
+        out = tmp_path / "w.wcxb"
+        assert (
+            main(
+                ["build", "--graph", str(weighted_file), "--weighted",
+                 "--out", str(out)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        for engine in ("frozen", "list"):
+            assert (
+                main(
+                    ["query", "--engine", engine, "--index", str(out),
+                     "0", "2", "2.0"]
+                )
+                == 0
+            )
+            assert "0 2 2 -> 5" in capsys.readouterr().out
+
+    def test_directed_build_from_dataset(self, tmp_path, capsys):
+        out = tmp_path / "ny.wcxb"
+        assert main(["build", "--dataset", "NY", "--directed",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--index", str(out)]) == 0
+        assert "FrozenDirectedWCIndex" in capsys.readouterr().out
+
+    def test_extensions_require_binary_out(self, arcs_file, tmp_path):
+        with pytest.raises(SystemExit, match="wcxb"):
+            main(
+                ["build", "--graph", str(arcs_file), "--directed",
+                 "--out", str(tmp_path / "d.wci")]
+            )
+
+    def test_directed_and_weighted_exclusive(self, arcs_file, tmp_path):
+        with pytest.raises(SystemExit, match="exclusive"):
+            main(
+                ["build", "--graph", str(arcs_file), "--directed",
+                 "--weighted", "--out", str(tmp_path / "x.wcxb")]
+            )
+
+    def test_profile_on_directed_index(self, arcs_file, tmp_path, capsys):
+        # Regression: profile used the undirected label accessor and
+        # crashed with AttributeError on a directed .wcxb.
+        out = tmp_path / "d.wcxb"
+        assert main(["build", "--graph", str(arcs_file), "--directed",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["profile", "--index", str(out), "0", "2"]) == 0
+        assert "profile of (0, 2)" in capsys.readouterr().out
+
+    def test_profile_on_weighted_index_rejected(
+        self, weighted_file, tmp_path
+    ):
+        out = tmp_path / "w.wcxb"
+        assert main(["build", "--graph", str(weighted_file), "--weighted",
+                     "--out", str(out)]) == 0
+        with pytest.raises(SystemExit, match="not supported"):
+            main(["profile", "--index", str(out), "0", "2"])
+
+    def test_verify_rejects_extension_indexes(
+        self, arcs_file, graph_file, tmp_path
+    ):
+        # Regression: verify crashed with AttributeError instead of
+        # explaining that only undirected indexes are supported.
+        out = tmp_path / "d.wcxb"
+        assert main(["build", "--graph", str(arcs_file), "--directed",
+                     "--out", str(out)]) == 0
+        with pytest.raises(SystemExit, match="undirected"):
+            main(["verify", "--graph", str(graph_file), "--index", str(out)])
+
+
+class TestSuffixCaseInsensitivity:
+    def test_uppercase_wcxb_round_trips(self, graph_file, tmp_path, capsys):
+        # Regression: the CLI suffix dispatch was case-sensitive, so an
+        # uppercase .WCXB fell through to the text loader and died with
+        # a confusing parse error.
+        out = tmp_path / "NET.WCXB"
+        assert (
+            main(
+                ["build", "--graph", str(graph_file), "--out", str(out),
+                 "--ordering", "identity"]
+            )
+            == 0
+        )
+        assert out.read_bytes()[:4] == b"WCXB"
+        capsys.readouterr()
+        assert (
+            main(
+                ["query", "--engine", "frozen", "--index", str(out),
+                 "2", "5", "2.0"]
+            )
+            == 0
+        )
+        assert "2 5 2 -> 2" in capsys.readouterr().out
+        assert main(["stats", "--index", str(out)]) == 0
+        assert "frozen bytes:" in capsys.readouterr().out
+
+
 class TestProfileCommand:
     def test_profile_output(self, index_file, capsys):
         assert main(["profile", "--index", str(index_file), "0", "4"]) == 0

@@ -7,7 +7,6 @@ import pytest
 
 from repro import (
     ConstrainedBFS,
-    Graph,
     NaivePerQualityIndex,
     PartitionedBFS,
     build_wc_index_plus,

@@ -14,16 +14,20 @@ from hypothesis import given, settings
 from repro.baselines import (
     BidirectionalConstrainedBFS,
     ConstrainedBFS,
+    DirectedConstrainedBFS,
     LCRAdaptIndex,
     NaivePerQualityIndex,
     PartitionedBFS,
     PartitionedDijkstra,
 )
 from repro.core import (
+    DirectedWCIndex,
     DynamicWCIndex,
     WCIndexBuilder,
     WCPathIndex,
+    WeightedWCIndex,
     build_wc_index_plus,
+    constrained_dijkstra,
 )
 from repro.core.paths import is_valid_w_path, path_length
 from repro.core.validation import (
@@ -31,9 +35,16 @@ from repro.core.validation import (
     theorem3_violations,
     unnecessary_entries,
 )
+from repro.graph.digraph import DiGraph
 from repro.graph.graph import Graph
+from repro.graph.weighted import WeightedGraph
 
 INF = float("inf")
+
+#: Constraint pool used by the query strategies: midpoints, every edge
+#: quality, and 5.0 — above the maximum generated quality, so
+#: quality-infeasible queries are always exercised.
+QUERY_CONSTRAINTS = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0)
 
 
 @st.composite
@@ -59,9 +70,65 @@ def graphs_with_query(draw):
     n = graph.num_vertices
     s = draw(st.integers(min_value=0, max_value=n - 1))
     t = draw(st.integers(min_value=0, max_value=n - 1))
-    w = draw(
-        st.sampled_from([0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0])
+    w = draw(st.sampled_from(QUERY_CONSTRAINTS))
+    return graph, s, t, w
+
+
+@st.composite
+def quality_digraphs(draw, max_vertices: int = 10, max_quality: int = 4):
+    """An arbitrary digraph (sparse, so unreachable pairs are common)."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    all_pairs = [(u, v) for u in range(n) for v in range(n) if u != v]
+    chosen = draw(
+        st.lists(st.sampled_from(all_pairs), unique=True, max_size=len(all_pairs))
+        if all_pairs
+        else st.just([])
     )
+    graph = DiGraph(n)
+    for u, v in chosen:
+        quality = draw(st.integers(min_value=1, max_value=max_quality))
+        graph.add_edge(u, v, float(quality))
+    return graph
+
+
+@st.composite
+def quality_weighted_graphs(
+    draw, max_vertices: int = 10, max_quality: int = 4
+):
+    """An arbitrary weighted quality graph (integer lengths keep the
+    cross-engine distance comparison exact)."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    all_pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    chosen = draw(
+        st.lists(st.sampled_from(all_pairs), unique=True, max_size=len(all_pairs))
+        if all_pairs
+        else st.just([])
+    )
+    graph = WeightedGraph(n)
+    for u, v in chosen:
+        length = draw(st.integers(min_value=1, max_value=9))
+        quality = draw(st.integers(min_value=1, max_value=max_quality))
+        graph.add_edge(u, v, float(length), float(quality))
+    return graph
+
+
+@st.composite
+def digraphs_with_query(draw):
+    graph = draw(quality_digraphs())
+    n = graph.num_vertices
+    s = draw(st.integers(min_value=0, max_value=n - 1))
+    t = draw(st.integers(min_value=0, max_value=n - 1))
+    w = draw(st.sampled_from(QUERY_CONSTRAINTS))
+    return graph, s, t, w
+
+
+@st.composite
+def weighted_graphs_with_query(draw):
+    graph = draw(quality_weighted_graphs())
+    n = graph.num_vertices
+    s = draw(st.integers(min_value=0, max_value=n - 1))
+    t = draw(st.integers(min_value=0, max_value=n - 1))
+    w = draw(st.sampled_from(QUERY_CONSTRAINTS))
     return graph, s, t, w
 
 
@@ -108,6 +175,76 @@ class TestCrossEngineAgreement:
         assert BidirectionalConstrainedBFS(graph).distance(s, t, w) == expected
         assert NaivePerQualityIndex(graph).distance(s, t, w) == expected
         assert LCRAdaptIndex(graph).distance(s, t, w) == expected
+
+
+class TestExtensionEngineAgreement:
+    """Frozen directed/weighted engines == their list engines == the
+    online oracles, on every engine path (single, batch, post-round-trip),
+    including unreachable pairs and quality-infeasible constraints."""
+
+    @given(digraphs_with_query())
+    def test_directed_engines_agree(self, case):
+        graph, s, t, w = case
+        expected = DirectedConstrainedBFS(graph).distance(s, t, w)
+        index = DirectedWCIndex(graph)
+        frozen = index.freeze()
+        assert index.distance(s, t, w) == expected
+        assert frozen.distance(s, t, w) == expected
+        assert index.distance_many([(s, t, w)]) == [expected]
+        assert frozen.distance_many([(s, t, w)]) == [expected]
+
+    @given(weighted_graphs_with_query())
+    def test_weighted_engines_agree(self, case):
+        graph, s, t, w = case
+        expected = constrained_dijkstra(graph, s, t, w)
+        index = WeightedWCIndex(graph)
+        frozen = index.freeze()
+        assert index.distance(s, t, w) == expected
+        assert frozen.distance(s, t, w) == expected
+        assert index.distance_many([(s, t, w)]) == [expected]
+        assert frozen.distance_many([(s, t, w)]) == [expected]
+
+    @given(digraphs_with_query())
+    def test_directed_binary_round_trip_preserves_answers(self, case):
+        import io
+
+        from repro.core.serialize import load_frozen, save_frozen
+
+        graph, s, t, w = case
+        index = DirectedWCIndex(graph)
+        buffer = io.BytesIO()
+        save_frozen(index, buffer)
+        buffer.seek(0)
+        loaded = load_frozen(buffer)
+        assert loaded.raw_sides() == index.freeze().raw_sides()
+        assert loaded.distance(s, t, w) == index.distance(s, t, w)
+
+    @given(weighted_graphs_with_query())
+    def test_weighted_binary_round_trip_preserves_answers(self, case):
+        import io
+
+        from repro.core.serialize import load_frozen, save_frozen
+
+        graph, s, t, w = case
+        index = WeightedWCIndex(graph)
+        buffer = io.BytesIO()
+        save_frozen(index, buffer)
+        buffer.seek(0)
+        loaded = load_frozen(buffer)
+        assert loaded.raw_arrays() == index.freeze().raw_arrays()
+        assert loaded.distance(s, t, w) == index.distance(s, t, w)
+
+    @given(quality_digraphs(max_vertices=8))
+    def test_directed_freeze_thaw_is_identity(self, graph):
+        index = DirectedWCIndex(graph)
+        frozen = index.freeze()
+        assert frozen.thaw().freeze().raw_sides() == frozen.raw_sides()
+
+    @given(quality_weighted_graphs(max_vertices=8))
+    def test_weighted_freeze_thaw_is_identity(self, graph):
+        index = WeightedWCIndex(graph)
+        frozen = index.freeze()
+        assert frozen.thaw().freeze().raw_arrays() == frozen.raw_arrays()
 
 
 class TestStructuralInvariants:

@@ -86,3 +86,24 @@ class TestScaleEnv:
     def test_minimum_size_floor(self):
         g = ds.get_spec("NY").build(scale=0.0001)
         assert g.num_vertices >= 16
+
+
+class TestExtensionDerivatives:
+    def test_load_directed_is_deterministic(self):
+        a = ds.load_directed("NY", scale=0.5)
+        b = ds.load_directed("NY", scale=0.5)
+        assert sorted(a.edges()) == sorted(b.edges())
+        assert a.num_vertices == ds.load("NY", scale=0.5).num_vertices
+
+    def test_load_weighted_keeps_qualities(self):
+        base = ds.load("NY", scale=0.5)
+        weighted = ds.load_weighted("NY", scale=0.5)
+        assert weighted.num_edges == base.num_edges
+        for u, v, _, quality in weighted.edges():
+            assert base.quality(u, v) == quality
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            ds.load_directed("NOPE")
+        with pytest.raises(ValueError, match="unknown dataset"):
+            ds.load_weighted("NOPE")
