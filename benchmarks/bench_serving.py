@@ -1,0 +1,216 @@
+"""Serving benchmarks: mmap attach time and shared-memory throughput.
+
+The serving counterpart of ``bench_frozen_vs_list.py``: saves WC-INDEX+
+as a ``.wcxb`` v3 image per dataset, then measures
+
+* **attach time** — ``load_frozen(path)`` (the full read-load: every
+  section copied, integrity scan on) versus
+  ``load_frozen(path, mode="mmap", validate=False)`` (the serving
+  attach: zero-copy typed views over an mmap of the file).  The attach
+  must be near-constant in index size; the speedup is gated
+  (``--attach-gate``, default 10x).
+* **batch throughput** — the :data:`~repro.bench.harness.SERVING_QUERY_METHODS`
+  line-up (read-loaded frozen engine, mmap-attached engine, 2-worker
+  shared-memory ``QueryServer``) over the same random workload, answers
+  cross-checked for identity — including a directed and a weighted
+  index served through the same pool.
+
+Rows merge into ``BENCH_query_engines.json`` as ``family: serving``
+(undirected/directed/weighted rows are preserved).  Run directly (CI
+does)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+
+Exits non-zero when the mmap attach misses the gate on any dataset or
+when any engine disagrees.  Dataset scale follows ``REPRO_SCALE``; pass
+``--queries`` / ``--repeats`` to trade precision for wall clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.bench.harness import ServingLineup, time_build
+from repro.bench.reporting import merge_query_engine_rows
+from repro.core import (
+    DirectedWCIndex,
+    WCIndexBuilder,
+    WeightedWCIndex,
+    load_frozen,
+    save_frozen,
+)
+from repro.serve import QueryServer
+from repro.workloads import datasets as ds
+from repro.workloads.queries import random_queries
+
+#: Same pair as the undirected engine gate: one road, one social.
+DEFAULT_DATASETS = ("FLA", "EU")
+
+#: Workers in the shared-memory pool (the WC-SHM-N row).
+WORKERS = 2
+
+
+def _best_seconds(action, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        action()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_dataset(
+    name: str, directory: Path, query_count: int, repeats: int
+) -> Dict[str, object]:
+    """Save one dataset's index as v3 and race the serving line-up."""
+    graph = ds.load(name)
+    build_seconds, index = time_build(
+        WCIndexBuilder(graph, "hybrid", query_kernel="linear").build
+    )
+    path = directory / f"{name}.wcxb"
+    save_frozen(index, path)
+    workload = list(random_queries(graph, query_count, seed=3))
+
+    # Attach time: the full read-load every cold start pays today versus
+    # the zero-copy mmap attach a serving restart pays.
+    read_seconds = _best_seconds(lambda: load_frozen(path), repeats)
+    mmap_engines = []
+
+    def mmap_attach():
+        mmap_engines.append(load_frozen(path, mode="mmap", validate=False))
+
+    mmap_seconds = _best_seconds(mmap_attach, repeats)
+    for engine in mmap_engines:
+        engine.release()
+    attach_speedup = (
+        read_seconds / mmap_seconds if mmap_seconds else float("inf")
+    )
+
+    with ServingLineup(path, workers=WORKERS) as lineup:
+        expected = lineup.frozen.distance_many(workload)
+        identical = all(
+            batch(workload) == expected
+            for batch in lineup.batch_engines.values()
+        )
+        rates = {
+            method: len(workload) / _best_seconds(
+                lambda b=batch: b(workload), repeats
+            )
+            for method, batch in lineup.batch_engines.items()
+        }
+
+    return {
+        "dataset": name,
+        "family": "serving",
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "queries": len(workload),
+        "image_bytes": path.stat().st_size,
+        "build_seconds": build_seconds,
+        "identical_results": identical,
+        "attach": {
+            "read_seconds": read_seconds,
+            "mmap_seconds": mmap_seconds,
+            "speedup": attach_speedup,
+        },
+        "engines": {
+            method: {"queries_per_sec": rate}
+            for method, rate in rates.items()
+        },
+    }
+
+
+def extension_families_identical(query_count: int) -> Dict[str, bool]:
+    """A 2-worker pool must answer identically to the single-process
+    frozen engine for the directed and weighted families too."""
+    results: Dict[str, bool] = {}
+    for family, graph, build in (
+        ("directed", ds.load_directed("NY"), DirectedWCIndex),
+        ("weighted", ds.load_weighted("NY"), WeightedWCIndex),
+    ):
+        frozen = build(graph).freeze()
+        workload = list(random_queries(graph, query_count, seed=5))
+        with QueryServer(frozen, workers=WORKERS) as server:
+            results[family] = (
+                server.query_batch(workload)
+                == frozen.distance_many(workload)
+            )
+    return results
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default="BENCH_query_engines.json",
+        help="result file (default: BENCH_query_engines.json in the cwd)",
+    )
+    parser.add_argument(
+        "--datasets", nargs="+", default=list(DEFAULT_DATASETS),
+        help=f"dataset names (default: {' '.join(DEFAULT_DATASETS)})",
+    )
+    parser.add_argument("--queries", type=int, default=2000)
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="timing repetitions per measurement; the best is kept",
+    )
+    parser.add_argument(
+        "--attach-gate", type=float, default=10.0,
+        help="minimum mmap-attach vs read-load speedup required to pass "
+        "(default 10.0; CI gates lower for shared-runner noise)",
+    )
+    args = parser.parse_args(argv)
+
+    failed = False
+    results = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for name in args.datasets:
+            record = bench_dataset(
+                name, Path(tmp), args.queries, args.repeats
+            )
+            results.append(record)
+            attach = record["attach"]
+            ok = (
+                record["identical_results"]
+                and attach["speedup"] >= args.attach_gate
+            )
+            failed = failed or not ok
+            rates = " ".join(
+                f"{method} {info['queries_per_sec']:,.0f} q/s"
+                for method, info in record["engines"].items()
+            )
+            print(
+                f"{name}/serving: read-load {attach['read_seconds'] * 1e3:.2f} ms, "
+                f"mmap attach {attach['mmap_seconds'] * 1e6:.0f} us "
+                f"({attach['speedup']:.1f}x) | {rates} "
+                f"(identical={record['identical_results']}) "
+                f"{'ok' if ok else 'FAIL'}"
+            )
+
+    families = extension_families_identical(min(args.queries, 500))
+    for family, identical in families.items():
+        print(f"NY/{family}: shm pool identical={identical}")
+        failed = failed or not identical
+    results[-1]["extension_families_identical"] = families
+
+    merge_query_engine_rows(
+        args.out, {"serving_attach": args.attach_gate}, results
+    )
+    print(f"wrote {args.out}")
+    if failed:
+        print(
+            f"FAILED: mmap attach below {args.attach_gate:.1f}x gate or "
+            "serving engines diverged",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

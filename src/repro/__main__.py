@@ -7,12 +7,18 @@ Subcommands:
   ``--directed`` / ``--weighted`` build the Section V extension indexes,
   which persist through the variant-tagged binary format).
 * ``query``   — answer ``s t w`` queries (arguments or stdin) from a saved
-  index; ``--engine {list,frozen}`` picks the storage engine (the
-  list-backed merge or the flat-array frozen engine of whatever family
-  the index holds).
+  index; ``--engine {list,frozen,mmap}`` picks the storage engine (the
+  list-backed merge, the flat-array frozen engine of whatever family
+  the index holds, or the frozen engine attached zero-copy to an mmap
+  of a ``.wcxb`` v3 image).
+* ``serve``   — answer the same queries through a shared-memory
+  multi-process worker pool (``--workers``): one frozen image published
+  in ``multiprocessing.shared_memory``, N processes answering batches
+  over it.
 * ``profile`` — print the full quality/distance Pareto staircase of a pair.
 * ``stats``   — index statistics (entries, max label, modelled bytes; adds
-  the real frozen footprint for ``.wcxb`` files).
+  the real frozen footprint, format version and per-section byte sizes
+  for ``.wcxb`` files).
 * ``verify``  — check a saved index against its graph (small graphs).
 
 Example::
@@ -21,6 +27,7 @@ Example::
     python -m repro build --graph roads.arcs --directed --out roads.wcxb
     python -m repro query --engine frozen --index net.wcxb 0 42 3.0
     echo "0 42 3.0" | python -m repro query --index net.wcxb -
+    echo "0 42 3.0" | python -m repro serve --index net.wcxb --workers 4 -
 """
 
 from __future__ import annotations
@@ -52,12 +59,21 @@ def _load_engine(path: str, engine: str):
     """Load ``path`` as the requested query engine.
 
     ``.wcxb`` files (suffix matched case-insensitively) hold a frozen
-    image of any index family: ``frozen`` serves it directly, ``list``
-    thaws it.  Text indexes are loaded list-backed and frozen on demand.
+    image of any index family: ``frozen`` serves it directly, ``mmap``
+    attaches to it zero-copy (v3 images), ``list`` thaws it.  Text
+    indexes are loaded list-backed and frozen on demand (``mmap`` needs
+    the binary format).
     """
     if is_binary_index_path(path):
+        if engine == "mmap":
+            return load_frozen(path, mode="mmap")
         frozen = load_frozen(path)
         return frozen if engine == "frozen" else frozen.thaw()
+    if engine == "mmap":
+        raise SystemExit(
+            f"query: --engine mmap needs a binary {path!r}; save the index "
+            f"to a .wcxb path first"
+        )
     index = load_index(path)
     return index.freeze() if engine == "frozen" else index
 
@@ -122,18 +138,41 @@ def _parse_query_line(text: str):
     return int(parts[0]), int(parts[1]), float(parts[2])
 
 
-def _cmd_query(args) -> int:
-    index = _load_engine(args.index, args.engine)
+def _read_queries(args):
     if args.query == ["-"]:
         lines = [line for line in sys.stdin if line.strip()]
     else:
         lines = [" ".join(args.query)]
-    # Batch through distance_many so stdin workloads hit the engines'
-    # batch hot path (the frozen engine's hash-intersection merge).
-    queries = [_parse_query_line(line) for line in lines]
-    for (s, t, w), dist in zip(queries, index.distance_many(queries)):
+    return [_parse_query_line(line) for line in lines]
+
+
+def _print_answers(queries, answers) -> None:
+    for (s, t, w), dist in zip(queries, answers):
         rendered = "INF" if dist == float("inf") else f"{dist:g}"
         print(f"{s} {t} {w:g} -> {rendered}")
+
+
+def _cmd_query(args) -> int:
+    index = _load_engine(args.index, args.engine)
+    # Batch through distance_many so stdin workloads hit the engines'
+    # batch hot path (the frozen engine's hash-intersection merge).
+    queries = _read_queries(args)
+    _print_answers(queries, index.distance_many(queries))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve import QueryServer
+
+    queries = _read_queries(args)
+    with QueryServer(args.index, workers=args.workers) as server:
+        print(
+            f"serving {args.index} from shared memory "
+            f"({server.image_bytes} bytes, {server.num_workers} workers)",
+            file=sys.stderr,
+        )
+        answers = server.query_batch(queries)
+    _print_answers(queries, answers)
     return 0
 
 
@@ -160,13 +199,19 @@ def _cmd_profile(args) -> int:
 
 def _cmd_stats(args) -> int:
     from .core.labels import BYTES_PER_ENTRY
+    from .core.serialize import describe_frozen
 
     # A .wcxb is reported straight from the frozen engine — no thaw, so
     # stats on a large serving index stays as cheap as loading it.
     is_binary = is_binary_index_path(args.index)
     index = load_frozen(args.index) if is_binary else load_index(args.index)
+    described = describe_frozen(args.index) if is_binary else None
     if is_binary:
         print(f"engine:          {type(index).__name__}")
+        print(
+            f"format:          wcxb v{described['format_version']} "
+            f"({described['variant']})"
+        )
     print(f"vertices:        {index.num_vertices}")
     print(f"entries:         {index.entry_count()}")
     print(f"max label size:  {index.max_label_size()}")
@@ -175,7 +220,15 @@ def _cmd_stats(args) -> int:
     print(f"modelled bytes:  {BYTES_PER_ENTRY * index.entry_count()}")
     if is_binary:
         print(f"frozen bytes:    {index.nbytes()}")
+        print(f"image bytes:     {described['total_bytes']}")
     print(f"tracks parents:  {index.tracks_parents}")
+    if is_binary:
+        print("sections:")
+        for section in described["sections"]:
+            print(
+                f"  {section['name']:<15} {section['nbytes']:>10} bytes "
+                f"at {section['offset']}"
+            )
     return 0
 
 
@@ -249,9 +302,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument(
         "--engine",
         default="list",
-        choices=["list", "frozen"],
-        help="query engine: list-backed merge or the flat-array frozen "
-        "engine (works for all index families a .wcxb may hold)",
+        choices=["list", "frozen", "mmap"],
+        help="query engine: list-backed merge, the flat-array frozen "
+        "engine (works for all index families a .wcxb may hold), or the "
+        "frozen engine attached zero-copy to an mmap of a .wcxb v3 image",
     )
     p_query.add_argument(
         "query",
@@ -259,6 +313,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="either 's t w' or '-' to read queries from stdin",
     )
     p_query.set_defaults(func=_cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="answer queries through a shared-memory multi-process pool",
+    )
+    p_serve.add_argument("--index", required=True)
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes attached to the shared image (default 2)",
+    )
+    p_serve.add_argument(
+        "query",
+        nargs="+",
+        help="either 's t w' or '-' to read queries from stdin",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_profile = sub.add_parser(
         "profile", help="print the Pareto staircase of a vertex pair"

@@ -149,6 +149,47 @@ EXTENSION_QUERY_METHODS = (
     "WC-FROZEN-W",
 )
 
+#: The serving line-up over one saved ``.wcxb`` image: the read-loaded
+#: frozen engine, the mmap-attached engine, and the shared-memory
+#: ``QueryServer`` pool (``WC-SHM-N`` = N worker processes).  All three
+#: answer through the same flat kernels — identical answers, different
+#: storage/process topology.
+SERVING_QUERY_METHODS = ("WC-FROZEN", "WC-MMAP", "WC-SHM-2")
+
+
+class ServingLineup:
+    """The :data:`SERVING_QUERY_METHODS` engines over one ``.wcxb`` image.
+
+    ``batch_engines`` maps method names to ``distance_many``-style batch
+    callables (the shared-memory row is named ``WC-SHM-<workers>``).
+    Close (or use as a context manager) to shut the worker pool down,
+    release the mmap attach, and unlink the shared segment.
+    """
+
+    def __init__(self, path, *, workers: int = 2) -> None:
+        from ..core.serialize import load_frozen
+        from ..serve import QueryServer
+
+        self.path = path
+        self.frozen = load_frozen(path)
+        self.mapped = load_frozen(path, mode="mmap", validate=False)
+        self.server = QueryServer(path, workers=workers)
+        self.batch_engines: Dict[str, Callable] = {
+            "WC-FROZEN": self.frozen.distance_many,
+            "WC-MMAP": self.mapped.distance_many,
+            f"WC-SHM-{workers}": self.server.query_batch,
+        }
+
+    def close(self) -> None:
+        self.server.close()
+        self.mapped.release()
+
+    def __enter__(self) -> "ServingLineup":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
 
 @dataclass
 class BuiltIndexes:

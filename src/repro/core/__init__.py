@@ -4,9 +4,12 @@
   :func:`build_wc_index` / :func:`build_wc_index_plus` — the undirected
   unweighted index (Sections IV).
 * :class:`FrozenWCIndex` / :class:`FrozenDirectedWCIndex` /
-  :class:`FrozenWeightedWCIndex` — the immutable flat-array query engines
-  (``freeze()`` / ``thaw()`` on every list engine); variant-tagged binary
-  ``.wcxb`` persistence via :func:`save_frozen` / :func:`load_frozen`.
+  :class:`FrozenWeightedWCIndex` — the immutable buffer-backed flat-array
+  query engines (``freeze()`` / ``thaw()`` on every list engine);
+  variant-tagged binary ``.wcxb`` persistence via :func:`save_frozen` /
+  :func:`load_frozen` (``mode="mmap"`` attaches zero-copy), plus
+  :func:`attach_frozen` over arbitrary buffers and shared-memory serving
+  in :mod:`repro.serve`.
 * Query kernels (Algorithms 2/4/5) in :mod:`~repro.core.query`, each in a
   list-layout and a flat-layout (``*_flat``) variant.
 * Vertex orderings (Section IV.D) in :mod:`~repro.core.ordering`.
@@ -60,6 +63,8 @@ from .query import (
 )
 from .serialize import (
     IndexFormatError,
+    attach_frozen,
+    describe_frozen,
     is_binary_index_path,
     load_frozen,
     load_index,
@@ -105,6 +110,8 @@ __all__ = [
     "load_index",
     "save_frozen",
     "load_frozen",
+    "attach_frozen",
+    "describe_frozen",
     "is_binary_index_path",
     "IndexFormatError",
     "IndexStatistics",

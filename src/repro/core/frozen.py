@@ -21,11 +21,20 @@ all labels in flat, contiguous stdlib-``array`` storage:
 * ``parents`` (``"i"``, optional) — BFS parents when the source index
   tracked them.
 
+Every flat store is **buffer-backed**: :class:`_FlatSide` holds typed
+``memoryview`` objects (obtained via ``memoryview.cast``) over whatever buffer
+supplied the data — owned ``array`` objects materialized by ``freeze()``,
+an ``mmap`` of a ``.wcxb`` v3 file, or a ``multiprocessing.shared_memory``
+segment.  The engine never copies the label data; queries read straight
+through the views.  An engine attached to a borrowed buffer is detached
+with :meth:`release` (releases every view so the mmap / shared-memory
+segment can be closed); released engines must not be queried again.
+
 The per-entry cost is :data:`~repro.core.labels.BYTES_PER_ENTRY` bytes
 (4 + 8 + 8); :meth:`FrozenWCIndex.nbytes` reports the real total
 footprint including the offset table and directory.  Label access methods
 (:meth:`label_lists`, :meth:`distance_many`) hand out ``memoryview``
-slices of the arrays — views, never copies.
+slices of the views — views, never copies.
 
 Freezing is lossless and reversible: ``WCIndex.freeze()`` →
 ``FrozenWCIndex`` → :meth:`thaw` → ``WCIndex`` round-trips every entry,
@@ -68,6 +77,20 @@ OFFSET_TYPECODE = "q"
 BYTES_PER_GROUP = 4 + 8 + 8
 
 
+def _as_view(values, typecode: str) -> memoryview:
+    """Normalize ``values`` (``array``, ``memoryview``, ``bytes``-like) to
+    a typed ``memoryview`` without copying.
+
+    An untyped (``"B"``-format) buffer is cast to ``typecode``; a typed
+    view or array is wrapped as-is, so owned ``array`` storage and
+    borrowed mmap / shared-memory bytes flow through the same code path.
+    """
+    view = memoryview(values)
+    if view.format != typecode:
+        view = view.cast(typecode)
+    return view
+
+
 class FrozenWCIndex:
     """Immutable flat-array snapshot of a :class:`WCIndex`.
 
@@ -81,11 +104,11 @@ class FrozenWCIndex:
     def __init__(
         self,
         order: Sequence[int],
-        offsets: array,
-        hubs: array,
-        dists: array,
-        quals: array,
-        parents: Optional[array] = None,
+        offsets,
+        hubs,
+        dists,
+        quals,
+        parents=None,
     ) -> None:
         n = len(order)
         # The side validates the array shapes and owns the lazily built
@@ -183,18 +206,18 @@ class FrozenWCIndex:
     def distance_many(self, queries) -> List[float]:
         """Answer a batch of ``(s, t, w)`` queries over the frozen layout.
 
-        The hot path of the frozen engine: one pair of global
-        ``memoryview`` slices of ``dists``/``quals`` is taken once and
-        reused for every query (views, never copies), then the whole
-        batch runs through :func:`~repro.core.query.batch_merge_flat` —
-        the hash-intersection merge loop shared with the directed and
+        The hot path of the frozen engine: the global ``dists``/``quals``
+        views are handed to the kernel directly (views, never copies),
+        then the whole batch runs through
+        :func:`~repro.core.query.batch_merge_flat` — the
+        hash-intersection merge loop shared with the directed and
         weighted frozen engines.
         """
         side = self._side
         directory = side.directory()
         hub_map = side.hub_map()
-        dists = memoryview(side.dists)
-        quals = memoryview(side.quals)
+        dists = side.dists
+        quals = side.quals
         return batch_merge_flat(
             queries,
             directory,
@@ -230,15 +253,19 @@ class FrozenWCIndex:
         if side.parents is None:
             raise ValueError("index was built without parent tracking")
         self._check_vertex(v)
-        return memoryview(side.parents)[
-            side.offsets[v]:side.offsets[v + 1]
-        ]
+        return side.parents[side.offsets[v]:side.offsets[v + 1]]
 
     def raw_arrays(self):
-        """The canonical flat arrays ``(offsets, hubs, dists, quals,
+        """The canonical flat views ``(offsets, hubs, dists, quals,
         parents)`` — ``parents`` is ``None`` without parent tracking.
         Exposed for serialization and tests; callers must not mutate."""
         return self._side.raw_arrays()
+
+    def release(self) -> None:
+        """Detach from the backing buffer: release every view so an mmap
+        or shared-memory segment can be closed.  The engine must not be
+        queried afterwards."""
+        self._side.release()
 
     def group_directory(self, v: int) -> List[Tuple[int, int, int]]:
         """The precomputed ``(hub_rank, start, end)`` triples of ``v``
@@ -299,7 +326,7 @@ class FrozenWCIndex:
 
 
 def _build_directory(
-    offsets: array, hubs: array
+    offsets, hubs
 ) -> List[List[Tuple[int, int, int]]]:
     """Per-vertex ``(hub_rank, start, end)`` triples — the one pass that
     pays the ``group_end`` scan so no query ever does."""
@@ -321,13 +348,15 @@ def _build_directory(
 
 
 class _FlatSide:
-    """One flat label store: the global parallel array triple, its offset
+    """One flat label store: the global parallel view triple, its offset
     table, optional parents, and the lazily built group directory plus
     ``hub_rank -> (start, end)`` map.
 
     The single source of truth for the flat layout: the undirected and
     weighted engines own one side each, the directed engine two
-    (``L_in`` / ``L_out``).
+    (``L_in`` / ``L_out``).  Storage is typed ``memoryview``\\s over
+    whatever buffer the caller supplies (owned arrays, an mmap, a
+    shared-memory segment) — the side never copies label data.
     """
 
     __slots__ = (
@@ -343,12 +372,18 @@ class _FlatSide:
     def __init__(
         self,
         n: int,
-        offsets: array,
-        hubs: array,
-        dists: array,
-        quals: array,
-        parents: Optional[array] = None,
+        offsets,
+        hubs,
+        dists,
+        quals,
+        parents=None,
     ) -> None:
+        offsets = _as_view(offsets, OFFSET_TYPECODE)
+        hubs = _as_view(hubs, HUB_TYPECODE)
+        dists = _as_view(dists, VALUE_TYPECODE)
+        quals = _as_view(quals, VALUE_TYPECODE)
+        if parents is not None:
+            parents = _as_view(parents, HUB_TYPECODE)
         if len(offsets) != n + 1:
             raise ValueError(
                 f"offsets must have {n + 1} entries, got {len(offsets)}"
@@ -365,6 +400,18 @@ class _FlatSide:
         self.parents = parents
         self._directory: Optional[List[List[Tuple[int, int, int]]]] = None
         self._hub_map: Optional[List[dict]] = None
+
+    def release(self) -> None:
+        """Release every view so the backing buffer (mmap, shared memory)
+        can be closed; the side must not be used afterwards."""
+        self.offsets.release()
+        self.hubs.release()
+        self.dists.release()
+        self.quals.release()
+        if self.parents is not None:
+            self.parents.release()
+        self._directory = None
+        self._hub_map = None
 
     @classmethod
     def from_lists(
@@ -409,9 +456,9 @@ class _FlatSide:
         """Zero-copy ``memoryview`` slices of vertex ``v``'s entries."""
         start, stop = self.offsets[v], self.offsets[v + 1]
         return (
-            memoryview(self.hubs)[start:stop],
-            memoryview(self.dists)[start:stop],
-            memoryview(self.quals)[start:stop],
+            self.hubs[start:stop],
+            self.dists[start:stop],
+            self.quals[start:stop],
         )
 
     def to_lists(self):
@@ -564,12 +611,12 @@ class FrozenDirectedWCIndex:
             queries,
             out.directory(),
             out.hub_map(),
-            memoryview(out.dists),
-            memoryview(out.quals),
+            out.dists,
+            out.quals,
             inn.directory(),
             inn.hub_map(),
-            memoryview(inn.dists),
-            memoryview(inn.quals),
+            inn.dists,
+            inn.quals,
             len(self.order),
         )
 
@@ -599,10 +646,16 @@ class FrozenDirectedWCIndex:
         return [(order[h], d, q) for h, d, q in zip(hubs, dists, quals)]
 
     def raw_sides(self):
-        """The canonical flat array 5-tuples ``(in_arrays, out_arrays)``
+        """The canonical flat view 5-tuples ``(in_arrays, out_arrays)``
         — each ``(offsets, hubs, dists, quals, parents)``.  Exposed for
         serialization and tests; callers must not mutate."""
         return self._in.raw_arrays(), self._out.raw_arrays()
+
+    def release(self) -> None:
+        """Detach both sides from their backing buffer (see
+        :meth:`FrozenWCIndex.release`)."""
+        self._in.release()
+        self._out.release()
 
     def entry_count(self) -> int:
         return self._in.entry_count() + self._out.entry_count()
@@ -654,8 +707,8 @@ class FrozenWeightedWCIndex:
         self,
         order: Sequence[int],
         side: _FlatSide,
-        parent_vertices: Optional[array] = None,
-        parent_entries: Optional[array] = None,
+        parent_vertices=None,
+        parent_entries=None,
     ) -> None:
         n = len(order)
         if len(side.offsets) != n + 1:
@@ -663,6 +716,8 @@ class FrozenWeightedWCIndex:
         if (parent_vertices is None) != (parent_entries is None):
             raise ValueError("parent vertex/entry arrays must come together")
         if parent_vertices is not None:
+            parent_vertices = _as_view(parent_vertices, HUB_TYPECODE)
+            parent_entries = _as_view(parent_entries, HUB_TYPECODE)
             total = side.entry_count()
             if len(parent_vertices) != total or len(parent_entries) != total:
                 raise ValueError("parent arrays disagree with offsets")
@@ -739,8 +794,8 @@ class FrozenWeightedWCIndex:
         side = self._side
         directory = side.directory()
         hub_map = side.hub_map()
-        dists = memoryview(side.dists)
-        quals = memoryview(side.quals)
+        dists = side.dists
+        quals = side.quals
         return batch_merge_flat(
             queries,
             directory,
@@ -799,6 +854,14 @@ class FrozenWeightedWCIndex:
             self._parent_vertices,
             self._parent_entries,
         )
+
+    def release(self) -> None:
+        """Detach from the backing buffer (see
+        :meth:`FrozenWCIndex.release`)."""
+        self._side.release()
+        if self._parent_vertices is not None:
+            self._parent_vertices.release()
+            self._parent_entries.release()
 
     def entry_count(self) -> int:
         return self._side.entry_count()

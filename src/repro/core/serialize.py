@@ -19,13 +19,14 @@ Qualities serialize via ``repr(float)`` (round-trip exact, including
 (mirroring :mod:`repro.graph.io`), and rejects trailing garbage after the
 last vertex block.
 
-**Binary** (``.wcxb``) — the compact struct-packed image of a frozen
-index.  Version 2 of the format serves all three index families through
-one header: a fixed little-endian header carrying a **variant tag**
-(undirected / directed / weighted) and a **per-section offset table**
-(one absolute byte offset per array section), followed by the raw
-little-endian arrays.  Section line-up per variant (parent sections only
-when the parents flag is set):
+**Binary** (``.wcxb``) — the servable memory image of a frozen index.
+Version 3 lays the file out so a server can *attach* to it instead of
+parsing it: a fixed little-endian header carrying a **variant tag**
+(undirected / directed / weighted), followed by a **size-stamped section
+table** (one ``(absolute byte offset, byte size)`` int64 pair per array
+section), followed by the raw little-endian arrays, every section padded
+to an **8-byte-aligned** offset.  Section line-up per variant (parent
+sections only when the parents flag is set):
 
 * undirected — ``order, offsets, hubs, dists, quals[, parents]``
 * directed — ``order``, then the ``L_in`` side
@@ -33,22 +34,32 @@ when the parents flag is set):
 * weighted — ``order, offsets, hubs, dists, quals[, parent_vertices,
   parent_entries]``
 
-Loading is one read per section straight into flat storage — no
-per-entry parsing — with the offset table cross-checked against the real
-section positions, plus an optional (default-on) integrity scan of the
-kernel invariants; trusted reloads can disable it for raw array-read
-startup.  Version 1 images (the undirected-only layout of PR 1) are
-still read.  :func:`save_index` / :func:`load_index` dispatch on the
-suffix (case-insensitive); :func:`save_frozen` / :func:`load_frozen` are
-the direct binary entry points (``load_frozen`` returns the matching
-frozen engine — :class:`FrozenWCIndex`, :class:`FrozenDirectedWCIndex`
-or :class:`FrozenWeightedWCIndex` — without thawing).
+Because sections are aligned and size-stamped, a v3 image is directly
+servable from any buffer: :func:`attach_frozen` builds the frozen engine
+out of ``memoryview.cast`` views over the buffer — **zero copies** — and
+``load_frozen(path, mode="mmap")`` does the same over an ``mmap`` of the
+file, so a multi-GB index starts serving in near-constant time and pages
+in on demand.  The default ``mode="read"`` materializes owned arrays (one
+``frombytes`` per section, file handle closed afterwards) with the
+section table cross-checked against the real positions, plus an optional
+(default-on) integrity scan of the kernel invariants; trusted reloads can
+disable it for raw array-read startup.  Version 1 (PR 1, undirected only)
+and version 2 (PR 3, variant tag + offset table, unaligned and
+unstamped) images are still read through the copying path.
+:func:`save_index` / :func:`load_index` dispatch on the suffix
+(case-insensitive); :func:`save_frozen` / :func:`load_frozen` are the
+direct binary entry points (``load_frozen`` returns the matching frozen
+engine — :class:`FrozenWCIndex`, :class:`FrozenDirectedWCIndex` or
+:class:`FrozenWeightedWCIndex` — without thawing).
+:func:`describe_frozen` reports the header and per-section byte layout
+without constructing an engine.
 """
 
 from __future__ import annotations
 
 import gzip
 import io
+import mmap
 import struct
 import sys
 from array import array
@@ -73,13 +84,21 @@ MAGIC = "WCINDEX"
 VERSION = 1
 
 BINARY_MAGIC = b"WCXB"
-BINARY_VERSION = 2
+BINARY_VERSION = 3
 BINARY_SUFFIX = ".wcxb"
-_BINARY_PREFIX = struct.Struct("<4sH")  # magic, version (shared by v1/v2)
+_BINARY_PREFIX = struct.Struct("<4sH")  # magic, version (shared by v1/v2/v3)
 _BINARY_HEADER_V1 = struct.Struct("<4sHHq")  # magic, version, flags, n
-#: v2 header: magic, version, variant, flags, section count, n.
+#: v2/v3 header: magic, version, variant, flags, section count, n.
 _BINARY_HEADER = struct.Struct("<4sHHHHq")
 _FLAG_PARENTS = 1
+
+#: Sections of a v3 image start at 8-byte-aligned offsets so typed
+#: ``memoryview.cast`` views can attach to them in place.
+_ALIGNMENT = 8
+#: Byte position of the v3 section table (the 20-byte header, aligned).
+_TABLE_AT = 24
+
+_ITEMSIZES = {HUB_TYPECODE: 4, VALUE_TYPECODE: 8, OFFSET_TYPECODE: 8}
 
 #: Variant tags of the binary header — which index family the image holds.
 VARIANT_UNDIRECTED = 0
@@ -90,6 +109,33 @@ _VARIANT_NAMES = {
     VARIANT_DIRECTED: "directed",
     VARIANT_WEIGHTED: "weighted",
 }
+
+_SIDE_SECTIONS = ("offsets", "hubs", "dists", "quals")
+
+
+def _align(position: int) -> int:
+    """Round ``position`` up to the section alignment."""
+    return (position + _ALIGNMENT - 1) & ~(_ALIGNMENT - 1)
+
+
+def _section_names(variant: int, flags: int) -> List[str]:
+    """The ordered section names of an image (module docstring layout)."""
+    with_parents = bool(flags & _FLAG_PARENTS)
+    names = ["order"]
+    if variant == VARIANT_DIRECTED:
+        for side in ("in", "out"):
+            names += [f"{side}_{name}" for name in _SIDE_SECTIONS]
+            if with_parents:
+                names.append(f"{side}_parents")
+        return names
+    names += list(_SIDE_SECTIONS)
+    if variant == VARIANT_WEIGHTED:
+        if with_parents:
+            names += ["parent_vertices", "parent_entries"]
+        return names
+    if with_parents:
+        names.append("parents")
+    return names
 
 
 def is_binary_index_path(path: PathLike) -> bool:
@@ -288,9 +334,13 @@ def _freeze_for_save(index):
     return variant, index.freeze()
 
 
-def _sections_of(variant: int, frozen) -> List[array]:
-    """The ordered array sections of a frozen image (module docstring)."""
-    sections: List[array] = [array(OFFSET_TYPECODE, frozen.order)]
+def _sections_of(variant: int, frozen) -> list:
+    """The ordered array sections of a frozen image (module docstring).
+
+    Entries are ``array`` objects or typed ``memoryview``\\s — whatever
+    the frozen engine is backed by; the writer handles both.
+    """
+    sections: list = [array(OFFSET_TYPECODE, frozen.order)]
     if variant == VARIANT_DIRECTED:
         for offsets, hubs, dists, quals, parents in frozen.raw_sides():
             sections += [offsets, hubs, dists, quals]
@@ -315,9 +365,9 @@ def save_frozen(index, destination: Union[PathLike, BinaryIO]) -> None:
 
     Accepts every index family — list-backed engines are frozen first,
     frozen engines are dumped as-is; the header's variant tag records
-    which family the image holds.  The layout is the header, the
-    per-section offset table, then the raw little-endian arrays — see the
-    module docstring.
+    which family the image holds.  The layout is the v3 attachable image:
+    header, size-stamped section table, then the raw little-endian arrays
+    at 8-byte-aligned offsets — see the module docstring.
     """
     if isinstance(destination, (str, Path)):
         with open(destination, "wb") as handle:
@@ -335,19 +385,25 @@ def save_frozen(index, destination: Union[PathLike, BinaryIO]) -> None:
         len(sections),
         frozen.num_vertices,
     )
-    cursor = len(header) + 8 * len(sections)
     table = array(OFFSET_TYPECODE)
+    cursor = _align(_TABLE_AT + 2 * 8 * len(sections))
     for section in sections:
+        nbytes = section.itemsize * len(section)
         table.append(cursor)
-        cursor += section.itemsize * len(section)
+        table.append(nbytes)
+        cursor = _align(cursor + nbytes)
     out.write(header)
+    out.write(b"\x00" * (_TABLE_AT - len(header)))
     _write_array(out, table)
-    for section in sections:
+    written = _TABLE_AT + 2 * 8 * len(sections)
+    for section, offset in zip(sections, table[0::2]):
+        out.write(b"\x00" * (offset - written))
         _write_array(out, section)
+        written = offset + section.itemsize * len(section)
 
 
-class _SectionReader:
-    """Sequential section reads cross-checked against the offset table."""
+class _SectionReaderV2:
+    """Sequential v2 section reads cross-checked against the offset table."""
 
     def __init__(self, data: bytes, cursor: int, table: array) -> None:
         self._data = data
@@ -386,14 +442,98 @@ class _SectionReader:
             )
 
 
-def _read_order(reader: _SectionReader, n: int) -> List[int]:
+class _SectionReaderV3:
+    """Sequential v3 section reads, cross-checked against the
+    size-stamped table — every mismatch names the offending section.
+
+    ``attach=True`` returns zero-copy ``memoryview.cast`` views over the
+    image buffer instead of owned arrays; :meth:`release` drops them
+    again (the error path must, or the buffer could never be closed).
+    """
+
+    def __init__(
+        self,
+        base: memoryview,
+        names: List[str],
+        table: array,
+        *,
+        attach: bool,
+        exact: bool,
+    ) -> None:
+        self._base = base
+        self._names = names
+        self._table = table
+        self._attach = attach
+        self._exact = exact
+        self._next = 0
+        self._cursor = _TABLE_AT + 2 * 8 * len(names)
+        self._views: List[memoryview] = []
+
+    def read(self, typecode: str, count: int):
+        index = self._next
+        name = self._names[index]
+        offset = self._table[2 * index]
+        nbytes = self._table[2 * index + 1]
+        expected_at = _align(self._cursor)
+        if offset != expected_at:
+            raise IndexFormatError(
+                f"section '{name}' offset {offset} disagrees with its "
+                f"expected position {expected_at}"
+            )
+        expected_bytes = _ITEMSIZES[typecode] * count
+        if nbytes != expected_bytes:
+            raise IndexFormatError(
+                f"section '{name}' size stamp {nbytes} disagrees with "
+                f"the expected {expected_bytes} bytes"
+            )
+        if offset + nbytes > len(self._base):
+            raise IndexFormatError(
+                f"truncated binary index: section '{name}' wants "
+                f"{nbytes} bytes at {offset}, "
+                f"{max(len(self._base) - offset, 0)} available"
+            )
+        self._next += 1
+        self._cursor = offset + nbytes
+        chunk = self._base[offset:offset + nbytes]
+        if self._attach:
+            view = chunk.cast(typecode)
+            self._views.append(view)
+            return view
+        values = array(typecode)
+        values.frombytes(chunk)
+        if sys.byteorder == "big":
+            values.byteswap()
+        return values
+
+    def finish(self) -> None:
+        if self._next != len(self._names):
+            raise IndexFormatError(
+                f"image declares {len(self._names)} sections, "
+                f"loader consumed {self._next}"
+            )
+        if self._exact and self._cursor != len(self._base):
+            raise IndexFormatError(
+                f"trailing data after index body "
+                f"({len(self._base) - self._cursor} bytes)"
+            )
+
+    def release(self) -> None:
+        """Release every view handed out so far (attach error path)."""
+        for view in self._views:
+            view.release()
+        self._views.clear()
+
+
+def _read_order(reader, n: int, validate: bool) -> List[int]:
     order = list(reader.read(OFFSET_TYPECODE, n))
-    if sorted(order) != list(range(n)):
+    # The O(n log n) permutation check rides the validate flag like the
+    # other integrity scans, so a trusted mmap/shm attach skips it.
+    if validate and sorted(order) != list(range(n)):
         raise IndexFormatError("order is not a permutation of the vertex ids")
     return order
 
 
-def _read_side(reader: _SectionReader, n: int, with_parents: bool):
+def _read_side(reader, n: int, with_parents: bool):
     """One label side: offsets, hubs, dists, quals (, parents)."""
     offsets = reader.read(OFFSET_TYPECODE, n + 1)
     total = offsets[n] if n else 0
@@ -406,52 +546,13 @@ def _read_side(reader: _SectionReader, n: int, with_parents: bool):
     return offsets, hubs, dists, quals, parents
 
 
-def load_frozen(
-    source: Union[PathLike, BinaryIO], *, validate: bool = True
-):
-    """Read a ``.wcxb`` file into the frozen engine its variant tag names
-    (:class:`FrozenWCIndex`, :class:`FrozenDirectedWCIndex` or
-    :class:`FrozenWeightedWCIndex`) — the arrays land directly in flat
-    storage, no per-entry parsing.
+def _assemble_engine(variant, reader, n, with_parents, validate):
+    """Read sections off ``reader`` and construct the matching engine.
 
-    ``validate`` (default on) additionally runs an O(entries) integrity
-    scan — offset monotonicity, hub sortedness, the Theorem 3 staircase —
-    so a corrupted file fails loudly instead of silently answering
-    queries wrongly.  Servers reloading images they themselves wrote can
-    pass ``validate=False`` to keep startup at raw array-read speed.
+    Shared by every versioned loader — the reader abstracts the format
+    (v2 offset table, v3 size-stamped table, copied or attached).
     """
-    if isinstance(source, (str, Path)):
-        with open(source, "rb") as handle:
-            return load_frozen(handle, validate=validate)
-    data = source.read()
-    if len(data) < _BINARY_PREFIX.size:
-        raise IndexFormatError("truncated binary index: missing header")
-    magic, version = _BINARY_PREFIX.unpack_from(data)
-    if magic != BINARY_MAGIC:
-        raise IndexFormatError(f"bad binary magic {magic!r}")
-    if version == 1:
-        return _load_frozen_v1(data, validate)
-    if version != BINARY_VERSION:
-        raise IndexFormatError(f"unsupported binary version {version}")
-    if len(data) < _BINARY_HEADER.size:
-        raise IndexFormatError("truncated binary index: missing header")
-    _, _, variant, flags, section_count, n = _BINARY_HEADER.unpack_from(data)
-    if variant not in _VARIANT_NAMES:
-        raise IndexFormatError(f"unknown index variant tag {variant}")
-    if n < 0:
-        raise IndexFormatError(f"negative vertex count {n}")
-    expected_sections = _expected_section_count(variant, flags)
-    if section_count != expected_sections:
-        raise IndexFormatError(
-            f"{_VARIANT_NAMES[variant]} image must have "
-            f"{expected_sections} sections, header declares {section_count}"
-        )
-    table, cursor = _read_array(
-        data, _BINARY_HEADER.size, OFFSET_TYPECODE, section_count
-    )
-    reader = _SectionReader(data, cursor, table)
-    with_parents = bool(flags & _FLAG_PARENTS)
-    order = _read_order(reader, n)
+    order = _read_order(reader, n, validate)
 
     if variant == VARIANT_DIRECTED:
         in_arrays = _read_side(reader, n, with_parents)
@@ -464,7 +565,7 @@ def load_frozen(
             return FrozenDirectedWCIndex(
                 order, _FlatSide(n, *in_arrays), _FlatSide(n, *out_arrays)
             )
-        except ValueError as exc:
+        except (ValueError, IndexError) as exc:
             raise IndexFormatError(
                 f"inconsistent binary index: {exc}"
             ) from exc
@@ -491,7 +592,7 @@ def load_frozen(
                 parent_vertices,
                 parent_entries,
             )
-        except ValueError as exc:
+        except (ValueError, IndexError) as exc:
             raise IndexFormatError(
                 f"inconsistent binary index: {exc}"
             ) from exc
@@ -502,17 +603,167 @@ def load_frozen(
         _validate_frozen_body(n, offsets, hubs, dists, quals, parents)
     try:
         return FrozenWCIndex(order, offsets, hubs, dists, quals, parents)
-    except ValueError as exc:
+    except (ValueError, IndexError) as exc:
         raise IndexFormatError(f"inconsistent binary index: {exc}") from exc
 
 
-def _expected_section_count(variant: int, flags: int) -> int:
-    with_parents = bool(flags & _FLAG_PARENTS)
-    if variant == VARIANT_DIRECTED:
-        return 1 + 2 * (5 if with_parents else 4)
-    if variant == VARIANT_WEIGHTED:
-        return 5 + (2 if with_parents else 0)
-    return 5 + (1 if with_parents else 0)
+def _parse_v23_header(data):
+    """Validate and unpack the shared v2/v3 header fields."""
+    if len(data) < _BINARY_HEADER.size:
+        raise IndexFormatError("truncated binary index: missing header")
+    _, _, variant, flags, section_count, n = _BINARY_HEADER.unpack_from(data)
+    if variant not in _VARIANT_NAMES:
+        raise IndexFormatError(f"unknown index variant tag {variant}")
+    if n < 0:
+        raise IndexFormatError(f"negative vertex count {n}")
+    names = _section_names(variant, flags)
+    if section_count != len(names):
+        raise IndexFormatError(
+            f"{_VARIANT_NAMES[variant]} image must have "
+            f"{len(names)} sections, header declares {section_count}"
+        )
+    return variant, flags, n, names
+
+
+def load_frozen(
+    source: Union[PathLike, BinaryIO],
+    *,
+    validate: bool = True,
+    mode: str = "read",
+):
+    """Read a ``.wcxb`` file into the frozen engine its variant tag names
+    (:class:`FrozenWCIndex`, :class:`FrozenDirectedWCIndex` or
+    :class:`FrozenWeightedWCIndex`) — the arrays land directly in flat
+    storage, no per-entry parsing.
+
+    ``mode`` selects the storage the engine is backed by:
+
+    * ``"read"`` (default) — the sections are copied into owned arrays;
+      the file can be deleted afterwards.  Reads every format version.
+    * ``"mmap"`` — the engine **attaches** to an ``mmap`` of the file:
+      every flat store is a zero-copy typed view into the mapping, so
+      attach time is near-constant in index size and pages fault in on
+      demand.  Requires a v3 image, a path (not a handle), and a
+      little-endian host; call :meth:`~FrozenWCIndex.release` on the
+      engine to let the mapping close.
+
+    ``validate`` (default on) additionally runs an O(entries) integrity
+    scan — offset monotonicity, hub sortedness, the Theorem 3 staircase —
+    so a corrupted file fails loudly instead of silently answering
+    queries wrongly.  Servers reloading images they themselves wrote can
+    pass ``validate=False`` to keep startup at attach / raw-read speed.
+    """
+    if mode not in ("read", "mmap"):
+        raise ValueError(f"unknown load mode {mode!r}; use 'read' or 'mmap'")
+    if isinstance(source, (str, Path)):
+        if mode == "mmap":
+            return _mmap_attach(source, validate)
+        with open(source, "rb") as handle:
+            return load_frozen(handle, validate=validate)
+    if mode == "mmap":
+        raise ValueError("mode='mmap' requires a file path, not a handle")
+    data = source.read()
+    if len(data) < _BINARY_PREFIX.size:
+        raise IndexFormatError("truncated binary index: missing header")
+    magic, version = _BINARY_PREFIX.unpack_from(data)
+    if magic != BINARY_MAGIC:
+        raise IndexFormatError(f"bad binary magic {magic!r}")
+    if version == 1:
+        return _load_frozen_v1(data, validate)
+    if version == 2:
+        return _load_frozen_v2(data, validate)
+    if version != BINARY_VERSION:
+        raise IndexFormatError(f"unsupported binary version {version}")
+    variant, flags, n, names = _parse_v23_header(data)
+    table = _read_v3_table(data, names)
+    reader = _SectionReaderV3(
+        memoryview(data), names, table, attach=False, exact=True
+    )
+    return _assemble_engine(
+        variant, reader, n, bool(flags & _FLAG_PARENTS), validate
+    )
+
+
+def attach_frozen(buffer, *, validate: bool = True, exact: bool = True):
+    """Attach zero-copy to a v3 image held in ``buffer`` (any object
+    exporting a C-contiguous byte buffer: ``bytes``, an ``mmap``, a
+    ``multiprocessing.shared_memory`` block's ``.buf``).
+
+    Returns the matching frozen engine; every flat store is a
+    ``memoryview.cast`` view into ``buffer`` — no section is copied, so
+    attaching is near-constant in index size.  The caller owns the
+    buffer's lifetime: call ``engine.release()`` before closing it.
+    ``exact=False`` tolerates trailing bytes after the last section
+    (shared-memory segments are rounded up to page size).
+    """
+    if sys.byteorder == "big":
+        raise IndexFormatError(
+            "zero-copy attach requires a little-endian host; "
+            "use load_frozen(..., mode='read')"
+        )
+    base = memoryview(buffer)
+    try:
+        if base.format != "B":
+            base = base.cast("B")
+        if len(base) < _BINARY_PREFIX.size:
+            raise IndexFormatError("truncated binary index: missing header")
+        magic, version = _BINARY_PREFIX.unpack_from(base)
+        if magic != BINARY_MAGIC:
+            raise IndexFormatError(f"bad binary magic {magic!r}")
+        if version != BINARY_VERSION:
+            raise IndexFormatError(
+                f"cannot attach to a version {version} image: only v3 "
+                f"sections are aligned and size-stamped; re-save with "
+                f"save_frozen or use load_frozen(..., mode='read')"
+            )
+        variant, flags, n, names = _parse_v23_header(base)
+        table = _read_v3_table(base, names)
+        reader = _SectionReaderV3(
+            base, names, table, attach=True, exact=exact
+        )
+        try:
+            return _assemble_engine(
+                variant, reader, n, bool(flags & _FLAG_PARENTS), validate
+            )
+        except Exception:
+            reader.release()
+            raise
+    finally:
+        base.release()
+
+
+def _mmap_attach(path: PathLike, validate: bool):
+    """``load_frozen(mode="mmap")``: map the file, attach to the map."""
+    with open(path, "rb") as handle:
+        try:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError as exc:  # empty file cannot be mapped
+            raise IndexFormatError(
+                "truncated binary index: missing header"
+            ) from exc
+    try:
+        return attach_frozen(mapped, validate=validate, exact=True)
+    except Exception:
+        mapped.close()
+        raise
+
+
+def _read_v3_table(data, names: List[str]) -> array:
+    """The ``(offset, nbytes)`` int64 pairs of the v3 section table."""
+    table, _ = _read_array(data, _TABLE_AT, OFFSET_TYPECODE, 2 * len(names))
+    return table
+
+
+def _load_frozen_v2(data: bytes, validate: bool):
+    """The PR 3 layout: variant tag + unstamped, unaligned offset table."""
+    variant, flags, n, names = _parse_v23_header(data)
+    table, cursor = _read_array(
+        data, _BINARY_HEADER.size, OFFSET_TYPECODE, len(names)
+    )
+    reader = _SectionReaderV2(data, cursor, table)
+    return _assemble_engine(
+        variant, reader, n, bool(flags & _FLAG_PARENTS), validate
+    )
 
 
 def _load_frozen_v1(data: bytes, validate: bool) -> FrozenWCIndex:
@@ -547,6 +798,95 @@ def _load_frozen_v1(data: bytes, validate: bool) -> FrozenWCIndex:
         return FrozenWCIndex(order, offsets, hubs, dists, quals, parents)
     except ValueError as exc:
         raise IndexFormatError(f"inconsistent binary index: {exc}") from exc
+
+
+def describe_frozen(source: Union[PathLike, BinaryIO]) -> dict:
+    """Header and section layout of a ``.wcxb`` image, without building
+    an engine.
+
+    Returns ``{"format_version", "variant", "num_vertices",
+    "tracks_parents", "sections", "total_bytes"}`` where ``sections`` is
+    the ordered ``[{"name", "offset", "nbytes"}, ...]`` list.  For a v3
+    image only the header and the size-stamped section table are read —
+    constant work however large the index; v1/v2 images (no size stamps)
+    are read fully to reconstruct their layout.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as handle:
+            return describe_frozen(handle)
+    head = source.read(_BINARY_HEADER.size)
+    if len(head) < _BINARY_PREFIX.size:
+        raise IndexFormatError("truncated binary index: missing header")
+    magic, version = _BINARY_PREFIX.unpack_from(head)
+    if magic != BINARY_MAGIC:
+        raise IndexFormatError(f"bad binary magic {magic!r}")
+    if version == BINARY_VERSION:
+        variant, flags, n, names = _parse_v23_header(head)
+        rest = source.read(
+            _TABLE_AT + 2 * 8 * len(names) - _BINARY_HEADER.size
+        )
+        table = _read_v3_table(head + rest, names)
+        sections = [
+            {
+                "name": name,
+                "offset": table[2 * i],
+                "nbytes": table[2 * i + 1],
+            }
+            for i, name in enumerate(names)
+        ]
+        total = (
+            sections[-1]["offset"] + sections[-1]["nbytes"]
+            if sections
+            else len(head)
+        )
+    elif version in (1, 2):
+        data = head + source.read()
+        sections, variant, flags, n = _describe_legacy(data, version)
+        total = len(data)
+    else:
+        raise IndexFormatError(f"unsupported binary version {version}")
+    return {
+        "format_version": version,
+        "variant": _VARIANT_NAMES[variant],
+        "num_vertices": n,
+        "tracks_parents": bool(flags & _FLAG_PARENTS),
+        "sections": sections,
+        "total_bytes": total,
+    }
+
+
+def _describe_legacy(data: bytes, version: int):
+    """Reconstruct the section layout of a v1/v2 image from its body."""
+    if version == 1:
+        if len(data) < _BINARY_HEADER_V1.size:
+            raise IndexFormatError("truncated binary index: missing header")
+        _, _, flags, n = _BINARY_HEADER_V1.unpack_from(data)
+        variant = VARIANT_UNDIRECTED
+        names = _section_names(variant, flags)
+        offsets_at = _BINARY_HEADER_V1.size + 8 * n
+        starts = [_BINARY_HEADER_V1.size, offsets_at]
+        offsets, _ = _read_array(data, offsets_at, OFFSET_TYPECODE, n + 1)
+        total = offsets[n] if n else 0
+        cursor = offsets_at + 8 * (n + 1)
+        for itemsize in [4, 8, 8] + ([4] if flags & _FLAG_PARENTS else []):
+            starts.append(cursor)
+            cursor += itemsize * total
+        starts.append(len(data))
+    else:
+        variant, flags, n, names = _parse_v23_header(data)
+        table, _ = _read_array(
+            data, _BINARY_HEADER.size, OFFSET_TYPECODE, len(names)
+        )
+        starts = list(table) + [len(data)]
+    sections = [
+        {
+            "name": name,
+            "offset": starts[i],
+            "nbytes": starts[i + 1] - starts[i],
+        }
+        for i, name in enumerate(names)
+    ]
+    return sections, variant, flags, n
 
 
 def _validate_frozen_body(n, offsets, hubs, dists, quals, parents) -> None:
@@ -619,14 +959,18 @@ def _validate_weighted_parents(n, offsets, parent_vertices, parent_entries):
             )
 
 
-def _write_array(out: BinaryIO, values: array) -> None:
+def _write_array(out: BinaryIO, values) -> None:
+    """Write an ``array`` or typed ``memoryview`` little-endian."""
     if sys.byteorder == "big":
-        values = array(values.typecode, values)
-        values.byteswap()
+        typecode = getattr(values, "typecode", None) or values.format
+        swapped = array(typecode, values)
+        swapped.byteswap()
+        out.write(swapped.tobytes())
+        return
     out.write(values.tobytes())
 
 
-def _read_array(data: bytes, cursor: int, typecode: str, count: int):
+def _read_array(data, cursor: int, typecode: str, count: int):
     values = array(typecode)
     nbytes = values.itemsize * count
     if cursor + nbytes > len(data):

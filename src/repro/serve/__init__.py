@@ -1,0 +1,30 @@
+"""Shared-memory multi-process serving of frozen WC-INDEX images.
+
+A frozen index is an immutable memory image (``.wcxb`` v3: aligned,
+size-stamped sections — see :mod:`repro.core.serialize`), which is
+exactly the shape lock-free multi-process fan-out wants:
+
+* :class:`ShmIndexImage` publishes one image into
+  ``multiprocessing.shared_memory``; any process that knows the segment
+  name attaches the *same physical pages* and builds a zero-copy frozen
+  engine over them with :func:`attach_image` — no copies, no locks, no
+  coordination, because nobody ever writes.
+* :class:`QueryServer` wraps the whole arrangement into a synchronous
+  serving facade: it publishes the image, spawns N worker processes that
+  answer ``distance_many`` batches through the shared
+  :func:`~repro.core.query.batch_merge_flat` kernel, and exposes
+  ``.query()`` / ``.query_batch()``; ``.close()`` shuts the pool down
+  and releases/unlinks the segment.
+
+The CLI counterpart is ``python -m repro serve``.
+"""
+
+from .server import QueryServer
+from .shm import AttachedIndex, ShmIndexImage, attach_image
+
+__all__ = [
+    "AttachedIndex",
+    "QueryServer",
+    "ShmIndexImage",
+    "attach_image",
+]

@@ -1,0 +1,259 @@
+"""The multi-process query server over one shared frozen image.
+
+:class:`QueryServer` publishes a frozen index into shared memory
+(:class:`~repro.serve.shm.ShmIndexImage`), spawns N worker processes
+that attach zero-copy, and fans ``distance_many`` batches out over
+per-worker task queues.  The engine is immutable, so the workers share
+the physical index pages with no locking and no per-worker copy —
+worker memory cost is the page tables, not the index.
+
+Every worker owns its task queue (single consumer): a worker that dies
+— even killed mid-``get`` — can poison only its own queue, never a
+sibling's, so the pool degrades gracefully: batches keep routing to the
+surviving workers, and only a chunk already *assigned* to a worker that
+then died raises.
+
+The facade is synchronous: :meth:`QueryServer.query_batch` splits a
+batch into chunks, round-robins them over the live workers, and
+reassembles the answers in order; :meth:`QueryServer.query` is the
+single-query convenience.  :meth:`QueryServer.close` (or the context
+manager) shuts the workers down and releases/unlinks the shared
+segment.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .shm import ShmIndexImage, attach_image
+
+#: How many chunks each worker gets per batch (load-balance granularity).
+_CHUNKS_PER_WORKER = 4
+
+#: Seconds between liveness checks while waiting for batch results.
+_POLL_SECONDS = 1.0
+
+
+def _worker_main(image_name: str, tasks, results) -> None:
+    """Worker loop: attach to the image, answer batches off this
+    worker's own task queue until the ``None`` sentinel, then detach
+    cleanly."""
+    attached = attach_image(image_name)
+    try:
+        while True:
+            job = tasks.get()
+            if job is None:
+                return
+            job_id, queries = job
+            try:
+                answers = attached.engine.distance_many(queries)
+            except Exception as exc:  # surface, don't kill the pool
+                results.put((job_id, "error", f"{type(exc).__name__}: {exc}"))
+            else:
+                results.put((job_id, "ok", answers))
+    finally:
+        attached.close()
+
+
+class QueryServer:
+    """Synchronous multi-process serving facade.
+
+    ``source`` is any index engine (all three families, frozen or
+    list-backed) or an index path.  ``workers`` processes attach to one
+    shared image; every answer is produced by the same
+    :func:`~repro.core.query.batch_merge_flat` kernel as the
+    single-process frozen engine, so results are bit-identical.
+
+    ``start_method`` picks the ``multiprocessing`` context (default:
+    ``fork`` where available — instant workers — else ``spawn``).
+    ``validate`` (default on) integrity-scans a path source once at
+    startup — workers attach without re-scanning; pass ``False`` for
+    trusted images.
+    """
+
+    def __init__(
+        self,
+        source,
+        *,
+        workers: int = 2,
+        start_method: Optional[str] = None,
+        validate: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else "spawn"
+        context = multiprocessing.get_context(start_method)
+        self._image: Optional[ShmIndexImage] = ShmIndexImage(
+            source, validate=validate
+        )
+        # Anything failing past this point (queue fds, fork limits) must
+        # not orphan the published segment.
+        try:
+            self._task_queues = [
+                context.SimpleQueue() for _ in range(workers)
+            ]
+            self._results = context.Queue()
+            self._next_job = 0
+            self._workers = [
+                context.Process(
+                    target=_worker_main,
+                    args=(self._image.name, tasks, self._results),
+                    daemon=True,
+                    name=f"wcindex-worker-{i}",
+                )
+                for i, tasks in enumerate(self._task_queues)
+            ]
+            for process in self._workers:
+                process.start()
+        except Exception:
+            # Stop any workers that did start (they are attached to the
+            # image and blocked on their task queue), then drop the
+            # segment — a failed construction must not leave processes
+            # or /dev/shm pages behind.
+            for process in getattr(self, "_workers", []):
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=1.0)
+            image, self._image = self._image, None
+            image.destroy()
+            raise
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, s: int, t: int, w: float) -> float:
+        """Answer one ``(s, t, w)`` constrained-distance query."""
+        return self.query_batch([(s, t, w)])[0]
+
+    def query_batch(
+        self,
+        queries: Sequence[Tuple[int, int, float]],
+        *,
+        chunk_size: Optional[int] = None,
+    ) -> List[float]:
+        """Answer a batch of ``(s, t, w)`` queries, preserving order.
+
+        The batch is split into ``chunk_size`` pieces (default: enough
+        for :data:`_CHUNKS_PER_WORKER` chunks per live worker) dealt
+        round-robin over the live workers' task queues.  A worker dying
+        *with a chunk of this batch assigned* raises ``RuntimeError``;
+        workers that died earlier are simply skipped.
+        """
+        if self._image is None:
+            raise RuntimeError("query server is closed")
+        queries = list(queries)
+        if not queries:
+            return []
+        live = [
+            index
+            for index, process in enumerate(self._workers)
+            if process.is_alive()
+        ]
+        if not live:
+            raise RuntimeError("no live query workers")
+        if chunk_size is None:
+            per_batch = len(live) * _CHUNKS_PER_WORKER
+            chunk_size = max(1, -(-len(queries) // per_batch))
+        elif chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        starts: Dict[int, int] = {}
+        owners: Dict[int, int] = {}
+        for turn, at in enumerate(range(0, len(queries), chunk_size)):
+            job_id = self._next_job
+            self._next_job += 1
+            starts[job_id] = at
+            owner = live[turn % len(live)]
+            owners[job_id] = owner
+            self._task_queues[owner].put(
+                (job_id, queries[at:at + chunk_size])
+            )
+        answers: List[float] = [0.0] * len(queries)
+        pending = set(starts)
+        while pending:
+            try:
+                job_id, status, payload = self._results.get(
+                    timeout=_POLL_SECONDS
+                )
+            except queue_module.Empty:
+                dead = {
+                    owners[job]
+                    for job in pending
+                    if not self._workers[owners[job]].is_alive()
+                }
+                if dead:
+                    states = ", ".join(
+                        f"{self._workers[i].name} "
+                        f"(exitcode {self._workers[i].exitcode})"
+                        for i in sorted(dead)
+                    )
+                    raise RuntimeError(
+                        f"query worker died with chunks of this batch "
+                        f"assigned: {states}"
+                    ) from None
+                continue
+            if job_id not in pending:
+                continue  # stale result of an earlier failed batch
+            if status == "error":
+                raise RuntimeError(f"query worker failed: {payload}")
+            at = starts[job_id]
+            answers[at:at + len(payload)] = payload
+            pending.discard(job_id)
+        return answers
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def image_bytes(self) -> int:
+        """Size of the published index image in bytes."""
+        if self._image is None:
+            raise RuntimeError("query server is closed")
+        return self._image.size
+
+    @property
+    def closed(self) -> bool:
+        return self._image is None
+
+    def close(self) -> None:
+        """Shut the pool down and release/unlink the shared segment
+        (idempotent).  Queued work finishes first — each worker's
+        sentinel lines up behind it on that worker's own queue."""
+        image = self._image
+        if image is None:
+            return
+        self._image = None
+        for tasks in self._task_queues:
+            tasks.put(None)
+        for process in self._workers:
+            process.join(timeout=10.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        for tasks in self._task_queues:
+            tasks.close()
+        # Drop the results queue's feeder thread before unlinking.
+        self._results.close()
+        self._results.join_thread()
+        image.destroy()
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        if self._image is None:
+            return "QueryServer(closed)"
+        return (
+            f"QueryServer(workers={len(self._workers)}, "
+            f"image={self._image.size} bytes)"
+        )

@@ -14,6 +14,7 @@ from repro.core.frozen import (
 )
 from repro.core.serialize import (
     IndexFormatError,
+    describe_frozen,
     is_binary_index_path,
     load_frozen,
     load_index,
@@ -23,6 +24,15 @@ from repro.core.serialize import (
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import paper_figure3
 from repro.graph.weighted import WeightedGraph
+
+
+def section_offset(data: bytes, name: str) -> int:
+    """Byte offset of a named section, straight from the image's table."""
+    record = next(
+        s for s in describe_frozen(io.BytesIO(bytes(data)))["sections"]
+        if s["name"] == name
+    )
+    return record["offset"]
 
 
 def round_trip(index):
@@ -242,28 +252,26 @@ class TestBinaryFormat:
         buffer = io.BytesIO()
         save_frozen(index, buffer)
         data = bytearray(buffer.getvalue())
-        # The order array is the first section, right after the 20-byte
-        # v2 header and the five-entry section table; clobber the first
-        # vertex id with a duplicate of the second.
-        order_at = 20 + 8 * 5
+        # Clobber the first vertex id of the order section with a
+        # duplicate of the second.
+        order_at = section_offset(data, "order")
         data[order_at:order_at + 8] = data[order_at + 8:order_at + 16]
         with pytest.raises(IndexFormatError, match="permutation"):
             load_frozen(io.BytesIO(bytes(data)))
 
     def corrupt_wcxb(self):
         """Valid paper_figure3 image (n=6, identity order) as a mutable
-        buffer plus the byte positions of its sections (v2 layout: 20-byte
-        header, 5-entry section table, then the arrays)."""
+        buffer plus the byte positions of its label sections, located
+        through the image's own section table."""
         import struct
 
         index = build_wc_index_plus(paper_figure3(), "identity")
         buffer = io.BytesIO()
         save_frozen(index, buffer)
-        n = 6
-        order_at = 20 + 8 * 5
-        offsets_at = order_at + 8 * n
-        hubs_at = offsets_at + 8 * (n + 1)
-        return bytearray(buffer.getvalue()), offsets_at, hubs_at, struct
+        data = bytearray(buffer.getvalue())
+        offsets_at = section_offset(data, "offsets")
+        hubs_at = section_offset(data, "hubs")
+        return data, offsets_at, hubs_at, struct
 
     def test_non_monotonic_offsets_rejected(self):
         # Regression: in-range but decreasing offsets used to load
@@ -503,11 +511,27 @@ class TestBinaryVariants:
         import struct
 
         data = self.corrupt_header(build_wc_index_plus(paper_figure3()))
-        # Shift the second section table entry (the offsets array).
-        at = 20 + 8
+        # Shift the second section's table offset (the offsets array):
+        # v3 table entries are (offset, nbytes) int64 pairs at byte 24.
+        at = 24 + 16
         value = struct.unpack_from("<q", data, at)[0]
         struct.pack_into("<q", data, at, value + 8)
-        with pytest.raises(IndexFormatError, match="disagrees"):
+        with pytest.raises(
+            IndexFormatError, match="'offsets'.*disagrees"
+        ):
+            load_frozen(io.BytesIO(bytes(data)))
+
+    def test_size_stamp_mismatch_rejected(self):
+        import struct
+
+        data = self.corrupt_header(build_wc_index_plus(paper_figure3()))
+        # Bit-flip the second section's size stamp.
+        at = 24 + 16 + 8
+        value = struct.unpack_from("<q", data, at)[0]
+        struct.pack_into("<q", data, at, value ^ 8)
+        with pytest.raises(
+            IndexFormatError, match="'offsets' size stamp"
+        ):
             load_frozen(io.BytesIO(bytes(data)))
 
     def test_directed_sides_validated(self):
@@ -519,9 +543,7 @@ class TestBinaryVariants:
         buffer = io.BytesIO()
         save_frozen(index, buffer)
         data = bytearray(buffer.getvalue())
-        # Sections (no parents): 0 order, 1-4 the in side, 5 out_offsets,
-        # 6 out_hubs — whose offset lives in the table at 20 + 8*6.
-        out_hubs_at = struct.unpack_from("<q", data, 20 + 8 * 6)[0]
+        out_hubs_at = section_offset(data, "out_hubs")
         struct.pack_into("<i", data, out_hubs_at, 99)
         with pytest.raises(IndexFormatError, match="hub rank"):
             load_frozen(io.BytesIO(bytes(data)))
@@ -554,3 +576,272 @@ class TestBinaryVariants:
         v1 += dists.tobytes() + quals.tobytes()
         loaded = load_frozen(io.BytesIO(v1))
         assert loaded.raw_arrays()[:4] == frozen.raw_arrays()[:4]
+        # describe_frozen reconstructs the v1 layout from the body: its
+        # hand-computed offsets must agree with where the loader reads.
+        described = describe_frozen(io.BytesIO(v1))
+        assert described["format_version"] == 1
+        assert described["total_bytes"] == len(v1)
+        n = frozen.num_vertices
+        by_name = {s["name"]: s for s in described["sections"]}
+        assert by_name["order"]["offset"] == 16
+        assert by_name["offsets"]["offset"] == 16 + 8 * n
+        assert by_name["hubs"]["offset"] == 16 + 8 * n + 8 * (n + 1)
+        assert by_name["hubs"]["nbytes"] == 4 * frozen.entry_count()
+
+    def test_validate_false_skips_order_permutation_check(self):
+        # Trusted attaches must stay near-constant in index size, so the
+        # O(n log n) permutation scan rides the validate flag; a
+        # duplicated (in-range) order id loads raw without it.
+        import struct
+
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        buffer = io.BytesIO()
+        save_frozen(index, buffer)
+        data = bytearray(buffer.getvalue())
+        order_at = section_offset(data, "order")
+        data[order_at:order_at + 8] = data[order_at + 8:order_at + 16]
+        with pytest.raises(IndexFormatError, match="permutation"):
+            load_frozen(io.BytesIO(bytes(data)))
+        loaded = load_frozen(io.BytesIO(bytes(data)), validate=False)
+        assert loaded.entry_count() == index.entry_count()
+        # An out-of-range order id must still fail cleanly, not crash.
+        struct.pack_into("<q", data, order_at, 10_000)
+        with pytest.raises(IndexFormatError, match="inconsistent"):
+            load_frozen(io.BytesIO(bytes(data)), validate=False)
+
+    def test_v2_images_still_load(self):
+        # Back-compat: a PR 3 image (version 2, variant tag + unstamped
+        # offset table, back-to-back sections) loads into the same
+        # engine as the v3 writer produces.
+        import struct
+        from array import array
+
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        frozen = index.freeze()
+        sections = [array("q", frozen.order)] + [
+            part for part in frozen.raw_arrays() if part is not None
+        ]
+        header = struct.pack(
+            "<4sHHHHq", b"WCXB", 2, 0, 0, len(sections), frozen.num_vertices
+        )
+        cursor = len(header) + 8 * len(sections)
+        table = array("q")
+        for section in sections:
+            table.append(cursor)
+            cursor += section.itemsize * len(section)
+        v2 = header + table.tobytes() + b"".join(
+            section.tobytes() for section in sections
+        )
+        loaded = load_frozen(io.BytesIO(v2))
+        assert loaded.order == frozen.order
+        assert loaded.raw_arrays()[:4] == frozen.raw_arrays()[:4]
+        described = describe_frozen(io.BytesIO(v2))
+        assert described["format_version"] == 2
+        assert [s["name"] for s in described["sections"]] == [
+            "order", "offsets", "hubs", "dists", "quals",
+        ]
+
+
+class TestV3Layout:
+    """The attachable v3 image: alignment, size stamps, describe."""
+
+    def image_of(self, index) -> bytes:
+        buffer = io.BytesIO()
+        save_frozen(index, buffer)
+        return buffer.getvalue()
+
+    def test_sections_are_aligned_and_size_stamped(self):
+        g = random_graph(3)
+        data = self.image_of(build_wc_index_plus(g, "degree"))
+        described = describe_frozen(io.BytesIO(data))
+        assert described["format_version"] == 3
+        assert described["variant"] == "undirected"
+        assert described["total_bytes"] == len(data)
+        previous_end = 0
+        for section in described["sections"]:
+            assert section["offset"] % 8 == 0
+            assert section["offset"] >= previous_end
+            previous_end = section["offset"] + section["nbytes"]
+        assert previous_end == len(data)
+
+    def test_describe_names_all_variants(self):
+        directed = self.image_of(DirectedWCIndex(sample_digraph()))
+        names = [
+            s["name"]
+            for s in describe_frozen(io.BytesIO(directed))["sections"]
+        ]
+        assert names[:2] == ["order", "in_offsets"]
+        assert "out_hubs" in names
+        weighted = self.image_of(
+            WeightedWCIndex(sample_weighted_graph(), track_parents=True)
+        )
+        described = describe_frozen(io.BytesIO(weighted))
+        assert described["variant"] == "weighted"
+        assert described["tracks_parents"]
+        assert [s["name"] for s in described["sections"]][-2:] == [
+            "parent_vertices", "parent_entries",
+        ]
+
+    def test_truncated_file_names_the_section(self):
+        data = self.image_of(build_wc_index_plus(paper_figure3(), "identity"))
+        with pytest.raises(IndexFormatError, match="section 'quals'"):
+            load_frozen(io.BytesIO(data[:-8]))
+        # Clipped all the way into the hubs section.
+        hubs_at = section_offset(data, "hubs")
+        with pytest.raises(IndexFormatError, match="section 'hubs'"):
+            load_frozen(io.BytesIO(data[:hubs_at + 4]))
+
+    def test_bit_flipped_table_is_a_clean_error(self):
+        data = bytearray(
+            self.image_of(build_wc_index_plus(paper_figure3(), "identity"))
+        )
+        for at in range(24, 24 + 16 * 5, 8):
+            corrupt = bytearray(data)
+            corrupt[at] ^= 0x10
+            with pytest.raises(IndexFormatError):
+                load_frozen(io.BytesIO(bytes(corrupt)))
+
+    def test_empty_order_image_round_trips(self):
+        from repro.graph.graph import Graph
+
+        data = self.image_of(build_wc_index_plus(Graph(0)))
+        loaded = load_frozen(io.BytesIO(data))
+        assert loaded.num_vertices == 0
+
+
+class TestMmapAttach:
+    """``load_frozen(path, mode="mmap")``: zero-copy file attach."""
+
+    @pytest.fixture
+    def saved(self, tmp_path):
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        path = tmp_path / "figure3.wcxb"
+        save_frozen(index, path)
+        return index, path
+
+    def test_mmap_answers_match_read_mode(self, saved):
+        import mmap as mmap_module
+
+        index, path = saved
+        attached = load_frozen(path, mode="mmap")
+        try:
+            assert attached.order == index.order
+            for v in range(index.num_vertices):
+                assert attached.entries_of(v) == index.entries_of(v)
+            # Genuinely zero-copy: the flat stores are views into the map.
+            offsets, hubs, dists, quals, _ = attached.raw_arrays()
+            for view in (offsets, hubs, dists, quals):
+                assert isinstance(view, memoryview)
+                assert isinstance(view.obj, mmap_module.mmap)
+            queries = [
+                (s, t, w)
+                for s in range(6) for t in range(6) for w in (1.0, 2.0, 3.0)
+            ]
+            assert attached.distance_many(queries) == index.distance_many(
+                queries
+            )
+        finally:
+            attached.release()
+
+    def test_mmap_validate_rejects_corruption(self, saved, tmp_path):
+        import struct
+
+        _, path = saved
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<i", data, section_offset(data, "hubs"), 99)
+        bad = tmp_path / "bad.wcxb"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(IndexFormatError, match="hub rank"):
+            load_frozen(bad, mode="mmap")
+        # The error path must release its views so the map can close —
+        # loading the good file afterwards still works.
+        engine = load_frozen(bad, mode="mmap", validate=False)
+        assert engine.entry_count() == 32
+        engine.release()
+
+    def test_mmap_requires_v3(self, tmp_path):
+        import struct
+        from array import array
+
+        frozen = build_wc_index_plus(paper_figure3(), "identity").freeze()
+        offsets, hubs, dists, quals, _ = frozen.raw_arrays()
+        v1 = struct.pack("<4sHHq", b"WCXB", 1, 0, frozen.num_vertices)
+        v1 += array("q", frozen.order).tobytes()
+        v1 += offsets.tobytes() + hubs.tobytes()
+        v1 += dists.tobytes() + quals.tobytes()
+        path = tmp_path / "legacy.wcxb"
+        path.write_bytes(v1)
+        with pytest.raises(IndexFormatError, match="version 1"):
+            load_frozen(path, mode="mmap")
+        # The copying path still reads it.
+        assert load_frozen(path).entry_count() == frozen.entry_count()
+
+    def test_mmap_requires_a_path(self, saved):
+        _, path = saved
+        with open(path, "rb") as handle:
+            with pytest.raises(ValueError, match="file path"):
+                load_frozen(handle, mode="mmap")
+
+    def test_unknown_mode_rejected(self, saved):
+        _, path = saved
+        with pytest.raises(ValueError, match="unknown load mode"):
+            load_frozen(path, mode="copy")
+
+    def test_empty_file_is_clean_error(self, tmp_path):
+        path = tmp_path / "empty.wcxb"
+        path.write_bytes(b"")
+        with pytest.raises(IndexFormatError, match="truncated"):
+            load_frozen(path, mode="mmap")
+
+    def test_directed_and_weighted_attach(self, tmp_path):
+        for name, index in (
+            ("d", DirectedWCIndex(sample_digraph())),
+            ("w", WeightedWCIndex(sample_weighted_graph())),
+        ):
+            path = tmp_path / f"{name}.wcxb"
+            save_frozen(index, path)
+            attached = load_frozen(path, mode="mmap")
+            queries = [
+                (s, t, w)
+                for s in range(4) for t in range(4) for w in (1.0, 2.0, 3.0)
+            ]
+            assert attached.distance_many(queries) == index.distance_many(
+                queries
+            )
+            attached.release()
+
+
+class TestAttachFrozenBuffer:
+    """``attach_frozen``: zero-copy attach to any byte buffer."""
+
+    def test_attach_to_bytes(self):
+        from repro.core.serialize import attach_frozen
+
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        buffer = io.BytesIO()
+        save_frozen(index, buffer)
+        engine = attach_frozen(buffer.getvalue())
+        for v in range(index.num_vertices):
+            assert engine.entries_of(v) == index.entries_of(v)
+        engine.release()
+
+    def test_exact_false_tolerates_page_padding(self):
+        from repro.core.serialize import attach_frozen
+
+        index = build_wc_index_plus(paper_figure3(), "identity")
+        buffer = io.BytesIO()
+        save_frozen(index, buffer)
+        padded = buffer.getvalue() + b"\x00" * 4096  # shm page rounding
+        with pytest.raises(IndexFormatError, match="trailing"):
+            attach_frozen(padded)
+        engine = attach_frozen(padded, exact=False)
+        assert engine.entry_count() == index.entry_count()
+        engine.release()
+
+    def test_attach_rejects_v1(self):
+        from repro.core.serialize import attach_frozen
+
+        with pytest.raises(IndexFormatError, match="cannot attach"):
+            attach_frozen(
+                b"WCXB" + (1).to_bytes(2, "little") + b"\x00" * 12
+            )

@@ -1,0 +1,87 @@
+"""Property-based equivalence: every way of serving a frozen image —
+``mode="read"`` copy-load, ``mode="mmap"`` zero-copy attach, and a
+shared-memory attach — answers identically, for all three index
+families, over the hypothesis graph strategies."""
+
+from __future__ import annotations
+
+import io
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+
+from hypothesis import given, settings
+
+from tests.test_properties import (
+    QUERY_CONSTRAINTS,
+    quality_digraphs,
+    quality_graphs,
+    quality_weighted_graphs,
+)
+
+from repro.core import (
+    DirectedWCIndex,
+    WeightedWCIndex,
+    build_wc_index_plus,
+    load_frozen,
+    save_frozen,
+)
+from repro.serve import ShmIndexImage, attach_image
+
+
+@contextmanager
+def served_engines(index):
+    """The three serving attachments of one index: read-loaded, mmap'd,
+    and shared-memory-attached (in-process)."""
+    buffer = io.BytesIO()
+    save_frozen(index, buffer)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "image.wcxb"
+        path.write_bytes(buffer.getvalue())
+        read_engine = load_frozen(path)
+        mmap_engine = load_frozen(path, mode="mmap")
+        try:
+            with ShmIndexImage(index) as image:
+                with attach_image(image.name, validate=True) as attached:
+                    yield read_engine, mmap_engine, attached.engine
+        finally:
+            mmap_engine.release()
+
+
+def all_pair_queries(n):
+    return [
+        (s, t, w)
+        for s in range(n)
+        for t in range(n)
+        for w in QUERY_CONSTRAINTS[::2]
+    ]
+
+
+def assert_equivalent(index, frozen):
+    queries = all_pair_queries(index.num_vertices)
+    expected = frozen.distance_many(queries)
+    with served_engines(index) as (read_engine, mmap_engine, shm_engine):
+        assert read_engine.distance_many(queries) == expected
+        assert mmap_engine.distance_many(queries) == expected
+        assert shm_engine.distance_many(queries) == expected
+
+
+@settings(max_examples=20)
+@given(quality_graphs())
+def test_undirected_serving_equivalence(graph):
+    index = build_wc_index_plus(graph, "degree")
+    assert_equivalent(index, index.freeze())
+
+
+@settings(max_examples=20)
+@given(quality_digraphs())
+def test_directed_serving_equivalence(graph):
+    index = DirectedWCIndex(graph)
+    assert_equivalent(index, index.freeze())
+
+
+@settings(max_examples=20)
+@given(quality_weighted_graphs())
+def test_weighted_serving_equivalence(graph):
+    index = WeightedWCIndex(graph)
+    assert_equivalent(index, index.freeze())

@@ -177,6 +177,78 @@ class TestFrozenEngine:
         assert "frozen bytes:" in out
         assert "entries:         32" in out
 
+    def test_stats_reports_format_and_sections(
+        self, binary_index_file, capsys
+    ):
+        # The satellite: per-section byte sizes and the format version,
+        # straight from the image's own offset table.
+        assert main(["stats", "--index", str(binary_index_file)]) == 0
+        out = capsys.readouterr().out
+        assert "format:          wcxb v3 (undirected)" in out
+        assert "sections:" in out
+        for name in ("order", "offsets", "hubs", "dists", "quals"):
+            assert f"  {name}" in out
+        assert "image bytes:" in out
+
+    def test_query_mmap_engine(self, binary_index_file, capsys):
+        assert (
+            main(
+                ["query", "--engine", "mmap", "--index",
+                 str(binary_index_file), "2", "5", "2.0"]
+            )
+            == 0
+        )
+        assert "2 5 2 -> 2" in capsys.readouterr().out
+
+    def test_query_mmap_engine_needs_binary(self, index_file):
+        with pytest.raises(SystemExit, match="wcxb"):
+            main(
+                ["query", "--engine", "mmap", "--index", str(index_file),
+                 "2", "5", "2.0"]
+            )
+
+
+class TestServeCommand:
+    @pytest.fixture
+    def binary_index_file(self, graph_file, tmp_path):
+        path = tmp_path / "net.wcxb"
+        assert main(
+            ["build", "--graph", str(graph_file), "--out", str(path),
+             "--ordering", "identity"]
+        ) == 0
+        return path
+
+    def test_serve_single_query(self, binary_index_file, capsys):
+        assert (
+            main(
+                ["serve", "--index", str(binary_index_file),
+                 "--workers", "2", "2", "5", "2.0"]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "2 5 2 -> 2" in captured.out
+        assert "2 workers" in captured.err
+
+    def test_serve_stdin_batch_matches_query(
+        self, binary_index_file, capsys, monkeypatch
+    ):
+        import io
+
+        batch = "2 5 2.0\n0 4 1.0\n0 5 99\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(batch))
+        assert main(["query", "--index", str(binary_index_file), "-"]) == 0
+        expected = capsys.readouterr().out
+        monkeypatch.setattr("sys.stdin", io.StringIO(batch))
+        assert (
+            main(
+                ["serve", "--index", str(binary_index_file),
+                 "--workers", "2", "-"]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == expected
+
 
 class TestExtensionBuilds:
     @pytest.fixture
