@@ -1,0 +1,315 @@
+"""Refreeze benchmarks: incremental vs full frozen-image rebuilds.
+
+The live-update counterpart of ``bench_serving.py``.  On a synthetic
+social network, a journaled update batch dirtying at most
+:data:`DIRTY_CAP` of the vertices is applied through
+:class:`~repro.live.tracked.LiveWCIndex`, then two paths race to produce
+the next servable image:
+
+* **full** — ``index.freeze()`` + ``save_frozen`` (the pre-PR-5 answer:
+  per-entry Python work over *every* vertex, whole file rewritten);
+* **incremental** — :func:`~repro.live.refreeze.incremental_refreeze`
+  (dirty vertices respliced, clean bytes bulk-copied) +
+  :func:`~repro.core.serialize.append_delta` (image absorbs the batch
+  as an appended delta blob).
+
+The speedup is gated (``--gate``, default 5x; CI runs the usual
+noise-tolerant multiplier).  The in-place byte-range patch path is
+reported as well (it serializes the full new image to diff against, so
+it tracks the save cost rather than the freeze cost).
+
+Correctness is gated for **all three index families**: after an update
+batch, the incremental engine must be bit-identical (canonical image
+bytes) to the from-scratch freeze, the patched file byte-identical to a
+fresh ``save_frozen``, and both the patched and the delta image must
+load/attach to engines answering identically to the full rebuild.
+
+Rows merge into ``BENCH_query_engines.json`` as ``family: refreeze``.
+Run directly (CI does)::
+
+    PYTHONPATH=src python benchmarks/bench_refreeze.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List
+
+from repro.bench.harness import best_seconds, time_build
+from repro.bench.reporting import merge_query_engine_rows
+from repro.core import attach_frozen, load_frozen, save_frozen
+from repro.core.serialize import append_delta
+from repro.graph.generators import scale_free_network
+from repro.live import (
+    LiveDirectedWCIndex,
+    LiveWCIndex,
+    LiveWeightedWCIndex,
+    make_patch,
+    refreeze,
+)
+from repro.live.refreeze import image_bytes
+from repro.workloads import datasets as ds
+from repro.workloads.queries import random_queries
+
+#: The update batch may dirty at most this fraction of the vertices (the
+#: regime incremental refreeze is built for).
+DIRTY_CAP = 0.05
+
+#: The batch generator stops once this dirty fraction is reached.
+DIRTY_FLOOR = 0.02
+
+
+def grow_update_batch(live, rng: random.Random, floor: float, cap: float):
+    """Apply low-impact edge inserts until the journal's dirty fraction
+    reaches ``floor`` (asserted to stay under ``cap``)."""
+    graph = live.graph
+    n = graph.num_vertices
+    quality = min(q for _, _, q in graph.edges())
+    while len(live.journal.dirty_vertices()) < floor * n:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v or graph.has_edge(u, v):
+            continue
+        live.insert_edge(u, v, quality)
+    dirty = live.journal.dirty_vertices()
+    fraction = len(dirty) / n
+    if fraction > cap:
+        raise AssertionError(
+            f"update batch dirtied {fraction:.1%} of the vertices "
+            f"(cap {cap:.0%}); the incremental regime no longer applies"
+        )
+    return dirty
+
+
+def bench_speedup(
+    vertices: int, directory: Path, repeats: int
+) -> Dict[str, object]:
+    """Race full vs incremental refreeze after a <=5%-dirty batch."""
+    graph = scale_free_network(vertices, 3, num_qualities=5, seed=11)
+    build_seconds, live = time_build(lambda: LiveWCIndex(graph.copy()))
+    old_frozen = live.freeze()
+    base_path = directory / "base.wcxb"
+    save_frozen(old_frozen, base_path)
+
+    dirty = grow_update_batch(
+        live, random.Random(3), DIRTY_FLOOR, DIRTY_CAP
+    )
+    ops = len(live.journal)
+
+    # Full path: freeze everything, rewrite the whole file.
+    full_path = directory / "full.wcxb"
+    full_seconds = best_seconds(
+        lambda: save_frozen(live.index.freeze(), full_path), repeats
+    )
+
+    # Incremental path: resplice the dirty vertices, append a delta
+    # blob.  Each repeat appends to its own fresh copy of the base image
+    # (copies prepared outside the timed region).
+    copies = []
+    for i in range(repeats):
+        copy = directory / f"delta{i}.wcxb"
+        shutil.copyfile(base_path, copy)
+        copies.append(copy)
+    targets = iter(copies)
+
+    def incremental():
+        result = refreeze(old_frozen, live.index, dirty)
+        append_delta(result.engine, next(targets), sorted(dirty))
+
+    incremental_seconds = best_seconds(incremental, repeats)
+
+    # Informational: splice only, and the in-place byte-range patch.
+    splice_seconds = best_seconds(
+        lambda: refreeze(old_frozen, live.index, dirty), repeats
+    )
+    old_bytes = base_path.read_bytes()
+    patch_seconds = best_seconds(
+        lambda: make_patch(
+            old_bytes, refreeze(old_frozen, live.index, dirty).engine
+        ),
+        repeats,
+    )
+
+    speedup = (
+        full_seconds / incremental_seconds
+        if incremental_seconds
+        else float("inf")
+    )
+    return {
+        "dataset": f"scale-free-{vertices}",
+        "family": "refreeze",
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "entries": live.index.entry_count(),
+        "build_seconds": build_seconds,
+        "update_ops": ops,
+        "dirty_vertices": len(dirty),
+        "dirty_fraction": len(dirty) / graph.num_vertices,
+        "full_seconds": full_seconds,
+        "incremental_seconds": incremental_seconds,
+        "splice_seconds": splice_seconds,
+        "patch_seconds": patch_seconds,
+        "speedup": speedup,
+    }
+
+
+def _family_batch(live, rng: random.Random) -> None:
+    """A small mixed update batch (insert / delete / quality change)
+    that keeps the vertex order reusable (no vertex is isolated)."""
+    graph = live.graph
+    n = graph.num_vertices
+    quality = min(q for *_, q in graph.edges())
+    inserted = 0
+    while inserted < 4:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v or graph.has_edge(u, v):
+            continue
+        if isinstance(live, LiveWeightedWCIndex):
+            live.insert_edge(u, v, quality, 2.0)
+        else:
+            live.insert_edge(u, v, quality)
+        inserted += 1
+    for edge in list(graph.edges()):
+        u, v = edge[0], edge[1]
+        degree = (
+            (graph.out_degree(u), graph.in_degree(v))
+            if isinstance(live, LiveDirectedWCIndex)
+            else (graph.degree(u), graph.degree(v))
+        )
+        if min(degree) > 1:
+            live.delete_edge(u, v)
+            break
+    u, v = next(iter(graph.edges()))[:2]
+    live.change_quality(u, v, quality + 0.5)
+
+
+def verify_family(name: str, live, directory: Path, queries) -> Dict[str, bool]:
+    """Bit-identity and answer-identity of the patched and delta images
+    against the from-scratch rebuild, for one family."""
+    old_frozen = live.freeze()
+    base_path = directory / f"{name}.wcxb"
+    save_frozen(old_frozen, base_path)
+
+    _family_batch(live, random.Random(5))
+    dirty = live.journal.dirty_vertices()
+    result = refreeze(old_frozen, live.index, dirty)
+    full_engine = live.freeze()
+    canonical = image_bytes(full_engine)
+    expected = full_engine.distance_many(queries)
+
+    checks: Dict[str, bool] = {
+        "incremental_used": result.incremental,
+        "engine_bit_identical": image_bytes(result.engine) == canonical,
+    }
+
+    patch_path = directory / f"{name}-patch.wcxb"
+    shutil.copyfile(base_path, patch_path)
+    patch = make_patch(patch_path, result.engine)
+    patch.apply(patch_path)
+    checks["patch_file_canonical"] = patch_path.read_bytes() == canonical
+    patched = load_frozen(patch_path)
+    checks["patch_answers"] = patched.distance_many(queries) == expected
+
+    delta_path = directory / f"{name}-delta.wcxb"
+    shutil.copyfile(base_path, delta_path)
+    append_delta(result.engine, delta_path, sorted(dirty))
+    loaded = load_frozen(delta_path)
+    checks["delta_load_bit_identical"] = image_bytes(loaded) == canonical
+    attached = attach_frozen(delta_path.read_bytes())
+    checks["delta_attach_answers"] = (
+        attached.distance_many(queries) == expected
+    )
+    return checks
+
+
+def verify_families(directory: Path, query_count: int) -> Dict[str, Dict]:
+    """Run the identity gate over all three index families."""
+    results: Dict[str, Dict] = {}
+    graph = ds.load("NY")
+    queries = list(random_queries(graph, query_count, seed=7))
+    results["undirected"] = verify_family(
+        "undirected", LiveWCIndex(graph.copy()), directory, queries
+    )
+    digraph = ds.load_directed("NY")
+    results["directed"] = verify_family(
+        "directed", LiveDirectedWCIndex(digraph.copy()), directory, queries
+    )
+    wgraph = ds.load_weighted("NY")
+    results["weighted"] = verify_family(
+        "weighted", LiveWeightedWCIndex(wgraph.copy()), directory, queries
+    )
+    return results
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default="BENCH_query_engines.json",
+        help="result file (default: BENCH_query_engines.json in the cwd)",
+    )
+    parser.add_argument(
+        "--vertices", type=int, default=2000,
+        help="size of the synthetic social network the speed gate runs on",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=500,
+        help="queries per family in the identity checks",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="timing repetitions per measurement; the best is kept",
+    )
+    parser.add_argument(
+        "--gate", type=float, default=5.0,
+        help="minimum incremental vs full refreeze speedup required to "
+        "pass (default 5.0; CI gates lower for shared-runner noise)",
+    )
+    args = parser.parse_args(argv)
+
+    failed = False
+    with tempfile.TemporaryDirectory() as tmp:
+        record = bench_speedup(args.vertices, Path(tmp), args.repeats)
+        families = verify_families(Path(tmp), args.queries)
+    record["families"] = families
+
+    ok = record["speedup"] >= args.gate
+    failed = not ok
+    print(
+        f"{record['dataset']}/refreeze: {record['update_ops']} ops dirtied "
+        f"{record['dirty_vertices']}/{record['num_vertices']} vertices "
+        f"({record['dirty_fraction']:.1%}) | full "
+        f"{record['full_seconds'] * 1e3:.1f} ms, incremental "
+        f"{record['incremental_seconds'] * 1e3:.1f} ms "
+        f"({record['speedup']:.1f}x; splice "
+        f"{record['splice_seconds'] * 1e3:.1f} ms, patch "
+        f"{record['patch_seconds'] * 1e3:.1f} ms) "
+        f"{'ok' if ok else 'FAIL'}"
+    )
+    for family, checks in families.items():
+        family_ok = all(checks.values())
+        failed = failed or not family_ok
+        detail = " ".join(
+            f"{check}={'ok' if passed else 'FAIL'}"
+            for check, passed in checks.items()
+        )
+        print(f"NY/{family}: {detail}")
+
+    merge_query_engine_rows(args.out, {"refreeze": args.gate}, [record])
+    print(f"wrote {args.out}")
+    if failed:
+        print(
+            f"FAILED: incremental refreeze below {args.gate:.1f}x gate or "
+            "a patched/delta image diverged from the full rebuild",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,11 +31,10 @@ from __future__ import annotations
 import argparse
 import sys
 import tempfile
-import time
 from pathlib import Path
 from typing import Dict, List
 
-from repro.bench.harness import ServingLineup, time_build
+from repro.bench.harness import ServingLineup, best_seconds, time_build
 from repro.bench.reporting import merge_query_engine_rows
 from repro.core import (
     DirectedWCIndex,
@@ -55,15 +54,6 @@ DEFAULT_DATASETS = ("FLA", "EU")
 WORKERS = 2
 
 
-def _best_seconds(action, repeats: int) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        started = time.perf_counter()
-        action()
-        best = min(best, time.perf_counter() - started)
-    return best
-
-
 def bench_dataset(
     name: str, directory: Path, query_count: int, repeats: int
 ) -> Dict[str, object]:
@@ -78,13 +68,13 @@ def bench_dataset(
 
     # Attach time: the full read-load every cold start pays today versus
     # the zero-copy mmap attach a serving restart pays.
-    read_seconds = _best_seconds(lambda: load_frozen(path), repeats)
+    read_seconds = best_seconds(lambda: load_frozen(path), repeats)
     mmap_engines = []
 
     def mmap_attach():
         mmap_engines.append(load_frozen(path, mode="mmap", validate=False))
 
-    mmap_seconds = _best_seconds(mmap_attach, repeats)
+    mmap_seconds = best_seconds(mmap_attach, repeats)
     for engine in mmap_engines:
         engine.release()
     attach_speedup = (
@@ -98,7 +88,7 @@ def bench_dataset(
             for batch in lineup.batch_engines.values()
         )
         rates = {
-            method: len(workload) / _best_seconds(
+            method: len(workload) / best_seconds(
                 lambda b=batch: b(workload), repeats
             )
             for method, batch in lineup.batch_engines.items()

@@ -16,6 +16,10 @@ Package map:
 * :mod:`repro.core` — WC-INDEX and its variants (the paper's
   contribution), plus the frozen flat-array query engine
   (``index.freeze()``) for query-heavy serving.
+* :mod:`repro.serve` — shared-memory multi-process serving of frozen
+  index images.
+* :mod:`repro.live` — live updates: journaled mutations, incremental
+  refreeze of frozen images, zero-downtime republish to a serving pool.
 * :mod:`repro.baselines` — C-BFS / W-BFS / Dijkstra / Naive / LCR-adapt.
 * :mod:`repro.workloads` — query workloads and the synthetic dataset suite.
 * :mod:`repro.bench` — the experiment harness regenerating every figure

@@ -15,6 +15,12 @@ Subcommands:
   multi-process worker pool (``--workers``): one frozen image published
   in ``multiprocessing.shared_memory``, N processes answering batches
   over it.
+* ``update``  — apply an edge-mutation file to a saved ``.wcxb`` index:
+  journal the updates against the graph, incrementally refreeze only
+  the dirty vertices, and write the image back (in-place byte-range
+  patch, appended delta blob, or full rewrite).  ``--pool N`` serves
+  the queries through a worker pool across the epoch swap (old
+  generation before the updates, new generation after).
 * ``profile`` — print the full quality/distance Pareto staircase of a pair.
 * ``stats``   — index statistics (entries, max label, modelled bytes; adds
   the real frozen footprint, format version and per-section byte sizes
@@ -28,6 +34,7 @@ Example::
     python -m repro query --engine frozen --index net.wcxb 0 42 3.0
     echo "0 42 3.0" | python -m repro query --index net.wcxb -
     echo "0 42 3.0" | python -m repro serve --index net.wcxb --workers 4 -
+    python -m repro update --index net.wcxb --graph net.edges --updates ops.txt
 """
 
 from __future__ import annotations
@@ -176,6 +183,114 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _graph_for_engine(engine, path: str):
+    """Read the edge-list file in the family the loaded engine names."""
+    from .core.frozen import FrozenDirectedWCIndex, FrozenWeightedWCIndex
+
+    if isinstance(engine, FrozenDirectedWCIndex):
+        return read_directed_edge_list(path)
+    if isinstance(engine, FrozenWeightedWCIndex):
+        return read_weighted_edge_list(path)
+    return read_edge_list(path)
+
+
+def _apply_mutations(live, mutations):
+    """Apply the batch (one rebuild for the rebuild-based families)
+    with readable error reporting."""
+    try:
+        live.apply(mutations)
+    except KeyError as exc:
+        raise SystemExit(f"update: {exc.args[0]}") from None
+    except ValueError as exc:
+        raise SystemExit(f"update: bad mutation batch: {exc}") from None
+    return live.journal.dirty_vertices()
+
+
+def _write_graph_back(graph, path: str) -> None:
+    """Persist the mutated graph in its family's edge-list format."""
+    from .graph.digraph import DiGraph
+    from .graph.io import (
+        write_directed_edge_list,
+        write_edge_list,
+        write_weighted_edge_list,
+    )
+    from .graph.weighted import WeightedGraph
+
+    if isinstance(graph, DiGraph):
+        write_directed_edge_list(graph, path)
+    elif isinstance(graph, WeightedGraph):
+        write_weighted_edge_list(graph, path)
+    else:
+        write_edge_list(graph, path)
+
+
+def _cmd_update(args) -> int:
+    from .live import apply_image_update, live_index, read_mutations, refreeze
+
+    if not is_binary_index_path(args.index):
+        raise SystemExit(
+            f"update: --index must be a binary .wcxb image, got {args.index!r}"
+        )
+    if args.pool and not args.query:
+        raise SystemExit("update: --pool needs queries ('s t w' or '-')")
+    if args.query and not args.pool:
+        raise SystemExit("update: queries require --pool")
+    old_frozen = load_frozen(args.index)
+    graph = _graph_for_engine(old_frozen, args.graph)
+    live = live_index(graph, index=old_frozen.thaw())
+    mutations = read_mutations(args.updates)
+    out = args.out if args.out is not None else args.index
+
+    def write_image_and_graph():
+        mode, bytes_written = apply_image_update(
+            result, dirty, out, args.mode, source=args.index
+        )
+        # An in-place update must keep the graph file in step with the
+        # image — immediately, before anything else can fail: the next
+        # update's rebuild paths reconstitute the graph from it, and a
+        # stale file would silently revert this batch.
+        note = ""
+        if out == args.index and not args.keep_graph:
+            _write_graph_back(live.graph, args.graph)
+            note = f", graph written back to {args.graph}"
+        return mode, bytes_written, note
+
+    before = after = None
+    if args.pool:
+        from .serve import QueryServer
+
+        queries = _read_queries(args)
+        # old_frozen was just read and validated; publish it directly
+        # instead of re-reading and re-validating the file.
+        with QueryServer(old_frozen, workers=args.pool) as server:
+            before = server.query_batch(queries)
+            dirty = _apply_mutations(live, mutations)
+            result = refreeze(old_frozen, live.index, dirty)
+            mode, bytes_written, graph_note = write_image_and_graph()
+            server.swap_image(result.engine, validate=False)
+            after = server.query_batch(queries)
+    else:
+        dirty = _apply_mutations(live, mutations)
+        result = refreeze(old_frozen, live.index, dirty)
+        mode, bytes_written, graph_note = write_image_and_graph()
+
+    n = live.num_vertices
+    fraction = len(dirty) / n if n else 0.0
+    print(
+        f"applied {len(mutations)} updates: {len(dirty)} dirty vertices "
+        f"({fraction:.1%}), {'incremental' if result.incremental else 'full'}"
+        f" refreeze, {mode} wrote {bytes_written} bytes -> {out}"
+        f"{graph_note}",
+        file=sys.stderr,
+    )
+    if before is not None:
+        print("# epoch 0 (before update)")
+        _print_answers(queries, before)
+        print("# epoch 1 (after update)")
+        _print_answers(queries, after)
+    return 0
+
+
 def _cmd_profile(args) -> int:
     index = load_index(args.index)
     if isinstance(index, WeightedWCIndex):
@@ -228,6 +343,11 @@ def _cmd_stats(args) -> int:
             print(
                 f"  {section['name']:<15} {section['nbytes']:>10} bytes "
                 f"at {section['offset']}"
+            )
+        for delta in described["deltas"]:
+            print(
+                f"  delta ({delta['num_dirty']} dirty) "
+                f"{delta['nbytes']:>10} bytes at {delta['offset']}"
             )
     return 0
 
@@ -331,6 +451,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="either 's t w' or '-' to read queries from stdin",
     )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_update = sub.add_parser(
+        "update",
+        help="apply an edge-mutation file to a saved .wcxb index "
+        "(journal, incremental refreeze, patched image)",
+    )
+    p_update.add_argument("--index", required=True, help=".wcxb image to update")
+    p_update.add_argument(
+        "--graph",
+        required=True,
+        help="edge-list file of the indexed graph (family follows the "
+        "image's variant tag)",
+    )
+    p_update.add_argument(
+        "--updates",
+        required=True,
+        help="mutation file: 'insert u v q' (weighted: 'insert u v len q'), "
+        "'delete u v', 'quality u v q'; '#' comments",
+    )
+    p_update.add_argument(
+        "--out",
+        default=None,
+        help="write the updated image here (default: patch --index in "
+        "place, writing the mutated graph back to --graph so the pair "
+        "stays consistent for the next update)",
+    )
+    p_update.add_argument(
+        "--keep-graph",
+        action="store_true",
+        help="do not write the mutated graph back to --graph on an "
+        "in-place update (the next update must then supply a graph "
+        "matching the image, or its rebuilds will revert this batch)",
+    )
+    p_update.add_argument(
+        "--mode",
+        default="patch",
+        choices=["patch", "delta", "rewrite"],
+        help="how the image absorbs the batch: rewrite only the changed "
+        "byte ranges (patch, default), append a delta blob resolved at "
+        "load time (delta), or rewrite the file (rewrite)",
+    )
+    p_update.add_argument(
+        "--pool",
+        type=int,
+        default=0,
+        help="also serve the given queries through an N-worker "
+        "shared-memory pool, hot-swapping it across the update (answers "
+        "printed for both epochs)",
+    )
+    p_update.add_argument(
+        "query",
+        nargs="*",
+        help="with --pool: either 's t w' or '-' to read queries from stdin",
+    )
+    p_update.set_defaults(func=_cmd_update)
 
     p_profile = sub.add_parser(
         "profile", help="print the Pareto staircase of a vertex pair"

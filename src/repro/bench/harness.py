@@ -99,6 +99,18 @@ def time_build(builder: Callable[[], object]) -> Tuple[float, object]:
     return time.perf_counter() - start, result
 
 
+def best_seconds(action: Callable[[], object], repeats: int) -> float:
+    """Minimum wall clock over ``repeats`` runs of ``action`` — the
+    standard measurement of the smoke-gate benchmarks (the best run is
+    the least noise-contaminated)."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        action()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
 def time_queries(
     distance: Callable[[int, int, float], float],
     workload: QueryWorkload,

@@ -17,29 +17,75 @@ setting:
   remain — they are harmless for correctness).
 * **Deletion** — distances can grow, which 2-hop repairs cannot express
   cheaply; following the paper's framing we rebuild, reusing the existing
-  vertex order (``rebuild_on_delete``).
+  vertex order (the *rebuild-on-delete* path).  When a deletion strips a
+  vertex of its last edge the degree profile the hybrid ordering was
+  computed from no longer holds, so named ordering strategies are
+  **recomputed from the current degrees** instead of reusing the stale
+  positions (an explicit permutation or callable is reused as given).
+
+Every mutator returns the set of **dirty vertices** — the vertices whose
+label sets changed — which is what the live-update pipeline
+(:mod:`repro.live`) journals and feeds to the incremental refreeze:
+only the flat sections of dirty vertices need rebuilding in the frozen
+image.  Insertions report dirt exactly (the vertices that accepted a new
+entry); the rebuild path reports it by diffing labels before/after, and
+reports *every* vertex when the rebuild changed the vertex order (hub
+ranks are order-relative, so a new order invalidates all flat sections).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..graph.graph import Graph
 from .construction import WCIndexBuilder
 from .labels import WCIndex
+from .ordering import resolve_order
 from .query import group_end
 
 INF = float("inf")
 
 
-class DynamicWCIndex:
-    """A WC-INDEX plus its graph, supporting edge insertions and deletions."""
+def require_positive_quality(quality) -> None:
+    """Quality validation hoisted in front of remove-then-add repair
+    paths: a value ``add_edge`` would reject must fail *before* the
+    removal, or the failed change would silently delete the edge."""
+    if not quality > 0:
+        raise ValueError(f"edge quality must be positive, got {quality!r}")
 
-    def __init__(self, graph: Graph, ordering="hybrid") -> None:
+
+class DynamicWCIndex:
+    """A WC-INDEX plus its graph, supporting edge insertions and deletions.
+
+    ``ordering`` is the strategy used for (re)builds — a name, an explicit
+    permutation, or a callable (see
+    :func:`~repro.core.ordering.resolve_order`).  Pass ``index`` to adopt
+    an already-built list engine for ``graph`` (e.g. a thawed ``.wcxb``
+    image) instead of building from scratch; its order becomes the reused
+    rebuild order.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        ordering="hybrid",
+        *,
+        index: Optional[WCIndex] = None,
+    ) -> None:
         self._graph = graph
-        builder = WCIndexBuilder(graph, ordering, query_kernel="linear")
-        self._ordering = builder.order
-        self._index = builder.build()
+        self._ordering_spec = ordering
+        if index is not None:
+            if index.num_vertices != graph.num_vertices:
+                raise ValueError(
+                    f"index has {index.num_vertices} vertices, "
+                    f"graph has {graph.num_vertices}"
+                )
+            self._ordering = list(index.order)
+            self._index = index
+        else:
+            builder = WCIndexBuilder(graph, ordering, query_kernel="linear")
+            self._ordering = builder.order
+            self._index = builder.build()
 
     @property
     def graph(self) -> Graph:
@@ -52,18 +98,36 @@ class DynamicWCIndex:
     def distance(self, s: int, t: int, w: float) -> float:
         return self._index.distance(s, t, w)
 
+    def distance_many(self, queries) -> List[float]:
+        """Batch passthrough to the list engine (so callers never reach
+        into ``.index`` for the batch path)."""
+        return self._index.distance_many(queries)
+
+    def freeze(self):
+        """Snapshot the current index into the flat-array
+        :class:`~repro.core.frozen.FrozenWCIndex` engine."""
+        return self._index.freeze()
+
+    @property
+    def num_vertices(self) -> int:
+        return self._graph.num_vertices
+
+    def entry_count(self) -> int:
+        return self._index.entry_count()
+
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
-    def insert_edge(self, u: int, v: int, quality: float) -> None:
+    def insert_edge(self, u: int, v: int, quality: float) -> Set[int]:
         """Insert edge ``(u, v)`` and repair the index incrementally.
 
         If the edge already exists with quality >= ``quality`` this is a
         no-op; an existing lower-quality edge is upgraded and repaired.
+        Returns the set of vertices whose labels changed.
         """
         if self._graph.has_edge(u, v):
             if self._graph.quality(u, v) >= quality:
-                return
+                return set()
         self._graph.add_edge(u, v, quality)
         index = self._index
         rank = index.rank
@@ -81,62 +145,127 @@ class DynamicWCIndex:
 
         collect(u, v)
         collect(v, u)
+        dirty: Set[int] = set()
         for hub_rank in sorted(seeds):
-            self._resume_hub(hub_rank, seeds[hub_rank])
+            self._resume_hub(hub_rank, seeds[hub_rank], dirty)
+        return dirty
 
-    def insert_edges(self, edges) -> None:
+    def insert_edges(self, edges) -> Set[int]:
         """Insert a batch of ``(u, v, quality)`` edges, repairing after
         each (repairs are incremental, so batching is just a loop — the
-        method exists for symmetry with :meth:`remove_edges`)."""
+        method exists for symmetry with :meth:`delete_edges`).  Returns
+        the union of the per-edge dirty sets."""
+        dirty: Set[int] = set()
         for u, v, quality in edges:
-            self.insert_edge(u, v, quality)
+            dirty |= self.insert_edge(u, v, quality)
+        return dirty
 
-    def change_quality(self, u: int, v: int, quality: float) -> None:
+    def change_quality(self, u: int, v: int, quality: float) -> Set[int]:
         """Set the quality of an existing edge.
 
         An *increase* is repaired incrementally (it behaves exactly like
         inserting a better parallel edge); a *decrease* can invalidate
         label entries whose witness paths used the old quality, so it
         triggers the deletion path (rebuild with the existing order).
+        Returns the set of vertices whose labels changed.
         """
         old = self._graph.quality(u, v)  # KeyError if absent
+        require_positive_quality(quality)  # before the remove below
         if quality == old:
-            return
+            return set()
         if quality > old:
-            self.insert_edge(u, v, quality)
-            return
+            return self.insert_edge(u, v, quality)
         self._graph.remove_edge(u, v)
         self._graph.add_edge(u, v, quality)
-        self._rebuild()
+        return self._rebuild()
 
-    def remove_edge(self, u: int, v: int) -> None:
-        """Delete edge ``(u, v)`` and rebuild (order reused).
+    def delete_edge(self, u: int, v: int) -> Set[int]:
+        """Delete edge ``(u, v)`` and rebuild (the rebuild-on-delete path).
 
         Deletions can only increase distances; repairing a 2-hop labeling
         in place would need tombstoning of every entry whose witness path
-        used the edge, so we follow the paper and rebuild.
+        used the edge, so we follow the paper and rebuild.  The existing
+        vertex order is reused, *except* when the deletion stripped an
+        endpoint of its last edge: the degrees a named ordering strategy
+        ranked by are then stale, so the order is recomputed from the
+        current graph.  Returns the set of vertices whose labels changed.
         """
         self._graph.remove_edge(u, v)
-        self._rebuild()
+        isolated = self._graph.degree(u) == 0 or self._graph.degree(v) == 0
+        return self._rebuild(refresh_order=isolated)
 
-    def remove_edges(self, edges) -> None:
+    def remove_edge(self, u: int, v: int) -> Set[int]:
+        """Alias of :meth:`delete_edge` (historical name)."""
+        return self.delete_edge(u, v)
+
+    def delete_edges(self, edges) -> Set[int]:
         """Delete a batch of ``(u, v)`` edges with a *single* rebuild —
-        much cheaper than per-edge :meth:`remove_edge` for bulk updates."""
+        much cheaper than per-edge :meth:`delete_edge` for bulk updates.
+        The batch is validated up front (``KeyError`` for a missing or
+        repeated edge) before anything is removed, so a bad batch can
+        never leave the graph half-deleted with the index unrebuilt.
+        Returns the set of vertices whose labels changed."""
+        edges = list(edges)
+        seen: Set[Tuple[int, int]] = set()
+        for u, v in edges:
+            key = (u, v) if u <= v else (v, u)
+            if key in seen or not self._graph.has_edge(u, v):
+                raise KeyError((u, v))
+            seen.add(key)
+        touched: Set[int] = set()
         for u, v in edges:
             self._graph.remove_edge(u, v)
-        self._rebuild()
+            touched.add(u)
+            touched.add(v)
+        isolated = any(self._graph.degree(x) == 0 for x in touched)
+        return self._rebuild(refresh_order=isolated)
 
-    def rebuild(self) -> None:
-        """Full rebuild with a fresh ordering (restores minimality)."""
-        builder = WCIndexBuilder(self._graph, "hybrid", query_kernel="linear")
-        self._ordering = builder.order
-        self._index = builder.build()
+    def remove_edges(self, edges) -> Set[int]:
+        """Alias of :meth:`delete_edges` (historical name)."""
+        return self.delete_edges(edges)
 
-    def _rebuild(self) -> None:
+    def rebuild(self) -> Set[int]:
+        """Full rebuild with a fresh ordering (restores minimality).
+        Returns the set of vertices whose labels changed."""
+        return self._rebuild(refresh_order=True)
+
+    def _rebuild(self, refresh_order: bool = False) -> Set[int]:
+        """Rebuild the index and diff labels to report dirty vertices.
+
+        ``refresh_order`` re-resolves the ordering spec against the
+        *current* graph (named strategies recompute their degree
+        rankings; explicit permutations and callables resolve to
+        whatever they yield today).
+        """
+        old_index = self._index
+        if refresh_order:
+            self._ordering = resolve_order(self._graph, self._ordering_spec)
         builder = WCIndexBuilder(
-            self._graph, self._ordering, query_kernel="linear"
+            self._graph,
+            self._ordering,
+            query_kernel="linear",
+            track_parents=old_index.tracks_parents,
         )
         self._index = builder.build()
+        return self._diff_labels(old_index, self._index)
+
+    @staticmethod
+    def _diff_labels(old: WCIndex, new: WCIndex) -> Set[int]:
+        """Vertices whose label sets differ between two indexes.
+
+        Hub ranks are order-relative, so a changed vertex order dirties
+        every vertex regardless of the raw lists.
+        """
+        if old.order != new.order:
+            return set(range(new.num_vertices))
+        dirty: Set[int] = set()
+        compare_parents = old.tracks_parents and new.tracks_parents
+        for v in range(new.num_vertices):
+            if old.label_lists(v) != new.label_lists(v):
+                dirty.add(v)
+            elif compare_parents and old.parent_list(v) != new.parent_list(v):
+                dirty.add(v)
+        return dirty
 
     # ------------------------------------------------------------------
     # Incremental repair
@@ -145,6 +274,7 @@ class DynamicWCIndex:
         self,
         hub_rank: int,
         initial: Dict[int, List[Tuple[float, float, int]]],
+        dirty: Set[int],
     ) -> None:
         """Resume the pruned constrained BFS of ``hub_rank``.
 
@@ -152,6 +282,7 @@ class DynamicWCIndex:
         states.  States are processed in ascending distance rounds, each
         vertex carrying the best quality known for the round (the R-array
         discipline of Algorithm 3), pruned against the current index.
+        Vertices that accept a new entry are added to ``dirty``.
         """
         index = self._index
         rank = index.rank
@@ -195,6 +326,7 @@ class DynamicWCIndex:
                 )
                 if not inserted:
                     continue
+                dirty.add(vertex)
                 for nb, q in adjacency[vertex].items():
                     if rank[nb] <= hub_rank:
                         continue

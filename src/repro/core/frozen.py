@@ -325,6 +325,114 @@ class FrozenWCIndex:
             raise ValueError(f"vertex {v} out of range [0, {len(self.order)})")
 
 
+def spliced_offsets(old_offsets, new_sizes) -> array:
+    """A new offset table where each vertex in ``new_sizes`` (a mapping
+    ``vertex -> new label size``) takes its new size and every other
+    vertex keeps its old one.
+
+    The prefix before the first resized vertex is copied wholesale; the
+    tail is the old table shifted by the running size delta.
+    """
+    out = array(OFFSET_TYPECODE)
+    out.frombytes(bytes(old_offsets))
+    if not new_sizes:
+        return out
+    n = len(out) - 1
+    delta = 0
+    get = new_sizes.get
+    previous = out[min(new_sizes)]
+    for v in range(min(new_sizes), n):
+        size = get(v)
+        old_next = out[v + 1]
+        if size is not None:
+            delta += size - (old_next - previous)
+        previous = old_next
+        out[v + 1] = old_next + delta
+    return out
+
+
+def splice_column(old_offsets, old_column, typecode: str, replacements) -> array:
+    """Rebuild one entry-parallel column with the entries of the vertices
+    in ``replacements`` (a mapping ``vertex -> sequence of new values``)
+    swapped in and every clean vertex's entries copied as raw byte runs.
+
+    This is the primitive behind the incremental refreeze and the delta
+    resolution in :mod:`repro.core.serialize`: for a batch dirtying a few
+    percent of the vertices, almost all bytes move in a handful of
+    C-level copies instead of the per-entry Python loop a full
+    ``freeze()`` pays.  Replacement sequences may be lists, arrays, or
+    typed ``memoryview``\\s (the latter are copied bytewise).
+    """
+    view = _as_view(old_column, typecode)
+    offsets = old_offsets
+    if not isinstance(offsets, (list, array)):
+        # Typed-memoryview indexing is measurably slower than array
+        # indexing on the run-partitioning loop below.
+        offsets = array(OFFSET_TYPECODE)
+        offsets.frombytes(bytes(old_offsets))
+    n = len(offsets) - 1
+    out = bytearray()
+    prev = 0
+    for v in sorted(replacements):
+        if not 0 <= v < n:
+            raise ValueError(f"replacement vertex {v} out of range [0, {n})")
+        if prev < v:
+            out += view[offsets[prev]:offsets[v]]
+        chunk = replacements[v]
+        if isinstance(chunk, memoryview):
+            out += chunk
+        else:
+            out += array(typecode, chunk).tobytes()
+        prev = v + 1
+    if prev < n:
+        out += view[offsets[prev]:offsets[n]]
+    values = array(typecode)
+    values.frombytes(out)  # frombytes reads the bytearray directly
+    return values
+
+
+def splice_label_side(
+    old_side: "_FlatSide", replacements, parent_replacements=None
+) -> "_FlatSide":
+    """A new :class:`_FlatSide` with the label sets of the vertices in
+    ``replacements`` (``vertex -> (hubs, dists, quals)`` parallel
+    sequences) swapped in.
+
+    ``parent_replacements`` must cover the same vertices when the side
+    tracks parents.  The result owns its arrays and is bit-identical to
+    freezing the equivalent list index from scratch.
+    """
+    n = len(old_side.offsets) - 1
+    sizes = {v: len(triple[0]) for v, triple in replacements.items()}
+    offsets = spliced_offsets(old_side.offsets, sizes)
+    old_offsets = old_side.offsets
+    hubs = splice_column(
+        old_offsets, old_side.hubs, HUB_TYPECODE,
+        {v: triple[0] for v, triple in replacements.items()},
+    )
+    dists = splice_column(
+        old_offsets, old_side.dists, VALUE_TYPECODE,
+        {v: triple[1] for v, triple in replacements.items()},
+    )
+    quals = splice_column(
+        old_offsets, old_side.quals, VALUE_TYPECODE,
+        {v: triple[2] for v, triple in replacements.items()},
+    )
+    parents = None
+    if old_side.parents is not None:
+        if parent_replacements is None or sorted(
+            parent_replacements
+        ) != sorted(replacements):
+            raise ValueError(
+                "parent replacements must cover exactly the replaced "
+                "vertices of a parent-tracking side"
+            )
+        parents = splice_column(
+            old_offsets, old_side.parents, HUB_TYPECODE, parent_replacements
+        )
+    return _FlatSide(n, offsets, hubs, dists, quals, parents)
+
+
 def _build_directory(
     offsets, hubs
 ) -> List[List[Tuple[int, int, int]]]:

@@ -60,6 +60,7 @@ from __future__ import annotations
 import gzip
 import io
 import mmap
+import os
 import struct
 import sys
 from array import array
@@ -75,6 +76,8 @@ from .frozen import (
     FrozenWCIndex,
     FrozenWeightedWCIndex,
     _FlatSide,
+    splice_column,
+    splice_label_side,
 )
 from .labels import WCIndex
 from .weighted import WeightedWCIndex
@@ -99,6 +102,19 @@ _ALIGNMENT = 8
 _TABLE_AT = 24
 
 _ITEMSIZES = {HUB_TYPECODE: 4, VALUE_TYPECODE: 8, OFFSET_TYPECODE: 8}
+
+#: Delta blobs: incremental label replacements appended *after* the base
+#: sections of a v3 image (:func:`append_delta`).  Each blob carries the
+#: replacement label sets of a batch's dirty vertices; the loaders splice
+#: blobs into the base arrays in append order, producing an engine
+#: bit-identical to a from-scratch freeze of the updated index.
+DELTA_MAGIC = b"WCXD"
+DELTA_VERSION = 1
+#: Delta blob header: magic, version, reserved, dirty-vertex count.
+_DELTA_HEADER = struct.Struct("<4sHHq")
+#: Byte position of a blob's section table, relative to the blob start
+#: (the 16-byte header is already 8-byte aligned).
+_DELTA_TABLE_AT = 16
 
 #: Variant tags of the binary header — which index family the image holds.
 VARIANT_UNDIRECTED = 0
@@ -676,6 +692,15 @@ def load_frozen(
         raise IndexFormatError(f"unsupported binary version {version}")
     variant, flags, n, names = _parse_v23_header(data)
     table = _read_v3_table(data, names)
+    blobs, end = _scan_delta_blobs(data, variant, flags, table)
+    if blobs:
+        if end != len(data):
+            raise IndexFormatError(
+                f"trailing data after delta chain ({len(data) - end} bytes)"
+            )
+        return _assemble_with_deltas(
+            variant, flags, n, names, table, memoryview(data), blobs, validate
+        )
     reader = _SectionReaderV3(
         memoryview(data), names, table, attach=False, exact=True
     )
@@ -718,6 +743,20 @@ def attach_frozen(buffer, *, validate: bool = True, exact: bool = True):
             )
         variant, flags, n, names = _parse_v23_header(base)
         table = _read_v3_table(base, names)
+        blobs, end = _scan_delta_blobs(base, variant, flags, table)
+        if blobs:
+            # A delta chain must be spliced, so the engine is built from
+            # owned arrays (independent of the buffer) — correct
+            # everywhere, but no longer zero-copy; compact the image
+            # with save_frozen to restore the true attach.
+            if exact and end != len(base):
+                raise IndexFormatError(
+                    f"trailing data after delta chain "
+                    f"({len(base) - end} bytes)"
+                )
+            return _assemble_with_deltas(
+                variant, flags, n, names, table, base, blobs, validate
+            )
         reader = _SectionReaderV3(
             base, names, table, attach=True, exact=exact
         )
@@ -752,6 +791,409 @@ def _read_v3_table(data, names: List[str]) -> array:
     """The ``(offset, nbytes)`` int64 pairs of the v3 section table."""
     table, _ = _read_array(data, _TABLE_AT, OFFSET_TYPECODE, 2 * len(names))
     return table
+
+
+# ----------------------------------------------------------------------
+# Delta blobs (incremental refreeze)
+# ----------------------------------------------------------------------
+def _delta_section_names(variant: int, flags: int) -> List[str]:
+    """The ordered section names of one delta blob.
+
+    ``ids`` (ascending dirty vertex ids) first; per label side, the new
+    per-vertex label ``sizes`` followed by the concatenated replacement
+    entry columns, mirroring the base image's side line-up.
+    """
+    with_parents = bool(flags & _FLAG_PARENTS)
+    names = ["ids"]
+    if variant == VARIANT_DIRECTED:
+        for side in ("in", "out"):
+            names += [f"{side}_sizes", f"{side}_hubs",
+                      f"{side}_dists", f"{side}_quals"]
+            if with_parents:
+                names.append(f"{side}_parents")
+        return names
+    names += ["sizes", "hubs", "dists", "quals"]
+    if variant == VARIANT_WEIGHTED:
+        if with_parents:
+            names += ["parent_vertices", "parent_entries"]
+        return names
+    if with_parents:
+        names.append("parents")
+    return names
+
+
+def _delta_section_spec(name: str, num_dirty: int, sections) -> tuple:
+    """``(typecode, item count)`` of a delta section, given the sections
+    already read (data columns size off their side's ``sizes``)."""
+    if name == "ids" or name.endswith("sizes"):
+        return OFFSET_TYPECODE, num_dirty
+    if name.startswith("in_"):
+        total = sum(sections["in_sizes"])
+    elif name.startswith("out_"):
+        total = sum(sections["out_sizes"])
+    else:
+        total = sum(sections["sizes"])
+    if name.endswith(("dists", "quals")):
+        return VALUE_TYPECODE, total
+    return HUB_TYPECODE, total
+
+
+def _delta_column(column, offsets, typecode: str, dirty: List[int]) -> array:
+    """Concatenated entries of the dirty vertices from one flat column."""
+    out = array(typecode)
+    for v in dirty:
+        out.frombytes(bytes(column[offsets[v]:offsets[v + 1]]))
+    return out
+
+
+def _delta_side_sections(side_arrays, dirty: List[int]) -> List[array]:
+    """``sizes`` plus data columns of one side, restricted to ``dirty``."""
+    offsets, hubs, dists, quals, parents = side_arrays
+    sizes = array(
+        OFFSET_TYPECODE, [offsets[v + 1] - offsets[v] for v in dirty]
+    )
+    sections = [
+        sizes,
+        _delta_column(hubs, offsets, HUB_TYPECODE, dirty),
+        _delta_column(dists, offsets, VALUE_TYPECODE, dirty),
+        _delta_column(quals, offsets, VALUE_TYPECODE, dirty),
+    ]
+    if parents is not None:
+        sections.append(_delta_column(parents, offsets, HUB_TYPECODE, dirty))
+    return sections
+
+
+def _delta_sections_of(variant: int, frozen, dirty: List[int]) -> List[array]:
+    """All sections of one delta blob for ``frozen``'s dirty vertices."""
+    sections: List[array] = [array(OFFSET_TYPECODE, dirty)]
+    if variant == VARIANT_DIRECTED:
+        in_arrays, out_arrays = frozen.raw_sides()
+        sections += _delta_side_sections(in_arrays, dirty)
+        sections += _delta_side_sections(out_arrays, dirty)
+        return sections
+    if variant == VARIANT_WEIGHTED:
+        offsets, hubs, dists, quals, pv, pe = frozen.raw_arrays()
+        sections += _delta_side_sections(
+            (offsets, hubs, dists, quals, None), dirty
+        )
+        if pv is not None:
+            sections.append(_delta_column(pv, offsets, HUB_TYPECODE, dirty))
+            sections.append(_delta_column(pe, offsets, HUB_TYPECODE, dirty))
+        return sections
+    sections += _delta_side_sections(frozen.raw_arrays(), dirty)
+    return sections
+
+
+def append_delta(
+    index, destination: PathLike, dirty, *, durable: bool = False
+) -> int:
+    """Append a delta blob with ``index``'s label sets of the ``dirty``
+    vertices to an existing v3 ``.wcxb`` file.
+
+    ``index`` is the *updated* index (any family, list-backed or frozen)
+    whose non-dirty labels must equal the image's; the blob records only
+    the dirty vertices' replacement entries, so appending is O(dirty)
+    bytes while the base image stays untouched.  ``load_frozen`` /
+    ``attach_frozen`` splice the delta chain back in at load time,
+    producing an engine bit-identical to a from-scratch freeze of
+    ``index`` — at the cost of the copying load path (use
+    :func:`save_frozen` to compact the chain and restore the zero-copy
+    attach).  Returns the number of bytes appended (0 for no dirt).
+
+    The blob is staged in memory and lands in one write, keeping the
+    torn-append window small; a crash mid-append is recoverable (the
+    loader names the truncation offset that restores the previous
+    image).  ``durable=True`` additionally fsyncs before returning —
+    off by default, matching :func:`save_frozen`'s durability.
+    """
+    variant, frozen = _freeze_for_save(index)
+    path = Path(destination)
+    with open(path, "rb") as handle:
+        head = handle.read(_BINARY_HEADER.size)
+    if len(head) < _BINARY_PREFIX.size:
+        raise IndexFormatError("truncated binary index: missing header")
+    magic, version = _BINARY_PREFIX.unpack_from(head)
+    if magic != BINARY_MAGIC:
+        raise IndexFormatError(f"bad binary magic {magic!r}")
+    if version != BINARY_VERSION:
+        raise IndexFormatError(
+            f"delta blobs require a v3 image, got version {version}; "
+            f"re-save with save_frozen first"
+        )
+    base_variant, flags, n, _ = _parse_v23_header(head)
+    if base_variant != variant:
+        raise IndexFormatError(
+            f"cannot append a {_VARIANT_NAMES[variant]} delta to a "
+            f"{_VARIANT_NAMES[base_variant]} image"
+        )
+    if bool(flags & _FLAG_PARENTS) != frozen.tracks_parents:
+        raise IndexFormatError(
+            "parent tracking of the delta disagrees with the image"
+        )
+    if n != frozen.num_vertices:
+        raise IndexFormatError(
+            f"delta has {frozen.num_vertices} vertices, image has {n}"
+        )
+    # Hub ranks are order-relative: splicing against a different order
+    # would corrupt the image silently, so the order section is checked.
+    with open(path, "rb") as handle:
+        data = handle.read(_TABLE_AT + 2 * 8)
+        order_entry, _ = _read_array(data, _TABLE_AT, OFFSET_TYPECODE, 2)
+        handle.seek(order_entry[0])
+        raw_order = handle.read(order_entry[1])
+    image_order = array(OFFSET_TYPECODE)
+    image_order.frombytes(raw_order)
+    if sys.byteorder == "big":
+        image_order.byteswap()
+    if list(image_order) != list(frozen.order):
+        raise IndexFormatError(
+            "vertex order of the delta disagrees with the image; "
+            "re-save the image with save_frozen instead"
+        )
+    dirty = sorted(set(dirty))
+    if dirty and not (0 <= dirty[0] and dirty[-1] < n):
+        raise ValueError(f"dirty vertex out of range [0, {n})")
+    if not dirty:
+        return 0
+    sections = _delta_sections_of(variant, frozen, dirty)
+    table = array(OFFSET_TYPECODE)
+    cursor = _align(_DELTA_TABLE_AT + 2 * 8 * len(sections))
+    for section in sections:
+        nbytes = section.itemsize * len(section)
+        table.append(cursor)
+        table.append(nbytes)
+        cursor = _align(cursor + nbytes)
+    blob = io.BytesIO()
+    blob.write(_DELTA_HEADER.pack(DELTA_MAGIC, DELTA_VERSION, 0, len(dirty)))
+    _write_array(blob, table)
+    written = _DELTA_TABLE_AT + 2 * 8 * len(sections)
+    for section, offset in zip(sections, table[0::2]):
+        blob.write(b"\x00" * (offset - written))
+        _write_array(blob, section)
+        written = offset + section.itemsize * len(section)
+    with open(path, "r+b") as out:
+        out.seek(0, 2)
+        size = out.tell()
+        start = _align(size)
+        out.write(b"\x00" * (start - size))
+        out.write(blob.getvalue())
+        if durable:
+            out.flush()
+            os.fsync(out.fileno())
+        end = out.tell()
+    return end - start
+
+
+def _base_extent(table: array) -> int:
+    """End of the last base section (sections are laid out in order)."""
+    if not len(table):
+        return _TABLE_AT
+    return table[-2] + table[-1]
+
+
+def _scan_delta_blobs(data, variant: int, flags: int, table: array):
+    """Parse the delta chain after a v3 image's base sections.
+
+    Returns ``(blobs, end)``: each blob as a ``name -> array`` mapping
+    (owned, native-order arrays), and the byte position just past the
+    last blob — the caller's trailing-data checks anchor there.  A chain
+    stops at the first position that does not carry the delta magic
+    (shared-memory page-rounding zeros land here).
+    """
+    names = _delta_section_names(variant, flags)
+    end = _base_extent(table)
+    blobs = []
+    cursor = _align(end)
+    total_len = len(data)
+    while cursor + _DELTA_HEADER.size <= total_len:
+        magic, dversion, _, num_dirty = _DELTA_HEADER.unpack_from(data, cursor)
+        if magic != DELTA_MAGIC:
+            break
+        try:
+            sections, end = _read_delta_blob(data, cursor, names, num_dirty,
+                                             dversion)
+        except IndexFormatError as exc:
+            # A damaged blob fails the whole load, but the bytes up to
+            # the previous blob's end (``end``) are a consistent image
+            # — tell the operator how to get back to it.
+            raise IndexFormatError(
+                f"{exc} (damaged delta blob at byte {cursor}; truncating "
+                f"the file to {end} bytes drops it and everything "
+                f"after it, recovering the last consistent image)"
+            ) from None
+        blobs.append(sections)
+        cursor = _align(end)
+    return blobs, end
+
+
+def _read_delta_blob(data, cursor: int, names, num_dirty: int, dversion: int):
+    """Parse one delta blob's sections; returns ``(sections, end)``."""
+    if dversion != DELTA_VERSION:
+        raise IndexFormatError(f"unsupported delta version {dversion}")
+    if num_dirty < 0:
+        raise IndexFormatError(f"negative delta vertex count {num_dirty}")
+    dtable, _ = _read_array(
+        data, cursor + _DELTA_TABLE_AT, OFFSET_TYPECODE, 2 * len(names)
+    )
+    sections = {}
+    rel_cursor = _DELTA_TABLE_AT + 2 * 8 * len(names)
+    for i, name in enumerate(names):
+        offset, nbytes = dtable[2 * i], dtable[2 * i + 1]
+        expected_at = _align(rel_cursor)
+        if offset != expected_at:
+            raise IndexFormatError(
+                f"delta section '{name}' offset {offset} disagrees "
+                f"with its expected position {expected_at}"
+            )
+        typecode, count = _delta_section_spec(name, num_dirty, sections)
+        expected_bytes = _ITEMSIZES[typecode] * count
+        if nbytes != expected_bytes:
+            raise IndexFormatError(
+                f"delta section '{name}' size stamp {nbytes} disagrees "
+                f"with the expected {expected_bytes} bytes"
+            )
+        sections[name], _ = _read_array(
+            data, cursor + offset, typecode, count
+        )
+        rel_cursor = offset + nbytes
+    return sections, cursor + rel_cursor
+
+
+def _column_chunks(ids, sizes, column):
+    """Per-vertex chunks of one entry-parallel delta column, as typed
+    views (the one place walking a blob's ``sizes`` prefix sums)."""
+    repl = {}
+    view = memoryview(column)
+    a = 0
+    for i, v in enumerate(ids):
+        size = sizes[i]
+        if size < 0:
+            raise IndexFormatError(f"negative delta label size for vertex {v}")
+        b = a + size
+        repl[v] = view[a:b]
+        a = b
+    return repl
+
+
+def _side_replacements(ids, sizes, hubs, dists, quals, parents=None):
+    """Per-vertex replacement chunks of one delta side, as typed views."""
+    hub_chunks = _column_chunks(ids, sizes, hubs)
+    dist_chunks = _column_chunks(ids, sizes, dists)
+    qual_chunks = _column_chunks(ids, sizes, quals)
+    repl = {
+        v: (hub_chunks[v], dist_chunks[v], qual_chunks[v])
+        for v in hub_chunks
+    }
+    parent_repl = (
+        _column_chunks(ids, sizes, parents) if parents is not None else None
+    )
+    return repl, parent_repl
+
+
+def _check_delta_ids(ids, n: int) -> None:
+    prev = -1
+    for v in ids:
+        if not 0 <= v < n:
+            raise IndexFormatError(
+                f"delta vertex id {v} out of range [0, {n})"
+            )
+        if v <= prev:
+            raise IndexFormatError("delta vertex ids not strictly ascending")
+        prev = v
+
+
+def _apply_delta_blob(variant: int, engine, blob, n: int):
+    """Splice one delta blob's replacements into ``engine``; returns the
+    new engine (owned arrays — clean runs copied bytewise)."""
+    ids = list(blob["ids"])
+    _check_delta_ids(ids, n)
+    try:
+        if variant == VARIANT_DIRECTED:
+            sides = []
+            for name, old_side in (("in", engine._in), ("out", engine._out)):
+                repl, parent_repl = _side_replacements(
+                    ids,
+                    blob[f"{name}_sizes"],
+                    blob[f"{name}_hubs"],
+                    blob[f"{name}_dists"],
+                    blob[f"{name}_quals"],
+                    blob.get(f"{name}_parents"),
+                )
+                sides.append(splice_label_side(old_side, repl, parent_repl))
+            return FrozenDirectedWCIndex(engine.order, sides[0], sides[1])
+        if variant == VARIANT_WEIGHTED:
+            repl, _ = _side_replacements(
+                ids, blob["sizes"], blob["hubs"], blob["dists"], blob["quals"]
+            )
+            old_side = engine._side
+            new_side = splice_label_side(old_side, repl)
+            pv = pe = None
+            if engine.tracks_parents:
+                sizes = blob["sizes"]
+                pv_repl = _column_chunks(ids, sizes, blob["parent_vertices"])
+                pe_repl = _column_chunks(ids, sizes, blob["parent_entries"])
+                pv = splice_column(
+                    old_side.offsets, engine._parent_vertices,
+                    HUB_TYPECODE, pv_repl,
+                )
+                pe = splice_column(
+                    old_side.offsets, engine._parent_entries,
+                    HUB_TYPECODE, pe_repl,
+                )
+            return FrozenWeightedWCIndex(engine.order, new_side, pv, pe)
+        repl, parent_repl = _side_replacements(
+            ids, blob["sizes"], blob["hubs"], blob["dists"], blob["quals"],
+            blob.get("parents"),
+        )
+        new_side = splice_label_side(engine._side, repl, parent_repl)
+        return FrozenWCIndex(engine.order, *new_side.raw_arrays())
+    except (ValueError, IndexError) as exc:
+        if isinstance(exc, IndexFormatError):
+            raise
+        raise IndexFormatError(f"inconsistent delta blob: {exc}") from exc
+
+
+def _validate_assembled(variant: int, engine, n: int) -> None:
+    """Post-splice integrity scan: the same checks the plain v3 loader
+    runs, applied to the resolved arrays."""
+    if sorted(engine.order) != list(range(n)):
+        raise IndexFormatError("order is not a permutation of the vertex ids")
+    if variant == VARIANT_DIRECTED:
+        for side in (engine._in, engine._out):
+            _validate_frozen_body(
+                n, side.offsets, side.hubs, side.dists, side.quals,
+                side.parents,
+            )
+        return
+    side = engine._side
+    if variant == VARIANT_WEIGHTED:
+        _validate_frozen_body(
+            n, side.offsets, side.hubs, side.dists, side.quals, None
+        )
+        if engine._parent_vertices is not None:
+            _validate_weighted_parents(
+                n, side.offsets, engine._parent_vertices,
+                engine._parent_entries,
+            )
+        return
+    _validate_frozen_body(
+        n, side.offsets, side.hubs, side.dists, side.quals, side.parents
+    )
+
+
+def _assemble_with_deltas(
+    variant, flags, n, names, table, base, blobs, validate
+):
+    """Assemble the base sections (copying) and splice the delta chain."""
+    reader = _SectionReaderV3(base, names, table, attach=False, exact=False)
+    engine = _assemble_engine(
+        variant, reader, n, bool(flags & _FLAG_PARENTS), False
+    )
+    for blob in blobs:
+        engine = _apply_delta_blob(variant, engine, blob, n)
+    if validate:
+        _validate_assembled(variant, engine, n)
+    return engine
 
 
 def _load_frozen_v2(data: bytes, validate: bool):
@@ -820,6 +1262,7 @@ def describe_frozen(source: Union[PathLike, BinaryIO]) -> dict:
     magic, version = _BINARY_PREFIX.unpack_from(head)
     if magic != BINARY_MAGIC:
         raise IndexFormatError(f"bad binary magic {magic!r}")
+    deltas: List[dict] = []
     if version == BINARY_VERSION:
         variant, flags, n, names = _parse_v23_header(head)
         rest = source.read(
@@ -839,6 +1282,7 @@ def describe_frozen(source: Union[PathLike, BinaryIO]) -> dict:
             if sections
             else len(head)
         )
+        deltas, total = _describe_deltas(source, variant, flags, total)
     elif version in (1, 2):
         data = head + source.read()
         sections, variant, flags, n = _describe_legacy(data, version)
@@ -851,8 +1295,52 @@ def describe_frozen(source: Union[PathLike, BinaryIO]) -> dict:
         "num_vertices": n,
         "tracks_parents": bool(flags & _FLAG_PARENTS),
         "sections": sections,
+        "deltas": deltas,
         "total_bytes": total,
     }
+
+
+def _describe_deltas(source: BinaryIO, variant: int, flags: int, total: int):
+    """Walk the delta chain after the base sections (headers and tables
+    only — constant work per blob).  Returns ``(deltas, total)``."""
+    names = _delta_section_names(variant, flags)
+    deltas: List[dict] = []
+    cursor = _align(total)
+    try:
+        size = source.seek(0, 2)
+    except (OSError, ValueError):  # unseekable stream: stop scanning
+        return deltas, total
+    while cursor + _DELTA_HEADER.size <= size:
+        source.seek(cursor)
+        head = source.read(_DELTA_HEADER.size)
+        if len(head) < _DELTA_HEADER.size:
+            break
+        magic, dversion, _, num_dirty = _DELTA_HEADER.unpack_from(head)
+        if magic != DELTA_MAGIC:
+            break
+        if dversion != DELTA_VERSION:
+            raise IndexFormatError(f"unsupported delta version {dversion}")
+        raw_table = source.read(2 * 8 * len(names))
+        dtable, _ = _read_array(
+            head + raw_table, _DELTA_TABLE_AT, OFFSET_TYPECODE, 2 * len(names)
+        )
+        end = cursor + dtable[-2] + dtable[-1] if len(dtable) else cursor
+        # A corrupt table whose extent does not clear the blob's own
+        # header and table (or runs past the file) cannot advance the
+        # scan; fail loudly instead of describing forever.
+        if (
+            end < cursor + _DELTA_TABLE_AT + 2 * 8 * len(names)
+            or end > size
+        ):
+            raise IndexFormatError(
+                f"inconsistent delta section table at byte {cursor}"
+            )
+        deltas.append(
+            {"offset": cursor, "nbytes": end - cursor, "num_dirty": num_dirty}
+        )
+        total = end
+        cursor = _align(end)
+    return deltas, total
 
 
 def _describe_legacy(data: bytes, version: int):

@@ -47,6 +47,18 @@ class DiGraph:
         self._pred[v][u] = quality
         self._num_edges += 1
 
+    def remove_edge(self, u: int, v: int) -> float:
+        """Remove arc ``u -> v`` and return its quality.
+
+        Raises ``KeyError`` if the arc does not exist.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        quality = self._succ[u].pop(v)  # KeyError if absent
+        del self._pred[v][u]
+        self._num_edges -= 1
+        return quality
+
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
@@ -126,6 +138,12 @@ class DiGraph:
         out = DiGraph(self.num_vertices)
         for u, v, quality in self.edges():
             out.add_edge(v, u, quality)
+        return out
+
+    def copy(self) -> "DiGraph":
+        out = DiGraph(self.num_vertices)
+        for u, v, quality in self.edges():
+            out.add_edge(u, v, quality)
         return out
 
     def __repr__(self) -> str:

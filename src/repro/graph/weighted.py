@@ -61,6 +61,24 @@ class WeightedGraph:
         self._adj[v][u] = (length, quality)
         self._num_edges += 1
 
+    def remove_edge(self, u: int, v: int) -> Tuple[float, float]:
+        """Remove edge ``(u, v)`` and return its ``(length, quality)``.
+
+        Raises ``KeyError`` if the edge does not exist.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        pair = self._adj[u].pop(v)  # KeyError if absent
+        del self._adj[v][u]
+        self._num_edges -= 1
+        return pair
+
+    def copy(self) -> "WeightedGraph":
+        out = WeightedGraph(self.num_vertices)
+        for u, v, length, quality in self.edges():
+            out.add_edge(u, v, length, quality)
+        return out
+
     @property
     def num_vertices(self) -> int:
         return len(self._adj)

@@ -1,0 +1,79 @@
+"""Live index updates: journal -> incremental refreeze -> hot republish.
+
+The write path of the serving stack.  The frozen/mmap/shared-memory
+engines of :mod:`repro.core.frozen` and :mod:`repro.serve` are immutable
+snapshots; this package keeps them in step with a changing graph without
+ever taking the pool offline:
+
+1. **Journal** (:mod:`repro.live.journal`, :mod:`repro.live.tracked`) —
+   edge mutations are applied to the family's list engine (the source of
+   truth) through a journaled wrapper that records each op and the
+   vertices it dirtied.
+2. **Refreeze** (:mod:`repro.live.refreeze`) — only the dirty vertices'
+   flat sections are rebuilt against the previous frozen snapshot; the
+   on-disk ``.wcxb`` image absorbs the batch as an in-place byte-range
+   patch or an appended delta blob, either way ending bit-identical to a
+   from-scratch freeze.
+3. **Republish** (:mod:`repro.live.publisher`) — the new image is
+   published as an epoch-numbered shared-memory generation, the
+   :class:`~repro.serve.server.QueryServer` workers flip over between
+   batches, and the old generation is unlinked — zero dropped queries.
+
+The CLI counterpart is ``python -m repro update``.
+"""
+
+from .journal import (
+    KIND_DELETE,
+    KIND_INSERT,
+    KIND_QUALITY,
+    MutationFormatError,
+    UpdateJournal,
+    UpdateOp,
+    format_mutation,
+    parse_mutation,
+    read_mutations,
+)
+from .publisher import IMAGE_MODES, LivePublisher, PublishReport
+from .refreeze import (
+    DeltaPatch,
+    RefreezeResult,
+    append_delta,
+    apply_image_update,
+    diff_image,
+    incremental_refreeze,
+    make_patch,
+    refreeze,
+)
+from .tracked import (
+    LiveDirectedWCIndex,
+    LiveWCIndex,
+    LiveWeightedWCIndex,
+    live_index,
+)
+
+__all__ = [
+    "DeltaPatch",
+    "IMAGE_MODES",
+    "KIND_DELETE",
+    "KIND_INSERT",
+    "KIND_QUALITY",
+    "LiveDirectedWCIndex",
+    "LivePublisher",
+    "LiveWCIndex",
+    "LiveWeightedWCIndex",
+    "MutationFormatError",
+    "PublishReport",
+    "RefreezeResult",
+    "UpdateJournal",
+    "UpdateOp",
+    "append_delta",
+    "apply_image_update",
+    "diff_image",
+    "format_mutation",
+    "incremental_refreeze",
+    "live_index",
+    "make_patch",
+    "parse_mutation",
+    "read_mutations",
+    "refreeze",
+]

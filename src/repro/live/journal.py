@@ -1,0 +1,244 @@
+"""Update journaling: the mutation log the live-update pipeline runs on.
+
+Every graph mutation applied through a :mod:`repro.live.tracked` wrapper
+is recorded as an :class:`UpdateOp` — what changed (kind, endpoints,
+quality, length) and what it *dirtied* (the vertices whose label sets
+changed).  An :class:`UpdateJournal` accumulates ops across a batch:
+
+* the union :meth:`UpdateJournal.dirty_vertices` is what the incremental
+  refreeze (:mod:`repro.live.refreeze`) consumes — only those vertices'
+  flat sections need rebuilding in the frozen image;
+* the per-op records make a batch **replayable** (apply the same ops to
+  another live index, :meth:`UpdateJournal.replay`) and **auditable**
+  (:meth:`UpdateJournal.save` writes a mutation file annotated with each
+  op's dirty set).
+
+The text grammar — one mutation per line, ``#`` comments and blank lines
+skipped — doubles as the CLI ``update`` subcommand's input format::
+
+    insert <u> <v> <quality>            # undirected / directed edge
+    insert <u> <v> <length> <quality>   # weighted edge
+    delete <u> <v>
+    quality <u> <v> <quality>           # change an existing edge's quality
+
+``+`` and ``-`` are accepted as shorthands for ``insert`` / ``delete``.
+The reader is strict and reports line numbers on malformed input,
+mirroring :mod:`repro.graph.io`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple, Union
+
+PathLike = Union[str, Path]
+
+#: Canonical mutation kinds.
+KIND_INSERT = "insert"
+KIND_DELETE = "delete"
+KIND_QUALITY = "quality"
+KINDS = (KIND_INSERT, KIND_DELETE, KIND_QUALITY)
+
+_KIND_ALIASES = {
+    "+": KIND_INSERT,
+    "-": KIND_DELETE,
+    "insert": KIND_INSERT,
+    "delete": KIND_DELETE,
+    "quality": KIND_QUALITY,
+}
+
+#: A parsed mutation: ``(kind, u, v, quality, length)`` — ``quality`` is
+#: ``None`` for deletes, ``length`` only set for weighted inserts.
+Mutation = Tuple[str, int, int, Optional[float], Optional[float]]
+
+
+class MutationFormatError(ValueError):
+    """A mutation file could not be parsed."""
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """One journaled mutation with its observed effect on the index."""
+
+    seq: int
+    kind: str
+    u: int
+    v: int
+    quality: Optional[float] = None
+    length: Optional[float] = None
+    dirty: FrozenSet[int] = field(default_factory=frozenset)
+
+    def mutation(self) -> Mutation:
+        """The op as a replayable ``(kind, u, v, quality, length)``."""
+        return (self.kind, self.u, self.v, self.quality, self.length)
+
+    def mutation_line(self) -> str:
+        """The op in the text grammar (without the dirty annotation)."""
+        return format_mutation(*self.mutation())
+
+
+class UpdateJournal:
+    """Accumulates :class:`UpdateOp` records across an update batch."""
+
+    def __init__(self) -> None:
+        self._ops: List[UpdateOp] = []
+        self._dirty: Set[int] = set()
+        self._next_seq = 0
+
+    def record(
+        self,
+        kind: str,
+        u: int,
+        v: int,
+        *,
+        quality: Optional[float] = None,
+        length: Optional[float] = None,
+        dirty: Iterable[int] = (),
+    ) -> UpdateOp:
+        """Append one op; returns the sequenced record."""
+        if kind not in KINDS:
+            raise ValueError(f"unknown mutation kind {kind!r}")
+        op = UpdateOp(
+            seq=self._next_seq,
+            kind=kind,
+            u=u,
+            v=v,
+            quality=quality,
+            length=length,
+            dirty=frozenset(dirty),
+        )
+        self._next_seq += 1
+        self._ops.append(op)
+        self._dirty |= op.dirty
+        return op
+
+    @property
+    def ops(self) -> Tuple[UpdateOp, ...]:
+        return tuple(self._ops)
+
+    def dirty_vertices(self) -> Set[int]:
+        """Union of every recorded op's dirty set (since the last clear)."""
+        return set(self._dirty)
+
+    def clear(self) -> None:
+        """Drop the accumulated ops and dirt (after a republish); the
+        sequence counter keeps running so op ids stay unique across
+        batches."""
+        self._ops.clear()
+        self._dirty.clear()
+
+    def replay(self, target) -> Set[int]:
+        """Re-apply every recorded op, in order, to another live index
+        (any object exposing ``apply_mutation``).  Returns the union of
+        the dirty sets *observed on the target* — which may differ from
+        this journal's if the target started from a different state."""
+        dirty: Set[int] = set()
+        for op in self._ops:
+            replayed = target.apply_mutation(*op.mutation())
+            dirty |= replayed.dirty
+        return dirty
+
+    def save(self, destination: PathLike) -> None:
+        """Write the batch as a mutation file, one op per line, each
+        annotated with its dirty set (as a ``#`` comment, so the file
+        replays through :func:`read_mutations` unchanged)."""
+        with open(destination, "w", encoding="utf-8") as out:
+            for op in self._ops:
+                dirty = " ".join(str(v) for v in sorted(op.dirty))
+                out.write(
+                    f"{op.mutation_line()}  # op {op.seq} dirtied "
+                    f"{len(op.dirty)}: {dirty}\n"
+                )
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self):
+        return iter(self._ops)
+
+    def __bool__(self) -> bool:
+        return bool(self._ops)
+
+    def __repr__(self) -> str:
+        return (
+            f"UpdateJournal({len(self._ops)} ops, "
+            f"{len(self._dirty)} dirty vertices)"
+        )
+
+
+def format_mutation(
+    kind: str,
+    u: int,
+    v: int,
+    quality: Optional[float] = None,
+    length: Optional[float] = None,
+) -> str:
+    """Render one mutation in the text grammar."""
+    if kind == KIND_DELETE:
+        return f"delete {u} {v}"
+    if kind == KIND_INSERT and length is not None:
+        return f"insert {u} {v} {length!r} {quality!r}"
+    if kind in (KIND_INSERT, KIND_QUALITY):
+        return f"{kind} {u} {v} {quality!r}"
+    raise ValueError(f"unknown mutation kind {kind!r}")
+
+
+def parse_mutation(text: str) -> Mutation:
+    """Parse one mutation line (without comment handling)."""
+    parts = text.split()
+    if not parts:
+        raise MutationFormatError("empty mutation")
+    kind = _KIND_ALIASES.get(parts[0])
+    if kind is None:
+        raise MutationFormatError(
+            f"unknown mutation kind {parts[0]!r}; "
+            f"expected one of {sorted(set(_KIND_ALIASES))}"
+        )
+    try:
+        if kind == KIND_DELETE:
+            if len(parts) != 3:
+                raise MutationFormatError(
+                    f"delete takes 'u v', got {text!r}"
+                )
+            return (kind, int(parts[1]), int(parts[2]), None, None)
+        if kind == KIND_INSERT and len(parts) == 5:
+            return (
+                kind,
+                int(parts[1]),
+                int(parts[2]),
+                float(parts[4]),
+                float(parts[3]),
+            )
+        if len(parts) != 4:
+            raise MutationFormatError(
+                f"{kind} takes 'u v quality' "
+                f"(insert also 'u v length quality'), got {text!r}"
+            )
+        return (kind, int(parts[1]), int(parts[2]), float(parts[3]), None)
+    except ValueError as exc:
+        if isinstance(exc, MutationFormatError):
+            raise
+        raise MutationFormatError(f"bad mutation numbers in {text!r}") from exc
+
+
+def read_mutations(source) -> List[Mutation]:
+    """Read a mutation file (path or iterable of lines), strictly.
+
+    Blank lines and ``#`` comments (inline or whole-line) are skipped;
+    anything else must parse, and errors report the offending line
+    number.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_mutations(handle)
+    mutations: List[Mutation] = []
+    for lineno, raw in enumerate(source, start=1):
+        text = raw.split("#", 1)[0].strip()
+        if not text:
+            continue
+        try:
+            mutations.append(parse_mutation(text))
+        except MutationFormatError as exc:
+            raise MutationFormatError(f"line {lineno}: {exc}") from None
+    return mutations

@@ -16,9 +16,11 @@ then died raises.
 The facade is synchronous: :meth:`QueryServer.query_batch` splits a
 batch into chunks, round-robins them over the live workers, and
 reassembles the answers in order; :meth:`QueryServer.query` is the
-single-query convenience.  :meth:`QueryServer.close` (or the context
-manager) shuts the workers down and releases/unlinks the shared
-segment.
+single-query convenience.  :meth:`QueryServer.swap_image` hot-swaps the
+pool onto a new index generation between batches (the live-update
+republish path — see :mod:`repro.live.publisher`).
+:meth:`QueryServer.close` (or the context manager) shuts the workers
+down and releases/unlinks the shared segment.
 """
 
 from __future__ import annotations
@@ -37,18 +39,35 @@ _POLL_SECONDS = 1.0
 
 
 def _worker_main(image_name: str, tasks, results) -> None:
-    """Worker loop: attach to the image, answer batches off this
-    worker's own task queue until the ``None`` sentinel, then detach
-    cleanly."""
+    """Worker loop: attach to the image, process jobs off this worker's
+    own task queue until the ``None`` sentinel, then detach cleanly.
+
+    Jobs are ``(job_id, kind, payload)``: ``"query"`` answers a batch,
+    ``"swap"`` re-attaches to the named next-generation image (the hot
+    republish path).  A worker that cannot attach the new generation
+    exits instead of serving the stale one — the pool routes around it.
+    """
     attached = attach_image(image_name)
     try:
         while True:
             job = tasks.get()
             if job is None:
                 return
-            job_id, queries = job
+            job_id, kind, payload = job
+            if kind == "swap":
+                try:
+                    fresh = attach_image(payload)
+                except Exception as exc:
+                    results.put(
+                        (job_id, "error", f"{type(exc).__name__}: {exc}")
+                    )
+                    return
+                attached.close()
+                attached = fresh
+                results.put((job_id, "ok", None))
+                continue
             try:
-                answers = attached.engine.distance_many(queries)
+                answers = attached.engine.distance_many(payload)
             except Exception as exc:  # surface, don't kill the pool
                 results.put((job_id, "error", f"{type(exc).__name__}: {exc}"))
             else:
@@ -80,6 +99,7 @@ class QueryServer:
         workers: int = 2,
         start_method: Optional[str] = None,
         validate: bool = True,
+        segment_name: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -88,7 +108,7 @@ class QueryServer:
             start_method = "fork" if "fork" in available else "spawn"
         context = multiprocessing.get_context(start_method)
         self._image: Optional[ShmIndexImage] = ShmIndexImage(
-            source, validate=validate
+            source, validate=validate, name=segment_name
         )
         # Anything failing past this point (queue fds, fork limits) must
         # not orphan the published segment.
@@ -169,7 +189,7 @@ class QueryServer:
             owner = live[turn % len(live)]
             owners[job_id] = owner
             self._task_queues[owner].put(
-                (job_id, queries[at:at + chunk_size])
+                (job_id, "query", queries[at:at + chunk_size])
             )
         answers: List[float] = [0.0] * len(queries)
         pending = set(starts)
@@ -205,11 +225,86 @@ class QueryServer:
         return answers
 
     # ------------------------------------------------------------------
+    # Hot republish
+    # ------------------------------------------------------------------
+    def swap_image(
+        self,
+        source,
+        *,
+        validate: bool = True,
+        segment_name: Optional[str] = None,
+    ) -> None:
+        """Swap the pool over to a new index image with no downtime.
+
+        Publishes ``source`` (any engine or index path) as a new shared
+        segment, tells every live worker to re-attach, waits for the
+        acks, then unlinks the old generation.  Call between batches —
+        the facade is synchronous, so no query can be in flight — and
+        every batch issued after this returns answers from the new
+        image.  Workers that die mid-swap are routed around like on the
+        query path; if none survive, the swap still commits (the pool
+        then raises on the next batch).
+        """
+        if self._image is None:
+            raise RuntimeError("query server is closed")
+        new_image = ShmIndexImage(source, validate=validate, name=segment_name)
+        live = [
+            index
+            for index, process in enumerate(self._workers)
+            if process.is_alive()
+        ]
+        if not live:
+            new_image.destroy()
+            raise RuntimeError("no live query workers to swap")
+        pending: Dict[int, int] = {}
+        for index in live:
+            job_id = self._next_job
+            self._next_job += 1
+            try:
+                self._task_queues[index].put(
+                    (job_id, "swap", new_image.name)
+                )
+            except Exception:
+                # The swap order cannot reach this worker, so it would
+                # keep serving the generation about to be unlinked;
+                # stop it rather than leave a stale answerer routed to.
+                process = self._workers[index]
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=1.0)
+                continue
+            pending[job_id] = index
+        while pending:
+            try:
+                job_id, status, _payload = self._results.get(
+                    timeout=_POLL_SECONDS
+                )
+            except queue_module.Empty:
+                for job, owner in list(pending.items()):
+                    if not self._workers[owner].is_alive():
+                        pending.pop(job)
+                continue
+            if job_id not in pending:
+                continue  # stale result of an earlier failed batch
+            pending.pop(job_id)
+            # An "error" ack means the worker could not attach the new
+            # generation and exited; surviving workers carry the pool.
+        old_image, self._image = self._image, new_image
+        old_image.destroy()
+
+    # ------------------------------------------------------------------
     # Lifecycle / introspection
     # ------------------------------------------------------------------
     @property
     def num_workers(self) -> int:
         return len(self._workers)
+
+    @property
+    def image_name(self) -> str:
+        """Segment name of the currently published image."""
+        if self._image is None:
+            raise RuntimeError("query server is closed")
+        return self._image.name
 
     @property
     def image_bytes(self) -> int:

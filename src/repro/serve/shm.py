@@ -46,12 +46,20 @@ def _image_bytes(source, validate: bool) -> bytes:
     if isinstance(source, (str, Path)):
         if not is_binary_index_path(source):
             source = load_index(source)
-        elif describe_frozen(source)["format_version"] == BINARY_VERSION:
-            data = Path(source).read_bytes()
-            if validate:
-                attach_frozen(data, validate=True).release()
-            return data
         else:
+            described = describe_frozen(source)
+            # A delta-carrying image would force every attacher through
+            # the copying splice path; like legacy versions it is
+            # normalized to a canonical v3 image at publish time so the
+            # workers keep their zero-copy attach.
+            if (
+                described["format_version"] == BINARY_VERSION
+                and not described["deltas"]
+            ):
+                data = Path(source).read_bytes()
+                if validate:
+                    attach_frozen(data, validate=True).release()
+                return data
             source = load_frozen(source, validate=validate)
     buffer = io.BytesIO()
     save_frozen(source, buffer)

@@ -182,6 +182,16 @@ class TestBatchAndQualityChange:
         with pytest.raises(KeyError):
             dyn.change_quality(0, 2, 5.0)
 
+    def test_change_quality_rejects_invalid_values_before_mutating(self):
+        # Regression: the decrease path removed the edge before
+        # add_edge could reject the bad quality, losing the edge.
+        g = Graph(2, [(0, 1, 3.0)])
+        dyn = DynamicWCIndex(g)
+        with pytest.raises(ValueError, match="quality"):
+            dyn.change_quality(0, 1, 0.0)
+        assert dyn.graph.quality(0, 1) == 3.0
+        assert dyn.distance(0, 1, 3.0) == 1.0
+
     @pytest.mark.parametrize("trial", range(5))
     def test_random_quality_changes(self, trial):
         rng = random.Random(500 + trial)
@@ -205,3 +215,188 @@ class TestRebuild:
         dyn.rebuild()
         report = verify_index(dyn.index, dyn.graph)
         assert report.ok, report.details
+
+
+def snapshot_labels(dyn):
+    return {
+        v: tuple(map(tuple, dyn.index.label_lists(v)))
+        for v in dyn.graph.vertices()
+    }
+
+
+def changed_vertices(dyn, before):
+    return {
+        v
+        for v in dyn.graph.vertices()
+        if tuple(map(tuple, dyn.index.label_lists(v))) != before[v]
+    }
+
+
+class TestDirtyTracking:
+    def test_insert_reports_exactly_the_changed_labels(self):
+        g = Graph(4, [(0, 1, 2.0), (2, 3, 2.0)])
+        dyn = DynamicWCIndex(g)
+        before = snapshot_labels(dyn)
+        dirty = dyn.insert_edge(1, 2, 3.0)
+        assert dirty == changed_vertices(dyn, before)
+        assert dirty  # connecting two components must change labels
+
+    def test_noop_insert_reports_nothing(self):
+        dyn = DynamicWCIndex(Graph(2, [(0, 1, 5.0)]))
+        assert dyn.insert_edge(0, 1, 1.0) == set()
+
+    def test_delete_reports_the_label_diff(self):
+        g = gnm_random_graph(10, 16, num_qualities=3, seed=3)
+        dyn = DynamicWCIndex(g.copy())
+        before = snapshot_labels(dyn)
+        order_before = list(dyn.index.order)
+        u, v, _ = next(iter(dyn.graph.edges()))
+        dirty = dyn.delete_edge(u, v)
+        if dyn.index.order == order_before:
+            assert dirty == changed_vertices(dyn, before)
+        else:
+            assert dirty == set(range(10))
+
+    def test_order_change_marks_every_vertex_dirty(self):
+        # Deleting vertex 2's last edge changes the recomputed hybrid
+        # order on this graph, which invalidates every rank-encoded
+        # label section.
+        g = gnm_random_graph(8, 10, num_qualities=3, seed=1)
+        dyn = DynamicWCIndex(g.copy())
+        old_order = list(dyn.index.order)
+        dirty = dyn.delete_edge(1, 2)
+        assert dyn.index.order != old_order
+        assert dirty == set(range(8))
+
+    @pytest.mark.parametrize("trial", range(5))
+    def test_mixed_stream_dirty_covers_all_changes(self, trial):
+        rng = random.Random(40 + trial)
+        g = gnm_random_graph(9, 14, num_qualities=3, seed=trial)
+        dyn = DynamicWCIndex(g.copy())
+        for _ in range(5):
+            before = snapshot_labels(dyn)
+            edges = list(dyn.graph.edges())
+            if edges and rng.random() < 0.4:
+                u, v, _ = rng.choice(edges)
+                dirty = dyn.delete_edge(u, v)
+            else:
+                u, v = rng.randrange(9), rng.randrange(9)
+                if u == v:
+                    continue
+                dirty = dyn.insert_edge(u, v, float(rng.randint(1, 3)))
+            if dirty == set(range(9)):
+                continue  # order changed: everything is dirty by fiat
+            assert changed_vertices(dyn, before) <= dirty
+
+
+class TestAccessorsAndAdoption:
+    def test_freeze_and_distance_many_passthroughs(self):
+        g = gnm_random_graph(8, 12, num_qualities=3, seed=11)
+        dyn = DynamicWCIndex(g.copy())
+        dyn.insert_edge(0, 7, 2.0)
+        queries = [
+            (s, t, w)
+            for s in range(8)
+            for t in range(8)
+            for w in (0.5, 1.5, 2.5)
+        ]
+        expected = [dyn.distance(s, t, w) for s, t, w in queries]
+        assert dyn.distance_many(queries) == expected
+        assert dyn.freeze().distance_many(queries) == expected
+        assert dyn.num_vertices == 8
+        assert dyn.entry_count() == dyn.index.entry_count()
+
+    def test_adopts_an_existing_index(self):
+        g = gnm_random_graph(8, 12, num_qualities=3, seed=13)
+        built = DynamicWCIndex(g.copy())
+        adopted = DynamicWCIndex(g.copy(), index=built.freeze().thaw())
+        assert adopted.index.order == built.index.order
+        adopted.insert_edge(0, 7, 2.0)
+        assert_matches_oracle(adopted, "adopted")
+
+    def test_adoption_rejects_vertex_mismatch(self):
+        g = gnm_random_graph(8, 12, num_qualities=3, seed=13)
+        built = DynamicWCIndex(g.copy())
+        with pytest.raises(ValueError, match="vertices"):
+            DynamicWCIndex(Graph(9), index=built.index)
+
+    def test_rebuild_keeps_parent_tracking(self):
+        # Regression: the rebuild path used the builder's default
+        # track_parents=False, silently dropping the parent columns of
+        # an adopted parent-tracking index on the first delete.
+        from repro.core import build_wc_index_plus
+
+        g = gnm_random_graph(8, 14, num_qualities=3, seed=19)
+        index = build_wc_index_plus(g.copy(), track_parents=True)
+        dyn = DynamicWCIndex(g.copy(), index=index)
+        u, v, _ = next(iter(dyn.graph.edges()))
+        dyn.delete_edge(u, v)
+        assert dyn.index.tracks_parents
+        dyn.rebuild()
+        assert dyn.index.tracks_parents
+        assert_matches_oracle(dyn, "tracking rebuild")
+
+    def test_delete_edges_validates_before_mutating(self):
+        g = Graph(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        dyn = DynamicWCIndex(g)
+        with pytest.raises(KeyError):
+            dyn.delete_edges([(0, 1), (0, 3)])  # (0, 3) missing
+        assert dyn.graph.has_edge(0, 1)  # nothing was removed
+        assert_matches_oracle(dyn, "atomic batch delete")
+        with pytest.raises(KeyError):
+            dyn.delete_edges([(0, 1), (1, 0)])  # duplicate edge
+        assert dyn.graph.has_edge(0, 1)
+
+
+class TestIsolatingDeleteOrdering:
+    def test_isolating_delete_recomputes_the_hybrid_order(self):
+        # Regression: the rebuild-on-delete path used to reuse the
+        # construction-time order even when the deletion stripped a
+        # vertex of its last edge — ranking the now-isolated vertex by
+        # its stale degree.  The order must be recomputed from the
+        # current degrees (and the index stays oracle-correct).
+        from repro.core.ordering import resolve_order
+
+        g = gnm_random_graph(8, 10, num_qualities=3, seed=1)
+        dyn = DynamicWCIndex(g.copy())
+        assert dyn.graph.degree(2) == 1 and dyn.graph.has_edge(1, 2)
+        dyn.delete_edge(1, 2)
+        assert dyn._ordering == resolve_order(dyn.graph, "hybrid")
+        assert dyn.index.order == dyn._ordering
+        assert_matches_oracle(dyn, "isolating delete")
+
+    def test_non_isolating_delete_reuses_the_order(self):
+        g = gnm_random_graph(10, 20, num_qualities=3, seed=7)
+        dyn = DynamicWCIndex(g.copy())
+        order_before = list(dyn._ordering)
+        for u, v, _ in list(dyn.graph.edges()):
+            if dyn.graph.degree(u) > 1 and dyn.graph.degree(v) > 1:
+                dyn.delete_edge(u, v)
+                break
+        assert dyn._ordering == order_before
+        assert_matches_oracle(dyn, "non-isolating delete")
+
+    def test_remove_edge_alias(self):
+        dyn = DynamicWCIndex(path_graph(4))
+        dirty = dyn.remove_edge(1, 2)
+        assert dyn.distance(0, 3, 1.0) == INF
+        assert isinstance(dirty, set)
+
+    def test_batch_delete_reports_dirty(self):
+        g = Graph(
+            5,
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 0, 1.0),
+                (0, 2, 1.0),
+            ],
+        )
+        dyn = DynamicWCIndex(g)
+        before = snapshot_labels(dyn)
+        dirty = dyn.delete_edges([(0, 1), (0, 2)])
+        if dirty != set(range(5)):
+            assert changed_vertices(dyn, before) <= dirty
+        assert_matches_oracle(dyn, "batch delete dirty")

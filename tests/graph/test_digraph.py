@@ -70,3 +70,30 @@ class TestDiGraphDerivation:
     def test_distinct_qualities(self):
         g = DiGraph(3, [(0, 1, 2.0), (1, 2, 2.0), (2, 0, 7.0)])
         assert g.distinct_qualities() == [2.0, 7.0]
+
+
+class TestDiGraphMutation:
+    def test_remove_edge(self):
+        g = DiGraph(3, [(0, 1, 2.0), (1, 2, 3.0)])
+        assert g.remove_edge(0, 1) == 2.0
+        assert not g.has_edge(0, 1)
+        assert not any(u == 0 for u, _ in g.predecessors(1))
+        assert g.num_edges == 1
+
+    def test_remove_edge_is_one_directional(self):
+        g = DiGraph(2, [(0, 1, 2.0), (1, 0, 3.0)])
+        g.remove_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert g.num_edges == 1
+
+    def test_remove_missing_edge_raises(self):
+        g = DiGraph(2, [(0, 1, 2.0)])
+        with pytest.raises(KeyError):
+            g.remove_edge(1, 0)
+
+    def test_copy_is_independent(self):
+        g = DiGraph(3, [(0, 1, 2.0), (1, 2, 3.0)])
+        clone = g.copy()
+        clone.remove_edge(0, 1)
+        assert g.has_edge(0, 1)
+        assert clone.num_edges == 1

@@ -55,3 +55,24 @@ class TestWeightedGraph:
         g = WeightedGraph(3, [(0, 1, 1.0, 1.0), (0, 2, 1.0, 1.0)])
         assert g.degree(0) == 2
         assert g.degrees() == [2, 1, 1]
+
+
+class TestWeightedMutation:
+    def test_remove_edge_returns_the_pair(self):
+        g = WeightedGraph(3, [(0, 1, 2.0, 3.0), (1, 2, 1.0, 1.0)])
+        assert g.remove_edge(0, 1) == (2.0, 3.0)
+        assert not g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+        assert g.num_edges == 1
+
+    def test_remove_missing_edge_raises(self):
+        g = WeightedGraph(2)
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 1)
+
+    def test_copy_is_independent(self):
+        g = WeightedGraph(3, [(0, 1, 2.0, 3.0)])
+        clone = g.copy()
+        clone.remove_edge(0, 1)
+        assert g.has_edge(0, 1)
+        assert clone.num_edges == 0

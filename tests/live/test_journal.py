@@ -1,0 +1,130 @@
+"""Tests for the update journal and the mutation-file grammar."""
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.live import (
+    LiveWCIndex,
+    MutationFormatError,
+    UpdateJournal,
+    format_mutation,
+    parse_mutation,
+    read_mutations,
+)
+
+
+class TestUpdateJournal:
+    def test_records_ops_in_sequence(self):
+        journal = UpdateJournal()
+        one = journal.record("insert", 0, 1, quality=2.0, dirty=[0, 1])
+        two = journal.record("delete", 1, 2, dirty=[2])
+        assert [op.seq for op in journal] == [one.seq, two.seq] == [0, 1]
+        assert len(journal) == 2
+        assert journal.dirty_vertices() == {0, 1, 2}
+
+    def test_clear_keeps_sequence_running(self):
+        journal = UpdateJournal()
+        journal.record("insert", 0, 1, quality=1.0, dirty=[0])
+        journal.clear()
+        assert len(journal) == 0
+        assert journal.dirty_vertices() == set()
+        assert not journal
+        op = journal.record("delete", 0, 1)
+        assert op.seq == 1  # ids stay unique across batches
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown mutation kind"):
+            UpdateJournal().record("upsert", 0, 1)
+
+    def test_save_round_trips_through_read_mutations(self, tmp_path):
+        journal = UpdateJournal()
+        journal.record("insert", 0, 1, quality=2.0, dirty=[0, 1])
+        journal.record("insert", 2, 3, quality=1.5, length=4.0, dirty=[2])
+        journal.record("quality", 0, 1, quality=3.0)
+        journal.record("delete", 0, 1, dirty=[0, 1, 4])
+        path = tmp_path / "batch.ops"
+        journal.save(path)
+        assert read_mutations(path) == [
+            op.mutation() for op in journal.ops
+        ]
+
+    def test_replay_reproduces_the_target_state(self):
+        graph = Graph(4, [(0, 1, 2.0), (1, 2, 2.0), (2, 3, 2.0)])
+        primary = LiveWCIndex(graph.copy())
+        primary.insert_edge(0, 3, 1.0)
+        primary.delete_edge(1, 2)
+        replica = LiveWCIndex(graph.copy())
+        primary.journal.replay(replica)
+        assert replica.graph == primary.graph
+        queries = [
+            (s, t, w)
+            for s in range(4)
+            for t in range(4)
+            for w in (0.5, 1.5, 2.5)
+        ]
+        assert replica.distance_many(queries) == primary.distance_many(queries)
+
+
+class TestMutationGrammar:
+    @pytest.mark.parametrize(
+        "line,expected",
+        [
+            ("insert 0 1 2.5", ("insert", 0, 1, 2.5, None)),
+            ("+ 0 1 2.5", ("insert", 0, 1, 2.5, None)),
+            ("insert 0 1 3.0 2.5", ("insert", 0, 1, 2.5, 3.0)),
+            ("delete 4 5", ("delete", 4, 5, None, None)),
+            ("- 4 5", ("delete", 4, 5, None, None)),
+            ("quality 1 2 4.0", ("quality", 1, 2, 4.0, None)),
+        ],
+    )
+    def test_parse(self, line, expected):
+        assert parse_mutation(line) == expected
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "",
+            "upsert 0 1 2.0",
+            "insert 0 1",
+            "insert 0 1 2 3 4",
+            "delete 0",
+            "delete 0 1 2",
+            "quality 0 1",
+            "insert a b 2.0",
+            "insert 0 1 nope",
+        ],
+    )
+    def test_parse_rejects_malformed(self, line):
+        with pytest.raises(MutationFormatError):
+            parse_mutation(line)
+
+    def test_format_parse_round_trip(self):
+        for mutation in [
+            ("insert", 0, 9, 2.0, None),
+            ("insert", 0, 9, 2.0, 3.5),
+            ("delete", 7, 8, None, None),
+            ("quality", 1, 2, 0.75, None),
+        ]:
+            assert parse_mutation(format_mutation(*mutation)) == mutation
+
+    def test_read_mutations_skips_comments_and_blanks(self):
+        lines = [
+            "# header",
+            "",
+            "insert 0 1 2.0  # inline note",
+            "   ",
+            "delete 0 1",
+        ]
+        assert read_mutations(lines) == [
+            ("insert", 0, 1, 2.0, None),
+            ("delete", 0, 1, None, None),
+        ]
+
+    def test_read_mutations_reports_line_numbers(self):
+        with pytest.raises(MutationFormatError, match="line 3"):
+            read_mutations(["insert 0 1 2.0", "", "bogus 1 2"])
+
+    def test_read_mutations_from_path(self, tmp_path):
+        path = tmp_path / "ops.txt"
+        path.write_text("insert 0 1 2.0\ndelete 0 1\n")
+        assert len(read_mutations(path)) == 2

@@ -1,0 +1,177 @@
+"""Tests for the zero-downtime live publisher (epoch swaps)."""
+
+import pytest
+
+from repro.baselines.online import ConstrainedBFS
+from repro.core import load_frozen, save_frozen
+from repro.graph.generators import gnm_random_graph
+from repro.graph.graph import Graph
+from repro.live import LivePublisher, LiveWCIndex, read_mutations
+from repro.live.refreeze import image_bytes
+
+INF = float("inf")
+
+
+@pytest.fixture
+def live():
+    graph = gnm_random_graph(12, 18, num_qualities=3, seed=21)
+    return LiveWCIndex(graph.copy())
+
+
+def oracle_answers(graph, queries):
+    oracle = ConstrainedBFS(graph)
+    return [oracle.distance(s, t, w) for s, t, w in queries]
+
+
+def dirtying_mutation(graph):
+    """An insert that must change labels: a missing edge whose quality
+    exceeds every existing one (new reachability at high constraints)."""
+    for u in graph.vertices():
+        for v in graph.vertices():
+            if u < v and not graph.has_edge(u, v):
+                return ("insert", u, v, 9.0, None)
+    raise AssertionError("graph is complete")
+
+
+class TestLivePublisher:
+    def test_pool_absorbs_updates_across_the_swap(self, live):
+        queries = [
+            (s, t, w) for s in range(12) for t in range(0, 12, 3)
+            for w in (0.5, 1.5, 2.5)
+        ]
+        with LivePublisher(live, workers=2) as publisher:
+            assert publisher.epoch == 0
+            before = publisher.query_batch(queries)
+            assert before == oracle_answers(live.graph, queries)
+
+            mutations = [
+                dirtying_mutation(live.graph),
+                ("delete", *next(iter(live.graph.edges()))[:2], None, None),
+            ]
+            report = publisher.apply(mutations)
+            assert publisher.epoch == 1
+            assert report.epoch == 1
+            assert report.ops == 2
+            assert report.published
+            after = publisher.query_batch(queries)
+            assert after == oracle_answers(live.graph, queries)
+            assert len(publisher.journal) == 0  # journal cleared
+
+    def test_epoch_numbered_segments(self, live):
+        with LivePublisher(live, workers=1) as publisher:
+            assert publisher.segment_name.endswith("g0")
+            report = publisher.apply([dirtying_mutation(live.graph)])
+            assert report.dirty_count
+            assert publisher.segment_name.endswith("g1")
+            assert report.segment_name == publisher.segment_name
+
+    def test_noop_batch_keeps_the_epoch(self, live):
+        with LivePublisher(live, workers=1) as publisher:
+            # Inserting a dominated parallel edge dirties nothing.
+            u, v, q = next(iter(live.graph.edges()))
+            report = publisher.apply([("insert", u, v, q, None)])
+            assert publisher.epoch == 0
+            assert not report.published
+
+    def test_patch_mode_keeps_the_image_canonical(self, live, tmp_path):
+        path = tmp_path / "live.wcxb"
+        with LivePublisher(live, workers=1, image_path=path) as publisher:
+            assert path.exists()
+            report = publisher.apply([dirtying_mutation(live.graph)])
+            assert report.image_mode == "patch"
+            assert path.read_bytes() == image_bytes(live.freeze())
+
+    def test_delta_mode_appends_blobs(self, live, tmp_path):
+        path = tmp_path / "live.wcxb"
+        with LivePublisher(
+            live, workers=1, image_path=path, image_mode="delta"
+        ) as publisher:
+            report = publisher.apply([dirtying_mutation(live.graph)])
+            assert report.image_mode == "delta"
+            assert report.image_bytes_written > 0
+            loaded = load_frozen(path)
+            assert image_bytes(loaded) == image_bytes(live.freeze())
+
+    def test_mutation_file_round_trip(self, live, tmp_path):
+        ops = tmp_path / "batch.ops"
+        ops.write_text("insert 0 11 2.0\nquality 0 11 3.0\n")
+        with LivePublisher(live, workers=1) as publisher:
+            publisher.apply(read_mutations(ops))
+            assert live.graph.quality(0, 11) == 3.0
+
+    def test_unknown_image_mode_rejected(self, live):
+        with pytest.raises(ValueError, match="image mode"):
+            LivePublisher(live, image_mode="sideways")
+
+    def test_closed_publisher_raises(self, live):
+        publisher = LivePublisher(live, workers=1)
+        publisher.close()
+        publisher.close()  # idempotent
+        assert publisher.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            publisher.query(0, 1, 1.0)
+
+
+class TestOrderChangeFallback:
+    def test_isolating_delete_forces_a_full_rewrite(self, tmp_path):
+        # Deleting vertex 2's last edge isolates it; the dynamic index
+        # recomputes the hybrid ordering from the current degrees (a
+        # different order on this graph), and the publisher must fall
+        # back to a full freeze + rewrite.
+        graph = gnm_random_graph(8, 10, num_qualities=3, seed=1)
+        assert graph.has_edge(1, 2) and graph.degree(2) == 1
+        live = LiveWCIndex(graph)
+        path = tmp_path / "live.wcxb"
+        with LivePublisher(live, workers=1, image_path=path) as publisher:
+            old_order = list(publisher.live.index.order)
+            report = publisher.apply([("delete", 1, 2, None, None)])
+            assert live.index.order != old_order
+            assert report.published
+            assert not report.incremental
+            assert report.image_mode == "rewrite"
+            assert path.read_bytes() == image_bytes(live.freeze())
+            assert publisher.query(1, 2, 1.0) == INF
+
+
+class TestQueryServerSwap:
+    def test_swap_serves_the_new_generation(self, tmp_path):
+        from repro.serve import QueryServer
+        from tests.serve.test_shm import segment_exists
+
+        graph = Graph(4, [(0, 1, 2.0), (2, 3, 2.0)])
+        live = LiveWCIndex(graph)
+        old_engine = live.freeze()
+        with QueryServer(old_engine, workers=2) as server:
+            old_name = server.image_name
+            assert server.query(0, 3, 1.0) == INF
+            live.insert_edge(1, 2, 3.0)
+            server.swap_image(live.freeze())
+            assert server.query(0, 3, 1.0) == 3.0
+            assert server.image_name != old_name
+            assert not segment_exists(old_name)  # generation N unlinked
+            assert server.num_workers == 2
+
+    def test_swap_accepts_a_path_source(self, tmp_path):
+        graph = Graph(3, [(0, 1, 1.0)])
+        live = LiveWCIndex(graph)
+        path = tmp_path / "next.wcxb"
+        with QueryServerFactory(live) as server:
+            live.insert_edge(1, 2, 1.0)
+            save_frozen(live.freeze(), path)
+            server.swap_image(path)
+            assert server.query(0, 2, 1.0) == 2.0
+
+    def test_swap_on_closed_server_raises(self):
+        from repro.serve import QueryServer
+
+        graph = Graph(2, [(0, 1, 1.0)])
+        server = QueryServer(LiveWCIndex(graph).freeze(), workers=1)
+        server.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            server.swap_image(None)
+
+
+def QueryServerFactory(live):
+    from repro.serve import QueryServer
+
+    return QueryServer(live.freeze(), workers=1)

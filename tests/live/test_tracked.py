@@ -1,0 +1,310 @@
+"""Tests for the journaled live-index wrappers (all three families)."""
+
+import pytest
+
+from tests.helpers import thresholds_for
+
+from repro.baselines.online import ConstrainedBFS, DirectedConstrainedBFS
+from repro.core import constrained_dijkstra
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnm_random_graph
+from repro.graph.graph import Graph
+from repro.graph.weighted import WeightedGraph
+from repro.live import (
+    LiveDirectedWCIndex,
+    LiveWCIndex,
+    LiveWeightedWCIndex,
+    live_index,
+)
+
+INF = float("inf")
+
+
+def all_queries(graph):
+    return [
+        (s, t, w)
+        for s in graph.vertices()
+        for t in graph.vertices()
+        for w in thresholds_for(graph)
+    ]
+
+
+class TestLiveWCIndex:
+    def test_mutations_journal_and_answer_like_the_oracle(self):
+        graph = gnm_random_graph(10, 14, num_qualities=3, seed=2)
+        live = LiveWCIndex(graph.copy())
+        live.insert_edge(0, 9, 2.0)
+        edge = next(iter(live.graph.edges()))
+        live.delete_edge(edge[0], edge[1])
+        edge = next(iter(live.graph.edges()))
+        live.change_quality(edge[0], edge[1], 2.5)
+        assert len(live.journal) == 3
+        oracle = ConstrainedBFS(live.graph)
+        for s, t, w in all_queries(live.graph):
+            assert live.distance(s, t, w) == oracle.distance(s, t, w)
+
+    def test_dirty_sets_cover_label_changes(self):
+        graph = Graph(4, [(0, 1, 2.0), (2, 3, 2.0)])
+        live = LiveWCIndex(graph)
+        before = {
+            v: tuple(map(tuple, live.index.label_lists(v))) for v in range(4)
+        }
+        op = live.insert_edge(1, 2, 3.0)
+        changed = {
+            v
+            for v in range(4)
+            if tuple(map(tuple, live.index.label_lists(v))) != before[v]
+        }
+        assert set(op.dirty) == changed == live.journal.dirty_vertices()
+
+    def test_dominated_insert_is_a_recorded_noop(self):
+        live = LiveWCIndex(Graph(2, [(0, 1, 5.0)]))
+        op = live.insert_edge(0, 1, 1.0)
+        assert op.dirty == frozenset()
+        assert len(live.journal) == 1
+        assert live.graph.quality(0, 1) == 5.0
+
+    def test_length_rejected(self):
+        live = LiveWCIndex(Graph(2, [(0, 1, 1.0)]))
+        with pytest.raises(ValueError, match="weighted"):
+            live.insert_edge(0, 1, 2.0, 3.0)
+
+    def test_freeze_and_batch_passthrough(self):
+        graph = gnm_random_graph(8, 10, num_qualities=3, seed=4)
+        live = LiveWCIndex(graph.copy())
+        live.insert_edge(0, 7, 2.0)
+        queries = all_queries(live.graph)
+        assert live.freeze().distance_many(queries) == live.distance_many(
+            queries
+        )
+
+    def test_adopts_an_existing_index(self):
+        graph = gnm_random_graph(8, 12, num_qualities=3, seed=6)
+        built = LiveWCIndex(graph.copy())
+        adopted = LiveWCIndex(graph.copy(), index=built.freeze().thaw())
+        queries = all_queries(graph)
+        assert adopted.distance_many(queries) == built.distance_many(queries)
+
+
+class TestLiveDirectedWCIndex:
+    def test_mutations_match_the_directed_oracle(self):
+        graph = DiGraph(5, [(0, 1, 2.0), (1, 2, 2.0), (3, 4, 1.0)])
+        live = LiveDirectedWCIndex(graph)
+        assert live.distance(0, 4, 1.0) == INF
+        live.insert_edge(2, 3, 3.0)
+        live.delete_edge(0, 1)
+        live.change_quality(1, 2, 1.0)
+        oracle = DirectedConstrainedBFS(live.graph)
+        for s in range(5):
+            for t in range(5):
+                for w in (0.5, 1.5, 2.5, 3.5):
+                    assert live.distance(s, t, w) == oracle.distance(s, t, w)
+
+    def test_noop_mutations_skip_the_rebuild(self):
+        live = LiveDirectedWCIndex(DiGraph(3, [(0, 1, 3.0), (1, 2, 2.0)]))
+        index_before = live.index
+        assert live.insert_edge(0, 1, 2.0).dirty == frozenset()
+        assert live.change_quality(1, 2, 2.0).dirty == frozenset()
+        assert live.index is index_before  # no rebuild happened
+
+    def test_dirty_reported_by_label_diff(self):
+        live = LiveDirectedWCIndex(DiGraph(3, [(0, 1, 2.0)]))
+        op = live.insert_edge(1, 2, 2.0)
+        assert 2 in op.dirty
+
+    def test_invalid_quality_change_leaves_the_arc_intact(self):
+        live = LiveDirectedWCIndex(DiGraph(2, [(0, 1, 3.0)]))
+        with pytest.raises(ValueError, match="quality"):
+            live.change_quality(0, 1, -1.0)
+        assert live.graph.quality(0, 1) == 3.0
+
+
+class TestLiveWeightedWCIndex:
+    def test_mutations_match_the_weighted_oracle(self):
+        graph = WeightedGraph(
+            4, [(0, 1, 2.0, 2.0), (1, 2, 1.0, 3.0), (2, 3, 4.0, 1.0)]
+        )
+        live = LiveWeightedWCIndex(graph)
+        live.insert_edge(0, 3, 2.0, length=5.0)
+        live.delete_edge(1, 2)
+        live.change_quality(0, 1, 1.0)
+        for s in range(4):
+            for t in range(4):
+                for w in (0.5, 1.5, 2.5, 3.5):
+                    assert live.distance(s, t, w) == constrained_dijkstra(
+                        live.graph, s, t, w
+                    )
+
+    def test_invalid_quality_change_leaves_the_edge_intact(self):
+        # Regression: the remove-then-add staging used to delete the
+        # edge before add_edge rejected the bad quality, silently
+        # desyncing graph and engine.
+        live = LiveWeightedWCIndex(WeightedGraph(2, [(0, 1, 2.0, 3.0)]))
+        with pytest.raises(ValueError, match="quality"):
+            live.change_quality(0, 1, 0.0)
+        assert live.graph.edge(0, 1) == (2.0, 3.0)
+        assert live.distance(0, 1, 3.0) == 2.0
+
+    def test_change_quality_keeps_the_length(self):
+        live = LiveWeightedWCIndex(WeightedGraph(2, [(0, 1, 7.0, 2.0)]))
+        live.change_quality(0, 1, 3.0)
+        assert live.graph.edge(0, 1) == (7.0, 3.0)
+
+    def test_default_length_is_one(self):
+        live = LiveWeightedWCIndex(WeightedGraph(2))
+        live.insert_edge(0, 1, 2.0)
+        assert live.graph.edge(0, 1) == (1.0, 2.0)
+
+    def test_dominated_insert_skips_the_rebuild(self):
+        live = LiveWeightedWCIndex(WeightedGraph(2, [(0, 1, 1.0, 5.0)]))
+        index_before = live.index
+        assert live.insert_edge(0, 1, 1.0, length=9.0).dirty == frozenset()
+        assert live.index is index_before
+
+
+class TestBatchCoalescing:
+    def test_rebuild_families_pay_one_rebuild_per_batch(self, monkeypatch):
+        live = LiveDirectedWCIndex(
+            DiGraph(5, [(0, 1, 2.0), (1, 2, 2.0), (3, 4, 1.0)])
+        )
+        rebuilds = []
+        original = type(live)._rebuild_index
+
+        def counting(self):
+            rebuilds.append(1)
+            return original(self)
+
+        monkeypatch.setattr(type(live), "_rebuild_index", counting)
+        dirty = live.apply(
+            [
+                ("insert", 2, 3, 3.0, None),
+                ("delete", 0, 1, None, None),
+                ("quality", 1, 2, 1.0, None),
+            ]
+        )
+        assert len(rebuilds) == 1
+        assert len(live.journal) == 3
+        # Batch-granular dirt rides on the final op.
+        assert live.journal.ops[-1].dirty == frozenset(dirty)
+        assert all(op.dirty == frozenset() for op in live.journal.ops[:-1])
+        oracle = DirectedConstrainedBFS(live.graph)
+        for s in range(5):
+            for t in range(5):
+                for w in (0.5, 1.5, 2.5, 3.5):
+                    assert live.distance(s, t, w) == oracle.distance(s, t, w)
+
+    def test_failed_op_keeps_engine_and_journal_consistent(self):
+        live = LiveDirectedWCIndex(DiGraph(3, [(0, 1, 2.0)]))
+        with pytest.raises(KeyError, match="no such edge"):
+            live.apply(
+                [
+                    ("insert", 1, 2, 2.0, None),
+                    ("delete", 2, 0, None, None),  # missing edge
+                ]
+            )
+        # The staged insert was rebuilt in and journaled before the
+        # error propagated.
+        assert len(live.journal) == 1
+        assert live.graph.has_edge(1, 2)
+        oracle = DirectedConstrainedBFS(live.graph)
+        assert live.distance(0, 2, 1.0) == oracle.distance(0, 2, 1.0) == 2.0
+
+    def test_undirected_batch_names_the_missing_edge(self):
+        live = LiveWCIndex(Graph(3, [(0, 1, 1.0)]))
+        with pytest.raises(KeyError, match="no such edge for mutation"):
+            live.apply([("delete", 1, 2, None, None)])
+
+    def test_undirected_delete_run_coalesces_into_one_rebuild(
+        self, monkeypatch
+    ):
+        from repro.core.construction import WCIndexBuilder
+
+        graph = Graph(
+            5,
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 0, 1.0),
+                (0, 2, 2.0),
+            ],
+        )
+        live = LiveWCIndex(graph)
+        builds = []
+        original = WCIndexBuilder.build
+
+        def counting(self):
+            builds.append(1)
+            return original(self)
+
+        monkeypatch.setattr(WCIndexBuilder, "build", counting)
+        dirty = live.apply(
+            [
+                ("delete", 0, 1, None, None),
+                ("delete", 0, 2, None, None),
+                ("insert", 0, 3, 2.0, None),
+            ]
+        )
+        assert len(builds) == 1  # one rebuild for the two-delete run
+        assert len(live.journal) == 3
+        assert live.journal.ops[0].dirty == frozenset()
+        assert live.journal.ops[1].dirty  # run dirt on its last op
+        oracle = ConstrainedBFS(live.graph)
+        for s, t, w in all_queries(live.graph):
+            assert live.distance(s, t, w) == oracle.distance(s, t, w)
+        assert isinstance(dirty, set)
+
+    def test_undirected_delete_run_validates_before_mutating(self):
+        live = LiveWCIndex(Graph(3, [(0, 1, 1.0), (1, 2, 1.0)]))
+        with pytest.raises(KeyError, match="delete 0 2"):
+            live.apply(
+                [
+                    ("delete", 0, 1, None, None),
+                    ("delete", 0, 2, None, None),  # missing
+                ]
+            )
+        # Nothing was deleted: the run failed validation atomically.
+        assert live.graph.has_edge(0, 1)
+        assert len(live.journal) == 0
+
+    def test_duplicate_delete_in_a_run_rejected(self):
+        live = LiveWCIndex(Graph(3, [(0, 1, 1.0), (1, 2, 1.0)]))
+        with pytest.raises(KeyError, match="no such edge"):
+            live.apply(
+                [
+                    ("delete", 0, 1, None, None),
+                    ("delete", 1, 0, None, None),  # same edge again
+                ]
+            )
+        assert live.graph.has_edge(0, 1)
+
+    def test_short_mutation_tuples_accepted(self):
+        live = LiveWCIndex(Graph(3, [(0, 1, 1.0)]))
+        dirty = live.apply([("insert", 1, 2, 2.0)])
+        assert live.graph.has_edge(1, 2)
+        assert isinstance(dirty, set)
+
+
+class TestLiveIndexFactory:
+    def test_dispatches_on_graph_type(self):
+        assert isinstance(
+            live_index(Graph(2, [(0, 1, 1.0)])), LiveWCIndex
+        )
+        assert isinstance(
+            live_index(DiGraph(2, [(0, 1, 1.0)])), LiveDirectedWCIndex
+        )
+        assert isinstance(
+            live_index(WeightedGraph(2, [(0, 1, 1.0, 1.0)])),
+            LiveWeightedWCIndex,
+        )
+
+    def test_rejects_unknown_graph_types(self):
+        with pytest.raises(TypeError, match="no live index wrapper"):
+            live_index(object())
+
+    def test_vertex_count_mismatch_rejected(self):
+        graph = Graph(3, [(0, 1, 1.0)])
+        live = LiveWCIndex(graph.copy())
+        with pytest.raises(ValueError, match="vertices"):
+            live_index(Graph(4), index=live.index)

@@ -447,3 +447,168 @@ class TestStatsAndVerify:
         )
         assert code == 1
         assert "BROKEN" in capsys.readouterr().out
+
+
+class TestUpdateCommand:
+    @pytest.fixture
+    def binary_index(self, graph_file, tmp_path):
+        path = tmp_path / "net.wcxb"
+        assert (
+            main(["build", "--graph", str(graph_file), "--out", str(path)])
+            == 0
+        )
+        return path
+
+    def write_ops(self, tmp_path, text):
+        ops = tmp_path / "batch.ops"
+        ops.write_text(text)
+        return ops
+
+    def test_in_place_patch_updates_the_answers(
+        self, graph_file, binary_index, tmp_path, capsys
+    ):
+        from repro.core import load_frozen
+
+        before = load_frozen(binary_index)
+        s, t = 0, 5
+        old_answer = before.distance(s, t, 9.0)
+        assert old_answer == float("inf")
+        ops = self.write_ops(tmp_path, f"insert {s} {t} 9.0\n")
+        assert (
+            main(
+                ["update", "--index", str(binary_index), "--graph",
+                 str(graph_file), "--updates", str(ops)]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "dirty vertices" in err and "patch wrote" in err
+        patched = load_frozen(binary_index)
+        assert patched.distance(s, t, 9.0) == 1.0
+
+    def test_delta_mode_with_out(
+        self, graph_file, binary_index, tmp_path, capsys
+    ):
+        ops = self.write_ops(tmp_path, "insert 0 5 9.0\n")
+        out = tmp_path / "next.wcxb"
+        assert (
+            main(
+                ["update", "--index", str(binary_index), "--graph",
+                 str(graph_file), "--updates", str(ops), "--mode", "delta",
+                 "--out", str(out)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert binary_index.read_bytes() != out.read_bytes()
+        assert main(["stats", "--index", str(out)]) == 0
+        assert "delta (" in capsys.readouterr().out
+
+    def test_pool_answers_across_the_epoch_swap(
+        self, graph_file, binary_index, tmp_path, capsys
+    ):
+        ops = self.write_ops(tmp_path, "insert 0 5 9.0\n")
+        assert (
+            main(
+                ["update", "--index", str(binary_index), "--graph",
+                 str(graph_file), "--updates", str(ops), "--pool", "1",
+                 "0", "5", "9.0"]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "# epoch 0 (before update)" in captured.out
+        assert "# epoch 1 (after update)" in captured.out
+        assert "0 5 9 -> INF" in captured.out  # old generation
+        assert "0 5 9 -> 1" in captured.out  # new generation
+
+    def test_sequential_updates_do_not_revert(
+        self, graph_file, binary_index, tmp_path, capsys
+    ):
+        from repro.core import load_frozen
+
+        # Regression: the second in-place update used to rebuild from
+        # the stale edge-list file and silently drop the first batch;
+        # the graph is now written back alongside the patched image.
+        ops1 = self.write_ops(tmp_path, "insert 0 5 9.0\n")
+        assert (
+            main(
+                ["update", "--index", str(binary_index), "--graph",
+                 str(graph_file), "--updates", str(ops1)]
+            )
+            == 0
+        )
+        assert "graph written back" in capsys.readouterr().err
+        # A delete triggers the rebuild path on the second run; pick a
+        # real edge (other than the one batch 1 inserted) from the
+        # written-back graph file.
+        from repro.graph.io import read_edge_list
+
+        u, v, _ = next(
+            e
+            for e in read_edge_list(graph_file).edges()
+            if set(e[:2]) != {0, 5}
+        )
+        ops2 = self.write_ops(tmp_path, f"delete {u} {v}\n")
+        assert (
+            main(
+                ["update", "--index", str(binary_index), "--graph",
+                 str(graph_file), "--updates", str(ops2)]
+            )
+            == 0
+        )
+        patched = load_frozen(binary_index)
+        assert patched.distance(0, 5, 9.0) == 1.0  # first batch survives
+
+    def test_keep_graph_leaves_the_edge_file_alone(
+        self, graph_file, binary_index, tmp_path, capsys
+    ):
+        before = graph_file.read_bytes()
+        ops = self.write_ops(tmp_path, "insert 0 5 9.0\n")
+        assert (
+            main(
+                ["update", "--index", str(binary_index), "--graph",
+                 str(graph_file), "--updates", str(ops), "--keep-graph"]
+            )
+            == 0
+        )
+        assert "graph written back" not in capsys.readouterr().err
+        assert graph_file.read_bytes() == before
+
+    def test_rejects_text_indexes(self, graph_file, index_file, tmp_path):
+        ops = self.write_ops(tmp_path, "insert 0 5 9.0\n")
+        with pytest.raises(SystemExit, match="wcxb"):
+            main(
+                ["update", "--index", str(index_file), "--graph",
+                 str(graph_file), "--updates", str(ops)]
+            )
+
+    def test_queries_require_pool(self, graph_file, binary_index, tmp_path):
+        ops = self.write_ops(tmp_path, "insert 0 5 9.0\n")
+        with pytest.raises(SystemExit, match="--pool"):
+            main(
+                ["update", "--index", str(binary_index), "--graph",
+                 str(graph_file), "--updates", str(ops), "0", "5", "1.0"]
+            )
+
+    def test_missing_edge_reports_the_mutation(
+        self, graph_file, binary_index, tmp_path
+    ):
+        ops = self.write_ops(tmp_path, "delete 0 5\n")
+        with pytest.raises(SystemExit, match="no such edge"):
+            main(
+                ["update", "--index", str(binary_index), "--graph",
+                 str(graph_file), "--updates", str(ops)]
+            )
+
+    def test_malformed_mutation_file_reports_the_line(
+        self, graph_file, binary_index, tmp_path
+    ):
+        from repro.live import MutationFormatError
+
+        ops = self.write_ops(tmp_path, "insert 0 5 9.0\nbogus\n")
+        with pytest.raises(MutationFormatError, match="line 2"):
+            main(
+                ["update", "--index", str(binary_index), "--graph",
+                 str(graph_file), "--updates", str(ops)]
+            )
