@@ -1,0 +1,201 @@
+"""Robustness benchmark: availability of a serving pool under worker kills.
+
+The fault-tolerance counterpart of ``bench_serving.py``.  A deterministic
+:class:`~repro.serve.faults.FaultPlan` SIGKILLs one worker every
+``--kill-every`` batches while a fixed workload replays ``--batches``
+times; the bench races two pools over the *same* fault schedule:
+
+* **supervised** — ``QueryServer(supervise=True)`` with the breaker
+  opened wide: every batch must come back, bit-identical to the
+  single-process frozen engine, with zero client-visible errors.  Its
+  availability (answered batches / all batches) is gated at 1.0 — fault
+  tolerance is not a statistic to regress gradually.
+* **unsupervised** — the same pool without the supervisor.  Redispatch
+  keeps it answering while any worker lives, so the measured
+  availability documents the *degradation* the supervisor prevents
+  (capacity shrinks kill by kill until the typed
+  :class:`~repro.serve.errors.PoolUnavailableError` ends the run).
+
+Rows merge into ``BENCH_query_engines.json`` as ``family: robustness``
+(serving/undirected/... rows are preserved).  Run directly (CI does)::
+
+    PYTHONPATH=src python benchmarks/bench_robustness.py
+
+Exits non-zero when the supervised pool misses a batch, answers
+differently, or never restarted a worker (a kill schedule that injected
+nothing proves nothing).  Scale follows ``REPRO_SCALE``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List
+
+from repro.bench.reporting import merge_query_engine_rows
+from repro.core import WCIndexBuilder
+from repro.serve import FaultPlan, PoolUnavailableError, QueryServer
+from repro.workloads import datasets as ds
+from repro.workloads.queries import random_queries
+
+DEFAULT_DATASET = "NY"
+
+#: Workers in each pool; slot 0 is the one the fault plan kills.
+WORKERS = 4
+
+
+def run_pool(
+    frozen,
+    workload,
+    *,
+    batches: int,
+    kill_every: int,
+    timeout: float,
+    supervise: bool,
+) -> Dict[str, object]:
+    """Replay ``workload`` ``batches`` times against a pool whose slot-0
+    worker dies every ``kill_every`` batches; count what came back."""
+    expected = frozen.distance_many(workload)
+    # kill_after counts jobs, not batches: with every worker alive a
+    # batch hands each slot 4 jobs, so slot s's life of
+    # ``4 * kill_every * (s + 1)`` jobs staggers one kill per window.
+    # Unsupervised, the slots die one by one (survivors absorb the
+    # load, which only accelerates their own counters) until the pool
+    # is gone; supervised, every respawn restarts the clock.
+    plan = FaultPlan(
+        kill_after={
+            slot: 4 * kill_every * (slot + 1) for slot in range(WORKERS)
+        }
+    )
+    answered = 0
+    identical = True
+    errors: List[str] = []
+    started = time.perf_counter()
+    server = QueryServer(
+        frozen,
+        workers=WORKERS,
+        supervise=supervise,
+        supervisor_options={"max_restarts": batches, "restart_window": 3600.0},
+        fault_plan=plan,
+    )
+    try:
+        for _round in range(batches):
+            try:
+                got = server.query_batch(
+                    workload, timeout=timeout, retries=4
+                )
+            except PoolUnavailableError as exc:
+                errors.append(f"{type(exc).__name__}: {exc}")
+                break
+            answered += 1
+            identical = identical and got == expected
+        health = server.health()
+    finally:
+        server.close()
+    elapsed = time.perf_counter() - started
+    return {
+        "supervised": supervise,
+        "batches_answered": answered,
+        "batches_total": batches,
+        "availability": answered / batches,
+        "identical_results": identical,
+        "restarts": health["restarts"],
+        "final_state": health["state"],
+        "errors": errors,
+        "elapsed_seconds": elapsed,
+        "batches_per_sec": answered / elapsed if elapsed else float("inf"),
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default="BENCH_query_engines.json",
+        help="result file (default: BENCH_query_engines.json in the cwd)",
+    )
+    parser.add_argument(
+        "--dataset", default=DEFAULT_DATASET,
+        help=f"dataset name (default: {DEFAULT_DATASET})",
+    )
+    parser.add_argument(
+        "--batches", type=int, default=60,
+        help="workload replays per pool (default 60)",
+    )
+    parser.add_argument(
+        "--kill-every", type=int, default=10,
+        help="batches between scheduled worker kills (default 10)",
+    )
+    parser.add_argument("--queries", type=int, default=400)
+    parser.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-chunk query deadline in seconds (default 30)",
+    )
+    parser.add_argument(
+        "--availability-gate", type=float, default=1.0,
+        help="minimum supervised availability required to pass "
+        "(default 1.0 — every batch answered)",
+    )
+    args = parser.parse_args(argv)
+
+    graph = ds.load(args.dataset)
+    frozen = WCIndexBuilder(
+        graph, "hybrid", query_kernel="linear"
+    ).build().freeze()
+    workload = list(random_queries(graph, args.queries, seed=11))
+
+    runs = {}
+    for supervise in (True, False):
+        label = "supervised" if supervise else "unsupervised"
+        runs[label] = run_pool(
+            frozen,
+            workload,
+            batches=args.batches,
+            kill_every=args.kill_every,
+            timeout=args.timeout,
+            supervise=supervise,
+        )
+        run = runs[label]
+        print(
+            f"{args.dataset}/robustness {label}: "
+            f"{run['batches_answered']}/{run['batches_total']} batches "
+            f"(availability {run['availability']:.3f}), "
+            f"{run['restarts']} restart(s), "
+            f"identical={run['identical_results']}, "
+            f"state={run['final_state']}"
+        )
+
+    supervised = runs["supervised"]
+    ok = (
+        supervised["availability"] >= args.availability_gate
+        and supervised["identical_results"]
+        and supervised["restarts"] >= 1
+    )
+    record = {
+        "dataset": args.dataset,
+        "family": "robustness",
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "queries": len(workload),
+        "batches": args.batches,
+        "kill_every_batches": args.kill_every,
+        "workers": WORKERS,
+        "runs": runs,
+    }
+    merge_query_engine_rows(
+        args.out, {"robustness_availability": args.availability_gate}, [record]
+    )
+    print(f"wrote {args.out}")
+    if not ok:
+        print(
+            "FAILED: supervised pool below the availability gate, "
+            "non-identical answers, or no restart observed",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -169,16 +169,71 @@ def _cmd_query(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from .serve import QueryServer
+    import os
+    import signal
+    import time
 
-    queries = _read_queries(args)
-    with QueryServer(args.index, workers=args.workers) as server:
+    from .serve import FaultPlan, QueryServer, recover_segments
+
+    # Sweep generations orphaned by crashed publishers before creating
+    # our own — safe unconditionally, a live publisher's segments carry
+    # a live pid.
+    swept = recover_segments()
+    if swept:
         print(
-            f"serving {args.index} from shared memory "
-            f"({server.image_bytes} bytes, {server.num_workers} workers)",
+            f"recovered {len(swept)} orphaned shared-memory "
+            f"segment(s): {', '.join(swept)}",
             file=sys.stderr,
         )
-        answers = server.query_batch(queries)
+    queries = _read_queries(args)
+    supervisor_options = None
+    if args.max_restarts is not None:
+        supervisor_options = {"max_restarts": args.max_restarts}
+    fault_plan = None
+    if args.chaos_kill:
+        # The deterministic kill-respawn self-test: worker 0 dies after
+        # two jobs of every life; supervised, the workload must still
+        # answer every round.
+        fault_plan = FaultPlan(kill_after={0: 2})
+    with QueryServer(
+        args.index,
+        workers=args.workers,
+        supervise=args.supervise or args.chaos_kill,
+        supervisor_options=supervisor_options,
+        fallback=args.fallback,
+        fault_plan=fault_plan,
+    ) as server:
+        print(
+            f"serving {args.index} from shared memory "
+            f"({server.image_bytes} bytes, {server.num_workers} workers"
+            + (", supervised" if server.supervisor else "")
+            + ")",
+            file=sys.stderr,
+        )
+        if args.chaos_kill:
+            expected = server.query_batch(
+                queries, timeout=args.query_timeout, retries=args.retries
+            )
+            pid = server.worker_states()[0]["pid"]
+            os.kill(pid, signal.SIGKILL)
+            time.sleep(0.05)
+        answers = None
+        for _round in range(max(1, args.rounds)):
+            answers = server.query_batch(
+                queries, timeout=args.query_timeout, retries=args.retries
+            )
+            if args.chaos_kill and answers != expected:
+                print("serve: answers diverged after respawn", file=sys.stderr)
+                return 1
+        health = server.health()
+        print(
+            f"pool {health['state']}: {health['alive']}/{server.num_workers} "
+            f"workers alive, {health['restarts']} restart(s)",
+            file=sys.stderr,
+        )
+        if args.chaos_kill and health["restarts"] < 1:
+            print("serve: expected at least one respawn", file=sys.stderr)
+            return 1
     _print_answers(queries, answers)
     return 0
 
@@ -444,6 +499,53 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="worker processes attached to the shared image (default 2)",
+    )
+    p_serve.add_argument(
+        "--supervise",
+        action="store_true",
+        help="respawn dead workers (exponential backoff, restart-rate "
+        "circuit breaker)",
+    )
+    p_serve.add_argument(
+        "--max-restarts",
+        type=int,
+        default=None,
+        help="circuit breaker: respawns allowed inside the restart "
+        "window before the supervisor degrades (default 5/30s)",
+    )
+    p_serve.add_argument(
+        "--query-timeout",
+        type=float,
+        default=None,
+        help="per-chunk deadline in seconds; timed-out chunks reroute "
+        "to another worker (default: no deadline)",
+    )
+    p_serve.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="redispatches allowed per chunk after a worker death or "
+        "deadline miss (default 2)",
+    )
+    p_serve.add_argument(
+        "--fallback",
+        action="store_true",
+        help="answer in-process off the shared image when the pool "
+        "cannot (graceful degradation instead of typed errors)",
+    )
+    p_serve.add_argument(
+        "--chaos-kill",
+        action="store_true",
+        help="self-test: SIGKILL a worker mid-workload and assert the "
+        "supervised pool recovers with identical answers (implies "
+        "--supervise)",
+    )
+    p_serve.add_argument(
+        "--rounds",
+        type=int,
+        default=1,
+        help="times the workload is replayed (chaos runs use >1 to "
+        "cross respawns; default 1)",
     )
     p_serve.add_argument(
         "query",

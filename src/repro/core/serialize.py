@@ -65,7 +65,7 @@ import struct
 import sys
 from array import array
 from pathlib import Path
-from typing import BinaryIO, List, TextIO, Union
+from typing import BinaryIO, List, Optional, TextIO, Union
 
 from .directed import DirectedWCIndex
 from .frozen import (
@@ -166,7 +166,16 @@ def is_binary_index_path(path: PathLike) -> bool:
 
 
 class IndexFormatError(ValueError):
-    """A serialized index could not be parsed."""
+    """A serialized index could not be parsed.
+
+    When the damage is recoverable by truncation — a torn delta blob
+    appended after an intact base image — :attr:`recoverable_size`
+    carries the byte count that restores the last consistent image
+    (``None`` otherwise), so crash-recovery code can roll back without
+    parsing the error message.
+    """
+
+    recoverable_size: Optional[int] = None
 
 
 def _open_write(destination: PathLike) -> TextIO:
@@ -1015,12 +1024,15 @@ def _scan_delta_blobs(data, variant: int, flags: int, table: array):
         except IndexFormatError as exc:
             # A damaged blob fails the whole load, but the bytes up to
             # the previous blob's end (``end``) are a consistent image
-            # — tell the operator how to get back to it.
-            raise IndexFormatError(
+            # — tell the operator how to get back to it, and carry the
+            # truncation point structurally for automated rollback.
+            error = IndexFormatError(
                 f"{exc} (damaged delta blob at byte {cursor}; truncating "
                 f"the file to {end} bytes drops it and everything "
                 f"after it, recovering the last consistent image)"
-            ) from None
+            )
+            error.recoverable_size = end
+            raise error from None
         blobs.append(sections)
         cursor = _align(end)
     return blobs, end

@@ -18,6 +18,12 @@ ever taking the pool offline:
    published as an epoch-numbered shared-memory generation, the
    :class:`~repro.serve.server.QueryServer` workers flip over between
    batches, and the old generation is unlinked — zero dropped queries.
+4. **Recovery** (:mod:`repro.live.recovery`) — every image write is
+   bracketed by an atomically-renamed epoch manifest, so a publisher
+   that crashed mid-republish is detected on restart:
+   :func:`recover_publish` rolls a torn delta back to the last
+   consistent image (or finishes the commit) and sweeps the dead
+   process's shared-memory generations.
 
 The CLI counterpart is ``python -m repro update``.
 """
@@ -34,12 +40,23 @@ from .journal import (
     read_mutations,
 )
 from .publisher import IMAGE_MODES, LivePublisher, PublishReport
+from .recovery import (
+    STATE_COMMITTED,
+    STATE_PUBLISHING,
+    RecoveryReport,
+    clear_manifest,
+    manifest_path,
+    read_manifest,
+    recover_publish,
+    write_manifest,
+)
 from .refreeze import (
     DeltaPatch,
     RefreezeResult,
     append_delta,
     apply_image_update,
     diff_image,
+    fsync_directory,
     incremental_refreeze,
     make_patch,
     refreeze,
@@ -63,17 +80,25 @@ __all__ = [
     "LiveWeightedWCIndex",
     "MutationFormatError",
     "PublishReport",
+    "RecoveryReport",
     "RefreezeResult",
+    "STATE_COMMITTED",
+    "STATE_PUBLISHING",
     "UpdateJournal",
     "UpdateOp",
     "append_delta",
     "apply_image_update",
+    "clear_manifest",
     "diff_image",
     "format_mutation",
+    "fsync_directory",
     "incremental_refreeze",
     "live_index",
     "make_patch",
+    "manifest_path",
     "parse_mutation",
     "read_mutations",
+    "recover_publish",
     "refreeze",
+    "write_manifest",
 ]

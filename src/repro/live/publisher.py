@@ -18,6 +18,14 @@ shared-memory swap — generation ``N+1`` is published under a fresh
 segment name, the workers flip over between batches, and generation
 ``N`` is unlinked.  Queries issued before the swap answer from the old
 index, queries after from the new one; none are dropped.
+
+The sequence is crash-safe when an ``image_path`` is kept: every
+republish brackets the image write with an epoch manifest
+(:mod:`repro.live.recovery` — ``publishing`` before, ``committed``
+after the swap), so a publisher restarted over the same image detects a
+half-published generation, rolls a torn delta back or finishes the
+commit, and sweeps the dead predecessor's shared-memory segments.  The
+report lands in :attr:`LivePublisher.recovered`.
 """
 
 from __future__ import annotations
@@ -29,7 +37,15 @@ from pathlib import Path
 from typing import List, Optional, Union
 
 from ..core.serialize import save_frozen
+from ..serve.faults import NO_FAULTS, FaultPlan, InjectedCrash
 from ..serve.server import QueryServer
+from .recovery import (
+    STATE_COMMITTED,
+    STATE_PUBLISHING,
+    RecoveryReport,
+    recover_publish,
+    write_manifest,
+)
 from .refreeze import apply_image_update, refreeze
 
 PathLike = Union[str, Path]
@@ -74,6 +90,15 @@ class LivePublisher:
     Shared-memory generations are epoch-numbered: segment names are
     ``<prefix>g<epoch>`` so an operator can see which generation a pool
     serves in ``/dev/shm``.
+
+    Robustness knobs forward to the pool: ``supervise`` starts a
+    :class:`~repro.serve.supervisor.Supervisor` (tuned via
+    ``supervisor_options``), ``fallback`` arms the in-process
+    degradation path, and ``fault_plan`` threads a deterministic
+    :class:`~repro.serve.faults.FaultPlan` through the workers *and*
+    this publisher (``fail_republish_at`` raises
+    :class:`~repro.serve.faults.InjectedCrash` after the image write
+    but before the swap — the exact window the manifest protects).
     """
 
     def __init__(
@@ -85,6 +110,10 @@ class LivePublisher:
         image_mode: str = "patch",
         start_method: Optional[str] = None,
         segment_prefix: Optional[str] = None,
+        supervise: bool = False,
+        supervisor_options: Optional[dict] = None,
+        fallback: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if image_mode not in IMAGE_MODES:
             raise ValueError(
@@ -100,8 +129,15 @@ class LivePublisher:
             if segment_prefix is not None
             else f"wcx{os.getpid()}i{next(_instance_ids)}"
         )
+        self._faults = fault_plan if fault_plan is not None else NO_FAULTS
+        #: Report of the crash recovery run against ``image_path``
+        #: before this publisher wrote anything; ``None`` without one.
+        self.recovered: Optional[RecoveryReport] = None
         self._frozen = live.freeze()
         if self._image_path is not None:
+            if self._image_path.exists():
+                self.recovered = recover_publish(self._image_path)
+            self._write_manifest(STATE_PUBLISHING, 0)
             save_frozen(self._frozen, self._image_path)
         self._server: Optional[QueryServer] = QueryServer(
             self._frozen,
@@ -109,19 +145,55 @@ class LivePublisher:
             start_method=start_method,
             validate=False,
             segment_name=self._segment_name(0),
+            supervise=supervise,
+            supervisor_options=supervisor_options,
+            fallback=fallback,
+            fault_plan=self._faults,
         )
+        if self._image_path is not None:
+            self._write_manifest(STATE_COMMITTED, 0)
 
     def _segment_name(self, epoch: int) -> str:
         return f"{self._prefix}g{epoch}"
 
+    def _write_manifest(self, state: str, epoch: int) -> None:
+        write_manifest(
+            self._image_path,
+            {
+                "state": state,
+                "epoch": epoch,
+                "pid": os.getpid(),
+                "prefix": self._prefix,
+                "image_mode": self._image_mode,
+            },
+        )
+
     # ------------------------------------------------------------------
     # Queries (served by the pool)
     # ------------------------------------------------------------------
-    def query(self, s: int, t: int, w: float) -> float:
-        return self._require_server().query(s, t, w)
+    def query(
+        self,
+        s: int,
+        t: int,
+        w: float,
+        *,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+    ) -> float:
+        return self._require_server().query(
+            s, t, w, timeout=timeout, retries=retries
+        )
 
-    def query_batch(self, queries) -> List[float]:
-        return self._require_server().query_batch(queries)
+    def query_batch(
+        self,
+        queries,
+        *,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+    ) -> List[float]:
+        return self._require_server().query_batch(
+            queries, timeout=timeout, retries=retries
+        )
 
     # ------------------------------------------------------------------
     # Updates
@@ -148,18 +220,27 @@ class LivePublisher:
             journal.clear()
             return PublishReport(self._epoch, ops, 0, incremental=True)
         result = refreeze(self._frozen, self._live.index, dirty)
+        epoch = self._epoch + 1
         mode = None
         bytes_written = None
         if self._image_path is not None:
+            self._write_manifest(STATE_PUBLISHING, epoch)
             mode, bytes_written = apply_image_update(
                 result, dirty, self._image_path, self._image_mode
             )
-        epoch = self._epoch + 1
+        if self._faults.fail_republish_at == epoch:
+            # The fault harness's crash window: the image write landed,
+            # the swap has not — exactly what recover_publish repairs.
+            raise InjectedCrash(
+                f"injected publisher crash before swapping epoch {epoch}"
+            )
         name = self._segment_name(epoch)
         server.swap_image(result.engine, validate=False, segment_name=name)
         self._epoch = epoch
         self._frozen = result.engine
         journal.clear()
+        if self._image_path is not None:
+            self._write_manifest(STATE_COMMITTED, epoch)
         return PublishReport(
             epoch=epoch,
             ops=ops,
@@ -197,6 +278,11 @@ class LivePublisher:
     def segment_name(self) -> str:
         """Segment name of the generation currently served."""
         return self._require_server().image_name
+
+    def health(self) -> dict:
+        """The pool's structured health snapshot (see
+        :meth:`~repro.serve.server.QueryServer.health`)."""
+        return self._require_server().health()
 
     @property
     def closed(self) -> bool:

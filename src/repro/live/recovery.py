@@ -1,0 +1,230 @@
+"""Crash-safe publishing: the epoch manifest and restart recovery.
+
+A republish is three steps — refreeze, image write, shared-memory swap
+— and a crash between them leaves the on-disk ``.wcxb`` image in a
+state nothing records: a torn delta chain, a committed image whose
+serving generation never existed, orphaned ``/dev/shm`` segments.  The
+manifest closes that gap.  :class:`~repro.live.publisher.LivePublisher`
+writes ``<image>.wcxb.manifest`` (atomic rename + directory fsync)
+*before* touching the image (state ``publishing``) and again *after*
+the swap lands (state ``committed``), recording the epoch, the
+publisher pid and the segment prefix.
+
+:func:`recover_publish` is the restart path: given an image path it
+reads the manifest, refuses to act while the recorded owner still runs,
+sweeps the dead owner's segments via
+:func:`~repro.serve.recovery.recover_segments`, and — when the manifest
+says a publish was in flight — validates the image, rolling a torn
+appended delta back to its last consistent prefix
+(:attr:`~repro.core.serialize.IndexFormatError.recoverable_size`) or,
+when the image write completed before the crash, simply marking it
+committed.  Either way the image ends loadable and the manifest ends
+``committed``; unrecoverable corruption is reported, not hidden.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..core.serialize import IndexFormatError, load_frozen
+from ..serve.recovery import pid_alive, recover_segments
+from .refreeze import fsync_directory
+
+PathLike = Union[str, Path]
+
+#: Manifest states.  ``publishing`` means an image write was in flight
+#: when the manifest was last written; ``committed`` means the epoch it
+#: names landed completely (image and swap).
+STATE_PUBLISHING = "publishing"
+STATE_COMMITTED = "committed"
+
+_MANIFEST_SUFFIX = ".manifest"
+
+
+def manifest_path(image_path: PathLike) -> Path:
+    """The manifest sitting next to ``image_path``."""
+    image_path = Path(image_path)
+    return image_path.with_name(image_path.name + _MANIFEST_SUFFIX)
+
+
+def read_manifest(image_path: PathLike) -> Optional[dict]:
+    """The manifest for ``image_path``, or ``None`` when there is none.
+
+    A manifest that cannot be parsed is treated as a publish in flight
+    (state ``publishing`` with nothing else known): manifests are
+    written atomically, so a torn one means the *filesystem* lost the
+    write — the safest reading is "something was happening".
+    """
+    path = manifest_path(image_path)
+    try:
+        text = path.read_text()
+    except (FileNotFoundError, OSError):
+        return None
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        return {"state": STATE_PUBLISHING}
+    if not isinstance(payload, dict):
+        return {"state": STATE_PUBLISHING}
+    return payload
+
+
+def write_manifest(image_path: PathLike, payload: dict) -> Path:
+    """Write the manifest atomically (same-directory temp file, fsync,
+    rename, directory fsync) and return its path."""
+    path = manifest_path(image_path)
+    handle, staging = tempfile.mkstemp(
+        prefix=path.name + ".", dir=path.parent
+    )
+    try:
+        with os.fdopen(handle, "w") as out:
+            json.dump(payload, out, indent=2, sort_keys=True)
+            out.write("\n")
+            out.flush()
+            os.fsync(out.fileno())
+        os.replace(staging, path)
+        fsync_directory(path.parent)
+    except Exception:
+        Path(staging).unlink(missing_ok=True)
+        raise
+    return path
+
+
+def clear_manifest(image_path: PathLike) -> None:
+    """Remove the manifest (idempotent)."""
+    manifest_path(image_path).unlink(missing_ok=True)
+
+
+@dataclass
+class RecoveryReport:
+    """What :func:`recover_publish` found and did.
+
+    ``action`` is one of
+
+    * ``"none"`` — no manifest; nothing to recover.
+    * ``"clean"`` — the manifest said ``committed`` and the image
+      validates; at most orphaned segments were swept.
+    * ``"finished"`` — a publish was in flight but the image write had
+      completed; the manifest was advanced to ``committed``.
+    * ``"rolled_back"`` — the image carried a torn appended delta; the
+      file was truncated back to its last consistent prefix.
+    * ``"skipped"`` — the recorded owner process still runs; nothing
+      was touched.
+    * ``"unrecoverable"`` — the image fails validation beyond the
+      torn-delta case; the caller must rebuild it (a publisher does so
+      from its live index automatically).
+    """
+
+    action: str
+    epoch: Optional[int] = None
+    owner_pid: Optional[int] = None
+    segments_removed: List[str] = field(default_factory=list)
+    truncated_to: Optional[int] = None
+    detail: str = ""
+
+    @property
+    def recovered(self) -> bool:
+        return self.action in ("finished", "rolled_back")
+
+
+def _validate_image(image_path: Path) -> Optional[IndexFormatError]:
+    """The validation error for ``image_path``, or ``None`` if it
+    loads cleanly."""
+    try:
+        load_frozen(image_path, validate=True)
+    except IndexFormatError as error:
+        return error
+    except FileNotFoundError:
+        return None  # no image yet: the crash predates the first write
+    return None
+
+
+def recover_publish(image_path: PathLike) -> RecoveryReport:
+    """Detect and repair a half-published image after a crash.
+
+    Reads the manifest next to ``image_path`` and acts on what it
+    records — see :class:`RecoveryReport` for the possible outcomes.
+    Safe to call unconditionally at startup: with no manifest, or a
+    ``committed`` manifest and a valid image, it only sweeps segments
+    whose owner is dead.
+    """
+    image_path = Path(image_path)
+    manifest = read_manifest(image_path)
+    if manifest is None:
+        return RecoveryReport(action="none")
+
+    state = manifest.get("state", STATE_PUBLISHING)
+    epoch = manifest.get("epoch")
+    owner = manifest.get("pid")
+    prefix = manifest.get("prefix")
+
+    if owner is not None and owner != os.getpid() and pid_alive(owner):
+        return RecoveryReport(
+            action="skipped",
+            epoch=epoch,
+            owner_pid=owner,
+            detail=f"publisher pid {owner} still runs; not touching anything",
+        )
+
+    removed: List[str] = []
+    if prefix:
+        removed = recover_segments(prefix, owner_pid=owner)
+    else:
+        removed = recover_segments()
+
+    error = _validate_image(image_path)
+    if error is None:
+        if state == STATE_COMMITTED:
+            return RecoveryReport(
+                action="clean",
+                epoch=epoch,
+                owner_pid=owner,
+                segments_removed=removed,
+            )
+        # The image write finished; only the commit record is missing.
+        write_manifest(
+            image_path,
+            {**manifest, "state": STATE_COMMITTED, "recovered": True},
+        )
+        return RecoveryReport(
+            action="finished",
+            epoch=epoch,
+            owner_pid=owner,
+            segments_removed=removed,
+            detail="image write had completed; manifest advanced to committed",
+        )
+
+    recoverable = getattr(error, "recoverable_size", None)
+    if recoverable is not None:
+        # A torn appended delta: everything before the blob is the last
+        # consistent image, so truncating rolls the publish back.
+        with open(image_path, "r+b") as out:
+            out.truncate(recoverable)
+            out.flush()
+            os.fsync(out.fileno())
+        fsync_directory(image_path.parent)
+        write_manifest(
+            image_path,
+            {**manifest, "state": STATE_COMMITTED, "recovered": True},
+        )
+        return RecoveryReport(
+            action="rolled_back",
+            epoch=epoch,
+            owner_pid=owner,
+            segments_removed=removed,
+            truncated_to=recoverable,
+            detail=str(error),
+        )
+
+    return RecoveryReport(
+        action="unrecoverable",
+        epoch=epoch,
+        owner_pid=owner,
+        segments_removed=removed,
+        detail=str(error),
+    )

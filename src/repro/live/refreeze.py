@@ -57,6 +57,7 @@ __all__ = [
     "append_delta",
     "apply_image_update",
     "diff_image",
+    "fsync_directory",
     "incremental_refreeze",
     "make_patch",
     "refreeze",
@@ -68,6 +69,29 @@ PathLike = Union[str, Path]
 #: into write ranges, so the patch is at most this much wider per range
 #: than the true byte diff.
 _DIFF_CHUNK = 4096
+
+
+def fsync_directory(directory: PathLike) -> None:
+    """fsync ``directory`` so a just-``os.replace``\\d entry survives a
+    crash.
+
+    ``os.replace`` is atomic against concurrent readers but the *rename
+    itself* lives in the directory, and directories have their own
+    durability: until the directory inode is flushed, a power cut can
+    roll the rename back and resurrect the old file.  Platforms whose
+    directories cannot be opened (Windows) skip silently — the rename
+    is still atomic there, just not durable-on-crash.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def incremental_refreeze(old_frozen, index, dirty):
@@ -236,6 +260,7 @@ class DeltaPatch:
                 out.flush()
                 os.fsync(out.fileno())
             os.replace(staging, path)
+            fsync_directory(path.parent)
         except Exception:
             staging.unlink(missing_ok=True)
             raise

@@ -16,15 +16,57 @@ exactly the shape lock-free multi-process fan-out wants:
   ``.query()`` / ``.query_batch()``; ``.close()`` shuts the pool down
   and releases/unlinks the segment.
 
+The pool is treated as long-lived infrastructure, not a best-effort
+fan-out — label indexes are expensive to rebuild, so serving them must
+survive its own processes failing:
+
+* :class:`Supervisor` (``QueryServer(supervise=True)``) respawns dead
+  workers against the current image generation, with exponential
+  backoff and a restart-rate circuit breaker; :meth:`QueryServer.health`
+  snapshots the pool.
+* ``query_batch(timeout=..., retries=...)`` deadlines and reroutes
+  chunks; a pool without quorum raises the typed
+  :class:`PoolUnavailableError` / :class:`QueryTimeoutError` fast
+  instead of blocking, and ``fallback=True`` answers in-process off the
+  shared image so readers never go dark.
+* :func:`recover_segments` sweeps orphaned ``/dev/shm`` generations
+  left by crashed publishers (the CLI ``serve`` runs it at startup).
+* :class:`FaultPlan` (:mod:`repro.serve.faults`) injects deterministic
+  worker kills, delays, drops and image corruption — the chaos suite
+  and robustness bench prove the layer instead of hoping.
+
 The CLI counterpart is ``python -m repro serve``.
 """
 
+from .errors import PoolUnavailableError, QueryTimeoutError, ServeError
+from .faults import (
+    NO_FAULTS,
+    FaultPlan,
+    InjectedCrash,
+    flip_bit_in_section,
+    section_span,
+    truncate_at_section,
+)
+from .recovery import pid_alive, recover_segments
 from .server import QueryServer
 from .shm import AttachedIndex, ShmIndexImage, attach_image
+from .supervisor import Supervisor
 
 __all__ = [
     "AttachedIndex",
+    "FaultPlan",
+    "InjectedCrash",
+    "NO_FAULTS",
+    "PoolUnavailableError",
     "QueryServer",
+    "QueryTimeoutError",
+    "ServeError",
     "ShmIndexImage",
+    "Supervisor",
     "attach_image",
+    "flip_bit_in_section",
+    "pid_alive",
+    "recover_segments",
+    "section_span",
+    "truncate_at_section",
 ]

@@ -1,0 +1,34 @@
+"""Typed failures of the serving stack.
+
+Every error a caller of :class:`~repro.serve.server.QueryServer` can
+catch deliberately subclasses :class:`RuntimeError`, the type the pool
+raised before these existed — old ``except RuntimeError`` handlers keep
+working, new callers can route on the precise failure:
+
+* :class:`PoolUnavailableError` — no live worker can take (or finish)
+  the batch: the pool lost quorum, either because every worker is dead
+  or because the workers assigned to a chunk kept dying through the
+  whole retry budget.  Raised *fast* — a dead pool never blocks the
+  caller on the result queue.
+* :class:`QueryTimeoutError` — live workers exist but a chunk missed
+  its deadline through the whole retry budget (wedged or overloaded
+  workers).  Only possible when ``query_batch(timeout=...)`` set a
+  deadline.
+
+Both are :class:`ServeError`\\s; ``QueryServer(..., fallback=True)``
+converts either into an in-process answer instead of raising.
+"""
+
+from __future__ import annotations
+
+
+class ServeError(RuntimeError):
+    """Base class of the serving pool's typed failures."""
+
+
+class PoolUnavailableError(ServeError):
+    """No live worker can take or finish the batch (quorum lost)."""
+
+
+class QueryTimeoutError(ServeError):
+    """A chunk missed its deadline through the whole retry budget."""

@@ -1,0 +1,125 @@
+"""Deterministic fault injection for the serving stack.
+
+Fault tolerance that is merely hoped for is not fault tolerance; this
+module makes failures *reproducible* so the chaos suite and the
+robustness bench can assert recovery instead of assuming it.  A
+:class:`FaultPlan` is threaded through :class:`~repro.serve.server.QueryServer`
+(worker-side faults) and :class:`~repro.live.publisher.LivePublisher`
+(publish-side faults) behind a no-op default — production code paths
+pass ``None`` and pay nothing.
+
+Worker faults (keyed by worker *slot*, the stable index a supervisor
+respawns into — counters restart with each respawned process, so a
+``kill_after`` entry kills that slot again and again):
+
+* ``kill_after[slot] = n`` — the worker SIGKILLs itself on *receiving*
+  its ``n+1``-th query job, i.e. mid-batch with a chunk assigned and
+  unanswered: the client-side reroute path, not a clean exit.
+* ``delay_seconds[slot] = s`` — every response from the slot is held
+  for ``s`` seconds first (a wedged / overloaded worker; exercises
+  query deadlines).
+* ``drop_first[slot] = n`` — the slot's first ``n`` responses are
+  computed and then swallowed (a lost result; exercises retry).
+
+Publish faults:
+
+* ``fail_republish_at = k`` — the ``k``-th (1-based) non-empty
+  republish raises :class:`InjectedCrash` after the on-disk image and
+  the ``publishing`` manifest are written but *before* the shm swap
+  commits — the half-published window crash recovery must close.
+
+Image faults are expressed as pure functions over image bytes —
+:func:`truncate_at_section` and :func:`flip_bit_in_section` corrupt a
+``.wcxb`` image at a named section boundary, so tests can assert the
+loaders reject the damage *and name the section*.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..core.serialize import describe_frozen
+
+
+class InjectedCrash(RuntimeError):
+    """A crash raised on purpose by a :class:`FaultPlan` fault point."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of injected faults (no-op when empty).
+
+    Instances are immutable and picklable: worker processes receive the
+    plan at spawn time and apply their slot's rules locally, so the
+    fault fires at exactly the scheduled job whatever the host timing.
+    """
+
+    #: worker slot -> SIGKILL self when the (n+1)-th query job arrives.
+    kill_after: Dict[int, int] = field(default_factory=dict)
+    #: worker slot -> seconds each response is delayed.
+    delay_seconds: Dict[int, float] = field(default_factory=dict)
+    #: worker slot -> number of initial responses to swallow.
+    drop_first: Dict[int, int] = field(default_factory=dict)
+    #: 1-based republish count at which the publisher crashes pre-swap.
+    fail_republish_at: Optional[int] = None
+
+    def is_noop(self) -> bool:
+        return not (
+            self.kill_after
+            or self.delay_seconds
+            or self.drop_first
+            or self.fail_republish_at is not None
+        )
+
+
+#: The default plan: no faults anywhere.
+NO_FAULTS = FaultPlan()
+
+
+def section_span(image: bytes, name: str) -> Tuple[int, int]:
+    """``(offset, nbytes)`` of the named section in a ``.wcxb`` image."""
+    described = describe_frozen(io.BytesIO(bytes(image)))
+    for section in described["sections"]:
+        if section["name"] == name:
+            return section["offset"], section["nbytes"]
+    known = ", ".join(s["name"] for s in described["sections"])
+    raise ValueError(f"image has no section {name!r} (sections: {known})")
+
+
+def truncate_at_section(image: bytes, name: str, *, keep: int = 0) -> bytes:
+    """The image cut off ``keep`` bytes into the named section.
+
+    ``keep=0`` truncates exactly at the section boundary — the loader
+    must refuse the image and name ``name`` as the section it wanted.
+    """
+    offset, nbytes = section_span(image, name)
+    if not 0 <= keep <= nbytes:
+        raise ValueError(
+            f"keep must be within section {name!r}'s {nbytes} bytes, "
+            f"got {keep}"
+        )
+    return bytes(image)[: offset + keep]
+
+
+def flip_bit_in_section(
+    image: bytes, name: str, *, byte: int = 0, bit: int = 0
+) -> bytes:
+    """The image with one bit flipped inside the named section.
+
+    ``byte`` is the offset into the section (default: its first byte —
+    the section boundary), ``bit`` the bit index within that byte.  The
+    sizes and offsets stay consistent, so only the *integrity scan* can
+    catch this — the corruption tests assert it does.
+    """
+    offset, nbytes = section_span(image, name)
+    if not 0 <= byte < nbytes:
+        raise ValueError(
+            f"byte {byte} outside section {name!r}'s {nbytes} bytes"
+        )
+    if not 0 <= bit < 8:
+        raise ValueError(f"bit must be in [0, 8), got {bit}")
+    corrupted = bytearray(image)
+    corrupted[offset + byte] ^= 1 << bit
+    return bytes(corrupted)

@@ -1,0 +1,98 @@
+"""Crash-safe shared-memory recovery: sweeping orphaned segments.
+
+A publisher killed between creating generation ``N+1`` and unlinking
+generation ``N`` (or killed outright) leaves named segments behind in
+``/dev/shm`` that survive until reboot — an index image per orphan, so
+the leak is measured in gigabytes, not bytes.  Default segment names
+embed the creating pid (``wcx<pid>i<instance>g<epoch>`` — see
+:class:`~repro.live.publisher.LivePublisher`), which makes orphans
+*detectable*: a segment whose creator pid no longer runs belongs to
+nobody.
+
+:func:`recover_segments` is the sweep.  With no arguments it removes
+every default-named segment whose creating process is dead — safe to
+run unconditionally at serve startup (the CLI ``serve`` does), because
+a live publisher's segments always have a live pid.  With an explicit
+``prefix`` it targets one publisher's generations, guarded by
+``owner_pid`` when the caller knows it (publish-manifest recovery
+does): segments are only unlinked once that pid is confirmed dead.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+from typing import List, Optional
+
+from .shm import _open_untracked
+
+#: Where the kernel exposes POSIX shared memory objects (Linux).
+_SHM_DIR = Path("/dev/shm")
+
+#: Default publisher segment names: ``wcx<pid>i<instance>g<epoch>``.
+_SEGMENT_RE = re.compile(r"^wcx(\d+)i\d+g\d+$")
+
+#: The epoch tail expected after an explicit prefix.
+_EPOCH_TAIL = re.compile(r"^g\d+$")
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether a process with ``pid`` currently exists."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    return True
+
+
+def recover_segments(
+    prefix: Optional[str] = None, *, owner_pid: Optional[int] = None
+) -> List[str]:
+    """Unlink orphaned index segments; returns the names removed.
+
+    * ``recover_segments()`` — sweep every default-named
+      (``wcx<pid>i…g…``) segment whose embedded creator pid is dead.
+    * ``recover_segments(prefix, owner_pid=pid)`` — sweep that
+      publisher's ``<prefix>gN`` generations, but only if ``pid`` is
+      dead (the manifest-recovery path: the manifest records both).
+    * ``recover_segments(prefix)`` — sweep ``<prefix>gN`` segments
+      unconditionally; only for callers that *know* the owner is gone
+      (custom prefixes carry no pid to check).
+
+    Platforms without a ``/dev/shm`` listing sweep nothing (the
+    segments there die with the machine anyway).
+    """
+    if not _SHM_DIR.is_dir():
+        return []
+    removed: List[str] = []
+    for entry in sorted(_SHM_DIR.iterdir()):
+        name = entry.name
+        if prefix is not None:
+            if not name.startswith(prefix):
+                continue
+            if not _EPOCH_TAIL.match(name[len(prefix):]):
+                continue
+            if owner_pid is not None and pid_alive(owner_pid):
+                return []  # the publisher still runs; touch nothing
+        else:
+            match = _SEGMENT_RE.match(name)
+            if match is None:
+                continue
+            if pid_alive(int(match.group(1))):
+                continue
+        try:
+            segment = _open_untracked(name)
+        except FileNotFoundError:
+            continue  # raced another sweep
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+        segment.close()
+        removed.append(name)
+    return removed

@@ -7,11 +7,28 @@ per-worker task queues.  The engine is immutable, so the workers share
 the physical index pages with no locking and no per-worker copy —
 worker memory cost is the page tables, not the index.
 
-Every worker owns its task queue (single consumer): a worker that dies
-— even killed mid-``get`` — can poison only its own queue, never a
-sibling's, so the pool degrades gracefully: batches keep routing to the
-surviving workers, and only a chunk already *assigned* to a worker that
-then died raises.
+Every worker owns its task queue (single consumer) *and* its result
+pipe (single producer): a worker that dies — even killed mid-``get``
+or mid-``send`` — can poison only its own channels, never a sibling's.
+The pool is fault-tolerant beyond routing around the dead:
+
+* a chunk assigned to a worker that then died is **redispatched** to a
+  live worker (bounded by ``retries``), so a mid-batch crash is
+  invisible to the caller;
+* ``query_batch(timeout=...)`` puts a deadline on every chunk — a
+  wedged or overloaded worker's chunk is rerouted, and the batch fails
+  with a typed :class:`~repro.serve.errors.QueryTimeoutError` instead
+  of hanging when the budget runs out;
+* a pool with **no live workers fails fast** with
+  :class:`~repro.serve.errors.PoolUnavailableError` — never a blocking
+  wait on the result pipes;
+* ``fallback=True`` converts either failure into an in-process answer
+  straight off the shared image (bit-identical — same kernel), so
+  readers never go dark while the pool recovers;
+* ``supervise=True`` attaches a :class:`~repro.serve.supervisor.Supervisor`
+  that respawns dead workers against the current image generation with
+  exponential backoff and a restart-rate circuit breaker;
+  :meth:`QueryServer.health` snapshots the pool either way.
 
 The facade is synchronous: :meth:`QueryServer.query_batch` splits a
 batch into chunks, round-robins them over the live workers, and
@@ -21,24 +38,62 @@ pool onto a new index generation between batches (the live-update
 republish path — see :mod:`repro.live.publisher`).
 :meth:`QueryServer.close` (or the context manager) shuts the workers
 down and releases/unlinks the shared segment.
+
+A deterministic :class:`~repro.serve.faults.FaultPlan` can be threaded
+through the pool (``fault_plan=...``) to inject worker kills, response
+delays and dropped responses — the chaos suite's lever, a no-op by
+default.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
+import multiprocessing.connection
+import os
 import queue as queue_module
+import re
+import signal
+import threading
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .errors import PoolUnavailableError, QueryTimeoutError, ServeError
 from .shm import ShmIndexImage, attach_image
+
+__all__ = [
+    "QueryServer",
+    "PoolUnavailableError",
+    "QueryTimeoutError",
+    "ServeError",
+]
 
 #: How many chunks each worker gets per batch (load-balance granularity).
 _CHUNKS_PER_WORKER = 4
 
-#: Seconds between liveness checks while waiting for batch results.
-_POLL_SECONDS = 1.0
+#: Seconds between liveness checks while waiting for batch results —
+#: the ceiling on how long a dead owner's chunk sits before rerouting.
+_POLL_SECONDS = 0.25
+
+#: Floor on the result-queue wait, so tight deadlines still make progress.
+_MIN_WAIT = 0.005
+
+#: Default redispatch budget per chunk (beyond the initial dispatch).
+_DEFAULT_RETRIES = 2
+
+#: Epoch suffix of generation-numbered segment names (``<prefix>gN``).
+_EPOCH_SUFFIX = re.compile(r"g(\d+)$")
 
 
-def _worker_main(image_name: str, tasks, results) -> None:
+def _epoch_of(segment_name: Optional[str]) -> Optional[int]:
+    """The generation number a ``<prefix>gN`` segment name carries."""
+    if not segment_name:
+        return None
+    match = _EPOCH_SUFFIX.search(segment_name)
+    return int(match.group(1)) if match else None
+
+
+def _worker_main(slot, image_name, tasks, results, fault_plan) -> None:
     """Worker loop: attach to the image, process jobs off this worker's
     own task queue until the ``None`` sentinel, then detach cleanly.
 
@@ -46,7 +101,26 @@ def _worker_main(image_name: str, tasks, results) -> None:
     ``"swap"`` re-attaches to the named next-generation image (the hot
     republish path).  A worker that cannot attach the new generation
     exits instead of serving the stale one — the pool routes around it.
+
+    ``results`` is this worker's *own* pipe end — like the task queue,
+    never shared with a sibling, so a worker SIGKILLed at any instant
+    (even mid-send) can corrupt only its own channel; the client sees
+    EOF there and redispatches, while every other worker keeps
+    answering.  (A shared results queue would hold a cross-process
+    write lock during sends — one unlucky kill would orphan the lock
+    and wedge the whole pool.)
+
+    ``fault_plan`` injects this slot's scheduled faults (see
+    :mod:`repro.serve.faults`); ``None`` means none, and the counters
+    restart with every respawned process.
     """
+    kill_after = delay = None
+    drop_left = 0
+    if fault_plan is not None:
+        kill_after = fault_plan.kill_after.get(slot)
+        delay = fault_plan.delay_seconds.get(slot)
+        drop_left = fault_plan.drop_first.get(slot, 0)
+    handled = 0
     attached = attach_image(image_name)
     try:
         while True:
@@ -58,22 +132,47 @@ def _worker_main(image_name: str, tasks, results) -> None:
                 try:
                     fresh = attach_image(payload)
                 except Exception as exc:
-                    results.put(
+                    results.send(
                         (job_id, "error", f"{type(exc).__name__}: {exc}")
                     )
                     return
                 attached.close()
                 attached = fresh
-                results.put((job_id, "ok", None))
+                results.send((job_id, "ok", None))
                 continue
+            if kill_after is not None and handled >= kill_after:
+                # Die *with the chunk assigned and unanswered* — the
+                # client-side reroute path, not a clean exit.
+                os.kill(os.getpid(), signal.SIGKILL)
+            handled += 1
             try:
                 answers = attached.engine.distance_many(payload)
             except Exception as exc:  # surface, don't kill the pool
-                results.put((job_id, "error", f"{type(exc).__name__}: {exc}"))
+                status, outcome = "error", f"{type(exc).__name__}: {exc}"
             else:
-                results.put((job_id, "ok", answers))
+                status, outcome = "ok", answers
+            if delay:
+                time.sleep(delay)
+            if drop_left > 0:
+                drop_left -= 1
+                continue  # swallow the response; the client retries
+            results.send((job_id, status, outcome))
     finally:
         attached.close()
+
+
+class _Chunk:
+    """One in-flight slice of a batch: where it lands in the answer
+    array, which worker currently owns it, and its retry/deadline state."""
+
+    __slots__ = ("start", "queries", "attempts", "owner", "deadline")
+
+    def __init__(self, start: int, queries: list) -> None:
+        self.start = start
+        self.queries = queries
+        self.attempts = 0
+        self.owner = None
+        self.deadline: Optional[float] = None
 
 
 class QueryServer:
@@ -90,6 +189,18 @@ class QueryServer:
     ``validate`` (default on) integrity-scans a path source once at
     startup — workers attach without re-scanning; pass ``False`` for
     trusted images.
+
+    Robustness knobs:
+
+    * ``supervise`` starts a :class:`~repro.serve.supervisor.Supervisor`
+      over the pool (``supervisor_options`` forwards keyword arguments
+      such as ``max_restarts`` / ``restart_window`` to it).
+    * ``fallback`` answers from an in-process engine over the shared
+      image whenever the pool cannot (dead or timed out) instead of
+      raising.
+    * ``fault_plan`` threads a deterministic
+      :class:`~repro.serve.faults.FaultPlan` into the workers (tests
+      and chaos benches only; ``None`` injects nothing).
     """
 
     def __init__(
@@ -100,6 +211,10 @@ class QueryServer:
         start_method: Optional[str] = None,
         validate: bool = True,
         segment_name: Optional[str] = None,
+        supervise: bool = False,
+        supervisor_options: Optional[dict] = None,
+        fallback: bool = False,
+        fault_plan=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -107,6 +222,14 @@ class QueryServer:
             available = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in available else "spawn"
         context = multiprocessing.get_context(start_method)
+        self._context = context
+        self._fault_plan = fault_plan
+        self._fallback_enabled = fallback
+        self._fallback_engine = None
+        self._supervisor = None
+        #: Serializes structural mutation of the worker table (dispatch,
+        #: respawn, swap, close) against the supervisor thread.
+        self._lock = threading.RLock()
         self._image: Optional[ShmIndexImage] = ShmIndexImage(
             source, validate=validate, name=segment_name
         )
@@ -116,19 +239,27 @@ class QueryServer:
             self._task_queues = [
                 context.SimpleQueue() for _ in range(workers)
             ]
-            self._results = context.Queue()
+            # Each worker gets its own result pipe (created per spawn
+            # in _start_worker): a shared results queue would carry a
+            # cross-process write lock that a worker killed mid-send
+            # leaves held forever, wedging every survivor.  With one
+            # pipe per worker there is no shared lock to orphan — a
+            # kill at any instant breaks only that worker's pipe, which
+            # the client sees as EOF and routes around.
+            self._result_readers: List[Optional[object]] = [None] * workers
+            self._retired_readers: List[object] = []
             self._next_job = 0
-            self._workers = [
-                context.Process(
-                    target=_worker_main,
-                    args=(self._image.name, tasks, self._results),
-                    daemon=True,
-                    name=f"wcindex-worker-{i}",
+            self._round_robin = itertools.count()
+            self._workers = []
+            for slot in range(workers):
+                self._workers.append(self._start_worker(slot))
+            if supervise:
+                from .supervisor import Supervisor
+
+                self._supervisor = Supervisor(
+                    self, **(supervisor_options or {})
                 )
-                for i, tasks in enumerate(self._task_queues)
-            ]
-            for process in self._workers:
-                process.start()
+                self._supervisor.start()
         except Exception:
             # Stop any workers that did start (they are attached to the
             # image and blocked on their task queue), then drop the
@@ -142,87 +273,341 @@ class QueryServer:
             image.destroy()
             raise
 
+    def _start_worker(self, slot: int):
+        """Start a fresh worker for ``slot``, attached to the currently
+        published image and wired to its own private result pipe."""
+        reader, writer = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                slot,
+                self._image.name,
+                self._task_queues[slot],
+                writer,
+                self._fault_plan,
+            ),
+            daemon=True,
+            name=f"wcindex-worker-{slot}",
+        )
+        process.start()
+        # Close the parent's copy of the write end, so the reader hits
+        # EOF the instant the worker — the pipe's only writer — dies.
+        writer.close()
+        old = self._result_readers[slot]
+        if old is not None:
+            # Keep draining the dead predecessor's pipe until its EOF:
+            # answers it sent before dying are still valid (results of
+            # superseded jobs are discarded by job id anyway).
+            self._retired_readers.append(old)
+        self._result_readers[slot] = reader
+        return process
+
+    # ------------------------------------------------------------------
+    # Worker table (shared with the supervisor)
+    # ------------------------------------------------------------------
+    def _live_workers(self) -> List[Tuple[int, object]]:
+        """``(slot, process)`` snapshot of the currently live workers."""
+        with self._lock:
+            return [
+                (slot, process)
+                for slot, process in enumerate(self._workers)
+                if process.is_alive()
+            ]
+
+    def worker_states(self) -> List[dict]:
+        """Per-slot liveness snapshot (stable order, one entry per slot)."""
+        with self._lock:
+            return [
+                {
+                    "slot": slot,
+                    "pid": process.pid,
+                    "alive": process.is_alive(),
+                    "exitcode": process.exitcode,
+                }
+                for slot, process in enumerate(self._workers)
+            ]
+
+    def respawn_worker(self, slot: int) -> bool:
+        """Replace a dead worker with a fresh process attached to the
+        *current* image generation (the supervisor's repair primitive).
+
+        Returns ``True`` when a new worker was started; ``False`` when
+        the server is closed or the slot's worker is still alive.  The
+        dead worker's queue is replaced wholesale — jobs stranded on it
+        belong to chunks whose owner is dead, which the batch loop
+        redispatches — so no job is ever half-shared between the old
+        and new process.
+        """
+        with self._lock:
+            if self._image is None:
+                return False
+            if not 0 <= slot < len(self._workers):
+                raise ValueError(f"no worker slot {slot}")
+            old = self._workers[slot]
+            if old.is_alive():
+                return False
+            old_queue = self._task_queues[slot]
+            self._task_queues[slot] = self._context.SimpleQueue()
+            self._workers[slot] = self._start_worker(slot)
+            try:
+                old_queue.close()
+            except OSError:
+                pass
+            return True
+
+    def _get_result(self, wait: float):
+        """One ``(job_id, status, payload)`` off any worker's result
+        pipe, or :class:`queue.Empty` after ``wait`` seconds.
+
+        Results arrive on per-worker pipes (no shared lock — see
+        :func:`_worker_main`), polled together with
+        :func:`multiprocessing.connection.wait`.  A pipe at EOF — its
+        worker died, possibly mid-``send``, leaving at most a torn
+        message that dies with the pipe — is retired here; the chunk
+        reroute path re-answers whatever it was carrying.  Only this
+        process's client thread ever reads results, so wait-then-recv
+        cannot race another reader.
+        """
+        deadline = time.monotonic() + wait
+        while True:
+            with self._lock:
+                readers = [
+                    conn
+                    for conn in self._result_readers
+                    if conn is not None
+                ]
+                readers.extend(self._retired_readers)
+            remaining = deadline - time.monotonic()
+            if not readers:
+                # Nothing can ever answer; behave like a timed-out
+                # wait so the caller runs its repair path.
+                if remaining > 0:
+                    time.sleep(remaining)
+                raise queue_module.Empty
+            ready = multiprocessing.connection.wait(
+                readers, timeout=max(0.0, remaining)
+            )
+            if not ready:
+                raise queue_module.Empty
+            for conn in ready:
+                try:
+                    return conn.recv()
+                except (EOFError, OSError):
+                    self._retire_reader(conn)
+            if time.monotonic() >= deadline:
+                raise queue_module.Empty
+
+    def _retire_reader(self, conn) -> None:
+        """Close and forget a result pipe that reached EOF (its worker,
+        the only writer, is gone)."""
+        with self._lock:
+            try:
+                self._retired_readers.remove(conn)
+            except ValueError:
+                for slot, reader in enumerate(self._result_readers):
+                    if reader is conn:
+                        self._result_readers[slot] = None
+        try:
+            conn.close()
+        except OSError:
+            pass
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def query(self, s: int, t: int, w: float) -> float:
+    def query(
+        self,
+        s: int,
+        t: int,
+        w: float,
+        *,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+    ) -> float:
         """Answer one ``(s, t, w)`` constrained-distance query."""
-        return self.query_batch([(s, t, w)])[0]
+        return self.query_batch(
+            [(s, t, w)], timeout=timeout, retries=retries
+        )[0]
 
     def query_batch(
         self,
         queries: Sequence[Tuple[int, int, float]],
         *,
         chunk_size: Optional[int] = None,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
     ) -> List[float]:
         """Answer a batch of ``(s, t, w)`` queries, preserving order.
 
         The batch is split into ``chunk_size`` pieces (default: enough
         for :data:`_CHUNKS_PER_WORKER` chunks per live worker) dealt
-        round-robin over the live workers' task queues.  A worker dying
-        *with a chunk of this batch assigned* raises ``RuntimeError``;
-        workers that died earlier are simply skipped.
+        round-robin over the live workers' task queues.
+
+        ``timeout`` (seconds, default none) deadlines every chunk from
+        its dispatch; ``retries`` (default 2) bounds how many times a
+        chunk is redispatched to another live worker after its owner
+        died or its deadline passed.  When the budget is exhausted the
+        batch raises :class:`QueryTimeoutError` (deadline missed with
+        live workers) or :class:`PoolUnavailableError` (no live worker
+        left) — or, with ``fallback=True``, the unanswered chunks are
+        answered in-process off the shared image and the batch still
+        returns.  A dead pool always fails fast, never blocks.
         """
         if self._image is None:
             raise RuntimeError("query server is closed")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if retries is None:
+            retries = _DEFAULT_RETRIES
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         queries = list(queries)
         if not queries:
             return []
-        live = [
-            index
-            for index, process in enumerate(self._workers)
-            if process.is_alive()
-        ]
+        live = self._live_workers()
         if not live:
-            raise RuntimeError("no live query workers")
+            return self._answer_in_process(
+                queries, "no live query workers"
+            )
         if chunk_size is None:
             per_batch = len(live) * _CHUNKS_PER_WORKER
             chunk_size = max(1, -(-len(queries) // per_batch))
         elif chunk_size < 1:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
-        starts: Dict[int, int] = {}
-        owners: Dict[int, int] = {}
-        for turn, at in enumerate(range(0, len(queries), chunk_size)):
-            job_id = self._next_job
-            self._next_job += 1
-            starts[job_id] = at
-            owner = live[turn % len(live)]
-            owners[job_id] = owner
-            self._task_queues[owner].put(
-                (job_id, "query", queries[at:at + chunk_size])
-            )
+
+        chunks = [
+            _Chunk(at, queries[at:at + chunk_size])
+            for at in range(0, len(queries), chunk_size)
+        ]
         answers: List[float] = [0.0] * len(queries)
-        pending = set(starts)
-        while pending:
-            try:
-                job_id, status, payload = self._results.get(
-                    timeout=_POLL_SECONDS
+        jobs: Dict[int, _Chunk] = {}
+        pending = set()
+        for chunk in chunks:
+            if self._dispatch(chunk, jobs, timeout):
+                pending.add(chunk)
+            else:
+                self._fill_in_process(
+                    [chunk], answers, "no live query workers"
                 )
+        while pending:
+            wait = _POLL_SECONDS
+            if timeout is not None:
+                nearest = min(
+                    chunk.deadline for chunk in pending
+                    if chunk.deadline is not None
+                )
+                wait = max(
+                    _MIN_WAIT, min(_POLL_SECONDS, nearest - time.monotonic())
+                )
+            try:
+                job_id, status, payload = self._get_result(wait)
             except queue_module.Empty:
-                dead = {
-                    owners[job]
-                    for job in pending
-                    if not self._workers[owners[job]].is_alive()
-                }
-                if dead:
-                    states = ", ".join(
-                        f"{self._workers[i].name} "
-                        f"(exitcode {self._workers[i].exitcode})"
-                        for i in sorted(dead)
-                    )
-                    raise RuntimeError(
-                        f"query worker died with chunks of this batch "
-                        f"assigned: {states}"
-                    ) from None
+                self._repair_stalls(
+                    pending, answers, jobs, timeout, retries
+                )
                 continue
-            if job_id not in pending:
-                continue  # stale result of an earlier failed batch
+            chunk = jobs.get(job_id)
+            if chunk is None or chunk not in pending:
+                continue  # stale result of a superseded or earlier job
             if status == "error":
                 raise RuntimeError(f"query worker failed: {payload}")
-            at = starts[job_id]
-            answers[at:at + len(payload)] = payload
-            pending.discard(job_id)
+            answers[chunk.start:chunk.start + len(payload)] = payload
+            pending.discard(chunk)
         return answers
+
+    def _dispatch(
+        self, chunk: _Chunk, jobs: Dict[int, _Chunk], timeout
+    ) -> bool:
+        """Hand ``chunk`` to the next live worker (round-robin); returns
+        ``False`` when no worker is live."""
+        with self._lock:
+            live = [
+                (slot, process)
+                for slot, process in enumerate(self._workers)
+                if process.is_alive()
+            ]
+            if not live:
+                return False
+            slot, process = live[next(self._round_robin) % len(live)]
+            job_id = self._next_job
+            self._next_job += 1
+            chunk.attempts += 1
+            chunk.owner = process
+            chunk.deadline = (
+                time.monotonic() + timeout if timeout is not None else None
+            )
+            jobs[job_id] = chunk
+            self._task_queues[slot].put((job_id, "query", chunk.queries))
+            return True
+
+    def _repair_stalls(
+        self, pending, answers, jobs, timeout, retries
+    ) -> None:
+        """Redispatch (or fail) every pending chunk whose owner died or
+        whose deadline passed.  Called from the result-poll loop on
+        every empty wait."""
+        now = time.monotonic()
+        for chunk in list(pending):
+            dead = not chunk.owner.is_alive()
+            late = chunk.deadline is not None and now >= chunk.deadline
+            if not dead and not late:
+                continue
+            if chunk.attempts <= retries and self._dispatch(
+                chunk, jobs, timeout
+            ):
+                continue  # rerouted to a live worker; keep waiting
+            # Retry budget exhausted, or nobody alive to take it.
+            if self._fallback_enabled:
+                self._fill_in_process(pending, answers, None)
+                pending.clear()
+                return
+            if not self._live_workers():
+                raise PoolUnavailableError(
+                    "no live query workers: the whole pool died with "
+                    f"chunks of this batch assigned (last owner "
+                    f"{chunk.owner.name}, exitcode {chunk.owner.exitcode})"
+                )
+            if dead:
+                raise PoolUnavailableError(
+                    f"chunk lost {chunk.attempts} worker(s) in a row "
+                    f"(last: {chunk.owner.name}, exitcode "
+                    f"{chunk.owner.exitcode}); retry budget exhausted"
+                )
+            raise QueryTimeoutError(
+                f"chunk missed its {timeout}s deadline "
+                f"{chunk.attempts} time(s); retry budget exhausted"
+            )
+
+    # ------------------------------------------------------------------
+    # Graceful degradation (in-process fallback)
+    # ------------------------------------------------------------------
+    def _fallback(self):
+        """The lazily attached in-process engine over the current image."""
+        if self._fallback_engine is None:
+            self._fallback_engine = self._image.attach_engine()
+        return self._fallback_engine
+
+    def _release_fallback(self) -> None:
+        engine, self._fallback_engine = self._fallback_engine, None
+        if engine is not None:
+            engine.release()
+
+    def _answer_in_process(self, queries, reason: str) -> List[float]:
+        """A whole batch answered by the fallback engine — or the typed
+        refusal when fallback is off."""
+        if not self._fallback_enabled:
+            raise PoolUnavailableError(reason)
+        return self._fallback().distance_many(queries)
+
+    def _fill_in_process(self, chunks, answers, reason) -> None:
+        """Answer the given chunks in-process (fallback on), or raise."""
+        if not self._fallback_enabled:
+            raise PoolUnavailableError(reason)
+        engine = self._fallback()
+        for chunk in chunks:
+            answers[chunk.start:chunk.start + len(chunk.queries)] = (
+                engine.distance_many(chunk.queries)
+            )
 
     # ------------------------------------------------------------------
     # Hot republish
@@ -243,53 +628,59 @@ class QueryServer:
         every batch issued after this returns answers from the new
         image.  Workers that die mid-swap are routed around like on the
         query path; if none survive, the swap still commits (the pool
-        then raises on the next batch).
+        then raises on the next batch).  The server lock is held
+        throughout, so a supervisor respawn can never land between the
+        re-attach orders and the old generation's unlink — respawned
+        workers always attach the committed generation.
         """
         if self._image is None:
             raise RuntimeError("query server is closed")
         new_image = ShmIndexImage(source, validate=validate, name=segment_name)
-        live = [
-            index
-            for index, process in enumerate(self._workers)
-            if process.is_alive()
-        ]
-        if not live:
-            new_image.destroy()
-            raise RuntimeError("no live query workers to swap")
-        pending: Dict[int, int] = {}
-        for index in live:
-            job_id = self._next_job
-            self._next_job += 1
-            try:
-                self._task_queues[index].put(
-                    (job_id, "swap", new_image.name)
-                )
-            except Exception:
-                # The swap order cannot reach this worker, so it would
-                # keep serving the generation about to be unlinked;
-                # stop it rather than leave a stale answerer routed to.
-                process = self._workers[index]
-                if process.is_alive():
-                    process.terminate()
-                    process.join(timeout=1.0)
-                continue
-            pending[job_id] = index
-        while pending:
-            try:
-                job_id, status, _payload = self._results.get(
-                    timeout=_POLL_SECONDS
-                )
-            except queue_module.Empty:
-                for job, owner in list(pending.items()):
-                    if not self._workers[owner].is_alive():
-                        pending.pop(job)
-                continue
-            if job_id not in pending:
-                continue  # stale result of an earlier failed batch
-            pending.pop(job_id)
-            # An "error" ack means the worker could not attach the new
-            # generation and exited; surviving workers carry the pool.
-        old_image, self._image = self._image, new_image
+        with self._lock:
+            live = [
+                index
+                for index, process in enumerate(self._workers)
+                if process.is_alive()
+            ]
+            if not live:
+                new_image.destroy()
+                raise PoolUnavailableError("no live query workers to swap")
+            pending: Dict[int, int] = {}
+            for index in live:
+                job_id = self._next_job
+                self._next_job += 1
+                try:
+                    self._task_queues[index].put(
+                        (job_id, "swap", new_image.name)
+                    )
+                except Exception:
+                    # The swap order cannot reach this worker, so it
+                    # would keep serving the generation about to be
+                    # unlinked; stop it rather than leave a stale
+                    # answerer routed to.
+                    process = self._workers[index]
+                    if process.is_alive():
+                        process.terminate()
+                        process.join(timeout=1.0)
+                    continue
+                pending[job_id] = index
+            while pending:
+                try:
+                    job_id, status, _payload = self._get_result(
+                        _POLL_SECONDS
+                    )
+                except queue_module.Empty:
+                    for job, owner in list(pending.items()):
+                        if not self._workers[owner].is_alive():
+                            pending.pop(job)
+                    continue
+                if job_id not in pending:
+                    continue  # stale result of an earlier failed batch
+                pending.pop(job_id)
+                # An "error" ack means the worker could not attach the
+                # new generation and exited; survivors carry the pool.
+            self._release_fallback()
+            old_image, self._image = self._image, new_image
         old_image.destroy()
 
     # ------------------------------------------------------------------
@@ -298,6 +689,12 @@ class QueryServer:
     @property
     def num_workers(self) -> int:
         return len(self._workers)
+
+    @property
+    def supervisor(self):
+        """The attached :class:`~repro.serve.supervisor.Supervisor`, or
+        ``None`` when the pool runs unsupervised."""
+        return self._supervisor
 
     @property
     def image_name(self) -> str:
@@ -317,16 +714,58 @@ class QueryServer:
     def closed(self) -> bool:
         return self._image is None
 
+    def health(self) -> dict:
+        """Structured pool snapshot: overall state, segment/epoch, and
+        per-worker liveness (plus restart counts when supervised)."""
+        if self._supervisor is not None:
+            return self._supervisor.health()
+        return self.basic_health()
+
+    def basic_health(self) -> dict:
+        """The unsupervised health snapshot (no restart bookkeeping)."""
+        if self._image is None:
+            return {
+                "state": "closed",
+                "supervised": False,
+                "segment": None,
+                "epoch": None,
+                "alive": 0,
+                "restarts": 0,
+                "workers": [],
+            }
+        workers = self.worker_states()
+        for state in workers:
+            state["restarts"] = 0
+            state["state"] = "running" if state["alive"] else "dead"
+        alive = sum(1 for state in workers if state["alive"])
+        return {
+            "state": "ok" if alive else "unavailable",
+            "supervised": False,
+            "segment": self._image.name,
+            "epoch": _epoch_of(self._image.name),
+            "alive": alive,
+            "restarts": 0,
+            "workers": workers,
+        }
+
     def close(self) -> None:
         """Shut the pool down and release/unlink the shared segment
         (idempotent).  Queued work finishes first — each worker's
         sentinel lines up behind it on that worker's own queue."""
-        image = self._image
-        if image is None:
-            return
-        self._image = None
-        for tasks in self._task_queues:
-            tasks.put(None)
+        # Stop the supervisor before taking the lock: its thread takes
+        # the same lock to respawn, and joining it while holding the
+        # lock would deadlock.
+        supervisor, self._supervisor = self._supervisor, None
+        if supervisor is not None:
+            supervisor.stop()
+        with self._lock:
+            image = self._image
+            if image is None:
+                return
+            self._image = None
+            self._release_fallback()
+            for tasks in self._task_queues:
+                tasks.put(None)
         for process in self._workers:
             process.join(timeout=10.0)
             if process.is_alive():
@@ -334,9 +773,18 @@ class QueryServer:
                 process.join(timeout=1.0)
         for tasks in self._task_queues:
             tasks.close()
-        # Drop the results queue's feeder thread before unlinking.
-        self._results.close()
-        self._results.join_thread()
+        with self._lock:
+            readers = [
+                conn for conn in self._result_readers if conn is not None
+            ]
+            readers.extend(self._retired_readers)
+            self._result_readers = [None] * len(self._result_readers)
+            del self._retired_readers[:]
+        for conn in readers:
+            try:
+                conn.close()
+            except OSError:
+                pass
         image.destroy()
 
     def __enter__(self) -> "QueryServer":

@@ -99,6 +99,18 @@ def _open_untracked(name: str) -> shared_memory.SharedMemory:
                 resource_tracker.register = original
 
 
+def _unregister_quietly(shm: shared_memory.SharedMemory) -> None:
+    """Drop ``shm``'s resource-tracker registration, ignoring every
+    failure — the registration may already be gone (3.13+ unlinks
+    unregister themselves) or the tracker may not be running."""
+    try:
+        resource_tracker.unregister(
+            getattr(shm, "_name", shm.name), "shared_memory"
+        )
+    except Exception:
+        pass
+
+
 class ShmIndexImage:
     """One frozen index image published in shared memory (creator side).
 
@@ -140,7 +152,10 @@ class ShmIndexImage:
         return attach_frozen(self._shm.buf, validate=validate, exact=False)
 
     def destroy(self) -> None:
-        """Close the local mapping and unlink the segment (idempotent).
+        """Close the local mapping and unlink the segment (idempotent —
+        including against the segment being unlinked *externally*, e.g.
+        by a sweeping supervisor's :func:`~repro.serve.recovery.recover_segments`
+        after this process was presumed dead).
 
         The segment is unlinked *before* the close, so a destroy can
         never leave it behind in ``/dev/shm`` — even when closing
@@ -154,10 +169,21 @@ class ShmIndexImage:
             return
         try:
             shm.unlink()
-        except FileNotFoundError:  # already unlinked by a failed destroy
-            pass
+        except FileNotFoundError:
+            # Already unlinked — by a failed earlier destroy, or by an
+            # external sweep.  unlink() raised before it could drop the
+            # creator's resource-tracker registration, so drop it here:
+            # a stale registration makes the tracker unlink a *future*
+            # segment of the same name and spam warnings at exit.
+            _unregister_quietly(shm)
         shm.close()
         self._shm = None
+
+    def close(self) -> None:
+        """Alias of :meth:`destroy` — the creator closing its image
+        always also unlinks it (ownership is asymmetric; see the module
+        docstring)."""
+        self.destroy()
 
     def __enter__(self) -> "ShmIndexImage":
         return self

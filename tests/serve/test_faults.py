@@ -1,0 +1,470 @@
+"""Chaos suite: the serving stack under injected faults.
+
+Every failure mode the robustness layer claims to absorb is exercised
+here deterministically through :class:`repro.serve.FaultPlan` — worker
+SIGKILLs mid-batch, delayed and dropped responses, corrupted and torn
+images, publisher crashes between the image write and the swap — and
+each test asserts the *recovery*, not just the failure: answers stay
+bit-identical, errors are the typed ones, half-published images roll
+back to a loadable state.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from tests.serve.test_shm import segment_exists
+
+from repro.core import build_wc_index_plus, load_frozen, save_frozen
+from repro.core.serialize import IndexFormatError
+from repro.graph.generators import scale_free_network
+from repro.live import (
+    LivePublisher,
+    STATE_COMMITTED,
+    STATE_PUBLISHING,
+    live_index,
+    read_manifest,
+    recover_publish,
+)
+from repro.serve import (
+    FaultPlan,
+    InjectedCrash,
+    NO_FAULTS,
+    PoolUnavailableError,
+    QueryServer,
+    QueryTimeoutError,
+    ShmIndexImage,
+    flip_bit_in_section,
+    recover_segments,
+    section_span,
+    truncate_at_section,
+)
+from repro.workloads.queries import random_queries
+
+
+@pytest.fixture(scope="module")
+def network():
+    return scale_free_network(80, 3, num_qualities=4, seed=13)
+
+
+@pytest.fixture(scope="module")
+def frozen(network):
+    return build_wc_index_plus(network).freeze()
+
+
+@pytest.fixture(scope="module")
+def workload(network):
+    return list(random_queries(network, 150, seed=7))
+
+
+@pytest.fixture(scope="module")
+def expected(frozen, workload):
+    return frozen.distance_many(workload)
+
+
+def kill_worker(server, slot=0):
+    os.kill(server.worker_states()[slot]["pid"], signal.SIGKILL)
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        if not server.worker_states()[slot]["alive"]:
+            return
+        time.sleep(0.01)
+    raise AssertionError("killed worker still reported alive")
+
+
+class TestFaultPlan:
+    def test_default_plan_is_noop(self):
+        assert NO_FAULTS.is_noop()
+        assert FaultPlan().is_noop()
+        assert not FaultPlan(kill_after={0: 1}).is_noop()
+        assert not FaultPlan(fail_republish_at=1).is_noop()
+
+    def test_plan_is_immutable(self):
+        with pytest.raises(AttributeError):
+            NO_FAULTS.fail_republish_at = 3
+
+
+class TestImageCorruption:
+    """The loaders must reject damaged images and name the section."""
+
+    @pytest.fixture(scope="class")
+    def image(self, frozen, tmp_path_factory):
+        path = tmp_path_factory.mktemp("img") / "net.wcxb"
+        save_frozen(frozen, path)
+        return path.read_bytes()
+
+    def test_section_span_unknown_name(self, image):
+        with pytest.raises(ValueError, match="sections:"):
+            section_span(image, "nope")
+
+    def test_truncation_names_the_section(self, image, tmp_path):
+        import io
+
+        torn = truncate_at_section(image, "dists", keep=8)
+        with pytest.raises(IndexFormatError, match="'dists'"):
+            load_frozen(io.BytesIO(torn), validate=True)
+
+    def test_bit_flip_is_caught_by_validation(self, image):
+        import io
+
+        # A high bit in a hub id pushes the rank out of range: only the
+        # integrity scan can see it (sizes and offsets stay consistent).
+        bad = flip_bit_in_section(image, "hubs", byte=0, bit=7)
+        with pytest.raises(IndexFormatError, match="hub rank"):
+            load_frozen(io.BytesIO(bad), validate=True)
+        bad = flip_bit_in_section(image, "offsets", byte=8, bit=7)
+        with pytest.raises(IndexFormatError, match="offset table"):
+            load_frozen(io.BytesIO(bad), validate=True)
+
+    def test_corrupt_image_refused_at_publish(self, image, tmp_path):
+        path = tmp_path / "bad.wcxb"
+        path.write_bytes(flip_bit_in_section(image, "hubs", byte=0, bit=7))
+        with pytest.raises(IndexFormatError):
+            ShmIndexImage(path)
+
+
+class TestKillRecovery:
+    def test_sigkill_mid_batch_is_invisible(self, frozen, workload, expected):
+        """A worker SIGKILLed upon receiving a chunk: the chunk reroutes
+        and the batch still answers bit-identically."""
+        plan = FaultPlan(kill_after={0: 1})
+        with QueryServer(frozen, workers=3, fault_plan=plan) as server:
+            assert server.query_batch(workload, timeout=10.0) == expected
+            assert not server.worker_states()[0]["alive"]
+
+    def test_supervisor_restores_pool_bit_identical(
+        self, frozen, workload, expected
+    ):
+        with QueryServer(frozen, workers=3, supervise=True) as server:
+            assert server.query_batch(workload) == expected
+            kill_worker(server, 0)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if server.worker_states()[0]["alive"]:
+                    break
+                time.sleep(0.01)
+            assert server.query_batch(workload, timeout=10.0) == expected
+            health = server.health()
+            assert health["state"] == "ok"
+            assert health["restarts"] >= 1
+            assert health["alive"] == 3
+            assert health["workers"][0]["restarts"] >= 1
+
+    def test_acceptance_sustained_kills_zero_client_errors(
+        self, frozen, network
+    ):
+        """The ISSUE's acceptance run, miniaturized in per-batch size but
+        not in structure: a FaultPlan kills a worker every 50 batches
+        across a 2,000-batch workload; the supervised 4-worker pool
+        answers every batch bit-identically and health() counts every
+        restart.
+        """
+        queries = list(random_queries(network, 12, seed=19))
+        expected = frozen.distance_many(queries)
+        # 4 workers x 4 chunks is capped by the 12-query batch: with 12
+        # chunks round-robinned, slot 0 gets 3 jobs per batch.
+        plan = FaultPlan(kill_after={0: 3 * 50})
+        with QueryServer(
+            frozen,
+            workers=4,
+            supervise=True,
+            # The breaker and the backoff are opened wide on purpose:
+            # this run *wants* every death respawned instantly so the
+            # kill schedule actually lands ~40 times (production
+            # defaults would park the chronically dying slot in
+            # backoff, trading restarts for capacity).
+            supervisor_options={
+                "max_restarts": 500,
+                "restart_window": 3600.0,
+                "backoff_base": 0.0,
+                "backoff_reset": 0.05,
+            },
+            fault_plan=plan,
+        ) as server:
+            for batch in range(2000):
+                assert (
+                    server.query_batch(queries, timeout=10.0, retries=4)
+                    == expected
+                ), f"batch {batch} diverged"
+            health = server.health()
+            assert health["state"] == "ok"
+            assert health["restarts"] >= 30
+            assert health["restarts"] == server.supervisor.total_restarts
+
+    def test_unsupervised_pool_degrades(self, frozen, workload):
+        """The same kill schedule without a supervisor: the pool loses
+        workers for good and ends unavailable — the contrast the
+        supervisor exists for."""
+        plan = FaultPlan(kill_after={slot: 1 for slot in range(2)})
+        with QueryServer(frozen, workers=2, fault_plan=plan) as server:
+            with pytest.raises(PoolUnavailableError):
+                for _ in range(50):
+                    server.query_batch(workload, timeout=5.0)
+            assert server.health()["state"] == "unavailable"
+            assert all(
+                not state["alive"] for state in server.worker_states()
+            )
+
+
+class TestDeadlinesAndRetries:
+    def test_dropped_responses_are_retried(self, frozen, workload, expected):
+        plan = FaultPlan(drop_first={0: 2})
+        with QueryServer(frozen, workers=2, fault_plan=plan) as server:
+            got = server.query_batch(workload, timeout=0.5, retries=4)
+            assert got == expected
+
+    def test_delayed_worker_times_out_typed(self, frozen, workload):
+        plan = FaultPlan(delay_seconds={0: 30.0, 1: 30.0})
+        with QueryServer(frozen, workers=2, fault_plan=plan) as server:
+            with pytest.raises(QueryTimeoutError, match="deadline"):
+                server.query_batch(workload, timeout=0.2, retries=0)
+
+    def test_timeout_error_is_a_runtime_error(self, frozen, workload):
+        plan = FaultPlan(delay_seconds={0: 30.0})
+        with QueryServer(frozen, workers=1, fault_plan=plan) as server:
+            with pytest.raises(RuntimeError):
+                server.query_batch(workload, timeout=0.2, retries=0)
+
+    def test_fallback_answers_when_pool_times_out(
+        self, frozen, workload, expected
+    ):
+        plan = FaultPlan(delay_seconds={0: 30.0})
+        with QueryServer(
+            frozen, workers=1, fault_plan=plan, fallback=True
+        ) as server:
+            got = server.query_batch(workload, timeout=0.2, retries=0)
+            assert got == expected
+
+    def test_all_dead_pool_fails_fast_even_unsupervised(
+        self, frozen, workload
+    ):
+        with QueryServer(frozen, workers=2) as server:
+            for state in server.worker_states():
+                os.kill(state["pid"], signal.SIGKILL)
+            time.sleep(0.2)
+            started = time.monotonic()
+            with pytest.raises(
+                PoolUnavailableError, match="no live query workers"
+            ):
+                server.query_batch(workload)
+            assert time.monotonic() - started < 2.0
+
+    def test_all_dead_pool_falls_back_when_enabled(
+        self, frozen, workload, expected
+    ):
+        with QueryServer(frozen, workers=2, fallback=True) as server:
+            for state in server.worker_states():
+                os.kill(state["pid"], signal.SIGKILL)
+            time.sleep(0.2)
+            assert server.query_batch(workload) == expected
+
+
+class TestPublisherCrashRecovery:
+    @pytest.fixture
+    def net(self):
+        return scale_free_network(40, 2, num_qualities=3, seed=5)
+
+    def missing_edge(self, graph):
+        for u in graph.vertices():
+            for v in graph.vertices():
+                if u < v and not graph.has_edge(u, v):
+                    return u, v
+        raise AssertionError("graph is complete")
+
+    def test_injected_crash_leaves_publishing_manifest(self, net, tmp_path):
+        image = tmp_path / "live.wcxb"
+        plan = FaultPlan(fail_republish_at=1)
+        publisher = LivePublisher(
+            live_index(net),
+            workers=2,
+            image_path=image,
+            image_mode="delta",
+            fault_plan=plan,
+            segment_prefix="wcxchaosA",
+        )
+        try:
+            u, v = self.missing_edge(net)
+            with pytest.raises(InjectedCrash):
+                publisher.apply([("insert", u, v, 9.0, None)])
+            manifest = read_manifest(image)
+            assert manifest["state"] == STATE_PUBLISHING
+            assert manifest["epoch"] == 1
+            # The crash hit before the swap: the pool still serves 0.
+            assert publisher.segment_name.endswith("g0")
+        finally:
+            publisher.close()
+        report = recover_publish(image)
+        assert report.recovered
+        assert read_manifest(image)["state"] == STATE_COMMITTED
+        load_frozen(image, validate=True)
+
+    def test_torn_delta_rolls_back_to_last_consistent_image(
+        self, net, tmp_path
+    ):
+        image = tmp_path / "live.wcxb"
+        publisher = LivePublisher(
+            live_index(net),
+            workers=2,
+            image_path=image,
+            image_mode="delta",
+            segment_prefix="wcxchaosB",
+        )
+        try:
+            u, v = self.missing_edge(net)
+            publisher.apply([("insert", u, v, 9.0, None)])
+        finally:
+            publisher.close()
+        good_engine = load_frozen(image, validate=True)
+        good_size = image.stat().st_size
+
+        # Tear the appended delta blob mid-write and fake a publish that
+        # died there: the manifest still says "publishing".
+        data = image.read_bytes()
+        image.write_bytes(data[:-16])
+        manifest = read_manifest(image)
+        from repro.live import write_manifest
+
+        write_manifest(image, {**manifest, "state": STATE_PUBLISHING})
+        with pytest.raises(IndexFormatError, match="delta"):
+            load_frozen(image, validate=True)
+
+        report = recover_publish(image)
+        assert report.action == "rolled_back"
+        assert report.truncated_to is not None
+        assert report.truncated_to < good_size
+        recovered = load_frozen(image, validate=True)
+        assert read_manifest(image)["state"] == STATE_COMMITTED
+        # The rolled-back image is a *previous* consistent generation.
+        assert recovered.num_vertices == good_engine.num_vertices
+
+    def test_publisher_restart_auto_recovers(self, net, tmp_path):
+        image = tmp_path / "live.wcxb"
+        plan = FaultPlan(fail_republish_at=1)
+        publisher = LivePublisher(
+            live_index(net),
+            workers=1,
+            image_path=image,
+            image_mode="delta",
+            fault_plan=plan,
+            segment_prefix="wcxchaosC",
+        )
+        u, v = self.missing_edge(net)
+        with pytest.raises(InjectedCrash):
+            publisher.apply([("insert", u, v, 9.0, None)])
+        publisher.close()
+
+        restarted = LivePublisher(
+            live_index(net),
+            workers=1,
+            image_path=image,
+            segment_prefix="wcxchaosD",
+        )
+        try:
+            assert restarted.recovered is not None
+            assert restarted.recovered.action in ("finished", "rolled_back")
+            assert read_manifest(image)["state"] == STATE_COMMITTED
+        finally:
+            restarted.close()
+
+    def test_unfaulted_publish_commits_manifest(self, net, tmp_path):
+        image = tmp_path / "live.wcxb"
+        with LivePublisher(
+            live_index(net),
+            workers=1,
+            image_path=image,
+            segment_prefix="wcxchaosE",
+        ) as publisher:
+            u, v = self.missing_edge(net)
+            publisher.apply([("insert", u, v, 9.0, None)])
+            manifest = read_manifest(image)
+            assert manifest["state"] == STATE_COMMITTED
+            assert manifest["epoch"] == 1
+            assert manifest["pid"] == os.getpid()
+
+
+class TestSegmentRecovery:
+    def test_dead_process_segments_are_swept(self, frozen, tmp_path):
+        """A subprocess publishes default-named segments and dies
+        without cleanup; recover_segments() reaps them."""
+        image = tmp_path / "seg.wcxb"
+        save_frozen(frozen, image)
+        # A plain crash lets the child's resource_tracker unlink the
+        # segment — the orphan case is the tracker dying *with* the
+        # process (OOM killer, SIGKILL of the group, power loss), so
+        # the child forgets its registration before dying.
+        script = (
+            "import os, sys\n"
+            "from multiprocessing import resource_tracker\n"
+            "from repro.serve import ShmIndexImage\n"
+            "image = ShmIndexImage(sys.argv[1], "
+            "name=f'wcx{os.getpid()}i0g0', validate=False)\n"
+            "resource_tracker.unregister("
+            "image._shm._name, 'shared_memory')\n"
+            "print(image.name, flush=True)\n"
+            "os._exit(1)\n"  # die without destroy(): the orphan case
+        )
+        env = dict(os.environ)
+        root = Path(__file__).resolve().parents[2]
+        env["PYTHONPATH"] = str(root / "src")
+        out = subprocess.run(
+            [sys.executable, "-c", script, str(image)],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        name = out.stdout.strip()
+        assert name, out.stderr
+        assert segment_exists(name)
+        removed = recover_segments()
+        assert name in removed
+        assert not segment_exists(name)
+
+    def test_live_publisher_segments_survive_the_sweep(self, frozen):
+        """Our own (live-pid) segments must never be reaped."""
+        with QueryServer(
+            frozen, workers=1, segment_name=f"wcx{os.getpid()}i999g0"
+        ) as server:
+            removed = recover_segments()
+            assert server.image_name not in removed
+            assert segment_exists(server.image_name)
+
+    def test_prefix_sweep_respects_live_owner(self, frozen):
+        image = ShmIndexImage(frozen, name="wcxprefixtestg0")
+        try:
+            assert (
+                recover_segments("wcxprefixtest", owner_pid=os.getpid())
+                == []
+            )
+            assert segment_exists(image.name)
+        finally:
+            image.destroy()
+        assert recover_segments("wcxprefixtest", owner_pid=1 << 30) == []
+
+
+class TestShmDoubleClose:
+    def test_destroy_idempotent_against_external_unlink(self, frozen):
+        """Regression: a segment unlinked externally (a sweeping
+        supervisor) must not make the creator's destroy raise — and a
+        double close must stay silent."""
+        image = ShmIndexImage(frozen, name="wcxdoubleclose")
+        # An external sweep unlinks the segment behind the creator's back.
+        from repro.serve.shm import _open_untracked
+
+        other = _open_untracked(image.name)
+        other.unlink()
+        other.close()
+        image.destroy()  # must not raise
+        image.destroy()  # double close: no-op
+        image.close()  # alias: still a no-op
+        assert not segment_exists("wcxdoubleclose")
+
+    def test_close_is_destroy(self, frozen):
+        image = ShmIndexImage(frozen, name="wcxclosealias")
+        image.close()
+        assert not segment_exists("wcxclosealias")
+        image.close()

@@ -1,0 +1,218 @@
+"""Tests for the worker supervisor: respawn, backoff, circuit breaker."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core import build_wc_index_plus
+from repro.graph.generators import scale_free_network
+from repro.serve import QueryServer, Supervisor
+from repro.workloads.queries import random_queries
+
+
+@pytest.fixture(scope="module")
+def network():
+    return scale_free_network(60, 2, num_qualities=3, seed=17)
+
+
+@pytest.fixture(scope="module")
+def frozen(network):
+    return build_wc_index_plus(network).freeze()
+
+
+@pytest.fixture(scope="module")
+def workload(network):
+    return list(random_queries(network, 80, seed=23))
+
+
+def kill_slot(server, slot):
+    os.kill(server.worker_states()[slot]["pid"], signal.SIGKILL)
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        if not server.worker_states()[slot]["alive"]:
+            return
+        time.sleep(0.01)
+    raise AssertionError("worker survived SIGKILL")
+
+
+@pytest.fixture
+def unsupervised(frozen):
+    """A pool with no supervisor thread; tests drive check() by hand."""
+    with QueryServer(frozen, workers=2) as server:
+        yield server
+
+
+class TestRespawn:
+    def test_respawn_worker_replaces_dead_slot(self, unsupervised):
+        old_pid = unsupervised.worker_states()[0]["pid"]
+        kill_slot(unsupervised, 0)
+        assert unsupervised.respawn_worker(0)
+        state = unsupervised.worker_states()[0]
+        assert state["alive"]
+        assert state["pid"] != old_pid
+
+    def test_respawn_refuses_live_slot(self, unsupervised):
+        assert not unsupervised.respawn_worker(0)
+
+    def test_respawn_unknown_slot(self, unsupervised):
+        with pytest.raises(ValueError, match="slot"):
+            unsupervised.respawn_worker(7)
+
+    def test_respawned_worker_serves(self, unsupervised, frozen, workload):
+        expected = frozen.distance_many(workload)
+        kill_slot(unsupervised, 0)
+        kill_slot(unsupervised, 1)
+        assert unsupervised.respawn_worker(0)
+        assert unsupervised.query_batch(workload, timeout=10.0) == expected
+
+
+class TestCheck:
+    """check(now=...) makes supervision fully deterministic."""
+
+    def test_first_death_respawns_immediately(self, unsupervised):
+        supervisor = Supervisor(unsupervised)
+        kill_slot(unsupervised, 0)
+        assert supervisor.check() == 1
+        assert unsupervised.worker_states()[0]["alive"]
+        assert supervisor.total_restarts == 1
+
+    def test_consecutive_deaths_back_off(self, unsupervised):
+        supervisor = Supervisor(
+            unsupervised,
+            backoff_base=10.0,
+            backoff_max=100.0,
+            max_restarts=50,
+        )
+        now = time.monotonic()
+        kill_slot(unsupervised, 0)
+        assert supervisor.check(now) == 1  # first: immediate
+        kill_slot(unsupervised, 0)
+        # Second death inside the reset window: due in backoff_base.
+        assert supervisor.check(now + 1.0) == 0
+        assert supervisor.check(now + 5.0) == 0  # still backing off
+        assert supervisor.check(now + 12.0) == 1  # past the delay
+        assert supervisor.total_restarts == 2
+
+    def test_survival_resets_the_backoff(self, unsupervised):
+        supervisor = Supervisor(
+            unsupervised,
+            backoff_base=10.0,
+            backoff_reset=5.0,
+            max_restarts=50,
+        )
+        now = time.monotonic()
+        kill_slot(unsupervised, 0)
+        assert supervisor.check(now) == 1
+        # The respawned worker survives past backoff_reset...
+        assert supervisor.check(now + 6.0) == 0
+        kill_slot(unsupervised, 0)
+        # ...so its next death respawns immediately again.
+        assert supervisor.check(now + 6.5) == 1
+
+    def test_circuit_breaker_opens_and_is_sticky(self, unsupervised):
+        supervisor = Supervisor(
+            unsupervised,
+            max_restarts=2,
+            restart_window=1000.0,
+            backoff_base=0.0,
+        )
+        now = time.monotonic()
+        for round in range(2):
+            kill_slot(unsupervised, 0)
+            assert supervisor.check(now + round) == 1
+        kill_slot(unsupervised, 0)
+        assert supervisor.check(now + 10.0) == 0
+        assert supervisor.degraded
+        # Sticky: later checks keep refusing.
+        assert supervisor.check(now + 500.0) == 0
+        assert not unsupervised.worker_states()[0]["alive"]
+        health = supervisor.health()
+        assert health["state"] == "degraded"
+        assert health["workers"][0]["state"] == "dead"
+        # reset() re-arms it.
+        supervisor.reset()
+        assert not supervisor.degraded
+        assert supervisor.check(now + 500.0) == 1
+        assert supervisor.health()["state"] == "ok"
+
+    def test_events_age_out_of_the_window(self, unsupervised):
+        supervisor = Supervisor(
+            unsupervised,
+            max_restarts=2,
+            restart_window=30.0,
+            backoff_base=0.0,
+        )
+        now = time.monotonic()
+        for round in range(2):
+            kill_slot(unsupervised, 0)
+            assert supervisor.check(now + round * 60.0) == 1
+        kill_slot(unsupervised, 0)
+        # Both events fell out of the 30s window: no breaker trip.
+        assert supervisor.check(now + 200.0) == 1
+        assert not supervisor.degraded
+
+
+class TestThread:
+    def test_supervised_server_starts_and_stops_the_thread(self, frozen):
+        with QueryServer(frozen, workers=1, supervise=True) as server:
+            supervisor = server.supervisor
+            assert supervisor is not None
+            assert supervisor._thread.is_alive()
+        assert server.supervisor is None
+
+    def test_thread_respawns_without_intervention(self, frozen, workload):
+        expected = frozen.distance_many(workload)
+        with QueryServer(frozen, workers=2, supervise=True) as server:
+            kill_slot(server, 1)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if server.worker_states()[1]["alive"]:
+                    break
+                time.sleep(0.01)
+            assert server.worker_states()[1]["alive"]
+            assert server.query_batch(workload) == expected
+
+    def test_supervisor_options_forward(self, frozen):
+        with QueryServer(
+            frozen,
+            workers=1,
+            supervise=True,
+            supervisor_options={"max_restarts": 9, "restart_window": 7.0},
+        ) as server:
+            assert server.supervisor._max_restarts == 9
+            assert server.supervisor._restart_window == 7.0
+
+    def test_bad_options_do_not_leak_the_segment(self, frozen):
+        with pytest.raises(ValueError, match="max_restarts"):
+            QueryServer(
+                frozen,
+                workers=1,
+                supervise=True,
+                supervisor_options={"max_restarts": 0},
+                segment_name="wcxbadopts",
+            )
+        from tests.serve.test_shm import segment_exists
+
+        assert not segment_exists("wcxbadopts")
+
+
+class TestHealth:
+    def test_unsupervised_health(self, unsupervised):
+        health = unsupervised.health()
+        assert health["state"] == "ok"
+        assert health["supervised"] is False
+        assert health["alive"] == 2
+        assert [w["slot"] for w in health["workers"]] == [0, 1]
+
+    def test_health_epoch_parses_generation_suffix(self, frozen):
+        with QueryServer(
+            frozen, workers=1, segment_name="wcxhealthg41"
+        ) as server:
+            assert server.health()["epoch"] == 41
+
+    def test_closed_health(self, frozen):
+        server = QueryServer(frozen, workers=1)
+        server.close()
+        assert server.health()["state"] == "closed"

@@ -249,6 +249,38 @@ class TestServeCommand:
         )
         assert capsys.readouterr().out == expected
 
+    def test_serve_supervised_reports_health(
+        self, binary_index_file, capsys
+    ):
+        assert (
+            main(
+                ["serve", "--index", str(binary_index_file),
+                 "--workers", "2", "--supervise", "--query-timeout", "10",
+                 "2", "5", "2.0"]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "supervised" in captured.err
+        assert "pool ok: 2/2 workers alive" in captured.err
+
+    def test_serve_chaos_kill_round_trip(self, binary_index_file, capsys):
+        """The CI self-test: a worker is SIGKILLed mid-workload and the
+        supervised pool must respawn it and keep answering identically."""
+        assert (
+            main(
+                ["serve", "--index", str(binary_index_file),
+                 "--workers", "3", "--chaos-kill", "--rounds", "4",
+                 "--query-timeout", "10", "--retries", "5",
+                 "2", "5", "2.0"]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "2 5 2 -> 2" in captured.out
+        assert "restart(s)" in captured.err
+        assert "pool ok" in captured.err
+
 
 class TestExtensionBuilds:
     @pytest.fixture
