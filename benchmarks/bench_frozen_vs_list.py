@@ -3,17 +3,22 @@
 Builds WC-INDEX+ over one synthetic road and one synthetic social dataset,
 freezes it, answers the same random workload through
 ``WCIndex.distance_many`` (list engine) and ``FrozenWCIndex.distance_many``
-(frozen engine), checks the answers are identical, and merges its
-``family: undirected`` rows into ``BENCH_query_engines.json`` — the
-trajectory file future PRs compare against (the directed/weighted rows
-come from ``bench_frozen_extensions.py`` and are preserved).
+(frozen engine — once on the ``stdlib`` kernel backend, and once on the
+vectorized ``numpy`` backend when numpy is installed), checks the answers
+are identical, and merges its ``family: undirected`` rows into
+``BENCH_query_engines.json`` — the trajectory file future PRs compare
+against (the directed/weighted rows come from
+``bench_frozen_extensions.py`` and are preserved).
 
 Run directly (CI does)::
 
     PYTHONPATH=src python benchmarks/bench_frozen_vs_list.py
 
 Exits non-zero when the frozen engine fails the speedup gate
-(``--gate``, default 2.0x) on any dataset, or when the engines disagree.
+(``--gate``, default 2.0x) on any dataset, when the numpy backend falls
+below its own gate over the frozen-stdlib engine (``--numpy-gate``,
+default 2.0x; CI passes 1.5 for noisy shared runners), or when any
+engines disagree.
 Dataset scale follows ``REPRO_SCALE``; pass ``--queries`` / ``--repeats``
 to trade precision for wall clock.
 """
@@ -27,7 +32,7 @@ from typing import Dict, List
 
 from repro.bench.harness import time_build
 from repro.bench.reporting import merge_query_engine_rows
-from repro.core import WCIndexBuilder
+from repro.core import WCIndexBuilder, numpy_available
 from repro.workloads import datasets as ds
 from repro.workloads.queries import random_queries
 
@@ -43,7 +48,12 @@ def bench_dataset(
     build_seconds, index = time_build(
         WCIndexBuilder(graph, "hybrid", query_kernel="linear").build
     )
-    freeze_seconds, frozen = time_build(index.freeze)
+    # Pin the frozen row to the stdlib backend explicitly — auto-detect
+    # picks numpy when installed, and this row's trajectory tracks the
+    # pure-Python flat engine.
+    freeze_seconds, frozen = time_build(
+        lambda: index.freeze(backend="stdlib")
+    )
     workload = list(random_queries(graph, query_count, seed=3))
 
     list_answers = index.distance_many(workload)
@@ -61,6 +71,30 @@ def bench_dataset(
 
     list_qps = best_rate(index.distance_many)
     frozen_qps = best_rate(frozen.distance_many)
+    engines = {
+        "list": {
+            "build_seconds": build_seconds,
+            "queries_per_sec": list_qps,
+        },
+        "frozen": {
+            "build_seconds": build_seconds + freeze_seconds,
+            "freeze_seconds": freeze_seconds,
+            "queries_per_sec": frozen_qps,
+        },
+    }
+    numpy_speedup = None
+    if numpy_available():
+        frozen.select_backend("numpy")
+        numpy_answers = frozen.distance_many(workload)  # warms the cache
+        identical = identical and numpy_answers == frozen_answers
+        numpy_qps = best_rate(frozen.distance_many)
+        frozen.select_backend("stdlib")
+        engines["numpy"] = {
+            "build_seconds": build_seconds + freeze_seconds,
+            "freeze_seconds": freeze_seconds,
+            "queries_per_sec": numpy_qps,
+        }
+        numpy_speedup = numpy_qps / frozen_qps if frozen_qps else float("inf")
     return {
         "dataset": name,
         "family": "undirected",
@@ -68,18 +102,9 @@ def bench_dataset(
         "num_edges": graph.num_edges,
         "queries": len(workload),
         "identical_results": identical,
-        "engines": {
-            "list": {
-                "build_seconds": build_seconds,
-                "queries_per_sec": list_qps,
-            },
-            "frozen": {
-                "build_seconds": build_seconds + freeze_seconds,
-                "freeze_seconds": freeze_seconds,
-                "queries_per_sec": frozen_qps,
-            },
-        },
+        "engines": engines,
         "speedup": frozen_qps / list_qps if list_qps else float("inf"),
+        "numpy_speedup": numpy_speedup,
     }
 
 
@@ -103,6 +128,11 @@ def main(argv: List[str] = None) -> int:
         "--gate", type=float, default=2.0,
         help="minimum frozen/list speedup required to pass (default 2.0)",
     )
+    parser.add_argument(
+        "--numpy-gate", type=float, default=2.0,
+        help="minimum numpy/frozen-stdlib speedup required to pass when "
+        "numpy is installed (default 2.0; CI uses 1.5)",
+    )
     args = parser.parse_args(argv)
 
     results = []
@@ -111,19 +141,32 @@ def main(argv: List[str] = None) -> int:
         record = bench_dataset(name, args.queries, args.repeats)
         results.append(record)
         ok = record["identical_results"] and record["speedup"] >= args.gate
+        numpy_note = ""
+        if record["numpy_speedup"] is not None:
+            ok = ok and record["numpy_speedup"] >= args.numpy_gate
+            numpy_note = (
+                f"numpy {record['engines']['numpy']['queries_per_sec']:,.0f}"
+                f" q/s ({record['numpy_speedup']:.2f}x frozen), "
+            )
         failed = failed or not ok
         print(
             f"{name}: list {record['engines']['list']['queries_per_sec']:,.0f} q/s, "
             f"frozen {record['engines']['frozen']['queries_per_sec']:,.0f} q/s, "
-            f"speedup {record['speedup']:.2f}x "
-            f"(identical={record['identical_results']}) "
+            f"speedup {record['speedup']:.2f}x, "
+            + numpy_note
+            + f"(identical={record['identical_results']}) "
             f"{'ok' if ok else 'FAIL'}"
         )
 
-    merge_query_engine_rows(args.out, {"undirected": args.gate}, results)
+    merge_query_engine_rows(
+        args.out,
+        {"undirected": args.gate, "undirected_numpy": args.numpy_gate},
+        results,
+    )
     print(f"wrote {args.out}")
     if failed:
-        print(f"FAILED: frozen engine below {args.gate:.1f}x gate "
+        print(f"FAILED: an engine fell below its gate (frozen/list "
+              f"{args.gate:.1f}x, numpy/frozen {args.numpy_gate:.1f}x) "
               "or results diverged", file=sys.stderr)
         return 1
     return 0

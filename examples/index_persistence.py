@@ -88,6 +88,11 @@ def main() -> None:
         )
 
         # The serving format: a binary image of the frozen engine.
+        # ``load_frozen`` / ``attach_frozen`` / ``freeze`` all take a
+        # ``backend=`` kernel selection — the default ("auto") answers
+        # batches through the vectorized numpy backend when numpy is
+        # installed and the pure-Python stdlib backend otherwise,
+        # bit-identically; pass "stdlib"/"numpy" to pin one.
         binary_path = Path(tmp) / "network.wcxb"
         save_frozen(index, binary_path)
         frozen = load_frozen(binary_path)
@@ -97,7 +102,8 @@ def main() -> None:
         assert frozen_answers == answers
         print(
             f"frozen engine ({binary_path.name}, "
-            f"{binary_path.stat().st_size} bytes): same answers in "
+            f"{binary_path.stat().st_size} bytes, "
+            f"{frozen.kernel_backend} kernel): same answers in "
             f"{frozen_ms:.1f} ms"
         )
 

@@ -10,7 +10,8 @@ Subcommands:
   index; ``--engine {list,frozen,mmap}`` picks the storage engine (the
   list-backed merge, the flat-array frozen engine of whatever family
   the index holds, or the frozen engine attached zero-copy to an mmap
-  of a ``.wcxb`` v3 image).
+  of a ``.wcxb`` v3 image); ``--kernel {auto,stdlib,numpy}`` picks the
+  frozen engines' batch kernel backend (also on ``serve``).
 * ``serve``   — answer the same queries through a shared-memory
   multi-process worker pool (``--workers``): one frozen image published
   in ``multiprocessing.shared_memory``, N processes answering batches
@@ -45,6 +46,11 @@ import time
 
 from .core.construction import WCIndexBuilder
 from .core.directed import DirectedWCIndex
+from .core.kernels import (
+    BACKEND_CHOICES,
+    KernelUnavailableError,
+    resolve_backend,
+)
 from .core.labels import WCIndex
 from .core.profile import distance_profile
 from .core.serialize import (
@@ -62,19 +68,30 @@ from .graph.io import (
 )
 
 
-def _load_engine(path: str, engine: str):
+def _resolve_kernel(spec, command: str) -> str:
+    """Resolve a ``--kernel`` choice to a concrete backend name, turning
+    an explicitly requested but unavailable backend into a clean exit
+    (never a silent fallback)."""
+    try:
+        return resolve_backend(spec).name
+    except KernelUnavailableError as exc:
+        raise SystemExit(f"{command}: {exc}") from None
+
+
+def _load_engine(path: str, engine: str, kernel=None):
     """Load ``path`` as the requested query engine.
 
     ``.wcxb`` files (suffix matched case-insensitively) hold a frozen
     image of any index family: ``frozen`` serves it directly, ``mmap``
     attaches to it zero-copy (v3 images), ``list`` thaws it.  Text
     indexes are loaded list-backed and frozen on demand (``mmap`` needs
-    the binary format).
+    the binary format).  ``kernel`` pins the frozen engines' batch
+    backend (the list engine has no backend and ignores it).
     """
     if is_binary_index_path(path):
         if engine == "mmap":
-            return load_frozen(path, mode="mmap")
-        frozen = load_frozen(path)
+            return load_frozen(path, mode="mmap", backend=kernel)
+        frozen = load_frozen(path, backend=kernel)
         return frozen if engine == "frozen" else frozen.thaw()
     if engine == "mmap":
         raise SystemExit(
@@ -82,7 +99,7 @@ def _load_engine(path: str, engine: str):
             f"to a .wcxb path first"
         )
     index = load_index(path)
-    return index.freeze() if engine == "frozen" else index
+    return index.freeze(backend=kernel) if engine == "frozen" else index
 
 
 def _build_graph(args):
@@ -160,7 +177,8 @@ def _print_answers(queries, answers) -> None:
 
 
 def _cmd_query(args) -> int:
-    index = _load_engine(args.index, args.engine)
+    kernel = _resolve_kernel(args.kernel, "query")
+    index = _load_engine(args.index, args.engine, kernel)
     # Batch through distance_many so stdin workloads hit the engines'
     # batch hot path (the frozen engine's hash-intersection merge).
     queries = _read_queries(args)
@@ -185,6 +203,7 @@ def _cmd_serve(args) -> int:
             f"segment(s): {', '.join(swept)}",
             file=sys.stderr,
         )
+    kernel = _resolve_kernel(args.kernel, "serve")
     queries = _read_queries(args)
     supervisor_options = None
     if args.max_restarts is not None:
@@ -202,10 +221,12 @@ def _cmd_serve(args) -> int:
         supervisor_options=supervisor_options,
         fallback=args.fallback,
         fault_plan=fault_plan,
+        kernel=kernel,
     ) as server:
         print(
             f"serving {args.index} from shared memory "
-            f"({server.image_bytes} bytes, {server.num_workers} workers"
+            f"({server.image_bytes} bytes, {server.num_workers} workers, "
+            f"{server.kernel_backend} kernel"
             + (", supervised" if server.supervisor else "")
             + ")",
             file=sys.stderr,
@@ -382,6 +403,10 @@ def _cmd_stats(args) -> int:
             f"format:          wcxb v{described['format_version']} "
             f"({described['variant']})"
         )
+        print(
+            f"kernel backend:  {index.kernel_backend} "
+            f"(available: {', '.join(described['kernel_backends'])})"
+        )
     print(f"vertices:        {index.num_vertices}")
     print(f"entries:         {index.entry_count()}")
     print(f"max label size:  {index.max_label_size()}")
@@ -483,6 +508,15 @@ def build_parser() -> argparse.ArgumentParser:
         "frozen engine attached zero-copy to an mmap of a .wcxb v3 image",
     )
     p_query.add_argument(
+        "--kernel",
+        default="auto",
+        choices=list(BACKEND_CHOICES),
+        help="batch kernel backend of the frozen/mmap engines: auto "
+        "picks numpy when installed, else the pure-Python stdlib "
+        "backend; an explicit unavailable choice fails fast (the list "
+        "engine has no backend and ignores this)",
+    )
+    p_query.add_argument(
         "query",
         nargs="+",
         help="either 's t w' or '-' to read queries from stdin",
@@ -546,6 +580,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="times the workload is replayed (chaos runs use >1 to "
         "cross respawns; default 1)",
+    )
+    p_serve.add_argument(
+        "--kernel",
+        default="auto",
+        choices=list(BACKEND_CHOICES),
+        help="batch kernel backend pinned into every worker and the "
+        "fallback engine: auto picks numpy when installed, else the "
+        "pure-Python stdlib backend; an explicit unavailable choice "
+        "fails fast",
     )
     p_serve.add_argument(
         "query",

@@ -24,7 +24,7 @@ from ..baselines import (
     PartitionedBFS,
     PartitionedDijkstra,
 )
-from ..core import WCIndexBuilder
+from ..core import WCIndexBuilder, numpy_available
 from ..graph.graph import Graph
 from ..workloads.queries import QueryWorkload
 
@@ -162,11 +162,19 @@ EXTENSION_QUERY_METHODS = (
 )
 
 #: The serving line-up over one saved ``.wcxb`` image: the read-loaded
-#: frozen engine, the mmap-attached engine, and the shared-memory
-#: ``QueryServer`` pool (``WC-SHM-N`` = N worker processes).  All three
-#: answer through the same flat kernels — identical answers, different
-#: storage/process topology.
-SERVING_QUERY_METHODS = ("WC-FROZEN", "WC-MMAP", "WC-SHM-2")
+#: frozen engine, the mmap-attached engine, the mmap-attached engine on
+#: the vectorized numpy kernel backend (``WC-NUMPY``, present only when
+#: numpy is importable), and the shared-memory ``QueryServer`` pool
+#: (``WC-SHM-N`` = N worker processes).  All rows answer through the
+#: same pluggable batch kernels — identical answers, different
+#: storage/process topology and backend.  The legacy rows stay pinned
+#: to the ``stdlib`` backend so their trajectories keep comparing
+#: like with like.
+SERVING_QUERY_METHODS = tuple(
+    ["WC-FROZEN", "WC-MMAP"]
+    + (["WC-NUMPY"] if numpy_available() else [])
+    + ["WC-SHM-2"]
+)
 
 
 class ServingLineup:
@@ -175,7 +183,7 @@ class ServingLineup:
     ``batch_engines`` maps method names to ``distance_many``-style batch
     callables (the shared-memory row is named ``WC-SHM-<workers>``).
     Close (or use as a context manager) to shut the worker pool down,
-    release the mmap attach, and unlink the shared segment.
+    release the mmap attaches, and unlink the shared segment.
     """
 
     def __init__(self, path, *, workers: int = 2) -> None:
@@ -183,18 +191,29 @@ class ServingLineup:
         from ..serve import QueryServer
 
         self.path = path
-        self.frozen = load_frozen(path)
-        self.mapped = load_frozen(path, mode="mmap", validate=False)
-        self.server = QueryServer(path, workers=workers)
+        self.frozen = load_frozen(path, backend="stdlib")
+        self.mapped = load_frozen(
+            path, mode="mmap", validate=False, backend="stdlib"
+        )
+        self.vectorized = (
+            load_frozen(path, mode="mmap", validate=False, backend="numpy")
+            if numpy_available()
+            else None
+        )
+        self.server = QueryServer(path, workers=workers, kernel="stdlib")
         self.batch_engines: Dict[str, Callable] = {
             "WC-FROZEN": self.frozen.distance_many,
             "WC-MMAP": self.mapped.distance_many,
-            f"WC-SHM-{workers}": self.server.query_batch,
         }
+        if self.vectorized is not None:
+            self.batch_engines["WC-NUMPY"] = self.vectorized.distance_many
+        self.batch_engines[f"WC-SHM-{workers}"] = self.server.query_batch
 
     def close(self) -> None:
         self.server.close()
         self.mapped.release()
+        if self.vectorized is not None:
+            self.vectorized.release()
 
     def __enter__(self) -> "ServingLineup":
         return self

@@ -11,7 +11,10 @@
   :func:`attach_frozen` over arbitrary buffers and shared-memory serving
   in :mod:`repro.serve`.
 * Query kernels (Algorithms 2/4/5) in :mod:`~repro.core.query`, each in a
-  list-layout and a flat-layout (``*_flat``) variant.
+  list-layout and a flat-layout (``*_flat``) variant; the frozen engines'
+  batch path runs through pluggable kernel backends
+  (:mod:`~repro.core.kernels` — pure-Python ``stdlib``, vectorized
+  ``numpy``), selected with ``backend=`` / ``resolve_backend``.
 * Vertex orderings (Section IV.D) in :mod:`~repro.core.ordering`.
 * Extensions (Section V): :class:`WCPathIndex` (shortest paths),
   :class:`DirectedWCIndex`, :class:`WeightedWCIndex`.
@@ -52,6 +55,15 @@ from .profile import (
     profile_distance,
     profile_is_staircase,
     widest_path_quality,
+)
+from .kernels import (
+    BACKEND_CHOICES,
+    KernelBackend,
+    KernelUnavailableError,
+    available_backends,
+    default_backend_name,
+    numpy_available,
+    resolve_backend,
 )
 from .query import (
     merge_binary,
@@ -130,6 +142,13 @@ __all__ = [
     "merge_naive_flat",
     "merge_binary_flat",
     "merge_linear_flat",
+    "BACKEND_CHOICES",
+    "KernelBackend",
+    "KernelUnavailableError",
+    "available_backends",
+    "default_backend_name",
+    "numpy_available",
+    "resolve_backend",
     "verify_index",
     "IndexReport",
     "theorem3_violations",

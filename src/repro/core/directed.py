@@ -327,7 +327,7 @@ class DirectedWCIndex:
     # ------------------------------------------------------------------
     # Freezing
     # ------------------------------------------------------------------
-    def freeze(self):
+    def freeze(self, backend=None):
         """Snapshot into a
         :class:`~repro.core.frozen.FrozenDirectedWCIndex` — the
         flat-array query engine for directed indexes.  The frozen copy is
@@ -335,7 +335,7 @@ class DirectedWCIndex:
         exactly."""
         from .frozen import FrozenDirectedWCIndex
 
-        return FrozenDirectedWCIndex.freeze(self)
+        return FrozenDirectedWCIndex.freeze(self, backend=backend)
 
     def distance_profile(self, s: int, t: int) -> List[Tuple[float, float]]:
         """The quality/distance Pareto staircase for the directed pair

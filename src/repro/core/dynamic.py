@@ -103,10 +103,10 @@ class DynamicWCIndex:
         into ``.index`` for the batch path)."""
         return self._index.distance_many(queries)
 
-    def freeze(self):
+    def freeze(self, backend=None):
         """Snapshot the current index into the flat-array
         :class:`~repro.core.frozen.FrozenWCIndex` engine."""
-        return self._index.freeze()
+        return self._index.freeze(backend=backend)
 
     @property
     def num_vertices(self) -> int:

@@ -46,8 +46,14 @@ The Section V extensions freeze the same way: the shared
 :class:`_FlatSide` store carries one flat label side, and
 :class:`FrozenDirectedWCIndex` (two sides, ``L_in`` / ``L_out``) /
 :class:`FrozenWeightedWCIndex` (one side, real-valued distances) answer
-through the identical ``*_flat`` kernels and the shared
-:func:`~repro.core.query.batch_merge_flat` batch loop.
+through the identical ``*_flat`` kernels and the shared batch path.
+
+Batch queries (``distance_many``) run through a pluggable **kernel
+backend** (:mod:`repro.core.kernels`): the pure-Python ``stdlib``
+hash-intersection merge, or the vectorized ``numpy`` kernels over
+``numpy.frombuffer`` views of the same buffers.  Every engine accepts
+``backend=`` (``"auto"`` — the default — picks numpy when installed)
+and exposes ``kernel_backend`` / ``select_backend()``.
 """
 
 from __future__ import annotations
@@ -55,9 +61,9 @@ from __future__ import annotations
 from array import array
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from .kernels import resolve_backend
 from .query import (
     MERGE_KERNELS_FLAT,
-    batch_merge_flat,
     merge_linear_flat,
     merge_linear_flat_with_witness,
 )
@@ -99,7 +105,7 @@ class FrozenWCIndex:
     ``WCIndex.freeze()``), never directly from user code.
     """
 
-    __slots__ = ("order", "rank", "_side")
+    __slots__ = ("order", "rank", "_side", "_backend")
 
     def __init__(
         self,
@@ -109,6 +115,7 @@ class FrozenWCIndex:
         dists,
         quals,
         parents=None,
+        backend=None,
     ) -> None:
         n = len(order)
         # The side validates the array shapes and owns the lazily built
@@ -117,6 +124,7 @@ class FrozenWCIndex:
         # speed, and consumers that never query — or never batch — do
         # not pay for structures they do not touch.
         self._side = _FlatSide(n, offsets, hubs, dists, quals, parents)
+        self._backend = resolve_backend(backend)
         self.order: List[int] = list(order)
         self.rank: List[int] = [0] * n
         for r, v in enumerate(self.order):
@@ -126,14 +134,14 @@ class FrozenWCIndex:
     # Freezing / thawing
     # ------------------------------------------------------------------
     @classmethod
-    def freeze(cls, index) -> "FrozenWCIndex":
+    def freeze(cls, index, backend=None) -> "FrozenWCIndex":
         """Snapshot a list-backed :class:`WCIndex` into flat storage."""
         side = _FlatSide.from_lists(
             index.num_vertices,
             index.label_lists,
             index.parent_list if index.tracks_parents else None,
         )
-        return cls(index.order, *side.raw_arrays())
+        return cls(index.order, *side.raw_arrays(), backend=backend)
 
     def thaw(self):
         """Expand back into a mutable list-backed :class:`WCIndex` (for
@@ -206,30 +214,31 @@ class FrozenWCIndex:
     def distance_many(self, queries) -> List[float]:
         """Answer a batch of ``(s, t, w)`` queries over the frozen layout.
 
-        The hot path of the frozen engine: the global ``dists``/``quals``
-        views are handed to the kernel directly (views, never copies),
-        then the whole batch runs through
-        :func:`~repro.core.query.batch_merge_flat` — the
-        hash-intersection merge loop shared with the directed and
-        weighted frozen engines.
+        The hot path of the frozen engine: the batch runs through the
+        selected kernel backend (see :mod:`repro.core.kernels`) — the
+        stdlib hash-intersection merge or the vectorized numpy kernels —
+        over per-side state cached on the flat store.  Answers are
+        bit-identical across backends.
         """
-        side = self._side
-        directory = side.directory()
-        hub_map = side.hub_map()
-        dists = side.dists
-        quals = side.quals
-        return batch_merge_flat(
-            queries,
-            directory,
-            hub_map,
-            dists,
-            quals,
-            directory,
-            hub_map,
-            dists,
-            quals,
-            len(self.order),
-        )
+        backend = self._backend
+        state = self._side.kernel_state(backend)
+        return backend.batch(queries, state, state, len(self.order))
+
+    # ------------------------------------------------------------------
+    # Kernel backend selection
+    # ------------------------------------------------------------------
+    @property
+    def kernel_backend(self) -> str:
+        """Name of the active kernel backend (``"stdlib"`` / ``"numpy"``)."""
+        return self._backend.name
+
+    def select_backend(self, backend) -> "FrozenWCIndex":
+        """Switch the engine's kernel backend (``"auto"`` / ``"stdlib"``
+        / ``"numpy"`` or a backend instance); returns ``self``.  Raises
+        :class:`~repro.core.kernels.KernelUnavailableError` when an
+        explicitly named backend cannot run here."""
+        self._backend = resolve_backend(backend)
+        return self
 
     # ------------------------------------------------------------------
     # Introspection
@@ -475,6 +484,7 @@ class _FlatSide:
         "parents",
         "_directory",
         "_hub_map",
+        "_kernel_states",
     )
 
     def __init__(
@@ -508,10 +518,15 @@ class _FlatSide:
         self.parents = parents
         self._directory: Optional[List[List[Tuple[int, int, int]]]] = None
         self._hub_map: Optional[List[dict]] = None
+        self._kernel_states: dict = {}
 
     def release(self) -> None:
         """Release every view so the backing buffer (mmap, shared memory)
         can be closed; the side must not be used afterwards."""
+        # Kernel states may hold buffer exports on the views (the numpy
+        # backend's frombuffer arrays do) — drop them first, or
+        # memoryview.release() raises BufferError.
+        self._kernel_states = {}
         self.offsets.release()
         self.hubs.release()
         self.dists.release()
@@ -550,6 +565,15 @@ class _FlatSide:
         if groups is None:
             groups = self._directory = _build_directory(self.offsets, self.hubs)
         return groups
+
+    def kernel_state(self, backend) -> object:
+        """This side's prepared state for ``backend``, built on first use
+        and cached per backend name (engines sharing a side — or one
+        engine switching backends — reuse the same state)."""
+        state = self._kernel_states.get(backend.name)
+        if state is None:
+            state = self._kernel_states[backend.name] = backend.prepare_side(self)
+        return state
 
     def hub_map(self) -> List[dict]:
         hub_map = self._hub_map
@@ -629,10 +653,14 @@ class FrozenDirectedWCIndex:
     :meth:`freeze` (or ``DirectedWCIndex.freeze()``).
     """
 
-    __slots__ = ("order", "rank", "_in", "_out")
+    __slots__ = ("order", "rank", "_in", "_out", "_backend")
 
     def __init__(
-        self, order: Sequence[int], in_side: _FlatSide, out_side: _FlatSide
+        self,
+        order: Sequence[int],
+        in_side: _FlatSide,
+        out_side: _FlatSide,
+        backend=None,
     ) -> None:
         n = len(order)
         if len(in_side.offsets) != n + 1 or len(out_side.offsets) != n + 1:
@@ -645,12 +673,13 @@ class FrozenDirectedWCIndex:
             self.rank[v] = r
         self._in = in_side
         self._out = out_side
+        self._backend = resolve_backend(backend)
 
     # ------------------------------------------------------------------
     # Freezing / thawing
     # ------------------------------------------------------------------
     @classmethod
-    def freeze(cls, index) -> "FrozenDirectedWCIndex":
+    def freeze(cls, index, backend=None) -> "FrozenDirectedWCIndex":
         """Snapshot a list-backed ``DirectedWCIndex`` into flat storage."""
         n = index.num_vertices
         tracks = index.tracks_parents
@@ -664,7 +693,7 @@ class FrozenDirectedWCIndex:
             index.out_label_lists,
             index.out_parent_list if tracks else None,
         )
-        return cls(index.order, in_side, out_side)
+        return cls(index.order, in_side, out_side, backend=backend)
 
     def thaw(self):
         """Expand back into a mutable list-backed ``DirectedWCIndex``;
@@ -711,22 +740,29 @@ class FrozenDirectedWCIndex:
 
     def distance_many(self, queries) -> List[float]:
         """Answer a batch of directed ``(s, t, w)`` queries through the
-        shared hash-intersection merge (out-side for sources, in-side for
+        selected kernel backend (out-side for sources, in-side for
         targets)."""
-        out = self._out
-        inn = self._in
-        return batch_merge_flat(
+        backend = self._backend
+        return backend.batch(
             queries,
-            out.directory(),
-            out.hub_map(),
-            out.dists,
-            out.quals,
-            inn.directory(),
-            inn.hub_map(),
-            inn.dists,
-            inn.quals,
+            self._out.kernel_state(backend),
+            self._in.kernel_state(backend),
             len(self.order),
         )
+
+    # ------------------------------------------------------------------
+    # Kernel backend selection
+    # ------------------------------------------------------------------
+    @property
+    def kernel_backend(self) -> str:
+        """Name of the active kernel backend (``"stdlib"`` / ``"numpy"``)."""
+        return self._backend.name
+
+    def select_backend(self, backend) -> "FrozenDirectedWCIndex":
+        """Switch the engine's kernel backend; returns ``self``.  See
+        :meth:`FrozenWCIndex.select_backend`."""
+        self._backend = resolve_backend(backend)
+        return self
 
     # ------------------------------------------------------------------
     # Introspection
@@ -809,7 +845,14 @@ class FrozenWeightedWCIndex:
     :meth:`freeze` (or ``WeightedWCIndex.freeze()``).
     """
 
-    __slots__ = ("order", "rank", "_side", "_parent_vertices", "_parent_entries")
+    __slots__ = (
+        "order",
+        "rank",
+        "_side",
+        "_parent_vertices",
+        "_parent_entries",
+        "_backend",
+    )
 
     def __init__(
         self,
@@ -817,6 +860,7 @@ class FrozenWeightedWCIndex:
         side: _FlatSide,
         parent_vertices=None,
         parent_entries=None,
+        backend=None,
     ) -> None:
         n = len(order)
         if len(side.offsets) != n + 1:
@@ -836,12 +880,13 @@ class FrozenWeightedWCIndex:
         self._side = side
         self._parent_vertices = parent_vertices
         self._parent_entries = parent_entries
+        self._backend = resolve_backend(backend)
 
     # ------------------------------------------------------------------
     # Freezing / thawing
     # ------------------------------------------------------------------
     @classmethod
-    def freeze(cls, index) -> "FrozenWeightedWCIndex":
+    def freeze(cls, index, backend=None) -> "FrozenWeightedWCIndex":
         """Snapshot a list-backed ``WeightedWCIndex`` into flat storage."""
         n = index.num_vertices
         side = _FlatSide.from_lists(n, index.label_lists)
@@ -854,7 +899,9 @@ class FrozenWeightedWCIndex:
                 for parent_vertex, parent_idx in index.parent_pairs(v):
                     parent_vertices.append(parent_vertex)
                     parent_entries.append(parent_idx)
-        return cls(index.order, side, parent_vertices, parent_entries)
+        return cls(
+            index.order, side, parent_vertices, parent_entries, backend=backend
+        )
 
     def thaw(self):
         """Expand back into a mutable list-backed ``WeightedWCIndex``;
@@ -898,24 +945,24 @@ class FrozenWeightedWCIndex:
 
     def distance_many(self, queries) -> List[float]:
         """Answer a batch of weighted ``(s, t, w)`` queries through the
-        shared hash-intersection merge."""
-        side = self._side
-        directory = side.directory()
-        hub_map = side.hub_map()
-        dists = side.dists
-        quals = side.quals
-        return batch_merge_flat(
-            queries,
-            directory,
-            hub_map,
-            dists,
-            quals,
-            directory,
-            hub_map,
-            dists,
-            quals,
-            len(self.order),
-        )
+        selected kernel backend."""
+        backend = self._backend
+        state = self._side.kernel_state(backend)
+        return backend.batch(queries, state, state, len(self.order))
+
+    # ------------------------------------------------------------------
+    # Kernel backend selection
+    # ------------------------------------------------------------------
+    @property
+    def kernel_backend(self) -> str:
+        """Name of the active kernel backend (``"stdlib"`` / ``"numpy"``)."""
+        return self._backend.name
+
+    def select_backend(self, backend) -> "FrozenWeightedWCIndex":
+        """Switch the engine's kernel backend; returns ``self``.  See
+        :meth:`FrozenWCIndex.select_backend`."""
+        self._backend = resolve_backend(backend)
+        return self
 
     # ------------------------------------------------------------------
     # Introspection

@@ -240,14 +240,14 @@ class WCIndex:
     # ------------------------------------------------------------------
     # Freezing
     # ------------------------------------------------------------------
-    def freeze(self):
+    def freeze(self, backend=None):
         """Snapshot into a :class:`~repro.core.frozen.FrozenWCIndex` —
         the flat-array query engine.  The frozen copy is independent:
         further mutation of this index does not affect it, and
         ``freeze().thaw()`` reproduces the index exactly."""
         from .frozen import FrozenWCIndex
 
-        return FrozenWCIndex.freeze(self)
+        return FrozenWCIndex.freeze(self, backend=backend)
 
     # ------------------------------------------------------------------
     # Introspection

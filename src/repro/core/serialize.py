@@ -68,6 +68,7 @@ from pathlib import Path
 from typing import BinaryIO, List, Optional, TextIO, Union
 
 from .directed import DirectedWCIndex
+from .kernels import available_backends
 from .frozen import (
     HUB_TYPECODE,
     OFFSET_TYPECODE,
@@ -571,11 +572,12 @@ def _read_side(reader, n: int, with_parents: bool):
     return offsets, hubs, dists, quals, parents
 
 
-def _assemble_engine(variant, reader, n, with_parents, validate):
+def _assemble_engine(variant, reader, n, with_parents, validate, backend=None):
     """Read sections off ``reader`` and construct the matching engine.
 
     Shared by every versioned loader — the reader abstracts the format
     (v2 offset table, v3 size-stamped table, copied or attached).
+    ``backend`` selects the engine's query-kernel backend.
     """
     order = _read_order(reader, n, validate)
 
@@ -588,7 +590,10 @@ def _assemble_engine(variant, reader, n, with_parents, validate):
                 _validate_frozen_body(n, *side)
         try:
             return FrozenDirectedWCIndex(
-                order, _FlatSide(n, *in_arrays), _FlatSide(n, *out_arrays)
+                order,
+                _FlatSide(n, *in_arrays),
+                _FlatSide(n, *out_arrays),
+                backend=backend,
             )
         except (ValueError, IndexError) as exc:
             raise IndexFormatError(
@@ -616,6 +621,7 @@ def _assemble_engine(variant, reader, n, with_parents, validate):
                 _FlatSide(n, offsets, hubs, dists, quals),
                 parent_vertices,
                 parent_entries,
+                backend=backend,
             )
         except (ValueError, IndexError) as exc:
             raise IndexFormatError(
@@ -627,7 +633,9 @@ def _assemble_engine(variant, reader, n, with_parents, validate):
     if validate:
         _validate_frozen_body(n, offsets, hubs, dists, quals, parents)
     try:
-        return FrozenWCIndex(order, offsets, hubs, dists, quals, parents)
+        return FrozenWCIndex(
+            order, offsets, hubs, dists, quals, parents, backend=backend
+        )
     except (ValueError, IndexError) as exc:
         raise IndexFormatError(f"inconsistent binary index: {exc}") from exc
 
@@ -655,6 +663,7 @@ def load_frozen(
     *,
     validate: bool = True,
     mode: str = "read",
+    backend=None,
 ):
     """Read a ``.wcxb`` file into the frozen engine its variant tag names
     (:class:`FrozenWCIndex`, :class:`FrozenDirectedWCIndex` or
@@ -677,14 +686,17 @@ def load_frozen(
     so a corrupted file fails loudly instead of silently answering
     queries wrongly.  Servers reloading images they themselves wrote can
     pass ``validate=False`` to keep startup at attach / raw-read speed.
+
+    ``backend`` selects the engine's query-kernel backend (``"auto"`` /
+    ``"stdlib"`` / ``"numpy"``; see :mod:`repro.core.kernels`).
     """
     if mode not in ("read", "mmap"):
         raise ValueError(f"unknown load mode {mode!r}; use 'read' or 'mmap'")
     if isinstance(source, (str, Path)):
         if mode == "mmap":
-            return _mmap_attach(source, validate)
+            return _mmap_attach(source, validate, backend)
         with open(source, "rb") as handle:
-            return load_frozen(handle, validate=validate)
+            return load_frozen(handle, validate=validate, backend=backend)
     if mode == "mmap":
         raise ValueError("mode='mmap' requires a file path, not a handle")
     data = source.read()
@@ -694,9 +706,9 @@ def load_frozen(
     if magic != BINARY_MAGIC:
         raise IndexFormatError(f"bad binary magic {magic!r}")
     if version == 1:
-        return _load_frozen_v1(data, validate)
+        return _load_frozen_v1(data, validate, backend)
     if version == 2:
-        return _load_frozen_v2(data, validate)
+        return _load_frozen_v2(data, validate, backend)
     if version != BINARY_VERSION:
         raise IndexFormatError(f"unsupported binary version {version}")
     variant, flags, n, names = _parse_v23_header(data)
@@ -708,17 +720,20 @@ def load_frozen(
                 f"trailing data after delta chain ({len(data) - end} bytes)"
             )
         return _assemble_with_deltas(
-            variant, flags, n, names, table, memoryview(data), blobs, validate
+            variant, flags, n, names, table, memoryview(data), blobs,
+            validate, backend,
         )
     reader = _SectionReaderV3(
         memoryview(data), names, table, attach=False, exact=True
     )
     return _assemble_engine(
-        variant, reader, n, bool(flags & _FLAG_PARENTS), validate
+        variant, reader, n, bool(flags & _FLAG_PARENTS), validate, backend
     )
 
 
-def attach_frozen(buffer, *, validate: bool = True, exact: bool = True):
+def attach_frozen(
+    buffer, *, validate: bool = True, exact: bool = True, backend=None
+):
     """Attach zero-copy to a v3 image held in ``buffer`` (any object
     exporting a C-contiguous byte buffer: ``bytes``, an ``mmap``, a
     ``multiprocessing.shared_memory`` block's ``.buf``).
@@ -728,7 +743,9 @@ def attach_frozen(buffer, *, validate: bool = True, exact: bool = True):
     attaching is near-constant in index size.  The caller owns the
     buffer's lifetime: call ``engine.release()`` before closing it.
     ``exact=False`` tolerates trailing bytes after the last section
-    (shared-memory segments are rounded up to page size).
+    (shared-memory segments are rounded up to page size).  ``backend``
+    selects the engine's query-kernel backend (``"auto"`` / ``"stdlib"``
+    / ``"numpy"``; see :mod:`repro.core.kernels`).
     """
     if sys.byteorder == "big":
         raise IndexFormatError(
@@ -764,14 +781,16 @@ def attach_frozen(buffer, *, validate: bool = True, exact: bool = True):
                     f"({len(base) - end} bytes)"
                 )
             return _assemble_with_deltas(
-                variant, flags, n, names, table, base, blobs, validate
+                variant, flags, n, names, table, base, blobs, validate,
+                backend,
             )
         reader = _SectionReaderV3(
             base, names, table, attach=True, exact=exact
         )
         try:
             return _assemble_engine(
-                variant, reader, n, bool(flags & _FLAG_PARENTS), validate
+                variant, reader, n, bool(flags & _FLAG_PARENTS), validate,
+                backend,
             )
         except Exception:
             reader.release()
@@ -780,7 +799,7 @@ def attach_frozen(buffer, *, validate: bool = True, exact: bool = True):
         base.release()
 
 
-def _mmap_attach(path: PathLike, validate: bool):
+def _mmap_attach(path: PathLike, validate: bool, backend=None):
     """``load_frozen(mode="mmap")``: map the file, attach to the map."""
     with open(path, "rb") as handle:
         try:
@@ -790,7 +809,9 @@ def _mmap_attach(path: PathLike, validate: bool):
                 "truncated binary index: missing header"
             ) from exc
     try:
-        return attach_frozen(mapped, validate=validate, exact=True)
+        return attach_frozen(
+            mapped, validate=validate, exact=True, backend=backend
+        )
     except Exception:
         mapped.close()
         raise
@@ -1194,21 +1215,24 @@ def _validate_assembled(variant: int, engine, n: int) -> None:
 
 
 def _assemble_with_deltas(
-    variant, flags, n, names, table, base, blobs, validate
+    variant, flags, n, names, table, base, blobs, validate, backend=None
 ):
     """Assemble the base sections (copying) and splice the delta chain."""
     reader = _SectionReaderV3(base, names, table, attach=False, exact=False)
     engine = _assemble_engine(
-        variant, reader, n, bool(flags & _FLAG_PARENTS), False
+        variant, reader, n, bool(flags & _FLAG_PARENTS), False, backend
     )
     for blob in blobs:
-        engine = _apply_delta_blob(variant, engine, blob, n)
+        # Splicing builds a fresh engine; re-pin the requested backend.
+        engine = _apply_delta_blob(variant, engine, blob, n).select_backend(
+            backend
+        )
     if validate:
         _validate_assembled(variant, engine, n)
     return engine
 
 
-def _load_frozen_v2(data: bytes, validate: bool):
+def _load_frozen_v2(data: bytes, validate: bool, backend=None):
     """The PR 3 layout: variant tag + unstamped, unaligned offset table."""
     variant, flags, n, names = _parse_v23_header(data)
     table, cursor = _read_array(
@@ -1216,11 +1240,11 @@ def _load_frozen_v2(data: bytes, validate: bool):
     )
     reader = _SectionReaderV2(data, cursor, table)
     return _assemble_engine(
-        variant, reader, n, bool(flags & _FLAG_PARENTS), validate
+        variant, reader, n, bool(flags & _FLAG_PARENTS), validate, backend
     )
 
 
-def _load_frozen_v1(data: bytes, validate: bool) -> FrozenWCIndex:
+def _load_frozen_v1(data: bytes, validate: bool, backend=None) -> FrozenWCIndex:
     """The PR 1 layout: undirected only, no variant tag or section table."""
     if len(data) < _BINARY_HEADER_V1.size:
         raise IndexFormatError("truncated binary index: missing header")
@@ -1249,7 +1273,9 @@ def _load_frozen_v1(data: bytes, validate: bool) -> FrozenWCIndex:
     if validate:
         _validate_frozen_body(n, offsets, hubs, dists, quals, parents)
     try:
-        return FrozenWCIndex(order, offsets, hubs, dists, quals, parents)
+        return FrozenWCIndex(
+            order, offsets, hubs, dists, quals, parents, backend=backend
+        )
     except ValueError as exc:
         raise IndexFormatError(f"inconsistent binary index: {exc}") from exc
 
@@ -1259,11 +1285,14 @@ def describe_frozen(source: Union[PathLike, BinaryIO]) -> dict:
     an engine.
 
     Returns ``{"format_version", "variant", "num_vertices",
-    "tracks_parents", "sections", "total_bytes"}`` where ``sections`` is
-    the ordered ``[{"name", "offset", "nbytes"}, ...]`` list.  For a v3
-    image only the header and the size-stamped section table are read —
-    constant work however large the index; v1/v2 images (no size stamps)
-    are read fully to reconstruct their layout.
+    "tracks_parents", "sections", "total_bytes", "kernel_backends"}``
+    where ``sections`` is the ordered ``[{"name", "offset", "nbytes"},
+    ...]`` list and ``kernel_backends`` names the query-kernel backends
+    available on *this* host (a property of the machine, not the image
+    — any backend can attach to any image).  For a v3 image only the
+    header and the size-stamped section table are read — constant work
+    however large the index; v1/v2 images (no size stamps) are read
+    fully to reconstruct their layout.
     """
     if isinstance(source, (str, Path)):
         with open(source, "rb") as handle:
@@ -1309,6 +1338,7 @@ def describe_frozen(source: Union[PathLike, BinaryIO]) -> dict:
         "sections": sections,
         "deltas": deltas,
         "total_bytes": total,
+        "kernel_backends": list(available_backends()),
     }
 
 

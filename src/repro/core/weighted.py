@@ -242,7 +242,7 @@ class WeightedWCIndex:
     # ------------------------------------------------------------------
     # Freezing
     # ------------------------------------------------------------------
-    def freeze(self):
+    def freeze(self, backend=None):
         """Snapshot into a
         :class:`~repro.core.frozen.FrozenWeightedWCIndex` — the
         flat-array query engine for weighted indexes.  The frozen copy is
@@ -250,7 +250,7 @@ class WeightedWCIndex:
         exactly."""
         from .frozen import FrozenWeightedWCIndex
 
-        return FrozenWeightedWCIndex.freeze(self)
+        return FrozenWeightedWCIndex.freeze(self, backend=backend)
 
     # ------------------------------------------------------------------
     # Path reconstruction (requires track_parents=True)

@@ -129,9 +129,9 @@ class _LiveIndexBase:
     def distance_many(self, queries) -> List[float]:
         return self.index.distance_many(queries)
 
-    def freeze(self):
+    def freeze(self, backend=None):
         """Snapshot the current list engine into its frozen counterpart."""
-        return self.index.freeze()
+        return self.index.freeze(backend=backend)
 
     def __repr__(self) -> str:
         return (

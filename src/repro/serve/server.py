@@ -58,6 +58,7 @@ import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core.kernels import resolve_backend
 from .errors import PoolUnavailableError, QueryTimeoutError, ServeError
 from .shm import ShmIndexImage, attach_image
 
@@ -93,7 +94,9 @@ def _epoch_of(segment_name: Optional[str]) -> Optional[int]:
     return int(match.group(1)) if match else None
 
 
-def _worker_main(slot, image_name, tasks, results, fault_plan) -> None:
+def _worker_main(
+    slot, image_name, tasks, results, fault_plan, backend=None
+) -> None:
     """Worker loop: attach to the image, process jobs off this worker's
     own task queue until the ``None`` sentinel, then detach cleanly.
 
@@ -121,7 +124,7 @@ def _worker_main(slot, image_name, tasks, results, fault_plan) -> None:
         delay = fault_plan.delay_seconds.get(slot)
         drop_left = fault_plan.drop_first.get(slot, 0)
     handled = 0
-    attached = attach_image(image_name)
+    attached = attach_image(image_name, backend=backend)
     try:
         while True:
             job = tasks.get()
@@ -130,7 +133,7 @@ def _worker_main(slot, image_name, tasks, results, fault_plan) -> None:
             job_id, kind, payload = job
             if kind == "swap":
                 try:
-                    fresh = attach_image(payload)
+                    fresh = attach_image(payload, backend=backend)
                 except Exception as exc:
                     results.send(
                         (job_id, "error", f"{type(exc).__name__}: {exc}")
@@ -180,9 +183,12 @@ class QueryServer:
 
     ``source`` is any index engine (all three families, frozen or
     list-backed) or an index path.  ``workers`` processes attach to one
-    shared image; every answer is produced by the same
-    :func:`~repro.core.query.batch_merge_flat` kernel as the
-    single-process frozen engine, so results are bit-identical.
+    shared image; every answer is produced by the same pluggable batch
+    kernel (:mod:`repro.core.kernels`) as the single-process frozen
+    engine, so results are bit-identical.  ``kernel`` selects the
+    backend — ``None``/``"auto"`` auto-detects (numpy when installed),
+    and an explicit unavailable name fails fast at construction; the
+    resolved name is pinned into every worker and the fallback engine.
 
     ``start_method`` picks the ``multiprocessing`` context (default:
     ``fork`` where available — instant workers — else ``spawn``).
@@ -215,9 +221,14 @@ class QueryServer:
         supervisor_options: Optional[dict] = None,
         fallback: bool = False,
         fault_plan=None,
+        kernel=None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
+        # Resolve eagerly: an explicit-but-unavailable kernel fails fast
+        # here, in the parent, not inside N workers.  Workers receive
+        # the resolved *name*, so "auto" pins the parent's choice.
+        self._kernel = resolve_backend(kernel).name
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in available else "spawn"
@@ -285,6 +296,7 @@ class QueryServer:
                 self._task_queues[slot],
                 writer,
                 self._fault_plan,
+                self._kernel,
             ),
             daemon=True,
             name=f"wcindex-worker-{slot}",
@@ -584,7 +596,9 @@ class QueryServer:
     def _fallback(self):
         """The lazily attached in-process engine over the current image."""
         if self._fallback_engine is None:
-            self._fallback_engine = self._image.attach_engine()
+            self._fallback_engine = self._image.attach_engine(
+                backend=self._kernel
+            )
         return self._fallback_engine
 
     def _release_fallback(self) -> None:
@@ -697,6 +711,12 @@ class QueryServer:
         return self._supervisor
 
     @property
+    def kernel_backend(self) -> str:
+        """Resolved kernel backend name every worker (and the in-process
+        fallback) answers with — ``"stdlib"`` or ``"numpy"``."""
+        return self._kernel
+
+    @property
     def image_name(self) -> str:
         """Segment name of the currently published image."""
         if self._image is None:
@@ -729,6 +749,7 @@ class QueryServer:
                 "supervised": False,
                 "segment": None,
                 "epoch": None,
+                "kernel": self._kernel,
                 "alive": 0,
                 "restarts": 0,
                 "workers": [],
@@ -743,6 +764,7 @@ class QueryServer:
             "supervised": False,
             "segment": self._image.name,
             "epoch": _epoch_of(self._image.name),
+            "kernel": self._kernel,
             "alive": alive,
             "restarts": 0,
             "workers": workers,

@@ -142,14 +142,19 @@ class ShmIndexImage:
         #: Exact image size — the segment itself is page-rounded.
         self.size: int = len(data)
 
-    def attach_engine(self, *, validate: bool = False):
+    def attach_engine(self, *, validate: bool = False, backend=None):
         """A zero-copy frozen engine over the creator's own mapping.
+
+        ``backend`` selects the kernel backend of the returned engine
+        (see :func:`repro.core.kernels.resolve_backend`).
 
         Call ``engine.release()`` before :meth:`destroy`.
         """
         if self._shm is None:
             raise ValueError("shared-memory image already destroyed")
-        return attach_frozen(self._shm.buf, validate=validate, exact=False)
+        return attach_frozen(
+            self._shm.buf, validate=validate, exact=False, backend=backend
+        )
 
     def destroy(self) -> None:
         """Close the local mapping and unlink the segment (idempotent —
@@ -229,17 +234,22 @@ class AttachedIndex:
         return f"AttachedIndex({state})"
 
 
-def attach_image(name: str, *, validate: bool = False) -> AttachedIndex:
+def attach_image(
+    name: str, *, validate: bool = False, backend=None
+) -> AttachedIndex:
     """Attach to a published image by segment name.
 
     Returns an :class:`AttachedIndex` whose engine answers queries
     zero-copy out of the shared pages.  ``validate`` defaults to off —
     the creator validated (or produced) the image; attaching must stay
-    near-constant in index size.
+    near-constant in index size.  ``backend`` selects the engine's
+    kernel backend (``None`` auto-detects).
     """
     shm = _open_untracked(name)
     try:
-        engine = attach_frozen(shm.buf, validate=validate, exact=False)
+        engine = attach_frozen(
+            shm.buf, validate=validate, exact=False, backend=backend
+        )
     except Exception:
         shm.close()
         raise

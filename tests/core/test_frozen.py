@@ -149,9 +149,12 @@ class TestStructure:
 
     def test_directory_views_are_lazy(self):
         # Loading/freezing must stay at raw array speed: the group
-        # directory appears on the first query, the hub map on the first
-        # batch.
-        frozen = build_wc_index_plus(paper_figure3(), "identity").freeze()
+        # directory appears on the first query, the hub map on the
+        # first stdlib batch (other kernel backends build their own
+        # per-side state instead and never touch it).
+        frozen = build_wc_index_plus(paper_figure3(), "identity").freeze(
+            backend="stdlib"
+        )
         side = frozen._side
         assert side._directory is None and side._hub_map is None
         frozen.distance(0, 4, 1.0)

@@ -1,7 +1,9 @@
 """Property-based equivalence: every way of serving a frozen image —
 ``mode="read"`` copy-load, ``mode="mmap"`` zero-copy attach, and a
 shared-memory attach — answers identically, for all three index
-families, over the hypothesis graph strategies."""
+families, on every available kernel backend (the stdlib oracle, and
+the vectorized numpy backend when installed), over the hypothesis
+graph strategies."""
 
 from __future__ import annotations
 
@@ -22,6 +24,7 @@ from tests.test_properties import (
 from repro.core import (
     DirectedWCIndex,
     WeightedWCIndex,
+    available_backends,
     build_wc_index_plus,
     load_frozen,
     save_frozen,
@@ -30,19 +33,22 @@ from repro.serve import ShmIndexImage, attach_image
 
 
 @contextmanager
-def served_engines(index):
-    """The three serving attachments of one index: read-loaded, mmap'd,
-    and shared-memory-attached (in-process)."""
+def served_engines(index, backend):
+    """The three serving attachments of one index — read-loaded,
+    mmap'd, and shared-memory-attached (in-process) — all pinned to
+    one kernel backend."""
     buffer = io.BytesIO()
     save_frozen(index, buffer)
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "image.wcxb"
         path.write_bytes(buffer.getvalue())
-        read_engine = load_frozen(path)
-        mmap_engine = load_frozen(path, mode="mmap")
+        read_engine = load_frozen(path, backend=backend)
+        mmap_engine = load_frozen(path, mode="mmap", backend=backend)
         try:
             with ShmIndexImage(index) as image:
-                with attach_image(image.name, validate=True) as attached:
+                with attach_image(
+                    image.name, validate=True, backend=backend
+                ) as attached:
                     yield read_engine, mmap_engine, attached.engine
         finally:
             mmap_engine.release()
@@ -57,31 +63,31 @@ def all_pair_queries(n):
     ]
 
 
-def assert_equivalent(index, frozen):
+def assert_equivalent(index):
+    """Every attach mode × every available backend answers exactly like
+    the frozen stdlib oracle."""
     queries = all_pair_queries(index.num_vertices)
-    expected = frozen.distance_many(queries)
-    with served_engines(index) as (read_engine, mmap_engine, shm_engine):
-        assert read_engine.distance_many(queries) == expected
-        assert mmap_engine.distance_many(queries) == expected
-        assert shm_engine.distance_many(queries) == expected
+    expected = index.freeze(backend="stdlib").distance_many(queries)
+    for backend in available_backends():
+        with served_engines(index, backend) as engines:
+            for engine in engines:
+                assert engine.kernel_backend == backend
+                assert engine.distance_many(queries) == expected
 
 
 @settings(max_examples=20)
 @given(quality_graphs())
 def test_undirected_serving_equivalence(graph):
-    index = build_wc_index_plus(graph, "degree")
-    assert_equivalent(index, index.freeze())
+    assert_equivalent(build_wc_index_plus(graph, "degree"))
 
 
 @settings(max_examples=20)
 @given(quality_digraphs())
 def test_directed_serving_equivalence(graph):
-    index = DirectedWCIndex(graph)
-    assert_equivalent(index, index.freeze())
+    assert_equivalent(DirectedWCIndex(graph))
 
 
 @settings(max_examples=20)
 @given(quality_weighted_graphs())
 def test_weighted_serving_equivalence(graph):
-    index = WeightedWCIndex(graph)
-    assert_equivalent(index, index.freeze())
+    assert_equivalent(WeightedWCIndex(graph))

@@ -113,6 +113,32 @@ class TestQueryServer:
         with pytest.raises(RuntimeError, match="closed"):
             server.image_bytes
 
+    def test_kernel_pinned_into_pool_and_health(self, frozen, workload):
+        expected = frozen.distance_many(workload)
+        for kernel in (None, "stdlib"):
+            with QueryServer(
+                frozen, workers=2, kernel=kernel, fallback=True
+            ) as server:
+                if kernel is not None:
+                    assert server.kernel_backend == kernel
+                assert server.health()["kernel"] == server.kernel_backend
+                assert server.query_batch(workload) == expected
+                # The in-process fallback engine answers on the same
+                # pinned backend.
+                fallback = server._fallback()
+                assert fallback.kernel_backend == server.kernel_backend
+                assert fallback.distance_many(workload) == expected
+
+    def test_explicit_numpy_kernel_fails_fast_when_unavailable(
+        self, frozen, monkeypatch
+    ):
+        from repro.core import KernelUnavailableError, kernels
+
+        monkeypatch.setattr(kernels, "_load_numpy", lambda: None)
+        monkeypatch.setattr(kernels, "_INSTANCES", {})
+        with pytest.raises(KernelUnavailableError):
+            QueryServer(frozen, workers=1, kernel="numpy")
+
     def test_workers_validated(self, frozen):
         with pytest.raises(ValueError, match="worker"):
             QueryServer(frozen, workers=0)

@@ -208,6 +208,105 @@ class TestFrozenEngine:
             )
 
 
+class TestKernelFlag:
+    """The ``--kernel`` backend selector on the query/serve/stats
+    paths: identical answers on every backend, fail-fast on an
+    explicitly named unavailable one."""
+
+    @pytest.fixture
+    def binary_index_file(self, graph_file, tmp_path):
+        path = tmp_path / "net.wcxb"
+        assert main(
+            ["build", "--graph", str(graph_file), "--out", str(path),
+             "--ordering", "identity"]
+        ) == 0
+        return path
+
+    @pytest.fixture
+    def no_numpy(self, monkeypatch):
+        from repro.core import kernels
+
+        monkeypatch.setattr(kernels, "_load_numpy", lambda: None)
+        monkeypatch.setattr(kernels, "_INSTANCES", {})
+
+    def test_query_kernels_answer_identically(
+        self, binary_index_file, capsys
+    ):
+        from repro.core import available_backends
+
+        outputs = set()
+        for kernel in ("auto",) + available_backends():
+            assert (
+                main(
+                    ["query", "--engine", "frozen", "--kernel", kernel,
+                     "--index", str(binary_index_file), "2", "5", "2.0"]
+                )
+                == 0
+            )
+            outputs.add(capsys.readouterr().out)
+        assert outputs == {"2 5 2 -> 2\n"}
+
+    def test_mmap_engine_honors_kernel(self, binary_index_file, capsys):
+        assert (
+            main(
+                ["query", "--engine", "mmap", "--kernel", "stdlib",
+                 "--index", str(binary_index_file), "2", "5", "2.0"]
+            )
+            == 0
+        )
+        assert "2 5 2 -> 2" in capsys.readouterr().out
+
+    def test_explicit_numpy_fails_fast_without_numpy(
+        self, binary_index_file, no_numpy
+    ):
+        with pytest.raises(SystemExit, match="not available"):
+            main(
+                ["query", "--engine", "frozen", "--kernel", "numpy",
+                 "--index", str(binary_index_file), "2", "5", "2.0"]
+            )
+
+    def test_auto_without_numpy_falls_back(
+        self, binary_index_file, no_numpy, capsys
+    ):
+        assert (
+            main(
+                ["query", "--engine", "frozen", "--kernel", "auto",
+                 "--index", str(binary_index_file), "2", "5", "2.0"]
+            )
+            == 0
+        )
+        assert "2 5 2 -> 2" in capsys.readouterr().out
+
+    def test_serve_rejects_numpy_before_spawning(
+        self, binary_index_file, no_numpy
+    ):
+        with pytest.raises(SystemExit, match="serve: .*not available"):
+            main(
+                ["serve", "--index", str(binary_index_file), "--kernel",
+                 "numpy", "2", "5", "2.0"]
+            )
+
+    def test_serve_reports_kernel(self, binary_index_file, capsys):
+        assert (
+            main(
+                ["serve", "--index", str(binary_index_file), "--workers",
+                 "2", "--kernel", "stdlib", "2", "5", "2.0"]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "2 5 2 -> 2" in captured.out
+        assert "stdlib kernel" in captured.err
+
+    def test_stats_reports_backend(self, binary_index_file, capsys):
+        from repro.core import default_backend_name
+
+        assert main(["stats", "--index", str(binary_index_file)]) == 0
+        out = capsys.readouterr().out
+        assert f"kernel backend:  {default_backend_name()}" in out
+        assert "available: stdlib" in out
+
+
 class TestServeCommand:
     @pytest.fixture
     def binary_index_file(self, graph_file, tmp_path):
