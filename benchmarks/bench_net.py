@@ -1,0 +1,235 @@
+"""Network front door benchmarks: micro-batching win and overload behaviour.
+
+The TCP counterpart of ``bench_serving.py``: saves WC-INDEX+ as a
+``.wcxb`` image, puts :class:`~repro.serve.net.NetServerThread` in
+front of the frozen engine, and measures with the real protocol and
+real sockets
+
+* **coalescing throughput** — 32 concurrent closed-loop
+  :class:`~repro.serve.client.NetClient` connections against the
+  micro-batching server (``max_batch=128``) versus the same traffic
+  against per-request dispatch (``max_batch=1``).  The speedup is the
+  gated headline (``--gate``, default 2x; CI gates lower for shared
+  runners).
+* **overload discipline** — open-loop Poisson traffic far beyond a
+  deliberately slowed backend's capacity, against a tiny admission
+  budget.  The gate is behavioural, not a ratio: the admission
+  controller must shed (typed ``ServerOverloadedError`` answers), and
+  every request sent must come back as ok/overloaded/failed — zero
+  silent drops.
+* **bit-identity** — the coalesced server's answers must equal the
+  in-process engine's on the same workload.
+
+Rows merge into ``BENCH_query_engines.json`` as ``family: net``.  Run
+directly (CI does)::
+
+    PYTHONPATH=src python benchmarks/bench_net.py
+
+Exits non-zero when the coalescing speedup misses the gate, the
+overload run sheds nothing (or loses requests), or answers diverge.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.bench.loadgen import LoadReport, closed_loop, open_loop
+from repro.bench.reporting import merge_query_engine_rows
+from repro.core import WCIndexBuilder, load_frozen, save_frozen
+from repro.serve import InProcessClient, NetClient, NetServerThread
+from repro.workloads import datasets as ds
+from repro.workloads.queries import random_queries
+
+DEFAULT_DATASET = "FLA"
+
+#: Concurrent closed-loop connections (the acceptance point).
+CLIENTS = 32
+
+
+class _SlowBackend:
+    """The engine with a fixed per-call service delay — a stand-in for a
+    saturated pool, so the overload probe exercises admission control
+    instead of needing to out-race an in-process numpy kernel."""
+
+    def __init__(self, engine, delay_s: float) -> None:
+        self._engine = engine
+        self._delay_s = delay_s
+
+    def distance_many(self, queries):
+        time.sleep(self._delay_s)
+        return self._engine.distance_many(queries)
+
+
+def _drive(address, workload, *, duration_s: float) -> LoadReport:
+    host, port = address
+    return closed_loop(
+        lambda: NetClient(host, port),
+        workload,
+        clients=CLIENTS,
+        duration_s=duration_s,
+    )
+
+
+def bench_coalescing(
+    engine, workload, *, duration_s: float
+) -> Dict[str, object]:
+    """Race micro-batching against per-request dispatch over TCP."""
+    with NetServerThread(InProcessClient(engine), max_batch=1) as front:
+        per_request = _drive(front.address, workload, duration_s=duration_s)
+    with NetServerThread(InProcessClient(engine), max_batch=128) as front:
+        coalesced = _drive(front.address, workload, duration_s=duration_s)
+        host, port = front.address
+        with NetClient(host, port) as client:
+            identical = client.distance_many(workload) == engine.distance_many(
+                workload
+            )
+        batch_stats = front.health_report()["batch_sizes"]
+    speedup = (
+        coalesced.throughput_qps / per_request.throughput_qps
+        if per_request.throughput_qps
+        else float("inf")
+    )
+    return {
+        "per_request": per_request,
+        "coalesced": coalesced,
+        "speedup": speedup,
+        "mean_batch": batch_stats["mean_size"],
+        "identical": identical,
+    }
+
+
+def bench_overload(engine, workload, *, duration_s: float) -> Dict[str, object]:
+    """Open-loop traffic beyond a slowed backend's capacity: the
+    admission controller must shed, and nothing may vanish."""
+    # The in-flight budget sits below the sender concurrency, so the
+    # offered load can actually overrun it.
+    backend = _SlowBackend(engine, delay_s=0.005)
+    with NetServerThread(
+        InProcessClient(backend), max_batch=8, max_inflight=4
+    ) as front:
+        host, port = front.address
+        report = open_loop(
+            lambda: NetClient(host, port),
+            workload,
+            rate_qps=2000.0,
+            duration_s=duration_s,
+            clients=16,
+            max_outstanding=256,
+        )
+        server_queries = front.health_report()["queries"]
+    accounted = report.ok + report.overloaded + report.failed
+    return {
+        "report": report,
+        "server_queries": server_queries,
+        "shed": report.overloaded,
+        "accounted": accounted == report.sent,
+        "p99_ms": report.p99_ms,
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default="BENCH_query_engines.json",
+        help="result file (default: BENCH_query_engines.json in the cwd)",
+    )
+    parser.add_argument("--dataset", default=DEFAULT_DATASET)
+    parser.add_argument("--queries", type=int, default=2000)
+    parser.add_argument(
+        "--duration", type=float, default=2.0,
+        help="seconds per closed-loop measurement (default 2)",
+    )
+    parser.add_argument(
+        "--gate", type=float, default=2.0,
+        help="minimum coalesced vs per-request throughput speedup at "
+        f"{CLIENTS} closed-loop clients (default 2.0; CI gates lower "
+        "for shared-runner noise)",
+    )
+    args = parser.parse_args(argv)
+
+    graph = ds.load(args.dataset)
+    index = WCIndexBuilder(graph, "hybrid", query_kernel="linear").build()
+    workload = list(random_queries(graph, args.queries, seed=3))
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / f"{args.dataset}.wcxb"
+        save_frozen(index.freeze(), path)
+        engine = load_frozen(path)
+
+        coalescing = bench_coalescing(
+            engine, workload, duration_s=args.duration
+        )
+        overload = bench_overload(
+            engine, workload, duration_s=min(args.duration, 2.0)
+        )
+
+    per_request = coalescing["per_request"]
+    coalesced = coalescing["coalesced"]
+    coalescing_ok = (
+        coalescing["speedup"] >= args.gate and coalescing["identical"]
+    )
+    print(
+        f"{args.dataset}/net: per-request {per_request.throughput_qps:,.0f} "
+        f"q/s, coalesced {coalesced.throughput_qps:,.0f} q/s "
+        f"({coalescing['speedup']:.1f}x, mean batch "
+        f"{coalescing['mean_batch']:.1f}, p99 {coalesced.p99_ms:.2f} ms, "
+        f"identical={coalescing['identical']}) "
+        f"{'ok' if coalescing_ok else 'FAIL'}"
+    )
+
+    overload_ok = overload["shed"] > 0 and overload["accounted"]
+    print(
+        f"{args.dataset}/net overload: {overload['report'].sent} sent, "
+        f"{overload['shed']} shed, {overload['report'].failed} failed, "
+        f"p99 {overload['p99_ms']:.2f} ms, "
+        f"accounted={overload['accounted']} "
+        f"{'ok' if overload_ok else 'FAIL'}"
+    )
+
+    record = {
+        "dataset": args.dataset,
+        "family": "net",
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "queries": len(workload),
+        "clients": CLIENTS,
+        "identical_results": coalescing["identical"],
+        "coalescing_speedup": coalescing["speedup"],
+        "mean_batch_size": coalescing["mean_batch"],
+        "engines": {
+            "NET-PER-REQUEST": {
+                "queries_per_sec": per_request.throughput_qps,
+                "p99_ms": per_request.p99_ms,
+            },
+            "NET-COALESCED": {
+                "queries_per_sec": coalesced.throughput_qps,
+                "p99_ms": coalesced.p99_ms,
+            },
+        },
+        "overload": {
+            "sent": overload["report"].sent,
+            "shed": overload["shed"],
+            "failed": overload["report"].failed,
+            "p99_ms": overload["p99_ms"],
+            "all_accounted": overload["accounted"],
+        },
+    }
+    merge_query_engine_rows(args.out, {"net_coalescing": args.gate}, [record])
+    print(f"wrote {args.out}")
+    if not (coalescing_ok and overload_ok):
+        print(
+            f"FAILED: coalescing below {args.gate:.1f}x gate, answers "
+            "diverged, or overload discipline broken",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,7 @@ Package map:
   and table of the paper's evaluation.
 """
 
+from .api import open_index
 from .baselines import (
     BidirectionalConstrainedBFS,
     ConstrainedBFS,
@@ -66,6 +67,7 @@ __all__ = [
     "DynamicWCIndex",
     "build_wc_index",
     "build_wc_index_plus",
+    "open_index",
     "ConstrainedBFS",
     "PartitionedBFS",
     "PartitionedDijkstra",

@@ -15,7 +15,12 @@ Subcommands:
 * ``serve``   — answer the same queries through a shared-memory
   multi-process worker pool (``--workers``): one frozen image published
   in ``multiprocessing.shared_memory``, N processes answering batches
-  over it.
+  over it.  ``--listen HOST:PORT`` puts the asyncio TCP front door in
+  front of the pool instead (binary frames, micro-batching, admission
+  control) and runs until SIGINT/SIGTERM.
+* ``loadgen`` — drive a running ``serve --listen`` with closed-loop or
+  open-loop (Poisson) traffic and report throughput, latency
+  percentiles and the shed/failed disposition.
 * ``update``  — apply an edge-mutation file to a saved ``.wcxb`` index:
   journal the updates against the graph, incrementally refreeze only
   the dirty vertices, and write the image back (in-place byte-range
@@ -35,6 +40,8 @@ Example::
     python -m repro query --engine frozen --index net.wcxb 0 42 3.0
     echo "0 42 3.0" | python -m repro query --index net.wcxb -
     echo "0 42 3.0" | python -m repro serve --index net.wcxb --workers 4 -
+    python -m repro serve --index net.wcxb --listen 127.0.0.1:7071
+    echo "0 42 3.0" | python -m repro loadgen --connect 127.0.0.1:7071 -
     python -m repro update --index net.wcxb --graph net.edges --updates ops.txt
 """
 
@@ -81,25 +88,21 @@ def _resolve_kernel(spec, command: str) -> str:
 def _load_engine(path: str, engine: str, kernel=None):
     """Load ``path`` as the requested query engine.
 
-    ``.wcxb`` files (suffix matched case-insensitively) hold a frozen
-    image of any index family: ``frozen`` serves it directly, ``mmap``
-    attaches to it zero-copy (v3 images), ``list`` thaws it.  Text
-    indexes are loaded list-backed and frozen on demand (``mmap`` needs
-    the binary format).  ``kernel`` pins the frozen engines' batch
+    A thin shim over :func:`repro.open_index` translating the CLI's
+    ``--engine {list,frozen,mmap}`` vocabulary (``mmap`` is the frozen
+    engine over ``mode="mmap"`` storage) and turning dispatch errors
+    into clean exits.  ``kernel`` pins the frozen engines' batch
     backend (the list engine has no backend and ignores it).
     """
-    if is_binary_index_path(path):
-        if engine == "mmap":
-            return load_frozen(path, mode="mmap", backend=kernel)
-        frozen = load_frozen(path, backend=kernel)
-        return frozen if engine == "frozen" else frozen.thaw()
+    from . import open_index
+
+    mode = "mmap" if engine == "mmap" else "read"
     if engine == "mmap":
-        raise SystemExit(
-            f"query: --engine mmap needs a binary {path!r}; save the index "
-            f"to a .wcxb path first"
-        )
-    index = load_index(path)
-    return index.freeze(backend=kernel) if engine == "frozen" else index
+        engine = "frozen"
+    try:
+        return open_index(path, engine=engine, mode=mode, backend=kernel)
+    except ValueError as exc:
+        raise SystemExit(f"query: {exc}") from None
 
 
 def _build_graph(args):
@@ -170,6 +173,24 @@ def _read_queries(args):
     return [_parse_query_line(line) for line in lines]
 
 
+def _read_workload(args):
+    """Like :func:`_read_queries`, but positional args may carry a whole
+    workload mix — any multiple of three tokens, one query per triple."""
+    if args.query == ["-"]:
+        lines = [line for line in sys.stdin if line.strip()]
+        return [_parse_query_line(line) for line in lines]
+    tokens = args.query
+    if len(tokens) % 3 != 0:
+        raise ValueError(
+            f"expected 's t w' triples, got {len(tokens)} token(s): "
+            f"{' '.join(tokens)!r}"
+        )
+    return [
+        _parse_query_line(" ".join(tokens[at:at + 3]))
+        for at in range(0, len(tokens), 3)
+    ]
+
+
 def _print_answers(queries, answers) -> None:
     for (s, t, w), dist in zip(queries, answers):
         rendered = "INF" if dist == float("inf") else f"{dist:g}"
@@ -183,6 +204,100 @@ def _cmd_query(args) -> int:
     # batch hot path (the frozen engine's hash-intersection merge).
     queries = _read_queries(args)
     _print_answers(queries, index.distance_many(queries))
+    return 0
+
+
+def _parse_hostport(spec: str, command: str):
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(f"{command}: expected HOST:PORT, got {spec!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def _serve_listen(args, kernel: str) -> int:
+    """``serve --listen``: the asyncio TCP front door over the pool.
+
+    Runs until SIGINT/SIGTERM, then shuts down cleanly and prints the
+    final stats snapshot (admissions, sheds, latency percentiles).
+    """
+    import signal
+    import threading
+
+    from .serve import NetServerThread, PoolClient, QueryServer
+    from .serve.net import (
+        DEFAULT_MAX_BATCH,
+        DEFAULT_MAX_INFLIGHT,
+        DEFAULT_MAX_WAIT_US,
+    )
+
+    host, port = _parse_hostport(args.listen, "serve")
+    max_batch = (
+        args.max_batch if args.max_batch is not None else DEFAULT_MAX_BATCH
+    )
+    max_wait_us = (
+        args.max_wait_us
+        if args.max_wait_us is not None
+        else DEFAULT_MAX_WAIT_US
+    )
+    max_inflight = (
+        args.max_inflight
+        if args.max_inflight is not None
+        else DEFAULT_MAX_INFLIGHT
+    )
+    supervisor_options = None
+    if args.max_restarts is not None:
+        supervisor_options = {"max_restarts": args.max_restarts}
+    with QueryServer(
+        args.index,
+        workers=args.workers,
+        supervise=args.supervise,
+        supervisor_options=supervisor_options,
+        fallback=args.fallback,
+        kernel=kernel,
+    ) as server:
+        backend = PoolClient(
+            server, timeout=args.query_timeout, retries=args.retries
+        )
+        with NetServerThread(
+            backend,
+            host=host,
+            port=port,
+            max_batch=max_batch,
+            max_wait_us=max_wait_us,
+            max_inflight=max_inflight,
+        ) as front:
+            bound_host, bound_port = front.address
+            # The parse-friendly readiness line scripts wait for.
+            print(f"listening on {bound_host}:{bound_port}", flush=True)
+            print(
+                f"serving {args.index} over TCP "
+                f"({server.num_workers} workers, {server.kernel_backend} "
+                f"kernel, max_batch={max_batch}, "
+                f"max_wait_us={max_wait_us:g}, "
+                f"max_inflight={max_inflight})",
+                file=sys.stderr,
+            )
+            done = threading.Event()
+            previous = {
+                sig: signal.signal(sig, lambda *_: done.set())
+                for sig in (signal.SIGINT, signal.SIGTERM)
+            }
+            try:
+                done.wait()
+            finally:
+                for sig, handler in previous.items():
+                    signal.signal(sig, handler)
+            report = front.health_report()
+    queries = report["queries"]
+    latency = report["latency"]
+    print(
+        f"served {queries['answered']} queries "
+        f"({queries['shed']} shed, {queries['failed']} failed); "
+        f"latency p50={latency['p50_ms']:.3f}ms "
+        f"p95={latency['p95_ms']:.3f}ms p99={latency['p99_ms']:.3f}ms",
+        file=sys.stderr,
+    )
+    print("shutdown complete", file=sys.stderr)
     return 0
 
 
@@ -204,6 +319,19 @@ def _cmd_serve(args) -> int:
             file=sys.stderr,
         )
     kernel = _resolve_kernel(args.kernel, "serve")
+    if args.listen is not None:
+        if args.query:
+            raise SystemExit(
+                "serve: --listen runs until interrupted; drive queries "
+                "over the network with 'python -m repro loadgen'"
+            )
+        if args.chaos_kill:
+            raise SystemExit("serve: --chaos-kill does not combine with --listen")
+        return _serve_listen(args, kernel)
+    if not args.query:
+        raise SystemExit(
+            "serve: queries required ('s t w' or '-') unless --listen"
+        )
     queries = _read_queries(args)
     supervisor_options = None
     if args.max_restarts is not None:
@@ -256,6 +384,48 @@ def _cmd_serve(args) -> int:
             print("serve: expected at least one respawn", file=sys.stderr)
             return 1
     _print_answers(queries, answers)
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from .bench.loadgen import closed_loop, open_loop
+    from .serve import NetClient
+
+    host, port = _parse_hostport(args.connect, "loadgen")
+    try:
+        queries = _read_workload(args)
+    except ValueError as exc:
+        raise SystemExit(f"loadgen: {exc}")
+
+    def client_factory():
+        return NetClient(host, port, timeout=args.timeout)
+
+    # Probe the server up front so a wrong address is one clean error,
+    # not one per generator thread.
+    try:
+        client_factory().close()
+    except OSError as exc:
+        raise SystemExit(f"loadgen: cannot connect to {args.connect}: {exc}")
+    if args.mode == "open":
+        if args.rate is None:
+            raise SystemExit("loadgen: --mode open requires --rate")
+        report = open_loop(
+            client_factory,
+            queries,
+            rate_qps=args.rate,
+            duration_s=args.duration,
+            clients=args.clients,
+            max_outstanding=args.max_outstanding,
+        )
+    else:
+        report = closed_loop(
+            client_factory,
+            queries,
+            clients=args.clients,
+            duration_s=args.duration,
+            batch=args.batch,
+        )
+    print(report.format())
     return 0
 
 
@@ -392,10 +562,12 @@ def _cmd_stats(args) -> int:
     from .core.labels import BYTES_PER_ENTRY
     from .core.serialize import describe_frozen
 
+    from . import open_index
+
     # A .wcxb is reported straight from the frozen engine — no thaw, so
     # stats on a large serving index stays as cheap as loading it.
     is_binary = is_binary_index_path(args.index)
-    index = load_frozen(args.index) if is_binary else load_index(args.index)
+    index = open_index(args.index)
     described = describe_frozen(args.index) if is_binary else None
     if is_binary:
         print(f"engine:          {type(index).__name__}")
@@ -591,11 +763,108 @@ def build_parser() -> argparse.ArgumentParser:
         "fails fast",
     )
     p_serve.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve over TCP instead of answering the positional "
+        "queries: bind the asyncio front door (length-prefixed binary "
+        "frames, micro-batching, admission control) and run until "
+        "SIGINT/SIGTERM (port 0 picks a free port; the bound address "
+        "is printed as 'listening on HOST:PORT')",
+    )
+    p_serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        help="--listen: queries coalesced into one pool batch before "
+        "the window flushes (default 128)",
+    )
+    p_serve.add_argument(
+        "--max-wait-us",
+        type=float,
+        default=None,
+        help="--listen: micro-batching window in microseconds — how "
+        "long an admitted query waits for company (default 500)",
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="--listen: admission budget; queries beyond this many "
+        "in flight are shed with typed overload errors (default 8192)",
+    )
+    p_serve.add_argument(
         "query",
-        nargs="+",
-        help="either 's t w' or '-' to read queries from stdin",
+        nargs="*",
+        help="either 's t w' or '-' to read queries from stdin "
+        "(omitted with --listen)",
     )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a TCP front door ('serve --listen') with closed- or "
+        "open-loop traffic and report throughput + latency percentiles",
+    )
+    p_loadgen.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of a running 'serve --listen'",
+    )
+    p_loadgen.add_argument(
+        "--mode",
+        default="closed",
+        choices=["closed", "open"],
+        help="closed: each client sends the next request when the "
+        "previous answer lands; open: Poisson arrivals at --rate "
+        "regardless of completions (the overload probe)",
+    )
+    p_loadgen.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        help="concurrent connections (default 8)",
+    )
+    p_loadgen.add_argument(
+        "--duration",
+        type=float,
+        default=5.0,
+        help="seconds to run (default 5)",
+    )
+    p_loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="open loop: offered queries/second (required with "
+        "--mode open)",
+    )
+    p_loadgen.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        help="closed loop: queries per request frame (default 1)",
+    )
+    p_loadgen.add_argument(
+        "--max-outstanding",
+        type=int,
+        default=256,
+        help="open loop: arrivals admitted to the send queue before "
+        "the generator counts drops (default 256)",
+    )
+    p_loadgen.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-connection socket timeout in seconds (default 30)",
+    )
+    p_loadgen.add_argument(
+        "query",
+        nargs="+",
+        help="one or more 's t w' triples, or '-' to read the query "
+        "mix from stdin (cycled for the whole run)",
+    )
+    p_loadgen.set_defaults(func=_cmd_loadgen)
 
     p_update = sub.add_parser(
         "update",

@@ -40,6 +40,7 @@ from .harness import (
     time_build,
     time_queries,
 )
+from .loadgen import LoadReport, closed_loop, open_loop
 from .reporting import flatten, format_markdown, format_table, print_tables
 
 __all__ = [
@@ -75,4 +76,7 @@ __all__ = [
     "format_markdown",
     "print_tables",
     "flatten",
+    "LoadReport",
+    "closed_loop",
+    "open_loop",
 ]

@@ -180,15 +180,20 @@ SERVING_QUERY_METHODS = tuple(
 class ServingLineup:
     """The :data:`SERVING_QUERY_METHODS` engines over one ``.wcxb`` image.
 
-    ``batch_engines`` maps method names to ``distance_many``-style batch
-    callables (the shared-memory row is named ``WC-SHM-<workers>``).
-    Close (or use as a context manager) to shut the worker pool down,
-    release the mmap attaches, and unlink the shared segment.
+    Every tier is wrapped in the unified
+    :class:`~repro.serve.client.QueryClient` API — ``clients`` maps
+    method names to clients (the shared-memory row is named
+    ``WC-SHM-<workers>``), and ``batch_engines`` keeps the historical
+    ``name -> distance_many`` callable view for the timing loops.
+    Close (or use as a context manager) to close every client, shut the
+    worker pool down, release the mmap attaches, and unlink the shared
+    segment.
     """
 
     def __init__(self, path, *, workers: int = 2) -> None:
         from ..core.serialize import load_frozen
-        from ..serve import QueryServer
+        from ..serve import InProcessClient, PoolClient, QueryServer
+        from ..serve.client import QueryClient
 
         self.path = path
         self.frozen = load_frozen(path, backend="stdlib")
@@ -201,19 +206,25 @@ class ServingLineup:
             else None
         )
         self.server = QueryServer(path, workers=workers, kernel="stdlib")
-        self.batch_engines: Dict[str, Callable] = {
-            "WC-FROZEN": self.frozen.distance_many,
-            "WC-MMAP": self.mapped.distance_many,
+        self.clients: Dict[str, QueryClient] = {
+            "WC-FROZEN": InProcessClient(self.frozen),
+            "WC-MMAP": InProcessClient(self.mapped, owns_engine=True),
         }
         if self.vectorized is not None:
-            self.batch_engines["WC-NUMPY"] = self.vectorized.distance_many
-        self.batch_engines[f"WC-SHM-{workers}"] = self.server.query_batch
+            self.clients["WC-NUMPY"] = InProcessClient(
+                self.vectorized, owns_engine=True
+            )
+        self.clients[f"WC-SHM-{workers}"] = PoolClient(
+            self.server, owns_server=True
+        )
+        self.batch_engines: Dict[str, Callable] = {
+            name: client.distance_many
+            for name, client in self.clients.items()
+        }
 
     def close(self) -> None:
-        self.server.close()
-        self.mapped.release()
-        if self.vectorized is not None:
-            self.vectorized.release()
+        for client in self.clients.values():
+            client.close()
 
     def __enter__(self) -> "ServingLineup":
         return self

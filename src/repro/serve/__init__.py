@@ -35,10 +35,32 @@ survive its own processes failing:
   worker kills, delays, drops and image corruption — the chaos suite
   and robustness bench prove the layer instead of hoping.
 
-The CLI counterpart is ``python -m repro serve``.
+Network serving sits on top of the pool (or any engine):
+
+* :mod:`repro.serve.protocol` — the length-prefixed binary frame
+  protocol (HELLO/QUERY/ANSWER/HEALTH/ERROR, versioned, size-capped).
+* :class:`NetServer` (:mod:`repro.serve.net`) — the asyncio TCP front
+  door: micro-batches concurrent requests into ``distance_many``
+  calls, sheds load with typed :class:`ServerOverloadedError` frames
+  when the in-flight budget fills, and serves rolling latency
+  percentiles over the ``HEALTH`` frame
+  (:class:`~repro.serve.stats.ServerStats`).
+* :class:`QueryClient` (:mod:`repro.serve.client`) — one client API
+  over every tier: :class:`InProcessClient` (an engine),
+  :class:`PoolClient` (the shm pool), :class:`NetClient` (TCP).
+
+The CLI counterparts are ``python -m repro serve`` (add ``--listen``
+for the TCP front door) and ``python -m repro loadgen``.
 """
 
-from .errors import PoolUnavailableError, QueryTimeoutError, ServeError
+from .client import InProcessClient, NetClient, PoolClient, QueryClient
+from .errors import (
+    PoolUnavailableError,
+    QueryTimeoutError,
+    RemoteQueryError,
+    ServeError,
+    ServerOverloadedError,
+)
 from .faults import (
     NO_FAULTS,
     FaultPlan,
@@ -47,25 +69,51 @@ from .faults import (
     section_span,
     truncate_at_section,
 )
+from .health import epoch_of, pool_report
+from .net import NetServer, NetServerThread
+from .protocol import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    FrameTooLargeError,
+    ProtocolError,
+    VersionMismatchError,
+)
 from .recovery import pid_alive, recover_segments
 from .server import QueryServer
 from .shm import AttachedIndex, ShmIndexImage, attach_image
+from .stats import ServerStats
 from .supervisor import Supervisor
 
 __all__ = [
     "AttachedIndex",
     "FaultPlan",
+    "FrameDecoder",
+    "FrameTooLargeError",
     "InjectedCrash",
+    "InProcessClient",
     "NO_FAULTS",
+    "NetClient",
+    "NetServer",
+    "NetServerThread",
+    "PROTOCOL_VERSION",
+    "PoolClient",
     "PoolUnavailableError",
+    "ProtocolError",
+    "QueryClient",
     "QueryServer",
     "QueryTimeoutError",
+    "RemoteQueryError",
     "ServeError",
+    "ServerOverloadedError",
+    "ServerStats",
     "ShmIndexImage",
     "Supervisor",
+    "VersionMismatchError",
     "attach_image",
+    "epoch_of",
     "flip_bit_in_section",
     "pid_alive",
+    "pool_report",
     "recover_segments",
     "section_span",
     "truncate_at_section",

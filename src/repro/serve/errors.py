@@ -17,13 +17,25 @@ working, new callers can route on the precise failure:
 
 Both are :class:`ServeError`\\s; ``QueryServer(..., fallback=True)``
 converts either into an in-process answer instead of raising.
+
+The network front door (:mod:`repro.serve.net`) adds two more:
+
+* :class:`ServerOverloadedError` — the admission controller refused the
+  request because the in-flight budget is full.  The server *sheds*
+  instead of queueing unboundedly; the refusal travels the wire as a
+  typed ``ERROR`` frame and :class:`~repro.serve.client.NetClient`
+  re-raises it, so callers can back off and retry.
+* :class:`RemoteQueryError` — the server's engine failed on a request
+  and the failure type has no local equivalent to re-raise (engine
+  ``ValueError``\\s are re-raised as ``ValueError`` with the identical
+  message, preserving bit-identity with the in-process engine).
 """
 
 from __future__ import annotations
 
 
 class ServeError(RuntimeError):
-    """Base class of the serving pool's typed failures."""
+    """Base class of the serving stack's typed failures."""
 
 
 class PoolUnavailableError(ServeError):
@@ -32,3 +44,15 @@ class PoolUnavailableError(ServeError):
 
 class QueryTimeoutError(ServeError):
     """A chunk missed its deadline through the whole retry budget."""
+
+
+class ServerOverloadedError(ServeError):
+    """The admission controller shed the request (in-flight budget full).
+
+    Back off and retry: the server is healthy, just saturated — load
+    shedding is how it keeps the latency of admitted queries bounded.
+    """
+
+
+class RemoteQueryError(ServeError):
+    """The server's engine failed on this request (non-``ValueError``)."""

@@ -1,0 +1,100 @@
+"""The one structured health report of a serving pool.
+
+Before this module, :meth:`QueryServer.basic_health` and
+:meth:`Supervisor.health` each assembled their own snapshot dict and
+patched each other's output; the ``HEALTH`` frame of the network front
+door would have been a third copy.  :func:`pool_report` is now the
+single shape — the server, the supervisor and the wire all call it:
+
+``{"state", "supervised", "segment", "epoch", "kernel", "alive",
+"restarts", "workers": [{"slot", "pid", "alive", "exitcode",
+"restarts", "state"}, ...]}``
+
+``state`` is ``ok`` / ``degraded`` (circuit breaker open) /
+``unavailable`` (no live worker) / ``closed``.  Supervised pools thread
+their per-slot restart counts and backoff states in; unsupervised pools
+report zeros — same keys either way, so dashboards and tests never
+branch on which flavour produced the dict.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+__all__ = ["epoch_of", "closed_report", "pool_report"]
+
+#: Epoch suffix of generation-numbered segment names (``<prefix>gN``).
+_EPOCH_SUFFIX = re.compile(r"g(\d+)$")
+
+
+def epoch_of(segment_name: Optional[str]) -> Optional[int]:
+    """The generation number a ``<prefix>gN`` segment name carries."""
+    if not segment_name:
+        return None
+    match = _EPOCH_SUFFIX.search(segment_name)
+    return int(match.group(1)) if match else None
+
+
+def closed_report(*, kernel: str, supervised: bool = False) -> dict:
+    """The report of a pool that has been shut down."""
+    return {
+        "state": "closed",
+        "supervised": supervised,
+        "segment": None,
+        "epoch": None,
+        "kernel": kernel,
+        "alive": 0,
+        "restarts": 0,
+        "workers": [],
+    }
+
+
+def pool_report(
+    *,
+    segment: str,
+    kernel: str,
+    workers: List[dict],
+    supervised: bool = False,
+    slot_restarts: Optional[List[int]] = None,
+    slot_states: Optional[Dict[int, str]] = None,
+    degraded: bool = False,
+) -> dict:
+    """Assemble the structured snapshot of a live pool.
+
+    ``workers`` is the server's ``worker_states()`` list (``slot`` /
+    ``pid`` / ``alive`` / ``exitcode`` per entry — entries are copied,
+    not mutated).  Supervisors pass ``slot_restarts`` (per-slot respawn
+    totals) and ``slot_states`` (overrides for dead slots currently in
+    ``"backoff"`` or ``"respawning"``); ``degraded=True`` reports an
+    open circuit breaker regardless of liveness.
+    """
+    reported = []
+    for state in workers:
+        entry = dict(state)
+        slot = entry["slot"]
+        entry["restarts"] = (
+            slot_restarts[slot] if slot_restarts is not None else 0
+        )
+        if entry["alive"]:
+            entry["state"] = "running"
+        else:
+            entry["state"] = (slot_states or {}).get(slot, "dead")
+        reported.append(entry)
+    alive = sum(1 for entry in reported if entry["alive"])
+    if degraded:
+        overall = "degraded"
+    elif alive:
+        overall = "ok"
+    else:
+        overall = "unavailable"
+    return {
+        "state": overall,
+        "supervised": supervised,
+        "segment": segment,
+        "epoch": epoch_of(segment),
+        "kernel": kernel,
+        "alive": alive,
+        "restarts": sum(slot_restarts) if slot_restarts is not None else 0,
+        "workers": reported,
+    }

@@ -52,14 +52,15 @@ import multiprocessing
 import multiprocessing.connection
 import os
 import queue as queue_module
-import re
 import signal
 import threading
 import time
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.kernels import resolve_backend
 from .errors import PoolUnavailableError, QueryTimeoutError, ServeError
+from .health import closed_report, epoch_of, pool_report
 from .shm import ShmIndexImage, attach_image
 
 __all__ = [
@@ -82,16 +83,9 @@ _MIN_WAIT = 0.005
 #: Default redispatch budget per chunk (beyond the initial dispatch).
 _DEFAULT_RETRIES = 2
 
-#: Epoch suffix of generation-numbered segment names (``<prefix>gN``).
-_EPOCH_SUFFIX = re.compile(r"g(\d+)$")
-
-
-def _epoch_of(segment_name: Optional[str]) -> Optional[int]:
-    """The generation number a ``<prefix>gN`` segment name carries."""
-    if not segment_name:
-        return None
-    match = _EPOCH_SUFFIX.search(segment_name)
-    return int(match.group(1)) if match else None
+#: Kept for historical importers; the canonical helper lives in
+#: :mod:`repro.serve.health`.
+_epoch_of = epoch_of
 
 
 def _worker_main(
@@ -735,40 +729,38 @@ class QueryServer:
         return self._image is None
 
     def health(self) -> dict:
-        """Structured pool snapshot: overall state, segment/epoch, and
-        per-worker liveness (plus restart counts when supervised)."""
+        """The one structured pool snapshot (:mod:`repro.serve.health`):
+        overall state, segment/epoch, kernel, and per-worker liveness —
+        with restart counts and backoff states when supervised."""
         if self._supervisor is not None:
             return self._supervisor.health()
-        return self.basic_health()
+        if self._image is None:
+            return closed_report(kernel=self._kernel, supervised=False)
+        return pool_report(
+            segment=self._image.name,
+            kernel=self._kernel,
+            workers=self.worker_states(),
+            supervised=False,
+        )
 
     def basic_health(self) -> dict:
-        """The unsupervised health snapshot (no restart bookkeeping)."""
+        """Deprecated alias of :meth:`health` (the historic name of the
+        unsupervised snapshot; the shapes were consolidated in
+        :mod:`repro.serve.health`)."""
+        warnings.warn(
+            "QueryServer.basic_health() is deprecated; use health() — "
+            "the supervised and unsupervised reports now share one shape",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if self._image is None:
-            return {
-                "state": "closed",
-                "supervised": False,
-                "segment": None,
-                "epoch": None,
-                "kernel": self._kernel,
-                "alive": 0,
-                "restarts": 0,
-                "workers": [],
-            }
-        workers = self.worker_states()
-        for state in workers:
-            state["restarts"] = 0
-            state["state"] = "running" if state["alive"] else "dead"
-        alive = sum(1 for state in workers if state["alive"])
-        return {
-            "state": "ok" if alive else "unavailable",
-            "supervised": False,
-            "segment": self._image.name,
-            "epoch": _epoch_of(self._image.name),
-            "kernel": self._kernel,
-            "alive": alive,
-            "restarts": 0,
-            "workers": workers,
-        }
+            return closed_report(kernel=self._kernel, supervised=False)
+        return pool_report(
+            segment=self._image.name,
+            kernel=self._kernel,
+            workers=self.worker_states(),
+            supervised=False,
+        )
 
     def close(self) -> None:
         """Shut the pool down and release/unlink the shared segment

@@ -1,0 +1,238 @@
+"""Lightweight rolling-window serving statistics.
+
+The network front door wants to answer "how is serving *right now*"
+without a metrics dependency: :class:`LatencyWindow` keeps the last N
+latency samples inside a sliding time window and reports nearest-rank
+percentiles; :class:`BatchSizeHistogram` buckets coalesced batch sizes
+by powers of two (the micro-batcher's effectiveness at a glance);
+:class:`ServerStats` composes both with the admission counters and the
+queue-depth gauge into the snapshot the ``HEALTH`` frame and the CLI
+status line serve.
+
+Everything here is O(window) memory, lock-guarded (the asyncio loop and
+the CLI status thread both read), and stdlib-only.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "percentile",
+    "LatencyWindow",
+    "BatchSizeHistogram",
+    "ServerStats",
+]
+
+#: The percentiles every snapshot reports.
+DEFAULT_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def percentile(sorted_samples: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list.
+
+    ``p`` is in [0, 100].  Empty input returns ``nan`` — a window with
+    no traffic has no latency, and ``nan`` is honest about it.
+    """
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    if not sorted_samples:
+        return float("nan")
+    if p == 0.0:
+        return sorted_samples[0]
+    rank = max(1, -(-len(sorted_samples) * p // 100))  # ceil(n * p / 100)
+    return sorted_samples[int(rank) - 1]
+
+
+class LatencyWindow:
+    """The last ``max_samples`` latencies inside ``window_seconds``.
+
+    Both bounds apply: old samples age out by time (an idle server's
+    percentiles reflect current silence, not last hour's burst) and the
+    deque caps memory under sustained load.  ``observe`` is O(1);
+    ``snapshot`` sorts the live window (O(n log n), n <= max_samples).
+    """
+
+    def __init__(
+        self, *, max_samples: int = 4096, window_seconds: float = 60.0
+    ) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        if window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be positive, got {window_seconds}"
+            )
+        self._window = window_seconds
+        self._samples: deque = deque(maxlen=max_samples)  # (when, seconds)
+        self._lock = threading.Lock()
+        self._total = 0
+
+    def observe(self, seconds: float, *, now: Optional[float] = None) -> None:
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            self._samples.append((now, seconds))
+            self._total += 1
+
+    def _live(self, now: Optional[float]) -> List[float]:
+        if now is None:
+            now = time.monotonic()
+        horizon = now - self._window
+        with self._lock:
+            while self._samples and self._samples[0][0] < horizon:
+                self._samples.popleft()
+            return [seconds for _, seconds in self._samples]
+
+    @property
+    def total_observed(self) -> int:
+        """Samples ever observed (not just the live window)."""
+        with self._lock:
+            return self._total
+
+    def snapshot(
+        self,
+        *,
+        percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+        now: Optional[float] = None,
+    ) -> Dict[str, float]:
+        """``{"count", "mean_ms", "p50_ms", "p95_ms", "p99_ms"}`` of the
+        live window (latencies reported in milliseconds)."""
+        live = sorted(self._live(now))
+        report: Dict[str, float] = {"count": len(live)}
+        report["mean_ms"] = (
+            sum(live) / len(live) * 1000.0 if live else float("nan")
+        )
+        for p in percentiles:
+            label = f"p{p:g}_ms"
+            report[label] = percentile(live, p) * 1000.0
+        return report
+
+
+class BatchSizeHistogram:
+    """Power-of-two histogram of coalesced batch sizes.
+
+    Bucket ``k`` counts batches of ``2^(k-1) < size <= 2^k`` (bucket 1
+    is exactly size 1) — wide enough to read micro-batching behaviour,
+    cheap enough to keep forever (no windowing: the shape, not the
+    rate, is the signal).
+    """
+
+    def __init__(self) -> None:
+        self._buckets: Dict[int, int] = {}
+        self._lock = threading.Lock()
+        self._batches = 0
+        self._queries = 0
+
+    def observe(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"batch size must be >= 1, got {size}")
+        ceiling = 1
+        while ceiling < size:
+            ceiling *= 2
+        with self._lock:
+            self._buckets[ceiling] = self._buckets.get(ceiling, 0) + 1
+            self._batches += 1
+            self._queries += size
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            buckets = {
+                f"<={ceiling}": count
+                for ceiling, count in sorted(self._buckets.items())
+            }
+            mean = self._queries / self._batches if self._batches else 0.0
+            return {
+                "batches": self._batches,
+                "mean_size": mean,
+                "buckets": buckets,
+            }
+
+
+class ServerStats:
+    """The front door's counters, gauges and windows in one object.
+
+    * ``admitted`` / ``answered`` / ``failed`` / ``shed`` count queries
+      (not frames): everything admitted ends up answered or failed, and
+      everything refused at admission is shed — the zero-silent-drops
+      invariant is checkable as ``admitted == answered + failed +
+      in_flight``.
+    * ``queue_depth`` gauges queries admitted but not yet answered.
+    * ``latency`` is the admission-to-answer :class:`LatencyWindow` of
+      admitted queries; ``batch_sizes`` the coalescing histogram.
+    """
+
+    def __init__(
+        self, *, max_samples: int = 4096, window_seconds: float = 60.0
+    ) -> None:
+        self.latency = LatencyWindow(
+            max_samples=max_samples, window_seconds=window_seconds
+        )
+        self.batch_sizes = BatchSizeHistogram()
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self._answered = 0
+        self._failed = 0
+        self._shed = 0
+        self._connections = 0
+        self._in_flight = 0
+
+    # -- counters ------------------------------------------------------
+    def admit(self, queries: int) -> None:
+        with self._lock:
+            self._admitted += queries
+            self._in_flight += queries
+
+    def answer(self, queries: int, seconds: float) -> None:
+        with self._lock:
+            self._answered += queries
+            self._in_flight -= queries
+        self.latency.observe(seconds)
+
+    def fail(self, queries: int) -> None:
+        with self._lock:
+            self._failed += queries
+            self._in_flight -= queries
+
+    def shed(self, queries: int) -> None:
+        with self._lock:
+            self._shed += queries
+
+    def connection_opened(self) -> None:
+        with self._lock:
+            self._connections += 1
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self._connections -= 1
+
+    # -- gauges --------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    @property
+    def connections(self) -> int:
+        with self._lock:
+            return self._connections
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            counters = {
+                "admitted": self._admitted,
+                "answered": self._answered,
+                "failed": self._failed,
+                "shed": self._shed,
+            }
+            queue_depth = self._in_flight
+            connections = self._connections
+        return {
+            "queries": counters,
+            "queue_depth": queue_depth,
+            "connections": connections,
+            "latency": self.latency.snapshot(),
+            "batch_sizes": self.batch_sizes.snapshot(),
+        }

@@ -190,30 +190,40 @@ class Supervisor:
         self._due = [None] * len(self._due)
 
     def health(self) -> dict:
-        """The supervised pool snapshot (see module docstring)."""
-        snapshot = self._server.basic_health()
+        """The supervised pool snapshot (the shared shape of
+        :mod:`repro.serve.health`, with restart counts and per-slot
+        backoff states filled in)."""
+        from .health import closed_report, pool_report
+
+        server = self._server
+        try:
+            segment = server.image_name
+        except RuntimeError:  # closed (possibly mid-call — close races us)
+            return closed_report(
+                kernel=server.kernel_backend, supervised=True
+            )
+        workers = server.worker_states()
         now = time.monotonic()
-        for state in snapshot["workers"]:
+        slot_states = {}
+        for state in workers:
             slot = state["slot"]
-            state["restarts"] = self._restarts[slot]
             if state["alive"]:
-                state["state"] = "running"
-            elif self._degraded:
-                state["state"] = "dead"
-            elif self._due[slot] is not None and now < self._due[slot]:
-                state["state"] = "backoff"
-            else:
-                state["state"] = "respawning"
-        snapshot["supervised"] = True
-        snapshot["restarts"] = self.total_restarts
-        if snapshot["state"] != "closed":
+                continue
             if self._degraded:
-                snapshot["state"] = "degraded"
-            elif snapshot["alive"] == 0:
-                snapshot["state"] = "unavailable"
+                slot_states[slot] = "dead"
+            elif self._due[slot] is not None and now < self._due[slot]:
+                slot_states[slot] = "backoff"
             else:
-                snapshot["state"] = "ok"
-        return snapshot
+                slot_states[slot] = "respawning"
+        return pool_report(
+            segment=segment,
+            kernel=server.kernel_backend,
+            workers=workers,
+            supervised=True,
+            slot_restarts=self._restarts,
+            slot_states=slot_states,
+            degraded=self._degraded,
+        )
 
     def __repr__(self) -> str:
         state = "degraded" if self._degraded else "ok"

@@ -1,0 +1,166 @@
+"""Tests for the load generator (closed- and open-loop traffic)."""
+
+import math
+
+import pytest
+
+from repro.bench.loadgen import LoadReport, closed_loop, open_loop
+from repro.core import build_wc_index_plus
+from repro.graph.generators import scale_free_network
+from repro.serve import InProcessClient
+from repro.serve.client import QueryClient
+from repro.serve.errors import ServerOverloadedError
+from repro.workloads.queries import random_queries
+
+
+@pytest.fixture(scope="module")
+def frozen():
+    network = scale_free_network(80, 3, num_qualities=4, seed=17)
+    return build_wc_index_plus(network).freeze()
+
+
+@pytest.fixture(scope="module")
+def workload(frozen):
+    network = scale_free_network(80, 3, num_qualities=4, seed=17)
+    return list(random_queries(network, 50, seed=9))
+
+
+class _SheddingClient(QueryClient):
+    """Refuses every other request — the admission controller's shape."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def distance_many(self, queries):
+        self.calls += 1
+        if self.calls % 2 == 0:
+            raise ServerOverloadedError("budget full")
+        return [0.0] * len(queries)
+
+    def close(self) -> None:
+        pass
+
+
+class TestClosedLoop:
+    def test_drives_and_reports(self, frozen, workload):
+        report = closed_loop(
+            lambda: InProcessClient(frozen),
+            workload,
+            clients=2,
+            duration_s=0.3,
+        )
+        assert report.mode == "closed"
+        assert report.ok > 0
+        assert report.sent == report.ok + report.overloaded + report.failed
+        assert report.throughput_qps > 0
+        assert report.p50_ms <= report.p95_ms <= report.p99_ms
+        assert math.isfinite(report.p99_ms)
+
+    def test_batched_requests_count_queries(self, frozen, workload):
+        report = closed_loop(
+            lambda: InProcessClient(frozen),
+            workload,
+            clients=1,
+            duration_s=0.2,
+            batch=8,
+        )
+        assert report.ok % 8 == 0
+
+    def test_overloads_counted_not_failed(self, workload):
+        report = closed_loop(
+            _SheddingClient, workload, clients=1, duration_s=0.2
+        )
+        assert report.overloaded > 0
+        assert report.failed == 0
+        assert report.sent == report.ok + report.overloaded
+
+    def test_needs_queries(self, frozen):
+        with pytest.raises(ValueError, match="at least one query"):
+            closed_loop(lambda: InProcessClient(frozen), [])
+
+    def test_needs_clients(self, frozen, workload):
+        with pytest.raises(ValueError, match="clients"):
+            closed_loop(
+                lambda: InProcessClient(frozen), workload, clients=0
+            )
+
+
+class TestOpenLoop:
+    def test_poisson_traffic_reports(self, frozen, workload):
+        report = open_loop(
+            lambda: InProcessClient(frozen),
+            workload,
+            rate_qps=500.0,
+            duration_s=0.4,
+            clients=2,
+        )
+        assert report.mode == "open"
+        assert report.offered_qps == 500.0
+        assert report.ok > 0
+        assert report.sent == report.ok + report.overloaded + report.failed
+
+    def test_bounded_outstanding_drops_instead_of_ballooning(self, workload):
+        import time
+
+        class Stalled(QueryClient):
+            def distance_many(self, queries):
+                time.sleep(0.05)
+                return [0.0] * len(queries)
+
+            def close(self):
+                pass
+
+        # Capacity ~20 q/s per client against 2000 q/s offered: the
+        # bounded queue must shed arrivals client-side, not queue them.
+        report = open_loop(
+            Stalled,
+            workload,
+            rate_qps=2000.0,
+            duration_s=0.3,
+            clients=1,
+            max_outstanding=4,
+        )
+        assert report.dropped > 0
+        assert report.sent + report.dropped > report.sent
+
+    def test_needs_rate(self, frozen, workload):
+        with pytest.raises(ValueError, match="rate_qps"):
+            open_loop(
+                lambda: InProcessClient(frozen), workload, rate_qps=0.0
+            )
+
+
+class TestLoadReport:
+    def test_format_is_parseable(self):
+        report = LoadReport(
+            mode="closed",
+            clients=4,
+            duration_s=2.0,
+            offered_qps=None,
+            sent=100,
+            ok=90,
+            overloaded=10,
+            failed=0,
+            dropped=0,
+            latencies_ms=[1.0, 2.0, 3.0],
+        )
+        text = report.format()
+        assert "overloaded=10" in text
+        assert "failed=0" in text
+        assert "p99=" in text
+        assert f"throughput={90 / 2.0:.1f}" in text
+
+    def test_percentiles_on_empty_run_are_nan(self):
+        report = LoadReport(
+            mode="open",
+            clients=1,
+            duration_s=1.0,
+            offered_qps=10.0,
+            sent=0,
+            ok=0,
+            overloaded=0,
+            failed=0,
+            dropped=0,
+        )
+        assert math.isnan(report.p99_ms)
+        assert report.throughput_qps == 0.0

@@ -1,0 +1,141 @@
+"""Tests for the unified QueryClient API over its three transports."""
+
+import pytest
+
+from repro.core import build_wc_index_plus
+from repro.graph.generators import scale_free_network
+from repro.serve import (
+    InProcessClient,
+    NetClient,
+    NetServerThread,
+    QueryServer,
+)
+from repro.serve.client import PoolClient, QueryClient
+from repro.workloads.queries import random_queries
+
+
+@pytest.fixture(scope="module")
+def network():
+    return scale_free_network(100, 3, num_qualities=4, seed=11)
+
+
+@pytest.fixture(scope="module")
+def frozen(network):
+    return build_wc_index_plus(network).freeze()
+
+
+@pytest.fixture(scope="module")
+def workload(network):
+    return list(random_queries(network, 200, seed=6))
+
+
+@pytest.fixture(scope="module")
+def pool(frozen):
+    with QueryServer(frozen, workers=1) as server:
+        yield server
+
+
+@pytest.fixture(scope="module")
+def front(frozen):
+    with NetServerThread(InProcessClient(frozen)) as server:
+        yield server
+
+
+@pytest.fixture(params=["in-process", "pool", "net"])
+def client(request, frozen, pool, front):
+    if request.param == "in-process":
+        with InProcessClient(frozen) as c:
+            yield c
+    elif request.param == "pool":
+        with PoolClient(pool) as c:
+            yield c
+    else:
+        with NetClient(*front.address) as c:
+            yield c
+
+
+class TestUnifiedInterface:
+    """Each test runs against all three transports (parametrized)."""
+
+    def test_is_a_query_client(self, client):
+        assert isinstance(client, QueryClient)
+
+    def test_distance_many_matches_engine(self, client, frozen, workload):
+        assert client.distance_many(workload) == frozen.distance_many(workload)
+
+    def test_distance_delegates(self, client, frozen, workload):
+        s, t, w = workload[0]
+        assert client.distance(s, t, w) == frozen.distance(s, t, w)
+
+    def test_empty_batch(self, client):
+        assert client.distance_many([]) == []
+
+    def test_engine_valueerror_message_identical(self, client, frozen):
+        bad = (0, 10**6, 1.0)
+        with pytest.raises(ValueError) as engine_err:
+            frozen.distance_many([bad])
+        with pytest.raises(ValueError) as client_err:
+            client.distance_many([bad])
+        assert str(client_err.value) == str(engine_err.value)
+
+    def test_health_reports_a_dict(self, client):
+        report = client.health()
+        assert isinstance(report, dict)
+        assert "state" in report
+
+    def test_closed_client_refuses(self, frozen, pool, front, client):
+        client.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            client.distance_many([(0, 1, 1.0)])
+
+
+class TestTransportSpecifics:
+    def test_in_process_health(self, frozen):
+        with InProcessClient(frozen) as client:
+            report = client.health()
+        assert report["transport"] == "in-process"
+        assert report["engine"] == type(frozen).__name__
+
+    def test_in_process_close_releases_owned_engine(self):
+        released = []
+
+        class Engine:
+            def distance_many(self, queries):
+                return [0.0] * len(queries)
+
+            def release(self):
+                released.append(True)
+
+        InProcessClient(Engine(), owns_engine=True).close()
+        assert released == [True]
+        released.clear()
+        InProcessClient(Engine()).close()
+        assert released == []
+
+    def test_pool_health_carries_pool_report(self, pool):
+        with PoolClient(pool) as client:
+            report = client.health()
+        assert report["transport"] == "pool"
+        assert report["alive"] == 1
+        assert report["workers"][0]["alive"] is True
+
+    def test_pool_client_does_not_own_by_default(self, pool, workload):
+        PoolClient(pool).close()
+        # The pool survives: a fresh client still answers.
+        with PoolClient(pool) as client:
+            assert len(client.distance_many(workload[:5])) == 5
+
+    def test_net_health_is_the_wire_report(self, front):
+        with NetClient(*front.address) as client:
+            report = client.health()
+        assert report["transport"] == "net"
+        assert report["queries"]["admitted"] >= 0
+
+    def test_net_close_is_idempotent(self, front):
+        client = NetClient(*front.address)
+        client.close()
+        client.close()
+
+    def test_net_connect_failure_is_clean(self):
+        with pytest.raises(OSError):
+            NetClient("127.0.0.1", 1, timeout=0.5)

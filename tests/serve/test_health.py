@@ -1,0 +1,101 @@
+"""Tests for the consolidated health reporting (serve/health.py)."""
+
+import pytest
+
+from repro.core import build_wc_index_plus
+from repro.graph.generators import scale_free_network
+from repro.serve import QueryServer, epoch_of
+from repro.serve.health import closed_report, pool_report
+
+
+@pytest.fixture(scope="module")
+def frozen():
+    network = scale_free_network(80, 3, num_qualities=4, seed=21)
+    return build_wc_index_plus(network).freeze()
+
+
+class TestEpochOf:
+    def test_generation_suffix(self):
+        assert epoch_of("wcindex-abc-g7") == 7
+
+    def test_no_generation(self):
+        assert epoch_of("psm_4f2a") is None
+
+
+class TestReports:
+    def test_closed_report_shape(self):
+        report = closed_report(kernel="stdlib")
+        assert report["state"] == "closed"
+        assert report["alive"] == 0
+        assert report["supervised"] is False
+        assert report["workers"] == []
+
+    def test_pool_report_counts_alive(self):
+        workers = [
+            {"slot": 0, "pid": 1, "alive": True, "exitcode": None},
+            {"slot": 1, "pid": 2, "alive": False, "exitcode": -9},
+        ]
+        report = pool_report(
+            segment="seg-g3", kernel="stdlib", workers=workers
+        )
+        assert report["alive"] == 1
+        assert report["epoch"] == 3
+        assert report["state"] == "ok"
+
+    def test_degraded_state_wins(self):
+        report = pool_report(
+            segment="seg-g1",
+            kernel="stdlib",
+            workers=[{"slot": 0, "pid": 1, "alive": True, "exitcode": None}],
+            supervised=True,
+            degraded=True,
+        )
+        assert report["state"] == "degraded"
+
+    def test_no_alive_workers_is_unavailable(self):
+        report = pool_report(
+            segment="seg-g1",
+            kernel="stdlib",
+            workers=[{"slot": 0, "pid": 1, "alive": False, "exitcode": 1}],
+        )
+        assert report["state"] == "unavailable"
+
+
+class TestServerIntegration:
+    def test_health_has_the_consolidated_shape(self, frozen):
+        with QueryServer(frozen, workers=1) as server:
+            report = server.health()
+        for key in (
+            "state",
+            "supervised",
+            "segment",
+            "epoch",
+            "kernel",
+            "alive",
+            "restarts",
+            "workers",
+        ):
+            assert key in report
+        assert report["alive"] == 1
+        assert report["supervised"] is False
+
+    def test_basic_health_is_a_deprecated_alias(self, frozen):
+        with QueryServer(frozen, workers=1) as server:
+            expected = server.health()
+            with pytest.warns(DeprecationWarning, match="basic_health"):
+                legacy = server.basic_health()
+        assert legacy == expected
+
+    def test_closed_server_reports_closed(self, frozen):
+        server = QueryServer(frozen, workers=1)
+        server.close()
+        report = server.health()
+        assert report["state"] == "closed"
+        assert report["alive"] == 0
+
+    def test_supervised_health_shares_the_shape(self, frozen):
+        with QueryServer(frozen, workers=1, supervise=True) as server:
+            report = server.health()
+        assert report["supervised"] is True
+        assert report["alive"] == 1
+        assert isinstance(report["restarts"], int)

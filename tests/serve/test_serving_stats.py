@@ -1,0 +1,106 @@
+"""Tests for the rolling-window serving stats."""
+
+import math
+
+from repro.serve.stats import (
+    BatchSizeHistogram,
+    LatencyWindow,
+    ServerStats,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50.0))
+
+    def test_single_sample(self):
+        for p in (0.0, 50.0, 99.0, 100.0):
+            assert percentile([7.0], p) == 7.0
+
+    def test_nearest_rank(self):
+        samples = [float(i) for i in range(1, 101)]
+        assert percentile(samples, 50.0) == 50.0
+        assert percentile(samples, 95.0) == 95.0
+        assert percentile(samples, 99.0) == 99.0
+        assert percentile(samples, 100.0) == 100.0
+
+    def test_monotone_in_p(self):
+        samples = sorted([3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0])
+        values = [percentile(samples, p) for p in (10, 50, 90, 99)]
+        assert values == sorted(values)
+
+
+class TestLatencyWindow:
+    def test_snapshot_shape(self):
+        window = LatencyWindow()
+        for ms in (1.0, 2.0, 3.0):
+            window.observe(ms / 1e3)
+        snap = window.snapshot()
+        assert snap["count"] == 3
+        assert snap["mean_ms"] == 2.0
+        assert snap["p50_ms"] == 2.0
+        assert snap["p99_ms"] == 3.0
+
+    def test_time_window_prunes(self):
+        window = LatencyWindow(window_seconds=10.0)
+        window.observe(0.001, now=0.0)
+        window.observe(0.002, now=11.0)
+        snap = window.snapshot(now=11.0)
+        assert snap["count"] == 1
+        assert snap["p50_ms"] == 2.0
+
+    def test_bounded_samples(self):
+        window = LatencyWindow(max_samples=16)
+        for i in range(100):
+            window.observe(float(i))
+        assert window.snapshot()["count"] == 16
+
+
+class TestBatchSizeHistogram:
+    def test_power_of_two_buckets(self):
+        hist = BatchSizeHistogram()
+        for size in (1, 2, 3, 64, 128):
+            hist.observe(size)
+        snap = hist.snapshot()
+        assert snap["batches"] == 5
+        assert snap["mean_size"] == (1 + 2 + 3 + 64 + 128) / 5
+        assert snap["buckets"] == {
+            "<=1": 1,
+            "<=2": 1,
+            "<=4": 1,
+            "<=64": 1,
+            "<=128": 1,
+        }
+
+
+class TestServerStats:
+    def test_zero_silent_drops_invariant(self):
+        stats = ServerStats()
+        stats.admit(10)
+        stats.answer(4, 0.001)
+        stats.fail(2)
+        snap = stats.snapshot()
+        queries = snap["queries"]
+        assert queries["admitted"] == 10
+        assert (
+            queries["answered"] + queries["failed"] + snap["queue_depth"]
+            == queries["admitted"]
+        )
+
+    def test_shed_is_not_admitted(self):
+        stats = ServerStats()
+        stats.admit(1)
+        stats.shed(5)
+        snap = stats.snapshot()
+        assert snap["queries"]["shed"] == 5
+        assert snap["queries"]["admitted"] == 1
+        assert stats.in_flight == 1
+
+    def test_connections_tracked(self):
+        stats = ServerStats()
+        stats.connection_opened()
+        stats.connection_opened()
+        stats.connection_closed()
+        assert stats.connections == 1
+        assert stats.snapshot()["connections"] == 1

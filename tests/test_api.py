@@ -1,0 +1,140 @@
+"""Tests for ``repro.open_index`` — the unified index-opening front door."""
+
+import pytest
+
+import repro
+from repro import open_index
+from repro.core import build_wc_index_plus, save_frozen
+from repro.core.frozen import FrozenWCIndex
+from repro.core.labels import WCIndex
+from repro.core.serialize import save_index
+from repro.graph.generators import scale_free_network
+from repro.serve import ShmIndexImage
+from repro.workloads.queries import random_queries
+
+
+@pytest.fixture(scope="module")
+def network():
+    return scale_free_network(80, 3, num_qualities=4, seed=13)
+
+
+@pytest.fixture(scope="module")
+def index(network):
+    return build_wc_index_plus(network)
+
+
+@pytest.fixture(scope="module")
+def workload(network):
+    return list(random_queries(network, 150, seed=8))
+
+
+@pytest.fixture(scope="module")
+def binary_path(index, tmp_path_factory):
+    path = tmp_path_factory.mktemp("api") / "index.wcxb"
+    save_frozen(index.freeze(), path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def text_path(index, tmp_path_factory):
+    path = tmp_path_factory.mktemp("api") / "index.wci"
+    save_index(index, path)
+    return path
+
+
+class TestDispatch:
+    def test_binary_auto_is_frozen(self, binary_path):
+        assert isinstance(open_index(binary_path), FrozenWCIndex)
+
+    def test_text_auto_is_list(self, text_path):
+        assert isinstance(open_index(text_path), WCIndex)
+
+    def test_text_frozen_freezes(self, text_path):
+        assert isinstance(
+            open_index(text_path, engine="frozen"), FrozenWCIndex
+        )
+
+    def test_binary_list_thaws(self, binary_path):
+        assert isinstance(open_index(binary_path, engine="list"), WCIndex)
+
+    def test_binary_mmap(self, binary_path, index, workload):
+        engine = open_index(binary_path, mode="mmap")
+        try:
+            assert engine.distance_many(workload) == index.distance_many(
+                workload
+            )
+        finally:
+            engine.release()
+
+    def test_attach_buffer(self, index, workload):
+        import io
+
+        buffer = io.BytesIO()
+        save_frozen(index.freeze(), buffer)
+        engine = open_index(buffer.getvalue(), mode="attach")
+        assert engine.distance_many(workload) == index.distance_many(workload)
+
+    def test_shm_segment(self, index, workload):
+        with ShmIndexImage(index.freeze()) as image:
+            with open_index(image.name, mode="shm") as engine:
+                assert engine.distance_many(workload) == (
+                    index.distance_many(workload)
+                )
+
+    def test_every_mode_answers_identically(
+        self, binary_path, text_path, index, workload
+    ):
+        expected = index.distance_many(workload)
+        engines = [
+            open_index(binary_path),
+            open_index(binary_path, engine="list"),
+            open_index(binary_path, mode="mmap"),
+            open_index(text_path),
+            open_index(text_path, engine="frozen"),
+        ]
+        try:
+            for engine in engines:
+                assert engine.distance_many(workload) == expected
+        finally:
+            for engine in engines:
+                release = getattr(engine, "release", None)
+                if release is not None:
+                    release()
+
+    def test_accepts_str_paths(self, binary_path, workload):
+        engine = open_index(str(binary_path))
+        assert isinstance(engine, FrozenWCIndex)
+
+    def test_backend_is_pinned(self, binary_path):
+        engine = open_index(binary_path, backend="stdlib")
+        assert engine.kernel_backend == "stdlib"
+
+    def test_exported_from_package_root(self):
+        assert repro.open_index is open_index
+        assert "open_index" in repro.__all__
+
+
+class TestValidation:
+    def test_unknown_engine(self, binary_path):
+        with pytest.raises(ValueError, match="unknown engine"):
+            open_index(binary_path, engine="turbo")
+
+    def test_unknown_mode(self, binary_path):
+        with pytest.raises(ValueError, match="unknown mode"):
+            open_index(binary_path, mode="warp")
+
+    def test_list_engine_has_no_mmap(self, binary_path):
+        with pytest.raises(ValueError, match="list engine"):
+            open_index(binary_path, engine="list", mode="mmap")
+
+    def test_mmap_needs_binary(self, text_path):
+        with pytest.raises(ValueError, match="binary .wcxb"):
+            open_index(text_path, mode="mmap")
+
+    def test_path_modes_reject_buffers(self):
+        with pytest.raises(TypeError, match="opens a path"):
+            open_index(b"\x00\x01")
+
+    def test_shm_mode_rejects_non_names(self):
+        with pytest.raises(TypeError, match="segment name"):
+            open_index(123, mode="shm")
