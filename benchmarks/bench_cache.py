@@ -1,0 +1,247 @@
+"""Answer-cache benchmark: Zipf-skewed serving, cached vs uncached.
+
+The cache's value proposition measured end to end: a Zipf-skewed query
+mix (the hot-query shape real serving traffic has — see
+:func:`repro.workloads.queries.zipf_queries`) answered through a
+:class:`~repro.serve.cache.CachingClient` over the frozen engine,
+versus the identical mix through the bare engine.  Both the cold pass
+(every distinct query a miss-and-fill — must stay near parity) and the
+steady-state pass (the hot set resident — the gated headline) are
+measured; the hit rate is reported alongside.
+
+Two behavioural checks ride along:
+
+* **bit-identity** — cached answers must equal the uncached engine's on
+  the full mix (cold and warm).
+* **invalidation cost** — after a journaled update batch and a
+  republish-style ``on_republish``, the cache must answer the mix
+  identically to the *new* engine (precise invalidation kept survivors
+  valid), and the surviving fraction is reported.
+
+Rows merge into ``BENCH_query_engines.json`` as ``family: caching``.
+Run directly (CI does)::
+
+    PYTHONPATH=src python benchmarks/bench_cache.py
+
+Exits non-zero when the cached speedup misses the gate (``--gate``,
+default 2x; CI gates 1.5x for shared-runner noise), answers diverge, or
+post-invalidation answers go stale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from typing import List
+
+from repro.bench.reporting import merge_query_engine_rows
+from repro.core import WCIndexBuilder
+from repro.live import live_index
+from repro.live.refreeze import refreeze
+from repro.serve import AnswerCache, CachingClient, InProcessClient
+from repro.workloads import datasets as ds
+from repro.workloads.queries import zipf_queries
+
+DEFAULT_DATASET = "FLA"
+
+#: Queries per ``distance_many`` call — the serving batch size.
+BATCH = 256
+
+
+def _batches(workload: List[tuple]) -> List[List[tuple]]:
+    return [
+        workload[at:at + BATCH] for at in range(0, len(workload), BATCH)
+    ]
+
+
+def _timed_pass(client, batches) -> float:
+    started = time.perf_counter()
+    for batch in batches:
+        client.distance_many(batch)
+    return time.perf_counter() - started
+
+
+def bench_zipf(engine, workload, *, entries: int, repeats: int) -> dict:
+    """Steady-state cached serving vs the bare engine on one Zipf mix.
+
+    The cold pass (every distinct query a miss-and-fill) is timed and
+    reported — it must stay near parity, the cache never *costs* a
+    serving tier — but the gated headline is the steady-state pass,
+    which is what a long-running server answers once the hot set is
+    resident."""
+    batches = _batches(workload)
+    bare = InProcessClient(engine)
+    uncached_s = min(_timed_pass(bare, batches) for _ in range(repeats))
+    cache = AnswerCache(engine, entries=entries)
+    client = CachingClient(InProcessClient(engine), cache)
+    cold_s = _timed_pass(client, batches)
+    cold_snapshot = cache.snapshot()
+    warm_s = min(_timed_pass(client, batches) for _ in range(repeats))
+    identical = client.distance_many(workload) == engine.distance_many(
+        workload
+    )
+    lookups = cold_snapshot["hits"] + cold_snapshot["misses"]
+    return {
+        "uncached_s": uncached_s,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": uncached_s / warm_s if warm_s else float("inf"),
+        "cold_ratio": uncached_s / cold_s if cold_s else float("inf"),
+        "hit_rate": cold_snapshot["hits"] / lookups if lookups else 0.0,
+        "identical": identical,
+    }
+
+
+def bench_invalidation(graph, workload, *, entries: int, seed: int) -> dict:
+    """Warm the cache, apply a journaled update batch, republish, and
+    verify the surviving entries answer for the new generation."""
+    live = live_index(graph)
+    frozen = live.freeze()
+    cache = AnswerCache(frozen, entries=entries)
+    client = CachingClient(InProcessClient(frozen), cache)
+    client.distance_many(workload)
+    warm = len(cache)
+    rng = random.Random(seed)
+    edges = list(graph.edges())
+    for edge in rng.sample(edges, min(8, len(edges))):
+        live.change_quality(edge[0], edge[1], float(rng.randint(1, 4)))
+    dirty = live.journal.dirty_vertices()
+    result = refreeze(frozen, live.index, dirty)
+    cache.on_republish(
+        engine=result.engine, dirty=dirty, incremental=result.incremental
+    )
+    live.journal.clear()
+    survivors = len(cache)
+    client = CachingClient(InProcessClient(result.engine), cache)
+    fresh = client.distance_many(workload) == result.engine.distance_many(
+        workload
+    )
+    return {
+        "warm_entries": warm,
+        "survivors": survivors,
+        "survivor_rate": survivors / warm if warm else 0.0,
+        "dirty": len(dirty),
+        "fresh_after_invalidation": fresh,
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default="BENCH_query_engines.json",
+        help="result file (default: BENCH_query_engines.json in the cwd)",
+    )
+    parser.add_argument("--dataset", default=DEFAULT_DATASET)
+    parser.add_argument(
+        "--queries", type=int, default=20000,
+        help="Zipf mix length (default 20000)",
+    )
+    parser.add_argument(
+        "--universe", type=int, default=2048,
+        help="distinct queries the Zipf ranking draws from (default 2048)",
+    )
+    parser.add_argument(
+        "--zipf", type=float, default=1.2,
+        help="Zipf skew exponent of the mix (default 1.2)",
+    )
+    parser.add_argument(
+        "--entries", type=int, default=65536,
+        help="cache capacity under test (default 65536)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats, best-of (default 3)",
+    )
+    parser.add_argument(
+        "--gate", type=float, default=2.0,
+        help="minimum cached vs uncached speedup on the Zipf mix "
+        "(default 2.0; CI gates 1.5 for shared-runner noise)",
+    )
+    args = parser.parse_args(argv)
+
+    graph = ds.load(args.dataset)
+    index = WCIndexBuilder(graph, "hybrid", query_kernel="linear").build()
+    engine = index.freeze()
+    workload = list(
+        zipf_queries(
+            graph,
+            args.queries,
+            skew=args.zipf,
+            seed=3,
+            universe=args.universe,
+        )
+    )
+
+    zipf = bench_zipf(
+        engine, workload, entries=args.entries, repeats=args.repeats
+    )
+    invalidation = bench_invalidation(
+        graph, workload, entries=args.entries, seed=7
+    )
+
+    zipf_ok = zipf["speedup"] >= args.gate and zipf["identical"]
+    print(
+        f"{args.dataset}/caching: uncached {zipf['uncached_s'] * 1e3:.1f} ms, "
+        f"cold {zipf['cold_s'] * 1e3:.1f} ms "
+        f"({zipf['cold_ratio']:.1f}x), "
+        f"steady-state {zipf['warm_s'] * 1e3:.1f} ms "
+        f"({zipf['speedup']:.1f}x, hit rate {zipf['hit_rate']:.1%}, "
+        f"identical={zipf['identical']}) "
+        f"{'ok' if zipf_ok else 'FAIL'}"
+    )
+    invalidation_ok = invalidation["fresh_after_invalidation"]
+    print(
+        f"{args.dataset}/caching invalidation: {invalidation['warm_entries']} "
+        f"warm, {invalidation['dirty']} dirty vertices, "
+        f"{invalidation['survivors']} survivors "
+        f"({invalidation['survivor_rate']:.1%}), "
+        f"fresh={invalidation['fresh_after_invalidation']} "
+        f"{'ok' if invalidation_ok else 'FAIL'}"
+    )
+
+    record = {
+        "dataset": args.dataset,
+        "family": "caching",
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "queries": len(workload),
+        "zipf_skew": args.zipf,
+        "universe": args.universe,
+        "cache_entries": args.entries,
+        "hit_rate": zipf["hit_rate"],
+        "caching_speedup": zipf["speedup"],
+        "cold_pass_ratio": zipf["cold_ratio"],
+        "identical_results": zipf["identical"],
+        "engines": {
+            "FROZEN-UNCACHED": {
+                "elapsed_s": zipf["uncached_s"],
+                "queries_per_sec": len(workload) / zipf["uncached_s"],
+            },
+            "FROZEN-CACHED-COLD": {
+                "elapsed_s": zipf["cold_s"],
+                "queries_per_sec": len(workload) / zipf["cold_s"],
+            },
+            "FROZEN-CACHED-WARM": {
+                "elapsed_s": zipf["warm_s"],
+                "queries_per_sec": len(workload) / zipf["warm_s"],
+            },
+        },
+        "invalidation": invalidation,
+    }
+    merge_query_engine_rows(args.out, {"caching": args.gate}, [record])
+    print(f"wrote {args.out}")
+    if not (zipf_ok and invalidation_ok):
+        print(
+            f"FAILED: cached speedup below {args.gate:.1f}x gate, answers "
+            "diverged, or post-invalidation answers stale",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

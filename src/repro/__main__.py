@@ -197,13 +197,60 @@ def _print_answers(queries, answers) -> None:
         print(f"{s} {t} {w:g} -> {rendered}")
 
 
+def _add_cache_flags(parser) -> None:
+    parser.add_argument(
+        "--cache-entries",
+        type=int,
+        default=65536,
+        metavar="N",
+        help="answer-cache capacity: a sharded LRU keyed on "
+        "quality-bucket-quantized queries, invalidated precisely from "
+        "the update journal (0 disables; default 65536)",
+    )
+    parser.add_argument(
+        "--cache-off",
+        action="store_true",
+        help="disable the answer cache (same as --cache-entries 0)",
+    )
+
+
+def _cache_entries(args) -> int:
+    """The effective answer-cache capacity a command runs with
+    (``0`` = caching off)."""
+    if args.cache_off:
+        return 0
+    return args.cache_entries
+
+
+def _cache_for(path: str, entries: int):
+    """An :class:`~repro.serve.cache.AnswerCache` keyed from the index
+    at ``path`` (the keyer needs label access the shm pool does not
+    expose; binary images read-load, legacy formats load the list
+    engine directly)."""
+    from .serve import AnswerCache
+
+    engine = (
+        load_frozen(path) if is_binary_index_path(path) else load_index(path)
+    )
+    return AnswerCache(engine, entries=entries)
+
+
 def _cmd_query(args) -> int:
     kernel = _resolve_kernel(args.kernel, "query")
     index = _load_engine(args.index, args.engine, kernel)
     # Batch through distance_many so stdin workloads hit the engines'
     # batch hot path (the frozen engine's hash-intersection merge).
     queries = _read_queries(args)
-    _print_answers(queries, index.distance_many(queries))
+    entries = _cache_entries(args)
+    if entries:
+        from .serve import AnswerCache, CachingClient, InProcessClient
+
+        client = CachingClient(
+            InProcessClient(index), AnswerCache(index, entries=entries)
+        )
+        _print_answers(queries, client.distance_many(queries))
+    else:
+        _print_answers(queries, index.distance_many(queries))
     return 0
 
 
@@ -223,7 +270,7 @@ def _serve_listen(args, kernel: str) -> int:
     import signal
     import threading
 
-    from .serve import NetServerThread, PoolClient, QueryServer
+    from .serve import CachingClient, NetServerThread, PoolClient, QueryServer
     from .serve.net import (
         DEFAULT_MAX_BATCH,
         DEFAULT_MAX_INFLIGHT,
@@ -258,6 +305,12 @@ def _serve_listen(args, kernel: str) -> int:
         backend = PoolClient(
             server, timeout=args.query_timeout, retries=args.retries
         )
+        cache_entries = _cache_entries(args)
+        if cache_entries:
+            # Attaching the cache to the server wires swap_image
+            # invalidation; the wrapper puts it in front of the pool.
+            cache = server.attach_cache(_cache_for(args.index, cache_entries))
+            backend = CachingClient(backend, cache)
         with NetServerThread(
             backend,
             host=host,
@@ -274,7 +327,12 @@ def _serve_listen(args, kernel: str) -> int:
                 f"({server.num_workers} workers, {server.kernel_backend} "
                 f"kernel, max_batch={max_batch}, "
                 f"max_wait_us={max_wait_us:g}, "
-                f"max_inflight={max_inflight})",
+                f"max_inflight={max_inflight}, "
+                + (
+                    f"cache={cache_entries} entries)"
+                    if cache_entries
+                    else "cache off)"
+                ),
                 file=sys.stderr,
             )
             done = threading.Event()
@@ -359,18 +417,41 @@ def _cmd_serve(args) -> int:
             + ")",
             file=sys.stderr,
         )
-        if args.chaos_kill:
-            expected = server.query_batch(
-                queries, timeout=args.query_timeout, retries=args.retries
+        # The chaos self-test must drive the pool itself every round —
+        # a cache would answer the replays locally and prove nothing
+        # about the respawn — so caching only arms the plain path.
+        cache_entries = 0 if args.chaos_kill else _cache_entries(args)
+        if cache_entries:
+            from .serve import CachingClient, PoolClient
+
+            cache = server.attach_cache(_cache_for(args.index, cache_entries))
+            client = CachingClient(
+                PoolClient(
+                    server,
+                    timeout=args.query_timeout,
+                    retries=args.retries,
+                ),
+                cache,
             )
+
+            def answer_batch():
+                return client.distance_many(queries)
+
+        else:
+
+            def answer_batch():
+                return server.query_batch(
+                    queries, timeout=args.query_timeout, retries=args.retries
+                )
+
+        if args.chaos_kill:
+            expected = answer_batch()
             pid = server.worker_states()[0]["pid"]
             os.kill(pid, signal.SIGKILL)
             time.sleep(0.05)
         answers = None
         for _round in range(max(1, args.rounds)):
-            answers = server.query_batch(
-                queries, timeout=args.query_timeout, retries=args.retries
-            )
+            answers = answer_batch()
             if args.chaos_kill and answers != expected:
                 print("serve: answers diverged after respawn", file=sys.stderr)
                 return 1
@@ -396,6 +477,19 @@ def _cmd_loadgen(args) -> int:
         queries = _read_workload(args)
     except ValueError as exc:
         raise SystemExit(f"loadgen: {exc}")
+    if args.zipf is not None:
+        from .workloads import zipf_mix
+
+        queries = list(
+            zipf_mix(
+                queries,
+                args.zipf_count,
+                skew=args.zipf,
+                seed=args.zipf_seed,
+            )
+        )
+        if not queries:
+            raise SystemExit("loadgen: --zipf resampled an empty mix")
 
     def client_factory():
         return NetClient(host, port, timeout=args.timeout)
@@ -688,6 +782,7 @@ def build_parser() -> argparse.ArgumentParser:
         "backend; an explicit unavailable choice fails fast (the list "
         "engine has no backend and ignores this)",
     )
+    _add_cache_flags(p_query)
     p_query.add_argument(
         "query",
         nargs="+",
@@ -793,6 +888,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="--listen: admission budget; queries beyond this many "
         "in flight are shed with typed overload errors (default 8192)",
     )
+    _add_cache_flags(p_serve)
     p_serve.add_argument(
         "query",
         nargs="*",
@@ -857,6 +953,29 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=30.0,
         help="per-connection socket timeout in seconds (default 30)",
+    )
+    p_loadgen.add_argument(
+        "--zipf",
+        type=float,
+        default=None,
+        metavar="S",
+        help="resample the query mix Zipf-skewed before driving: the "
+        "distinct queries are ranked (seeded shuffle) and rank r is "
+        "drawn proportional to r**-S — the hot-query shape the answer "
+        "cache serves (deterministic; omit for the mix as given)",
+    )
+    p_loadgen.add_argument(
+        "--zipf-count",
+        type=int,
+        default=10000,
+        metavar="N",
+        help="queries in the resampled Zipf mix (default 10000)",
+    )
+    p_loadgen.add_argument(
+        "--zipf-seed",
+        type=int,
+        default=0,
+        help="seed of the Zipf ranking and draws (default 0)",
     )
     p_loadgen.add_argument(
         "query",

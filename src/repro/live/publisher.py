@@ -235,7 +235,16 @@ class LivePublisher:
                 f"injected publisher crash before swapping epoch {epoch}"
             )
         name = self._segment_name(epoch)
-        server.swap_image(result.engine, validate=False, segment_name=name)
+        # The dirty set was captured before journal.clear(): attached
+        # answer caches evict exactly the entries whose endpoints (or
+        # hub reach) changed labels — or flush, if the order changed.
+        server.swap_image(
+            result.engine,
+            validate=False,
+            segment_name=name,
+            dirty=dirty,
+            incremental=result.incremental,
+        )
         self._epoch = epoch
         self._frozen = result.engine
         journal.clear()
@@ -271,8 +280,25 @@ class LivePublisher:
         return self._image_path
 
     @property
+    def frozen(self):
+        """The frozen engine of the currently published generation (the
+        refreeze baseline — also what answer caches should bind to)."""
+        return self._frozen
+
+    @property
     def num_workers(self) -> int:
         return self._require_server().num_workers
+
+    @property
+    def server(self) -> QueryServer:
+        """The serving pool (for clients and cache wiring)."""
+        return self._require_server()
+
+    def attach_cache(self, cache):
+        """Register an answer cache with the pool: every republish
+        forwards the journal's dirty set for precise invalidation (see
+        :meth:`~repro.serve.server.QueryServer.attach_cache`)."""
+        return self._require_server().attach_cache(cache)
 
     @property
     def segment_name(self) -> str:

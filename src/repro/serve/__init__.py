@@ -48,11 +48,24 @@ Network serving sits on top of the pool (or any engine):
 * :class:`QueryClient` (:mod:`repro.serve.client`) — one client API
   over every tier: :class:`InProcessClient` (an engine),
   :class:`PoolClient` (the shm pool), :class:`NetClient` (TCP).
+* :class:`AnswerCache` / :class:`CachingClient`
+  (:mod:`repro.serve.cache`) — the sharded LRU answer cache any tier
+  wraps: quality-bucket-quantized canonical keys, journal-driven
+  invalidation on ``swap_image`` (attach with
+  :meth:`QueryServer.attach_cache`), counters in ``health()`` and the
+  ``HEALTH`` frame.
 
 The CLI counterparts are ``python -m repro serve`` (add ``--listen``
 for the TCP front door) and ``python -m repro loadgen``.
 """
 
+from .cache import (
+    DEFAULT_CACHE_ENTRIES,
+    DEFAULT_CACHE_SHARDS,
+    MISS,
+    AnswerCache,
+    CachingClient,
+)
 from .client import InProcessClient, NetClient, PoolClient, QueryClient
 from .errors import (
     PoolUnavailableError,
@@ -85,12 +98,17 @@ from .stats import ServerStats
 from .supervisor import Supervisor
 
 __all__ = [
+    "AnswerCache",
     "AttachedIndex",
+    "CachingClient",
+    "DEFAULT_CACHE_ENTRIES",
+    "DEFAULT_CACHE_SHARDS",
     "FaultPlan",
     "FrameDecoder",
     "FrameTooLargeError",
     "InjectedCrash",
     "InProcessClient",
+    "MISS",
     "NO_FAULTS",
     "NetClient",
     "NetServer",

@@ -294,6 +294,19 @@ class NetServer:
                 )
             )
             return
+        # Answer-before-dispatch: a batch served entirely from the
+        # backend's answer cache never waits for the batching window,
+        # never costs admission budget, and never touches the pool.
+        cached = getattr(self._backend, "cached_answers", None)
+        if cached is not None:
+            answers = cached(queries)
+            if answers is not None:
+                self.stats.admit(count)
+                self.stats.answer(count, 0.0)
+                await connection.send(
+                    protocol.encode_answer(request_id, answers)
+                )
+                return
         if self.stats.in_flight + count > self._max_inflight:
             self.stats.shed(count)
             await connection.send(
@@ -387,12 +400,14 @@ class NetServer:
         now = loop.time()
         for request in batch:
             count = len(request.queries)
+            # Count before sending: a client that has its answer in hand
+            # must never observe a health report that hasn't.
+            self.stats.answer(count, now - request.admitted_at)
             await request.connection.send(
                 protocol.encode_answer(
                     request.request_id, answers[at:at + count]
                 )
             )
-            self.stats.answer(count, now - request.admitted_at)
             at += count
 
     async def _fail_request(

@@ -232,6 +232,8 @@ class QueryServer:
         self._fallback_enabled = fallback
         self._fallback_engine = None
         self._supervisor = None
+        #: Answer caches notified on every swap_image (republish).
+        self._caches: List[object] = []
         #: Serializes structural mutation of the worker table (dispatch,
         #: respawn, swap, close) against the supervisor thread.
         self._lock = threading.RLock()
@@ -620,12 +622,25 @@ class QueryServer:
     # ------------------------------------------------------------------
     # Hot republish
     # ------------------------------------------------------------------
+    def attach_cache(self, cache):
+        """Register an :class:`~repro.serve.cache.AnswerCache`: every
+        :meth:`swap_image` forwards its dirty set (or orders a flush)
+        so cached answers never outlive the image they were computed
+        from, and :meth:`health` reports the cache counters.  Returns
+        the cache."""
+        with self._lock:
+            if cache not in self._caches:
+                self._caches.append(cache)
+        return cache
+
     def swap_image(
         self,
         source,
         *,
         validate: bool = True,
         segment_name: Optional[str] = None,
+        dirty=None,
+        incremental: bool = False,
     ) -> None:
         """Swap the pool over to a new index image with no downtime.
 
@@ -640,6 +655,14 @@ class QueryServer:
         throughout, so a supervisor respawn can never land between the
         re-attach orders and the old generation's unlink — respawned
         workers always attach the committed generation.
+
+        ``dirty`` / ``incremental`` describe the update that produced
+        ``source`` (the journal's dirty-vertex set, and whether the
+        refreeze kept the vertex order): attached answer caches evict
+        precisely the entries depending on a dirty vertex when
+        ``incremental=True``, and flush entirely otherwise — the
+        default, so a swap of unknown provenance can never serve stale
+        answers.
         """
         if self._image is None:
             raise RuntimeError("query server is closed")
@@ -690,6 +713,15 @@ class QueryServer:
             self._release_fallback()
             old_image, self._image = self._image, new_image
         old_image.destroy()
+        # Only after the swap committed: evicting earlier would let a
+        # recomputation against the outgoing generation refill the
+        # cache with answers the new image contradicts (stale fills in
+        # flight across the swap are dropped by their generation token).
+        engine = source if hasattr(source, "num_vertices") else None
+        for cache in self._caches:
+            cache.on_republish(
+                engine=engine, dirty=dirty, incremental=incremental
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle / introspection
@@ -731,17 +763,22 @@ class QueryServer:
     def health(self) -> dict:
         """The one structured pool snapshot (:mod:`repro.serve.health`):
         overall state, segment/epoch, kernel, and per-worker liveness —
-        with restart counts and backoff states when supervised."""
+        with restart counts and backoff states when supervised, and the
+        attached answer cache's counters under ``"cache"``."""
         if self._supervisor is not None:
-            return self._supervisor.health()
-        if self._image is None:
-            return closed_report(kernel=self._kernel, supervised=False)
-        return pool_report(
-            segment=self._image.name,
-            kernel=self._kernel,
-            workers=self.worker_states(),
-            supervised=False,
-        )
+            report = self._supervisor.health()
+        elif self._image is None:
+            report = closed_report(kernel=self._kernel, supervised=False)
+        else:
+            report = pool_report(
+                segment=self._image.name,
+                kernel=self._kernel,
+                workers=self.worker_states(),
+                supervised=False,
+            )
+        if self._caches:
+            report["cache"] = self._caches[0].snapshot()
+        return report
 
     def basic_health(self) -> dict:
         """Deprecated alias of :meth:`health` (the historic name of the

@@ -16,6 +16,8 @@ from .queries import (
     all_pairs_queries,
     connected_random_queries,
     random_queries,
+    zipf_mix,
+    zipf_queries,
 )
 
 __all__ = [
@@ -32,4 +34,6 @@ __all__ = [
     "random_queries",
     "connected_random_queries",
     "all_pairs_queries",
+    "zipf_mix",
+    "zipf_queries",
 ]

@@ -7,11 +7,18 @@ quality values.  The count is a parameter because the pure-Python online
 baselines are orders of magnitude slower than the authors' C++ — the
 harness defaults to a smaller sample and reports per-query averages, which
 is what the paper's figures plot.
+
+Real query traffic is not uniform: a few (s, t, w) triples dominate.
+:func:`zipf_mix` / :func:`zipf_queries` resample a universe of distinct
+queries under a Zipf rank distribution (rank ``r`` drawn with probability
+proportional to ``r**-skew``) — the workload shape the serving stack's
+answer cache is built for.
 """
 
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -93,6 +100,71 @@ def connected_random_queries(
         if oracle.distance(s, t, w) != float("inf"):
             queries.append((s, t, w))
     return QueryWorkload(name, tuple(queries))
+
+
+def zipf_mix(
+    universe: Sequence[Query],
+    count: int,
+    *,
+    skew: float = 1.0,
+    seed: int = 0,
+    name: str = "zipf-mix",
+) -> QueryWorkload:
+    """Resample ``universe`` under a Zipf rank distribution.
+
+    The distinct queries of ``universe`` are shuffled (seeded) into a
+    popularity ranking; rank ``r`` (1-based) is then drawn with
+    probability proportional to ``r ** -skew``.  ``skew=0`` degenerates
+    to uniform; larger values concentrate traffic on a few hot queries.
+    Deterministic for a given ``(universe, count, skew, seed)``.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    distinct = list(dict.fromkeys(universe))
+    if not distinct or count == 0:
+        return QueryWorkload(name, ())
+    rng = random.Random(seed)
+    rng.shuffle(distinct)
+    # Cumulative rank weights + bisect: O(log n) per draw, no numpy.
+    cumulative: List[float] = []
+    total = 0.0
+    for rank in range(1, len(distinct) + 1):
+        total += rank ** -skew
+        cumulative.append(total)
+    queries = tuple(
+        distinct[bisect_left(cumulative, rng.random() * total)]
+        for _ in range(count)
+    )
+    return QueryWorkload(name, queries)
+
+
+def zipf_queries(
+    graph: Graph,
+    count: int,
+    *,
+    skew: float = 1.0,
+    seed: int = 0,
+    universe: int = 1024,
+    constraints: Optional[Sequence[float]] = None,
+    name: str = "zipf",
+) -> QueryWorkload:
+    """A Zipf-skewed workload over ``universe`` random distinct queries.
+
+    Draws the candidate pool with :func:`random_queries` (same
+    ``constraints`` semantics), then resamples it with :func:`zipf_mix`.
+    The smaller the universe and the larger the skew, the hotter the
+    workload — the knobs the cache benchmarks sweep.
+    """
+    if universe < 1:
+        raise ValueError("universe must be positive")
+    pool = random_queries(
+        graph, universe, seed=seed, constraints=constraints
+    )
+    return zipf_mix(
+        pool.queries, count, skew=skew, seed=seed + 1, name=name
+    )
 
 
 def all_pairs_queries(

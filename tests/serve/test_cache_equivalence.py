@@ -1,0 +1,153 @@
+"""Property-based equivalence of the cached serving stack.
+
+The correctness bar of the answer cache: a :class:`CachingClient` in
+front of an engine answers **bit-identically** to the uncached engine
+under arbitrary interleavings of query batches and journaled update
+batches — every republish drives the journal's dirty set through
+``on_republish`` exactly like ``QueryServer.swap_image`` does.  Checked
+for all three index families over the hypothesis graph strategies, with
+deliberately tiny cache capacities in the mix so eviction interleaves
+with invalidation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.test_properties import (
+    quality_digraphs,
+    quality_graphs,
+    quality_weighted_graphs,
+)
+
+from repro.core import DirectedWCIndex, WeightedWCIndex, build_wc_index_plus
+from repro.live import live_index
+from repro.live.refreeze import refreeze
+from repro.serve import AnswerCache, CachingClient, InProcessClient
+
+MAX_QUALITY = 4.0
+
+
+def fresh_build(graph, weighted=False, directed=False):
+    """A from-scratch index over the mutated graph — the independent
+    oracle the cached stack must agree with at the end."""
+    if directed:
+        return DirectedWCIndex(graph)
+    if weighted:
+        return WeightedWCIndex(graph)
+    return build_wc_index_plus(graph, "degree")
+
+
+def query_batch(rng, n, count=12):
+    """Random queries including repeats (the cache-hit fodder) and
+    off-level thresholds (the quantization fodder)."""
+    queries = []
+    for _ in range(count):
+        w = rng.choice(
+            (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0)
+        )
+        queries.append((rng.randrange(n), rng.randrange(n), w))
+    # Repeat a prefix so later batches re-ask earlier questions.
+    return queries + queries[: count // 2]
+
+
+def mutate(rng, live, weighted):
+    """One random journaled update batch (insert / delete / requality);
+    returns True when anything was recorded."""
+    graph = live.graph
+    n = graph.num_vertices
+    before = len(live.journal)
+    for _ in range(rng.randint(1, 3)):
+        choice = rng.random()
+        edges = list(graph.edges())
+        if choice < 0.4 and edges:
+            edge = rng.choice(edges)
+            live.delete_edge(edge[0], edge[1])
+        elif choice < 0.7 and edges:
+            edge = rng.choice(edges)
+            live.change_quality(
+                edge[0], edge[1], float(rng.randint(1, int(MAX_QUALITY)))
+            )
+        else:
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v or graph.has_edge(u, v):
+                continue
+            quality = float(rng.randint(1, int(MAX_QUALITY)))
+            if weighted:
+                live.insert_edge(
+                    u, v, quality, length=float(rng.randint(1, 5))
+                )
+            else:
+                live.insert_edge(u, v, quality)
+    return len(live.journal) > before
+
+
+def assert_cached_equivalence(
+    graph, seed, *, weighted=False, directed=False, entries=64
+):
+    """Interleave query rounds and update batches; every round the
+    cached client must agree exactly with its uncached engine."""
+    rng = random.Random(seed)
+    live = live_index(graph)
+    frozen = live.freeze()
+    cache = AnswerCache(frozen, entries=entries)
+    client = CachingClient(InProcessClient(frozen), cache)
+    n = graph.num_vertices
+    for _ in range(4):
+        queries = query_batch(rng, n)
+        assert client.distance_many(queries) == frozen.distance_many(
+            queries
+        )
+        if not mutate(rng, live, weighted):
+            continue
+        journal = live.journal
+        dirty = journal.dirty_vertices()
+        if dirty:
+            # The republish path QueryServer.swap_image drives: refreeze
+            # against the old baseline, invalidate from the dirty set,
+            # rebind keying to the new generation's engine.
+            result = refreeze(frozen, live.index, dirty)
+            frozen = result.engine
+            cache.on_republish(
+                engine=frozen,
+                dirty=dirty,
+                incremental=result.incremental,
+            )
+            client = CachingClient(InProcessClient(frozen), cache)
+        journal.clear()
+    # One final all-warm pass, checked against a from-scratch build of
+    # the mutated graph: everything cached must still be exact.
+    queries = query_batch(rng, n)
+    client.distance_many(queries)
+    oracle = fresh_build(
+        live.graph, weighted=weighted, directed=directed
+    ).distance_many(queries)
+    assert client.distance_many(queries) == oracle
+
+
+@settings(max_examples=15)
+@given(quality_graphs(), st.integers(0, 2**20))
+def test_undirected_cached_equivalence(graph, seed):
+    assert_cached_equivalence(graph, seed)
+
+
+@settings(max_examples=15)
+@given(quality_graphs(), st.integers(0, 2**20))
+def test_undirected_cached_equivalence_tiny_cache(graph, seed):
+    # Capacity 2: eviction churns constantly, hits still must be exact.
+    assert_cached_equivalence(graph, seed, entries=2)
+
+
+@settings(max_examples=10)
+@given(quality_digraphs(), st.integers(0, 2**20))
+def test_directed_cached_equivalence(graph, seed):
+    assert_cached_equivalence(graph, seed, directed=True)
+
+
+@settings(max_examples=10)
+@given(quality_weighted_graphs(), st.integers(0, 2**20))
+def test_weighted_cached_equivalence(graph, seed):
+    assert_cached_equivalence(graph, seed, weighted=True)
