@@ -1,0 +1,223 @@
+"""Telemetry overhead benchmark: tracing must be nearly free.
+
+The observability counterpart of ``bench_net.py``: the same 32-client
+closed-loop coalesced-throughput measurement, run twice over real
+sockets —
+
+* **untraced baseline** — the front door built with
+  :meth:`Telemetry.off`: no sampling, no slow log, no trace ring.
+* **traced** — the default :class:`Telemetry` (1/64 sampling, 50 ms
+  slow-query log), the configuration ``serve --listen`` ships with.
+
+The gated headline is the throughput ratio traced/untraced
+(``--gate``, default 0.95 — tracing may cost at most 5%; CI gates a
+little lower for shared-runner noise).  Two non-ratio checks ride
+along:
+
+* **span-tree sanity** — a force-sampled cache-miss request's span
+  tree must fit inside the client-observed latency (spans are
+  monotonic-clock regions of the request's lifetime, so a sum that
+  exceeds what the client saw means the tracer is lying).
+* **client vs server p99** — the traced run scrapes the server's own
+  latency window (the ``loadgen --server-stats`` path); the
+  server-observed p99 must not exceed the client-observed p99, which
+  includes it.
+
+Rows merge into ``BENCH_query_engines.json`` as ``family: obs``.  Run
+directly (CI does)::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py
+
+Exits non-zero when the overhead gate, the span-tree check, or the
+latency ordering fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.bench.loadgen import LoadReport, closed_loop
+from repro.bench.reporting import merge_query_engine_rows
+from repro.core import WCIndexBuilder, load_frozen, save_frozen
+from repro.obs.telemetry import Telemetry
+from repro.serve import InProcessClient, NetClient, NetServerThread
+from repro.workloads import datasets as ds
+from repro.workloads.queries import random_queries
+
+DEFAULT_DATASET = "FLA"
+
+#: Concurrent closed-loop connections (matches bench_net.py).
+CLIENTS = 32
+
+
+def _drive(address, workload, *, duration_s: float, scrape: bool) -> LoadReport:
+    host, port = address
+
+    def snapshot():
+        with NetClient(host, port) as client:
+            return client.stats()
+
+    return closed_loop(
+        lambda: NetClient(host, port),
+        workload,
+        clients=CLIENTS,
+        duration_s=duration_s,
+        server_snapshot=snapshot if scrape else None,
+    )
+
+
+def bench_overhead(engine, workload, *, duration_s: float) -> Dict[str, object]:
+    """Race the default-telemetry front door against the untraced one."""
+    with NetServerThread(
+        InProcessClient(engine), max_batch=128, telemetry=Telemetry.off()
+    ) as front:
+        untraced = _drive(
+            front.address, workload, duration_s=duration_s, scrape=False
+        )
+    with NetServerThread(InProcessClient(engine), max_batch=128) as front:
+        traced = _drive(
+            front.address, workload, duration_s=duration_s, scrape=True
+        )
+        spans_ok, span_sum_ms, sampled_ms = _check_span_tree(
+            front.address, workload
+        )
+    ratio = (
+        traced.throughput_qps / untraced.throughput_qps
+        if untraced.throughput_qps
+        else float("inf")
+    )
+    return {
+        "untraced": untraced,
+        "traced": traced,
+        "ratio": ratio,
+        "spans_ok": spans_ok,
+        "span_sum_ms": span_sum_ms,
+        "sampled_ms": sampled_ms,
+    }
+
+
+def _check_span_tree(address, workload):
+    """Force-sample one request and require its top-level spans to fit
+    inside the latency the client observed for that same request."""
+    host, port = address
+    with NetClient(host, port) as client:
+        started = time.monotonic()
+        client.distance_many_sampled(workload[:64])
+        client_latency_s = time.monotonic() - started
+        payload = None
+        deadline = time.monotonic() + 5.0
+        while payload is None and time.monotonic() < deadline:
+            rows = client.stats().get("recent_traces", [])
+            payload = rows[-1] if rows else None
+            if payload is None:
+                time.sleep(0.01)
+    if payload is None:
+        return False, float("nan"), client_latency_s * 1000.0
+    top_level = [s for s in payload["spans"] if "parent" not in s]
+    span_sum_s = sum(s["duration_us"] for s in top_level) / 1e6
+    ok = span_sum_s <= client_latency_s
+    return ok, span_sum_s * 1000.0, client_latency_s * 1000.0
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default="BENCH_query_engines.json",
+        help="result file (default: BENCH_query_engines.json in the cwd)",
+    )
+    parser.add_argument("--dataset", default=DEFAULT_DATASET)
+    parser.add_argument("--queries", type=int, default=2000)
+    parser.add_argument(
+        "--duration", type=float, default=2.0,
+        help="seconds per closed-loop measurement (default 2)",
+    )
+    parser.add_argument(
+        "--gate", type=float, default=0.95,
+        help="minimum traced/untraced coalesced throughput ratio "
+        "(default 0.95 — tracing may cost at most 5%%; CI gates lower "
+        "for shared-runner noise)",
+    )
+    args = parser.parse_args(argv)
+
+    graph = ds.load(args.dataset)
+    index = WCIndexBuilder(graph, "hybrid", query_kernel="linear").build()
+    workload = list(random_queries(graph, args.queries, seed=3))
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / f"{args.dataset}.wcxb"
+        save_frozen(index.freeze(), path)
+        engine = load_frozen(path)
+        result = bench_overhead(engine, workload, duration_s=args.duration)
+
+    untraced = result["untraced"]
+    traced = result["traced"]
+    overhead_ok = result["ratio"] >= args.gate
+    print(
+        f"{args.dataset}/obs: untraced {untraced.throughput_qps:,.0f} q/s, "
+        f"traced {traced.throughput_qps:,.0f} q/s "
+        f"(ratio {result['ratio']:.3f}, gate {args.gate:.2f}) "
+        f"{'ok' if overhead_ok else 'FAIL'}"
+    )
+    print(
+        f"{args.dataset}/obs spans: top-level sum "
+        f"{result['span_sum_ms']:.3f} ms inside sampled request "
+        f"{result['sampled_ms']:.3f} ms "
+        f"{'ok' if result['spans_ok'] else 'FAIL'}"
+    )
+
+    server_latency = traced.server_latency()
+    server_p99 = server_latency.get("p99_ms", float("nan"))
+    # The client-observed p99 contains the server-observed one (it adds
+    # the network and both protocol stacks); equality is possible on a
+    # loopback socket, inversion means the windows measure different
+    # things.
+    latency_ok = not (server_p99 == server_p99 and server_p99 > traced.p99_ms)
+    print(
+        f"{args.dataset}/obs latency: client p99 {traced.p99_ms:.3f} ms, "
+        f"server p99 {server_p99:.3f} ms "
+        f"{'ok' if latency_ok else 'FAIL'}"
+    )
+
+    record = {
+        "dataset": args.dataset,
+        "family": "obs",
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "queries": len(workload),
+        "clients": CLIENTS,
+        "tracing_overhead_ratio": result["ratio"],
+        "span_tree_ok": result["spans_ok"],
+        "span_sum_ms": result["span_sum_ms"],
+        "engines": {
+            "NET-UNTRACED": {
+                "queries_per_sec": untraced.throughput_qps,
+                "p99_ms": untraced.p99_ms,
+            },
+            "NET-TRACED": {
+                "queries_per_sec": traced.throughput_qps,
+                "p99_ms": traced.p99_ms,
+                "server_p99_ms": server_p99,
+            },
+        },
+    }
+    merge_query_engine_rows(
+        args.out, {"obs_tracing_overhead": args.gate}, [record]
+    )
+    print(f"wrote {args.out}")
+    if not (overhead_ok and result["spans_ok"] and latency_ok):
+        print(
+            f"FAILED: tracing overhead above {1 - args.gate:.0%}, span "
+            "tree escaped the request, or latency windows inverted",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,7 +20,18 @@ Subcommands:
   control) and runs until SIGINT/SIGTERM.
 * ``loadgen`` — drive a running ``serve --listen`` with closed-loop or
   open-loop (Poisson) traffic and report throughput, latency
-  percentiles and the shed/failed disposition.
+  percentiles and the shed/failed disposition; ``--server-stats``
+  also scrapes the server's metrics around the run for the client- vs
+  server-observed latency comparison.
+* ``top``     — live dashboard over a running ``serve --listen``: scrape
+  the ``STATS`` frame every ``--interval`` seconds and render qps,
+  latency percentiles, cache hit rate, worker liveness and recent slow
+  queries (``--once`` for one scrape; ``--format
+  {dashboard,json,prometheus}`` for scripts and scrapers).
+* ``trace``   — force-sample one request through a running server and
+  pretty-print its span tree (queue-wait, batch-coalesce, kernel,
+  serialize), or ``--last N`` to print the server's most recent
+  sampled traces.
 * ``update``  — apply an edge-mutation file to a saved ``.wcxb`` index:
   journal the updates against the graph, incrementally refreeze only
   the dirty vertices, and write the image back (in-place byte-range
@@ -270,6 +281,7 @@ def _serve_listen(args, kernel: str) -> int:
     import signal
     import threading
 
+    from .obs import JsonlExporter, Telemetry
     from .serve import CachingClient, NetServerThread, PoolClient, QueryServer
     from .serve.net import (
         DEFAULT_MAX_BATCH,
@@ -278,6 +290,17 @@ def _serve_listen(args, kernel: str) -> int:
     )
 
     host, port = _parse_hostport(args.listen, "serve")
+    telemetry = Telemetry(
+        sample_every=args.trace_sample,
+        slow_ms=args.slow_ms if args.slow_ms > 0 else None,
+    )
+    exporter = None
+    if args.metrics_jsonl:
+        exporter = JsonlExporter(
+            telemetry.registry,
+            args.metrics_jsonl,
+            interval_s=args.metrics_interval,
+        )
     max_batch = (
         args.max_batch if args.max_batch is not None else DEFAULT_MAX_BATCH
     )
@@ -318,6 +341,7 @@ def _serve_listen(args, kernel: str) -> int:
             max_batch=max_batch,
             max_wait_us=max_wait_us,
             max_inflight=max_inflight,
+            telemetry=telemetry,
         ) as front:
             bound_host, bound_port = front.address
             # The parse-friendly readiness line scripts wait for.
@@ -329,12 +353,19 @@ def _serve_listen(args, kernel: str) -> int:
                 f"max_wait_us={max_wait_us:g}, "
                 f"max_inflight={max_inflight}, "
                 + (
-                    f"cache={cache_entries} entries)"
+                    f"cache={cache_entries} entries, "
                     if cache_entries
-                    else "cache off)"
+                    else "cache off, "
+                )
+                + (
+                    f"tracing 1/{args.trace_sample})"
+                    if args.trace_sample
+                    else "tracing off)"
                 ),
                 file=sys.stderr,
             )
+            if exporter is not None:
+                exporter.start()
             done = threading.Event()
             previous = {
                 sig: signal.signal(sig, lambda *_: done.set())
@@ -345,6 +376,8 @@ def _serve_listen(args, kernel: str) -> int:
             finally:
                 for sig, handler in previous.items():
                     signal.signal(sig, handler)
+                if exporter is not None:
+                    exporter.stop()
             report = front.health_report()
     queries = report["queries"]
     latency = report["latency"]
@@ -500,6 +533,14 @@ def _cmd_loadgen(args) -> int:
         client_factory().close()
     except OSError as exc:
         raise SystemExit(f"loadgen: cannot connect to {args.connect}: {exc}")
+
+    server_snapshot = None
+    if args.server_stats:
+
+        def server_snapshot():
+            with client_factory() as client:
+                return client.stats()
+
     if args.mode == "open":
         if args.rate is None:
             raise SystemExit("loadgen: --mode open requires --rate")
@@ -510,6 +551,7 @@ def _cmd_loadgen(args) -> int:
             duration_s=args.duration,
             clients=args.clients,
             max_outstanding=args.max_outstanding,
+            server_snapshot=server_snapshot,
         )
     else:
         report = closed_loop(
@@ -518,9 +560,102 @@ def _cmd_loadgen(args) -> int:
             clients=args.clients,
             duration_s=args.duration,
             batch=args.batch,
+            server_snapshot=server_snapshot,
         )
     print(report.format())
     return 0
+
+
+def _cmd_top(args) -> int:
+    import json
+
+    from .obs.top import render_dashboard
+    from .serve import NetClient
+
+    host, port = _parse_hostport(args.address, "top")
+    try:
+        client = NetClient(host, port, timeout=args.timeout)
+    except OSError as exc:
+        raise SystemExit(f"top: cannot connect to {args.address}: {exc}")
+    prev = None
+    prev_at = None
+    with client:
+        try:
+            while True:
+                if args.format == "prometheus":
+                    print(client.stats(prometheus=True), end="", flush=True)
+                else:
+                    report = client.stats()
+                    now = time.monotonic()
+                    if args.format == "json":
+                        print(json.dumps(report, sort_keys=True), flush=True)
+                    else:
+                        elapsed = now - prev_at if prev_at is not None else 0.0
+                        text = render_dashboard(report, prev, elapsed)
+                        if not args.once:
+                            # Clear + home, like top(1); --once stays pipable.
+                            print("\x1b[2J\x1b[H", end="")
+                        print(text, flush=True)
+                    prev, prev_at = report, now
+                if args.once:
+                    return 0
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+def _cmd_trace(args) -> int:
+    from .obs.trace import format_trace
+    from .serve import NetClient
+
+    host, port = _parse_hostport(args.address, "trace")
+    if not args.query and args.last is None:
+        raise SystemExit(
+            "trace: give 's t w' queries to sample, or --last N for the "
+            "server's most recent sampled traces"
+        )
+    try:
+        queries = _read_workload(args) if args.query else []
+    except ValueError as exc:
+        raise SystemExit(f"trace: {exc}")
+    try:
+        client = NetClient(host, port, timeout=args.timeout)
+    except OSError as exc:
+        raise SystemExit(f"trace: cannot connect to {args.address}: {exc}")
+    with client:
+        if not queries:
+            report = client.stats()
+            rows = report.get("recent_traces", [])[-args.last:]
+            if not rows:
+                print("no sampled traces buffered yet", file=sys.stderr)
+                return 1
+            for payload in rows:
+                print(format_trace(payload))
+            return 0
+        _, trace_ids = client.distance_many_sampled(queries)
+        # The answer frame lands a hair before the trace is sealed into
+        # the ring; poll the STATS frame briefly.
+        pending = set(trace_ids)
+        found = {}
+        deadline = time.monotonic() + 5.0
+        while pending and time.monotonic() < deadline:
+            report = client.stats()
+            for payload in report.get("recent_traces", []):
+                if payload.get("trace_id") in pending:
+                    found[payload["trace_id"]] = payload
+                    pending.discard(payload["trace_id"])
+            if pending:
+                time.sleep(0.02)
+    for trace_id in trace_ids:
+        payload = found.get(trace_id)
+        if payload is None:
+            print(
+                f"trace {trace_id:#x} never reached the ring (evicted?)",
+                file=sys.stderr,
+            )
+            continue
+        print(format_trace(payload))
+    return 0 if not pending else 1
 
 
 def _graph_for_engine(engine, path: str):
@@ -888,6 +1023,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="--listen: admission budget; queries beyond this many "
         "in flight are shed with typed overload errors (default 8192)",
     )
+    p_serve.add_argument(
+        "--trace-sample",
+        type=int,
+        default=64,
+        metavar="N",
+        help="--listen: sample every Nth request for a full span trace "
+        "(0 disables sampling; clients can still force one per request "
+        "with the wire flag; default 64)",
+    )
+    p_serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=50.0,
+        help="--listen: slow-query threshold in milliseconds — requests "
+        "over it land in the slow-query log even when unsampled "
+        "(0 disables the log; default 50)",
+    )
+    p_serve.add_argument(
+        "--metrics-jsonl",
+        default=None,
+        metavar="PATH",
+        help="--listen: append periodic metrics snapshots to this JSONL "
+        "file (one timestamped object per line; default off)",
+    )
+    p_serve.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=10.0,
+        help="--listen: seconds between --metrics-jsonl snapshots "
+        "(default 10)",
+    )
     _add_cache_flags(p_serve)
     p_serve.add_argument(
         "query",
@@ -978,12 +1144,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed of the Zipf ranking and draws (default 0)",
     )
     p_loadgen.add_argument(
+        "--server-stats",
+        action="store_true",
+        help="scrape the server's STATS frame right after the run and "
+        "print its latency window next to the client-observed one "
+        "(the gap is what the network and socket queues cost)",
+    )
+    p_loadgen.add_argument(
         "query",
         nargs="+",
         help="one or more 's t w' triples, or '-' to read the query "
         "mix from stdin (cycled for the whole run)",
     )
     p_loadgen.set_defaults(func=_cmd_loadgen)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live dashboard over a running 'serve --listen' (scrapes "
+        "the STATS frame; like top(1) for the query server)",
+    )
+    p_top.add_argument(
+        "address",
+        metavar="HOST:PORT",
+        help="address of a running 'serve --listen'",
+    )
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between scrapes (default 2)",
+    )
+    p_top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one scrape and exit (pipable; no screen clearing)",
+    )
+    p_top.add_argument(
+        "--format",
+        default="dashboard",
+        choices=["dashboard", "json", "prometheus"],
+        help="dashboard: the human view; json: the raw STATS report; "
+        "prometheus: the text exposition scrapers ingest",
+    )
+    p_top.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="socket timeout in seconds (default 30)",
+    )
+    p_top.set_defaults(func=_cmd_top)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="force-sample requests through a running server and "
+        "pretty-print their span trees",
+    )
+    p_trace.add_argument(
+        "address",
+        metavar="HOST:PORT",
+        help="address of a running 'serve --listen'",
+    )
+    p_trace.add_argument(
+        "--last",
+        type=int,
+        default=None,
+        metavar="N",
+        help="instead of sending queries, print the server's N most "
+        "recent sampled traces",
+    )
+    p_trace.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="socket timeout in seconds (default 30)",
+    )
+    p_trace.add_argument(
+        "query",
+        nargs="*",
+        help="'s t w' triples to send force-sampled, or '-' to read "
+        "them from stdin (omitted with --last)",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_update = sub.add_parser(
         "update",

@@ -21,6 +21,12 @@ and an exact disposition count: every request sent is ``ok``,
 ``dropped`` for arrivals the open-loop generator never sent because
 its outstanding cap was full.  ``python -m repro loadgen`` is the CLI
 front end.
+
+``server_snapshot`` (a callable returning the server's ``STATS``
+report, e.g. ``NetClient.stats``) is invoked right after the run and
+stored on the report, putting the client-observed and server-observed
+latency percentiles side by side: the gap between them is what the
+network, the client stack and the socket queues cost.
 """
 
 from __future__ import annotations
@@ -56,6 +62,9 @@ class LoadReport:
     failed: int
     dropped: int
     latencies_ms: List[float] = field(repr=False, default_factory=list)
+    #: The server's STATS report scraped right after the run (None when
+    #: no ``server_snapshot`` callable was given).
+    server_metrics: Optional[dict] = field(repr=False, default=None)
 
     @property
     def throughput_qps(self) -> float:
@@ -76,6 +85,13 @@ class LoadReport:
     def p99_ms(self) -> float:
         return self._percentile(99.0)
 
+    def server_latency(self) -> dict:
+        """The server-observed latency window of the scraped snapshot
+        (empty dict when no snapshot was taken)."""
+        if not self.server_metrics:
+            return {}
+        return self.server_metrics.get("stats", {}).get("latency", {})
+
     def format(self) -> str:
         offered = (
             f"{self.offered_qps:.0f} q/s offered"
@@ -92,6 +108,20 @@ class LoadReport:
             f"  latency p50={self.p50_ms:.3f}ms p95={self.p95_ms:.3f}ms "
             f"p99={self.p99_ms:.3f}ms",
         ]
+        server = self.server_latency()
+        if server:
+            stats = self.server_metrics.get("stats", {})
+            queries = stats.get("queries", {})
+            lines.append(
+                "  server  p50={p50:.3f}ms p95={p95:.3f}ms p99={p99:.3f}ms "
+                "(answered={answered} shed={shed})".format(
+                    p50=server.get("p50_ms", float("nan")),
+                    p95=server.get("p95_ms", float("nan")),
+                    p99=server.get("p99_ms", float("nan")),
+                    answered=queries.get("answered", 0),
+                    shed=queries.get("shed", 0),
+                )
+            )
         return "\n".join(lines)
 
 
@@ -136,6 +166,17 @@ def _issue(client: QueryClient, batch: Sequence[Query], tally: _Tally) -> None:
     tally.record("ok", len(batch), time.perf_counter() - start)
 
 
+def _scrape(server_snapshot) -> Optional[dict]:
+    """Best-effort STATS scrape: a server torn down right after the run
+    loses the comparison row, not the whole report."""
+    if server_snapshot is None:
+        return None
+    try:
+        return server_snapshot()
+    except Exception:
+        return None
+
+
 def closed_loop(
     client_factory: ClientFactory,
     queries: Sequence[Query],
@@ -143,6 +184,7 @@ def closed_loop(
     clients: int = 8,
     duration_s: float = 5.0,
     batch: int = 1,
+    server_snapshot: Optional[Callable[[], dict]] = None,
 ) -> LoadReport:
     """Drive ``clients`` synchronous clients back-to-back for
     ``duration_s`` seconds; each request carries ``batch`` queries."""
@@ -189,6 +231,7 @@ def closed_loop(
         failed=tally.failed,
         dropped=tally.dropped,
         latencies_ms=tally.latencies_ms,
+        server_metrics=_scrape(server_snapshot),
     )
 
 
@@ -201,6 +244,7 @@ def open_loop(
     clients: int = 8,
     max_outstanding: int = 256,
     seed: int = 0,
+    server_snapshot: Optional[Callable[[], dict]] = None,
 ) -> LoadReport:
     """Offer Poisson traffic at ``rate_qps`` regardless of completions.
 
@@ -270,4 +314,5 @@ def open_loop(
         failed=tally.failed,
         dropped=tally.dropped,
         latencies_ms=tally.latencies_ms,
+        server_metrics=_scrape(server_snapshot),
     )

@@ -124,6 +124,10 @@ class LivePublisher:
         self._image_mode = image_mode
         self._image_path = Path(image_path) if image_path is not None else None
         self._epoch = 0
+        #: Publish counters (the metrics bridge reads these at scrape
+        #: time): committed republishes and journal ops applied.
+        self._publishes = 0
+        self._ops_applied = 0
         self._prefix = (
             segment_prefix
             if segment_prefix is not None
@@ -247,6 +251,8 @@ class LivePublisher:
         )
         self._epoch = epoch
         self._frozen = result.engine
+        self._publishes += 1
+        self._ops_applied += ops
         journal.clear()
         if self._image_path is not None:
             self._write_manifest(STATE_COMMITTED, epoch)
@@ -266,6 +272,16 @@ class LivePublisher:
     @property
     def epoch(self) -> int:
         return self._epoch
+
+    @property
+    def publishes(self) -> int:
+        """Committed republishes (no-op republishes excluded)."""
+        return self._publishes
+
+    @property
+    def ops_applied(self) -> int:
+        """Journal operations carried into committed republishes."""
+        return self._ops_applied
 
     @property
     def live(self):

@@ -1,0 +1,149 @@
+"""The per-server telemetry bundle: registry + sampling + rings.
+
+:class:`Telemetry` is what the serving stack actually passes around —
+one object owning a :class:`~repro.obs.metrics.MetricsRegistry`, the
+finished-trace ring, the slow-query log, and the sampling policy that
+decides which requests get a full span tree.
+
+Sampling: every ``sample_every``-th admitted request is traced
+(deterministic 1/N on an atomic counter — cheap and evenly spread), and
+any request whose QUERY frame carries ``FLAG_SAMPLE`` is traced
+unconditionally (clients force-sample their own requests to debug
+them).  ``sample_every=0`` disables sampling entirely;
+:meth:`Telemetry.off` builds a bundle with tracing *and* the slow log
+disabled, which is the untraced baseline the overhead bench compares
+against.
+
+The slow-query log sees *every* request's total latency, not just the
+sampled ones: a slow unsampled request still produces a summary row
+(total + queue-wait only), while a slow sampled request dumps its full
+span tree.  Tail behavior is precisely what sampling would otherwise
+hide.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+from .metrics import MetricsRegistry
+from .trace import SlowQueryLog, Trace, TraceBuffer, new_trace_id
+
+__all__ = ["Telemetry", "DEFAULT_SAMPLE_EVERY", "DEFAULT_SLOW_MS"]
+
+#: Trace one request in 64 by default — low enough overhead to leave on.
+DEFAULT_SAMPLE_EVERY = 64
+
+#: Default slow-query threshold in milliseconds.
+DEFAULT_SLOW_MS = 50.0
+
+#: QUERY-frame flag bit: the client asks for this request to be traced.
+FLAG_SAMPLE = 0x01
+
+
+class Telemetry:
+    """Registry, trace ring, slow log and sampling policy for one
+    server instance."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        *,
+        sample_every: int = DEFAULT_SAMPLE_EVERY,
+        slow_ms: Optional[float] = DEFAULT_SLOW_MS,
+        trace_capacity: int = 256,
+        slow_capacity: int = 128,
+        slow_sink=None,
+    ) -> None:
+        if sample_every < 0:
+            raise ValueError("sample_every must be >= 0 (0 disables)")
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.sample_every = sample_every
+        self.traces = TraceBuffer(trace_capacity)
+        self.slow_log = (
+            SlowQueryLog(slow_ms / 1000.0, slow_capacity, sink=slow_sink)
+            if slow_ms is not None and slow_ms > 0
+            else None
+        )
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self.traces_sampled = self.registry.counter(
+            "repro_traces_sampled_total", "Requests that produced a full span tree"
+        )
+        self.slow_queries = self.registry.counter(
+            "repro_slow_queries_total", "Requests slower than the slow-query threshold"
+        )
+
+    @classmethod
+    def off(cls, registry: Optional[MetricsRegistry] = None) -> "Telemetry":
+        """A bundle with tracing and the slow log disabled — the
+        untraced baseline for overhead benchmarks."""
+        return cls(registry, sample_every=0, slow_ms=None)
+
+    @property
+    def tracing_enabled(self) -> bool:
+        return self.sample_every > 0
+
+    def should_sample(self, flags: int = 0) -> bool:
+        """Decide whether this admitted request gets a span tree."""
+        if flags & FLAG_SAMPLE:
+            return True
+        if self.sample_every <= 0:
+            return False
+        with self._lock:
+            self._admitted += 1
+            return self._admitted % self.sample_every == 0
+
+    def begin_trace(
+        self,
+        trace_id: int,
+        request_id: int,
+        queries: int,
+        start_monotonic: float,
+    ) -> Trace:
+        if trace_id == 0:
+            trace_id = new_trace_id()
+        return Trace(trace_id, request_id, queries, start_monotonic)
+
+    def finish_trace(self, trace: Trace, end_monotonic: float) -> None:
+        """Seal a sampled trace, push it to the ring, and offer it to
+        the slow log (full span dump)."""
+        trace.finish(end_monotonic)
+        self.traces.push(trace)
+        self.traces_sampled.inc()
+        if self.slow_log is not None and self.slow_log.offer(trace):
+            self.slow_queries.inc()
+
+    def observe_unsampled(
+        self,
+        request_id: int,
+        queries: int,
+        total_s: float,
+        queue_wait_s: Optional[float] = None,
+    ) -> None:
+        """Give the slow log a look at an *unsampled* request.  Slow
+        ones produce a summary row (no span tree was recorded)."""
+        if self.slow_log is None or total_s < self.slow_log.threshold_s:
+            return
+        trace = Trace(new_trace_id(), request_id, queries, 0.0)
+        trace.meta["sampled"] = False
+        if queue_wait_s is not None:
+            trace.add_span("queue-wait", 0.0, queue_wait_s)
+        trace.finish(total_s)
+        if self.slow_log.offer(trace):
+            self.slow_queries.inc()
+
+    def summary(self) -> Dict[str, Any]:
+        """Config + ring occupancy, embedded in HEALTH reports."""
+        return {
+            "tracing": self.tracing_enabled,
+            "sample_every": self.sample_every,
+            "slow_ms": (
+                self.slow_log.threshold_s * 1000.0
+                if self.slow_log is not None
+                else None
+            ),
+            "traces_buffered": len(self.traces),
+            "traces_sampled": int(self.traces_sampled.value),
+            "slow_queries": int(self.slow_queries.value),
+        }

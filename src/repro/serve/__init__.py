@@ -44,7 +44,10 @@ Network serving sits on top of the pool (or any engine):
   calls, sheds load with typed :class:`ServerOverloadedError` frames
   when the in-flight budget fills, and serves rolling latency
   percentiles over the ``HEALTH`` frame
-  (:class:`~repro.serve.stats.ServerStats`).
+  (:class:`~repro.serve.stats.ServerStats`).  Telemetry — the
+  process-wide metrics registry, per-query trace sampling and the
+  slow-query log — lives in :mod:`repro.obs` and is wired through
+  every tier here (``STATS`` frame, ``repro top``).
 * :class:`QueryClient` (:mod:`repro.serve.client`) — one client API
   over every tier: :class:`InProcessClient` (an engine),
   :class:`PoolClient` (the shm pool), :class:`NetClient` (TCP).
@@ -86,6 +89,7 @@ from .health import epoch_of, pool_report
 from .net import NetServer, NetServerThread
 from .protocol import (
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     FrameDecoder,
     FrameTooLargeError,
     ProtocolError,
@@ -114,6 +118,7 @@ __all__ = [
     "NetServer",
     "NetServerThread",
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "PoolClient",
     "PoolUnavailableError",
     "ProtocolError",

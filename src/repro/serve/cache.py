@@ -49,6 +49,7 @@ returns.
 from __future__ import annotations
 
 import threading
+import time
 from bisect import bisect_left
 from collections import OrderedDict
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
@@ -452,9 +453,18 @@ class CachingClient(QueryClient):
         return self._cache
 
     def distance_many(self, queries: Sequence[Query]) -> List[float]:
+        return self._serve(list(queries), None)
+
+    def distance_many_traced(self, queries: Sequence[Query], sink) -> List[float]:
+        """Traced variant: reports a ``cache-lookup`` span (hit/miss
+        meta included) to ``sink`` and forwards the miss batch through
+        the inner client's own traced entry point when it has one."""
+        return self._serve(list(queries), sink)
+
+    def _serve(self, queries: List[Query], sink) -> List[float]:
         if self._closed:
             raise RuntimeError("client is closed")
-        queries = list(queries)
+        lookup_start = time.monotonic() if sink is not None else 0.0
         cache = self._cache
         token = cache.token()
         l1 = self._l1
@@ -498,8 +508,24 @@ class CachingClient(QueryClient):
             slots.append((key, positions))
         if l1_hits:
             cache.count_hits(l1_hits)
+        if sink is not None:
+            sink(
+                "cache-lookup",
+                lookup_start,
+                time.monotonic(),
+                hits=len(queries) - len(forwarded),
+                misses=len(forwarded),
+            )
         if forwarded:
-            filled = self._inner.distance_many(forwarded)
+            inner_traced = (
+                getattr(self._inner, "distance_many_traced", None)
+                if sink is not None
+                else None
+            )
+            if inner_traced is not None:
+                filled = inner_traced(forwarded, sink)
+            else:
+                filled = self._inner.distance_many(forwarded)
             memoizable = token == cache.token()
             for (key, positions), query, value in zip(
                 slots, forwarded, filled

@@ -29,6 +29,7 @@ import socket
 import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs.trace import new_trace_id
 from . import protocol
 from .errors import (
     QueryTimeoutError,
@@ -153,11 +154,23 @@ class PoolClient(QueryClient):
         return self._server
 
     def distance_many(self, queries: Sequence[Query]) -> List[float]:
+        return self._query(list(queries), None)
+
+    def distance_many_traced(self, queries: Sequence[Query], sink) -> List[float]:
+        """Traced variant: forwards ``sink`` into the pool's
+        ``query_batch`` so the fan-out reports a ``pool-dispatch`` span
+        (chunk count and worker meta included)."""
+        return self._query(list(queries), sink)
+
+    def _query(self, queries: List[Query], trace_sink) -> List[float]:
         if self._closed:
             raise RuntimeError("client is closed")
         try:
             return self._server.query_batch(
-                list(queries), timeout=self._timeout, retries=self._retries
+                queries,
+                timeout=self._timeout,
+                retries=self._retries,
+                trace_sink=trace_sink,
             )
         except RuntimeError as exc:
             # Workers report engine failures as "query worker failed:
@@ -283,14 +296,32 @@ class NetClient(QueryClient):
 
     # -- the client API ------------------------------------------------
     def distance_many(self, queries: Sequence[Query]) -> List[float]:
+        return self._distance_many(queries, flags=0)[0]
+
+    def distance_many_sampled(
+        self, queries: Sequence[Query]
+    ) -> Tuple[List[float], List[int]]:
+        """Like :meth:`distance_many`, but every QUERY frame carries
+        :data:`~repro.serve.protocol.FLAG_SAMPLE` — the server records a
+        full span tree for each.  Returns ``(answers, trace_ids)``; the
+        traces are fetchable from the server's ``STATS`` frame (see
+        ``repro trace``)."""
+        return self._distance_many(queries, flags=protocol.FLAG_SAMPLE)
+
+    def _distance_many(
+        self, queries: Sequence[Query], *, flags: int
+    ) -> Tuple[List[float], List[int]]:
         with self._lock:
             if self._closed:
                 raise RuntimeError("client is closed")
             queries = list(queries)
             if not queries:
-                return []
+                return [], []
             # Split over the per-frame cap and pipeline all chunks.
+            # Each chunk is stamped with a client-minted trace id so a
+            # sampled server-side span tree is correlatable back here.
             spans: Dict[int, Tuple[int, int]] = {}
+            trace_ids: List[int] = []
             at = 0
             payload = bytearray()
             while at < len(queries):
@@ -298,7 +329,13 @@ class NetClient(QueryClient):
                 request_id = self._next_request
                 self._next_request = (self._next_request + 1) % CONNECTION_SCOPE
                 spans[request_id] = (at, len(chunk))
-                payload.extend(protocol.encode_query(request_id, chunk))
+                trace_id = new_trace_id()
+                trace_ids.append(trace_id)
+                payload.extend(
+                    protocol.encode_query(
+                        request_id, chunk, trace_id=trace_id, flags=flags
+                    )
+                )
                 at += len(chunk)
             self._send(bytes(payload))
             answers: List[float] = [0.0] * len(queries)
@@ -347,7 +384,34 @@ class NetClient(QueryClient):
                     )
             if failure is not None:
                 raise _remote_error(*failure)
-            return answers
+            return answers, trace_ids
+
+    def stats(self, *, prometheus: bool = False):
+        """Scrape the server's ``STATS`` frame: the JSON stats report
+        (metrics, recent traces, slow-query log) or, with
+        ``prometheus=True``, the text exposition as a string."""
+        fmt = protocol.STATS_PROMETHEUS if prometheus else protocol.STATS_JSON
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("client is closed")
+            self._send(protocol.encode_stats_request(fmt))
+            while True:
+                frame = self._next_frame()
+                if frame.msg_type == protocol.MSG_STATS:
+                    got_fmt, body = protocol.decode_stats(frame.payload)
+                    if got_fmt != fmt:
+                        raise ProtocolError(
+                            f"STATS response format {got_fmt} does not match "
+                            f"the requested {fmt}"
+                        )
+                    return body
+                if frame.msg_type == protocol.MSG_ERROR:
+                    _, code, message = protocol.decode_error(frame.payload)
+                    raise _remote_error(code, message)
+                raise ProtocolError(
+                    f"unexpected {protocol.MSG_NAMES[frame.msg_type]} "
+                    f"frame while awaiting the stats report"
+                )
 
     def health(self) -> dict:
         with self._lock:

@@ -1,6 +1,6 @@
 """The one structured health report of a serving pool.
 
-Before this module, :meth:`QueryServer.basic_health` and
+Before this module, :meth:`QueryServer.health` and
 :meth:`Supervisor.health` each assembled their own snapshot dict and
 patched each other's output; the ``HEALTH`` frame of the network front
 door would have been a third copy.  :func:`pool_report` is now the

@@ -29,11 +29,31 @@ queries stay bounded, and every frame still gets an ``ANSWER`` or an
 ``ERROR`` (zero silent drops; shutdown flushes the residue with typed
 ``shutting-down`` errors).
 
-**Observability.**  A :class:`~repro.serve.stats.ServerStats` tracks
+**Observability.**  A :class:`~repro.serve.stats.ServerStats` (carried
+by the unified :class:`~repro.obs.metrics.MetricsRegistry`) tracks
 admission counters, queue depth, the coalesced batch-size histogram and
 rolling p50/p95/p99 latency; :meth:`NetServer.health_report` serves the
-snapshot (plus the backend pool's own health) over the ``HEALTH`` frame
-and the CLI ``serve --listen`` status output.
+snapshot (plus the backend pool's own health and the flat metrics
+snapshot) over the ``HEALTH`` frame and the CLI ``serve --listen``
+status output, and the ``STATS`` frame serves either the JSON stats
+report (:meth:`NetServer.stats_report` — metrics, recent traces, the
+slow-query log) or the Prometheus text exposition
+(:meth:`NetServer.prometheus_text`).
+
+**Per-query tracing.**  Each server owns a
+:class:`~repro.obs.telemetry.Telemetry` bundle.  Sampled requests
+(every Nth admitted, or any carrying the v2 QUERY frame's
+``FLAG_SAMPLE``) produce a span tree — ``queue-wait``,
+``batch-coalesce``, ``kernel`` (with backend sub-spans like
+``cache-lookup`` and ``pool-dispatch`` when the backend implements
+``distance_many_traced``), ``serialize`` — pushed to a bounded ring the
+``STATS`` frame serves.  Every request, sampled or not, is offered to
+the slow-query log.  ``Telemetry.off()`` disables all of it (the
+overhead bench's untraced baseline).
+
+Protocol compatibility: the decoder accepts v1 and v2 frames, each
+connection remembers the version its peer last spoke, and every reply
+is stamped with it — a v1 client never sees a v2 header.
 
 A failing coalesced batch is re-executed per request, so one malformed
 query poisons only its own request — its sender gets the engine's exact
@@ -51,6 +71,8 @@ import struct
 import threading
 from typing import List, Optional, Sequence, Tuple
 
+from ..obs.export import bind_backend
+from ..obs.telemetry import Telemetry
 from . import protocol
 from .stats import ServerStats
 
@@ -67,15 +89,33 @@ _STOP = object()
 
 
 class _Request:
-    """One admitted QUERY frame: who to answer, what to compute."""
+    """One admitted QUERY frame: who to answer, what to compute.
 
-    __slots__ = ("connection", "request_id", "queries", "admitted_at")
+    ``trace`` is the sampled request's :class:`~repro.obs.trace.Trace`
+    (``None`` for the unsampled majority); ``picked_at`` is stamped when
+    the batcher pops the request and ``prelude_done`` guards the
+    queue-wait/batch-coalesce spans against the per-request re-run the
+    failure-isolation path performs.
+    """
 
-    def __init__(self, connection, request_id, queries, admitted_at):
+    __slots__ = (
+        "connection",
+        "request_id",
+        "queries",
+        "admitted_at",
+        "trace",
+        "picked_at",
+        "prelude_done",
+    )
+
+    def __init__(self, connection, request_id, queries, admitted_at, trace=None):
         self.connection = connection
         self.request_id = request_id
         self.queries = queries
         self.admitted_at = admitted_at
+        self.trace = trace
+        self.picked_at = admitted_at
+        self.prelude_done = False
 
 
 class _Connection:
@@ -89,6 +129,9 @@ class _Connection:
         #: connection concurrently with the reader answering HEALTH.
         self.write_lock = asyncio.Lock()
         self.alive = True
+        #: The header version the peer last spoke; every reply is
+        #: stamped with it so v1 clients never see a v2 header.
+        self.peer_version = protocol.PROTOCOL_VERSION
 
     async def send(self, data: bytes) -> None:
         """Write one encoded frame; a peer that vanished is not an error
@@ -133,18 +176,32 @@ class _Connection:
         """Connection-scoped typed error; the stream has lost framing
         (or spoke a foreign version), so the connection ends after it."""
         await self.send(
-            protocol.encode_error(protocol.CONNECTION_SCOPE, code, message)
+            protocol.encode_error(
+                protocol.CONNECTION_SCOPE,
+                code,
+                message,
+                version=self.peer_version,
+            )
         )
 
     async def _handle(self, frame: protocol.Frame) -> None:
+        self.peer_version = frame.version
         if frame.msg_type == protocol.MSG_HELLO:
-            await self.send(protocol.encode_hello(self.server.hello_info()))
+            await self.send(
+                protocol.encode_hello(
+                    self.server.hello_info(), version=frame.version
+                )
+            )
         elif frame.msg_type == protocol.MSG_HEALTH:
             await self.send(
-                protocol.encode_health_report(self.server.health_report())
+                protocol.encode_health_report(
+                    self.server.health_report(), version=frame.version
+                )
             )
+        elif frame.msg_type == protocol.MSG_STATS:
+            await self._handle_stats(frame)
         elif frame.msg_type == protocol.MSG_QUERY:
-            await self._handle_query(frame.payload)
+            await self._handle_query(frame.payload, frame.version)
         else:
             # ANSWER/ERROR are server-to-client only.
             await self._refuse(
@@ -153,9 +210,30 @@ class _Connection:
                 f"{protocol.MSG_NAMES[frame.msg_type]} frames",
             )
 
-    async def _handle_query(self, payload: bytes) -> None:
+    async def _handle_stats(self, frame: protocol.Frame) -> None:
         try:
-            request_id, queries = protocol.decode_query(payload)
+            fmt = protocol.decode_stats_request(frame.payload)
+        except protocol.ProtocolError as exc:
+            await self.send(
+                protocol.encode_error(
+                    protocol.CONNECTION_SCOPE,
+                    protocol.ERR_MALFORMED,
+                    str(exc),
+                    version=frame.version,
+                )
+            )
+            return
+        if fmt == protocol.STATS_PROMETHEUS:
+            body = self.server.prometheus_text()
+        else:
+            body = self.server.stats_report()
+        await self.send(protocol.encode_stats(fmt, body, version=frame.version))
+
+    async def _handle_query(self, payload: bytes, version: int) -> None:
+        try:
+            request_id, queries, trace = protocol.decode_query(
+                payload, version=version
+            )
         except protocol.ProtocolError as exc:
             # The frame itself was well-formed (framing holds), so the
             # connection survives; the request id is recovered when the
@@ -168,9 +246,13 @@ class _Connection:
                 if isinstance(exc, protocol.FrameTooLargeError)
                 else protocol.ERR_MALFORMED
             )
-            await self.send(protocol.encode_error(request_id, code, str(exc)))
+            await self.send(
+                protocol.encode_error(
+                    request_id, code, str(exc), version=version
+                )
+            )
             return
-        await self.server.submit(self, request_id, queries)
+        await self.server.submit(self, request_id, queries, trace=trace)
 
 
 class NetServer:
@@ -194,6 +276,7 @@ class NetServer:
         max_wait_us: float = DEFAULT_MAX_WAIT_US,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         stats: Optional[ServerStats] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -207,7 +290,16 @@ class NetServer:
         self._max_batch = max_batch
         self._max_wait = max_wait_us / 1e6
         self._max_inflight = max_inflight
-        self.stats = stats if stats is not None else ServerStats()
+        # One registry carries everything: the telemetry counters, the
+        # admission stats, and the bridge collectors over the backend
+        # stack (cache shards, pool workers, supervisor restarts).
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.stats = (
+            stats
+            if stats is not None
+            else ServerStats(registry=self.telemetry.registry)
+        )
+        bind_backend(self.telemetry.registry, backend)
         self._queue: Optional[asyncio.Queue] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._batcher: Optional[asyncio.Task] = None
@@ -282,31 +374,62 @@ class NetServer:
         connection: _Connection,
         request_id: int,
         queries: Sequence[Tuple[int, int, float]],
+        trace: Optional[Tuple[int, int]] = None,
     ) -> None:
-        """Admit or shed one decoded QUERY (called by connections)."""
+        """Admit or shed one decoded QUERY (called by connections).
+
+        ``trace`` is the v2 frame's ``(trace_id, flags)`` header (``None``
+        from v1 peers — the server mints an id if sampling picks one).
+        """
         count = len(queries)
+        version = connection.peer_version
+        trace_id, flags = trace if trace is not None else (0, 0)
         if not self._running:
             await connection.send(
                 protocol.encode_error(
                     request_id,
                     protocol.ERR_SHUTDOWN,
                     "server is shutting down",
+                    version=version,
                 )
             )
             return
+        loop = asyncio.get_running_loop()
         # Answer-before-dispatch: a batch served entirely from the
         # backend's answer cache never waits for the batching window,
         # never costs admission budget, and never touches the pool.
         cached = getattr(self._backend, "cached_answers", None)
         if cached is not None:
+            sampled = self.telemetry.should_sample(flags)
+            started = loop.time() if sampled else 0.0
             answers = cached(queries)
             if answers is not None:
                 self.stats.admit(count)
                 self.stats.answer(count, 0.0)
-                await connection.send(
-                    protocol.encode_answer(request_id, answers)
-                )
+                if sampled:
+                    record = self.telemetry.begin_trace(
+                        trace_id, request_id, count, started
+                    )
+                    record.meta["cache_hit"] = True
+                    looked_up = loop.time()
+                    record.add_span("cache-lookup", started, looked_up)
+                    await connection.send(
+                        protocol.encode_answer(
+                            request_id, answers, version=version
+                        )
+                    )
+                    sent = loop.time()
+                    record.add_span("serialize", looked_up, sent)
+                    self.telemetry.finish_trace(record, sent)
+                else:
+                    await connection.send(
+                        protocol.encode_answer(
+                            request_id, answers, version=version
+                        )
+                    )
                 return
+        else:
+            sampled = self.telemetry.should_sample(flags)
         if self.stats.in_flight + count > self._max_inflight:
             self.stats.shed(count)
             await connection.send(
@@ -316,13 +439,20 @@ class NetServer:
                     f"admission budget full: {self.stats.in_flight} queries "
                     f"in flight, {count} more would exceed the "
                     f"{self._max_inflight}-query limit; back off and retry",
+                    version=version,
                 )
             )
             return
         self.stats.admit(count)
-        loop = asyncio.get_running_loop()
+        admitted_at = loop.time()
+        record = None
+        if sampled:
+            record = self.telemetry.begin_trace(
+                trace_id, request_id, count, admitted_at
+            )
+            record.meta["cache_hit"] = False
         await self._queue.put(
-            _Request(connection, request_id, list(queries), loop.time())
+            _Request(connection, request_id, list(queries), admitted_at, record)
         )
 
     # ------------------------------------------------------------------
@@ -334,11 +464,12 @@ class NetServer:
             request = await self._queue.get()
             if request is _STOP:
                 return
+            request.picked_at = loop.time()
             batch = [request]
             total = len(request.queries)
             stop_after = False
             if self._max_batch > 1:
-                deadline = loop.time() + self._max_wait
+                deadline = request.picked_at + self._max_wait
                 while total < self._max_batch:
                     remaining = deadline - loop.time()
                     try:
@@ -353,6 +484,7 @@ class NetServer:
                     if nxt is _STOP:
                         stop_after = True
                         break
+                    nxt.picked_at = loop.time()
                     batch.append(nxt)
                     total += len(nxt.queries)
             try:
@@ -378,10 +510,35 @@ class NetServer:
         ]
         if merged:
             self.stats.batch_sizes.observe(len(merged))
+        kernel_start = loop.time()
+        traced = [r for r in batch if r.trace is not None]
+        for request in traced:
+            if not request.prelude_done:
+                request.prelude_done = True
+                request.trace.add_span(
+                    "queue-wait", request.admitted_at, request.picked_at
+                )
+                request.trace.add_span(
+                    "batch-coalesce", request.picked_at, kernel_start
+                )
+        # Backend sub-spans (cache-lookup, pool-dispatch) ride an
+        # optional traced entry point; the sink collects them once per
+        # coalesced call and replays them into every sampled trace of
+        # the batch, nested under its kernel span.
+        sub_spans: List[Tuple[str, float, float, dict]] = []
+        backend_call = self._backend.distance_many
+        if traced:
+            traced_many = getattr(self._backend, "distance_many_traced", None)
+            if traced_many is not None:
+
+                def sink(name, start, end, **meta):
+                    sub_spans.append((name, start, end, meta))
+
+                def backend_call(queries):  # noqa: F811 — traced variant
+                    return traced_many(queries, sink)
+
         try:
-            answers = await loop.run_in_executor(
-                None, self._backend.distance_many, merged
-            )
+            answers = await loop.run_in_executor(None, backend_call, merged)
         except Exception as exc:
             if len(batch) == 1:
                 await self._fail_request(
@@ -398,23 +555,50 @@ class NetServer:
             return
         at = 0
         now = loop.time()
+        for request in traced:
+            request.trace.add_span(
+                "kernel", kernel_start, now, batch_queries=len(merged)
+            )
+            for name, start, end, meta in sub_spans:
+                request.trace.add_span(
+                    name, start, end, parent="kernel", **meta
+                )
         for request in batch:
             count = len(request.queries)
             # Count before sending: a client that has its answer in hand
             # must never observe a health report that hasn't.
             self.stats.answer(count, now - request.admitted_at)
+            send_start = loop.time()
             await request.connection.send(
                 protocol.encode_answer(
-                    request.request_id, answers[at:at + count]
+                    request.request_id,
+                    answers[at:at + count],
+                    version=request.connection.peer_version,
                 )
             )
             at += count
+            if request.trace is not None:
+                sent = loop.time()
+                request.trace.add_span("serialize", send_start, sent)
+                self.telemetry.finish_trace(request.trace, sent)
+            else:
+                self.telemetry.observe_unsampled(
+                    request.request_id,
+                    count,
+                    now - request.admitted_at,
+                    queue_wait_s=request.picked_at - request.admitted_at,
+                )
 
     async def _fail_request(
         self, request: _Request, code: int, message: str
     ) -> None:
         await request.connection.send(
-            protocol.encode_error(request.request_id, code, message)
+            protocol.encode_error(
+                request.request_id,
+                code,
+                message,
+                version=request.connection.peer_version,
+            )
         )
         self.stats.fail(len(request.queries))
 
@@ -437,6 +621,7 @@ class NetServer:
         return {
             "server": "repro-netserver",
             "protocol": protocol.PROTOCOL_VERSION,
+            "protocol_versions": list(protocol.SUPPORTED_VERSIONS),
             "max_batch": self._max_batch,
             "max_queries_per_frame": protocol.MAX_QUERIES_PER_FRAME,
         }
@@ -444,7 +629,8 @@ class NetServer:
     def health_report(self) -> dict:
         """The front door's structured health snapshot: serving state,
         knobs, stats (latency percentiles, queue depth, batch-size
-        histogram, shed counts) and the backend's own health report."""
+        histogram, shed counts), the flat metrics snapshot, the
+        telemetry summary and the backend's own health report."""
         report = {
             "state": "ok" if self._running else "closed",
             "transport": "net",
@@ -455,10 +641,39 @@ class NetServer:
             "max_inflight": self._max_inflight,
         }
         report.update(self.stats.snapshot())
+        report["metrics"] = self.telemetry.registry.snapshot()
+        report["telemetry"] = self.telemetry.summary()
         backend_health = getattr(self._backend, "health", None)
         if callable(backend_health):
             report["backend"] = backend_health()
         return report
+
+    def stats_report(self) -> dict:
+        """The JSON ``STATS`` body: server identity, admission stats,
+        the flat metrics snapshot, the telemetry summary, the most
+        recent sampled traces and the slow-query log tail."""
+        return {
+            "server": {
+                "state": "ok" if self._running else "closed",
+                "address": list(self._address) if self._address else None,
+                "protocol_version": protocol.PROTOCOL_VERSION,
+            },
+            "stats": self.stats.snapshot(),
+            "metrics": self.telemetry.registry.snapshot(),
+            "telemetry": self.telemetry.summary(),
+            "recent_traces": [
+                trace.to_dict() for trace in self.telemetry.traces.recent(8)
+            ],
+            "slow_queries": (
+                self.telemetry.slow_log.recent(8)
+                if self.telemetry.slow_log is not None
+                else []
+            ),
+        }
+
+    def prometheus_text(self) -> str:
+        """The Prometheus text exposition of the unified registry."""
+        return self.telemetry.registry.render_prometheus()
 
 
 class NetServerThread:

@@ -12,15 +12,29 @@ Message types:
   :class:`VersionMismatchError` at the decoder, which the server
   answers with a typed ``ERROR`` frame before closing.
 * ``QUERY``  — a batch of ``(s, t, w)`` queries under one client-chosen
-  request id (``u32 request_id | u32 count | count × (i64, i64, f64)``).
+  request id.  Version 2 inserts a trace header after the prefix
+  (``u32 request_id | u32 count | u64 trace_id | u8 flags | count ×
+  (i64, i64, f64)``); version 1 frames carry no trace header and stay
+  decodable (``trace_id`` 0 means "untraced"; :data:`FLAG_SAMPLE` asks
+  the server to record a full span tree for this request).
 * ``ANSWER`` — the distances of one request, in query order
   (``u32 request_id | u32 count | count × f64``).  ``inf`` round-trips
   exactly (IEEE-754 doubles on the wire).
 * ``HEALTH`` — empty-payload request; the response carries the server's
   structured health report as JSON (stats, admission, backend pool).
+* ``STATS``  — telemetry scrape (v2).  The request carries one format
+  byte (:data:`STATS_JSON` or :data:`STATS_PROMETHEUS`; empty payload
+  means JSON); the response echoes the format byte followed by the
+  body — a JSON stats report or the Prometheus text exposition.
 * ``ERROR``  — a typed refusal (``u32 request_id | u8 code | utf-8
   message``).  ``request_id`` is :data:`CONNECTION_SCOPE` for failures
   not tied to one request (malformed frames, version mismatch).
+
+Version compatibility: this build speaks :data:`PROTOCOL_VERSION` (2)
+and still accepts every version in :data:`SUPPORTED_VERSIONS` — a v1
+client's frames decode fine (no trace header, no STATS), and the server
+answers with frames stamped with the *peer's* version so old decoders
+never see a foreign header.
 
 Hard caps guard both sides: a frame's payload may not exceed
 :data:`MAX_PAYLOAD_BYTES` and a ``QUERY`` may not carry more than
@@ -39,19 +53,24 @@ from __future__ import annotations
 import json
 import math
 import struct
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from .errors import ServeError
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "MAGIC",
+    "FLAG_SAMPLE",
     "MSG_HELLO",
     "MSG_QUERY",
     "MSG_ANSWER",
     "MSG_HEALTH",
     "MSG_ERROR",
+    "MSG_STATS",
     "MSG_NAMES",
+    "STATS_JSON",
+    "STATS_PROMETHEUS",
     "ERR_MALFORMED",
     "ERR_OVERLOADED",
     "ERR_QUERY",
@@ -78,16 +97,29 @@ __all__ = [
     "decode_error",
     "encode_health_report",
     "decode_health_report",
+    "encode_stats_request",
+    "decode_stats_request",
+    "encode_stats",
+    "decode_stats",
 ]
 
 #: Protocol version this build speaks (bumped on incompatible changes).
-PROTOCOL_VERSION = 1
+#: v2 added the QUERY trace header and the STATS frame.
+PROTOCOL_VERSION = 2
+
+#: Versions the decoder still accepts (v1 peers get v1 answers).
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Frame magic: ``"WQ"`` big-endian (WC-INDEX query protocol).
 MAGIC = 0x5751
 
+#: QUERY trace-header flag: the client asks for this request to be
+#: traced regardless of the server's sampling rate.
+FLAG_SAMPLE = 0x01
+
 _HEADER = struct.Struct("!HBBI")
 _QUERY_PREFIX = struct.Struct("!II")
+_QUERY_TRACE = struct.Struct("!QB")
 _QUERY_ITEM = struct.Struct("!qqd")
 _ANSWER_PREFIX = struct.Struct("!II")
 _ERROR_PREFIX = struct.Struct("!IB")
@@ -106,6 +138,7 @@ MSG_QUERY = 2
 MSG_ANSWER = 3
 MSG_HEALTH = 4
 MSG_ERROR = 5
+MSG_STATS = 6
 
 MSG_NAMES = {
     MSG_HELLO: "HELLO",
@@ -113,7 +146,12 @@ MSG_NAMES = {
     MSG_ANSWER: "ANSWER",
     MSG_HEALTH: "HEALTH",
     MSG_ERROR: "ERROR",
+    MSG_STATS: "STATS",
 }
+
+# STATS payload formats.
+STATS_JSON = 0
+STATS_PROMETHEUS = 1
 
 # ERROR frame codes.
 ERR_MALFORMED = 1
@@ -149,21 +187,27 @@ class VersionMismatchError(ProtocolError):
     """The peer speaks an unsupported protocol version."""
 
     def __init__(self, peer_version: int) -> None:
+        supported = "/".join(str(v) for v in SUPPORTED_VERSIONS)
         super().__init__(
             f"peer speaks protocol version {peer_version}, "
-            f"this build speaks {PROTOCOL_VERSION}"
+            f"this build speaks {supported}"
         )
         self.peer_version = peer_version
 
 
 class Frame:
-    """One decoded frame: message type + raw payload bytes."""
+    """One decoded frame: message type + raw payload bytes, plus the
+    header version it arrived with (so servers can answer v1 peers with
+    v1 frames)."""
 
-    __slots__ = ("msg_type", "payload")
+    __slots__ = ("msg_type", "payload", "version")
 
-    def __init__(self, msg_type: int, payload: bytes) -> None:
+    def __init__(
+        self, msg_type: int, payload: bytes, version: int = PROTOCOL_VERSION
+    ) -> None:
         self.msg_type = msg_type
         self.payload = payload
+        self.version = version
 
     def __eq__(self, other) -> bool:
         return (
@@ -226,7 +270,7 @@ class FrameDecoder:
                 raise ProtocolError(
                     f"bad frame magic 0x{magic:04x} (expected 0x{MAGIC:04x})"
                 )
-            if version != PROTOCOL_VERSION:
+            if version not in SUPPORTED_VERSIONS:
                 raise VersionMismatchError(version)
             if msg_type not in MSG_NAMES:
                 raise ProtocolError(f"unknown message type {msg_type}")
@@ -239,16 +283,18 @@ class FrameDecoder:
                 return frames
             payload = bytes(self._buffer[_HEADER.size:_HEADER.size + size])
             del self._buffer[:_HEADER.size + size]
-            frames.append(Frame(msg_type, payload))
+            frames.append(Frame(msg_type, payload, version))
 
 
 # ----------------------------------------------------------------------
 # Payload codecs
 # ----------------------------------------------------------------------
-def encode_hello(info: dict) -> bytes:
+def encode_hello(info: dict, *, version: int = PROTOCOL_VERSION) -> bytes:
     """HELLO frame: JSON identity blob (protocol version, peer name)."""
     return encode_frame(
-        MSG_HELLO, json.dumps(info, sort_keys=True).encode("utf-8")
+        MSG_HELLO,
+        json.dumps(info, sort_keys=True).encode("utf-8"),
+        version=version,
     )
 
 
@@ -265,9 +311,19 @@ def decode_hello(payload: bytes) -> dict:
 
 
 def encode_query(
-    request_id: int, queries: Sequence[Tuple[int, int, float]]
+    request_id: int,
+    queries: Sequence[Tuple[int, int, float]],
+    *,
+    trace_id: int = 0,
+    flags: int = 0,
+    version: int = PROTOCOL_VERSION,
 ) -> bytes:
-    """QUERY frame: one request id + its ``(s, t, w)`` batch."""
+    """QUERY frame: one request id + its ``(s, t, w)`` batch.
+
+    Version 2 carries a trace header (``trace_id`` 0 = untraced;
+    :data:`FLAG_SAMPLE` forces a span tree).  Version 1 has no place
+    for it — asking for one there is a caller bug, not a silent drop.
+    """
     if not 0 <= request_id < CONNECTION_SCOPE:
         raise ProtocolError(f"request id {request_id} out of range")
     if len(queries) > MAX_QUERIES_PER_FRAME:
@@ -276,13 +332,30 @@ def encode_query(
             f"{MAX_QUERIES_PER_FRAME}; split the batch"
         )
     parts = [_QUERY_PREFIX.pack(request_id, len(queries))]
+    if version >= 2:
+        if not 0 <= trace_id < (1 << 64):
+            raise ProtocolError(f"trace id {trace_id} out of range")
+        if not 0 <= flags < 256:
+            raise ProtocolError(f"trace flags {flags} out of range")
+        parts.append(_QUERY_TRACE.pack(trace_id, flags))
+    elif trace_id or flags:
+        raise ProtocolError(
+            "protocol version 1 QUERY frames cannot carry a trace header"
+        )
     pack = _QUERY_ITEM.pack
     for s, t, w in queries:
         parts.append(pack(s, t, w))
-    return encode_frame(MSG_QUERY, b"".join(parts))
+    return encode_frame(MSG_QUERY, b"".join(parts), version=version)
 
 
-def decode_query(payload: bytes) -> Tuple[int, List[Tuple[int, int, float]]]:
+def decode_query(
+    payload: bytes, *, version: int = PROTOCOL_VERSION
+) -> Tuple[int, List[Tuple[int, int, float]], Optional[Tuple[int, int]]]:
+    """Decode a QUERY payload of the given header version.
+
+    Returns ``(request_id, queries, trace)`` where ``trace`` is ``None``
+    for v1 frames and ``(trace_id, flags)`` for v2.
+    """
     if len(payload) < _QUERY_PREFIX.size:
         raise ProtocolError("truncated QUERY payload: missing prefix")
     request_id, count = _QUERY_PREFIX.unpack_from(payload)
@@ -291,7 +364,14 @@ def decode_query(payload: bytes) -> Tuple[int, List[Tuple[int, int, float]]]:
             f"QUERY declares {count} queries; the per-frame cap is "
             f"{MAX_QUERIES_PER_FRAME}"
         )
-    expected = _QUERY_PREFIX.size + count * _QUERY_ITEM.size
+    trace: Optional[Tuple[int, int]] = None
+    body_at = _QUERY_PREFIX.size
+    if version >= 2:
+        if len(payload) < _QUERY_PREFIX.size + _QUERY_TRACE.size:
+            raise ProtocolError("truncated QUERY payload: missing trace header")
+        trace = _QUERY_TRACE.unpack_from(payload, _QUERY_PREFIX.size)
+        body_at += _QUERY_TRACE.size
+    expected = body_at + count * _QUERY_ITEM.size
     if len(payload) != expected:
         raise ProtocolError(
             f"QUERY of {count} queries must carry {expected} bytes, "
@@ -299,18 +379,23 @@ def decode_query(payload: bytes) -> Tuple[int, List[Tuple[int, int, float]]]:
         )
     queries = [
         (s, t, w)
-        for s, t, w in _QUERY_ITEM.iter_unpack(payload[_QUERY_PREFIX.size:])
+        for s, t, w in _QUERY_ITEM.iter_unpack(payload[body_at:])
     ]
-    return request_id, queries
+    return request_id, queries, trace
 
 
-def encode_answer(request_id: int, answers: Iterable[float]) -> bytes:
+def encode_answer(
+    request_id: int,
+    answers: Iterable[float],
+    *,
+    version: int = PROTOCOL_VERSION,
+) -> bytes:
     """ANSWER frame: the distances of one request, in query order."""
     answers = list(answers)
     payload = _ANSWER_PREFIX.pack(request_id, len(answers)) + struct.pack(
         f"!{len(answers)}d", *answers
     )
-    return encode_frame(MSG_ANSWER, payload)
+    return encode_frame(MSG_ANSWER, payload, version=version)
 
 
 def decode_answer(payload: bytes) -> Tuple[int, List[float]]:
@@ -329,7 +414,13 @@ def decode_answer(payload: bytes) -> Tuple[int, List[float]]:
     return request_id, answers
 
 
-def encode_error(request_id: int, code: int, message: str) -> bytes:
+def encode_error(
+    request_id: int,
+    code: int,
+    message: str,
+    *,
+    version: int = PROTOCOL_VERSION,
+) -> bytes:
     """ERROR frame: a typed refusal (:data:`CONNECTION_SCOPE` request id
     for failures not tied to one request)."""
     if code not in ERROR_NAMES:
@@ -337,6 +428,7 @@ def encode_error(request_id: int, code: int, message: str) -> bytes:
     return encode_frame(
         MSG_ERROR,
         _ERROR_PREFIX.pack(request_id, code) + message.encode("utf-8"),
+        version=version,
     )
 
 
@@ -365,11 +457,14 @@ def _sanitize(value):
     return value
 
 
-def encode_health_report(report: dict) -> bytes:
+def encode_health_report(
+    report: dict, *, version: int = PROTOCOL_VERSION
+) -> bytes:
     """HEALTH response frame: the structured report as strict JSON."""
     return encode_frame(
         MSG_HEALTH,
         json.dumps(_sanitize(report), sort_keys=True).encode("utf-8"),
+        version=version,
     )
 
 
@@ -385,3 +480,80 @@ def decode_health_report(payload: bytes) -> dict:
             f"HEALTH payload must be a JSON object, got {type(report).__name__}"
         )
     return report
+
+
+_STATS_FORMATS = (STATS_JSON, STATS_PROMETHEUS)
+
+
+def encode_stats_request(
+    fmt: int = STATS_JSON, *, version: int = PROTOCOL_VERSION
+) -> bytes:
+    """STATS request frame: one format byte."""
+    if fmt not in _STATS_FORMATS:
+        raise ProtocolError(f"unknown STATS format {fmt}")
+    return encode_frame(MSG_STATS, bytes([fmt]), version=version)
+
+
+def decode_stats_request(payload: bytes) -> int:
+    """The requested format of a STATS request (empty payload = JSON)."""
+    if not payload:
+        return STATS_JSON
+    if len(payload) != 1:
+        raise ProtocolError(
+            f"STATS request payload must be empty or one format byte, "
+            f"got {len(payload)} bytes"
+        )
+    fmt = payload[0]
+    if fmt not in _STATS_FORMATS:
+        raise ProtocolError(f"unknown STATS format {fmt}")
+    return fmt
+
+
+def encode_stats(
+    fmt: int,
+    report: Union[dict, str],
+    *,
+    version: int = PROTOCOL_VERSION,
+) -> bytes:
+    """STATS response frame: format byte + body (sanitized JSON report
+    or the Prometheus text exposition)."""
+    if fmt == STATS_JSON:
+        if not isinstance(report, dict):
+            raise ProtocolError(
+                f"JSON STATS body must be a dict, got {type(report).__name__}"
+            )
+        body = json.dumps(_sanitize(report), sort_keys=True).encode("utf-8")
+    elif fmt == STATS_PROMETHEUS:
+        if not isinstance(report, str):
+            raise ProtocolError(
+                f"Prometheus STATS body must be text, got "
+                f"{type(report).__name__}"
+            )
+        body = report.encode("utf-8")
+    else:
+        raise ProtocolError(f"unknown STATS format {fmt}")
+    return encode_frame(MSG_STATS, bytes([fmt]) + body, version=version)
+
+
+def decode_stats(payload: bytes) -> Tuple[int, Union[dict, str]]:
+    """Decode a STATS response: ``(format, report-dict | text)``."""
+    if not payload:
+        raise ProtocolError("truncated STATS payload: missing format byte")
+    fmt = payload[0]
+    if fmt not in _STATS_FORMATS:
+        raise ProtocolError(f"unknown STATS format {fmt}")
+    body = payload[1:]
+    if fmt == STATS_PROMETHEUS:
+        try:
+            return fmt, body.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"malformed STATS text body: {exc}") from None
+    try:
+        report = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"malformed STATS payload: {exc}") from None
+    if not isinstance(report, dict):
+        raise ProtocolError(
+            f"STATS payload must be a JSON object, got {type(report).__name__}"
+        )
+    return fmt, report

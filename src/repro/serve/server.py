@@ -55,13 +55,13 @@ import queue as queue_module
 import signal
 import threading
 import time
-import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.kernels import resolve_backend
 from .errors import PoolUnavailableError, QueryTimeoutError, ServeError
 from .health import closed_report, epoch_of, pool_report
 from .shm import ShmIndexImage, attach_image
+from .stats import BatchSizeHistogram
 
 __all__ = [
     "QueryServer",
@@ -234,6 +234,12 @@ class QueryServer:
         self._supervisor = None
         #: Answer caches notified on every swap_image (republish).
         self._caches: List[object] = []
+        #: Dispatch bookkeeping: how the pool splits and reroutes work
+        #: (the kernel-batch-size signal; surfaced by :meth:`health` and
+        #: the metrics bridge).
+        self._chunk_sizes = BatchSizeHistogram()
+        self._chunks_dispatched = 0
+        self._redispatches = 0
         #: Serializes structural mutation of the worker table (dispatch,
         #: respawn, swap, close) against the supervisor thread.
         self._lock = threading.RLock()
@@ -444,6 +450,7 @@ class QueryServer:
         chunk_size: Optional[int] = None,
         timeout: Optional[float] = None,
         retries: Optional[int] = None,
+        trace_sink=None,
     ) -> List[float]:
         """Answer a batch of ``(s, t, w)`` queries, preserving order.
 
@@ -460,6 +467,11 @@ class QueryServer:
         left) — or, with ``fallback=True``, the unanswered chunks are
         answered in-process off the shared image and the batch still
         returns.  A dead pool always fails fast, never blocks.
+
+        ``trace_sink`` (a ``sink(name, start, end, **meta)`` callable)
+        receives one ``pool-dispatch`` span covering the fan-out and
+        gather of this batch — the worker-job-protocol leg of a sampled
+        per-query trace.
         """
         if self._image is None:
             raise RuntimeError("query server is closed")
@@ -472,6 +484,7 @@ class QueryServer:
         queries = list(queries)
         if not queries:
             return []
+        dispatch_start = time.monotonic() if trace_sink is not None else 0.0
         live = self._live_workers()
         if not live:
             return self._answer_in_process(
@@ -521,6 +534,15 @@ class QueryServer:
                 raise RuntimeError(f"query worker failed: {payload}")
             answers[chunk.start:chunk.start + len(payload)] = payload
             pending.discard(chunk)
+        if trace_sink is not None:
+            trace_sink(
+                "pool-dispatch",
+                dispatch_start,
+                time.monotonic(),
+                chunks=len(chunks),
+                chunk_size=chunk_size,
+                workers=len(live),
+            )
         return answers
 
     def _dispatch(
@@ -539,12 +561,16 @@ class QueryServer:
             slot, process = live[next(self._round_robin) % len(live)]
             job_id = self._next_job
             self._next_job += 1
+            self._chunks_dispatched += 1
+            if chunk.attempts:
+                self._redispatches += 1
             chunk.attempts += 1
             chunk.owner = process
             chunk.deadline = (
                 time.monotonic() + timeout if timeout is not None else None
             )
             jobs[job_id] = chunk
+            self._chunk_sizes.observe(len(chunk.queries))
             self._task_queues[slot].put((job_id, "query", chunk.queries))
             return True
 
@@ -760,11 +786,25 @@ class QueryServer:
     def closed(self) -> bool:
         return self._image is None
 
+    def dispatch_snapshot(self) -> dict:
+        """The pool's dispatch bookkeeping: chunks handed to workers,
+        redispatches (repairs after a death or deadline miss), and the
+        power-of-two chunk-size histogram."""
+        with self._lock:
+            chunks = self._chunks_dispatched
+            redispatches = self._redispatches
+        return {
+            "chunks": chunks,
+            "redispatches": redispatches,
+            "chunk_sizes": self._chunk_sizes.snapshot(),
+        }
+
     def health(self) -> dict:
         """The one structured pool snapshot (:mod:`repro.serve.health`):
         overall state, segment/epoch, kernel, and per-worker liveness —
-        with restart counts and backoff states when supervised, and the
-        attached answer cache's counters under ``"cache"``."""
+        with restart counts and backoff states when supervised, the
+        attached answer cache's counters under ``"cache"``, and the
+        dispatch bookkeeping under ``"dispatch"``."""
         if self._supervisor is not None:
             report = self._supervisor.health()
         elif self._image is None:
@@ -778,26 +818,8 @@ class QueryServer:
             )
         if self._caches:
             report["cache"] = self._caches[0].snapshot()
+        report["dispatch"] = self.dispatch_snapshot()
         return report
-
-    def basic_health(self) -> dict:
-        """Deprecated alias of :meth:`health` (the historic name of the
-        unsupervised snapshot; the shapes were consolidated in
-        :mod:`repro.serve.health`)."""
-        warnings.warn(
-            "QueryServer.basic_health() is deprecated; use health() — "
-            "the supervised and unsupervised reports now share one shape",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if self._image is None:
-            return closed_report(kernel=self._kernel, supervised=False)
-        return pool_report(
-            segment=self._image.name,
-            kernel=self._kernel,
-            workers=self.worker_states(),
-            supervised=False,
-        )
 
     def close(self) -> None:
         """Shut the pool down and release/unlink the shared segment

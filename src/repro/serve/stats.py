@@ -1,16 +1,23 @@
-"""Lightweight rolling-window serving statistics.
+"""Serving statistics on the unified metrics registry.
 
-The network front door wants to answer "how is serving *right now*"
-without a metrics dependency: :class:`LatencyWindow` keeps the last N
-latency samples inside a sliding time window and reports nearest-rank
-percentiles; :class:`BatchSizeHistogram` buckets coalesced batch sizes
-by powers of two (the micro-batcher's effectiveness at a glance);
-:class:`ServerStats` composes both with the admission counters and the
-queue-depth gauge into the snapshot the ``HEALTH`` frame and the CLI
-status line serve.
+:class:`ServerStats` is the network front door's admission bookkeeping,
+now carried by :mod:`repro.obs.metrics` primitives — the counters are
+registry ``Counter``s (``repro_queries_*_total``), the gauges registry
+``Gauge``s (``repro_queue_depth``, ``repro_connections``), and every
+answer latency / coalesced batch size also lands in a fixed-bucket
+registry ``Histogram`` (``repro_request_latency_seconds``,
+``repro_batch_size``) so scrapes get cumulative time-series shapes.
 
-Everything here is O(window) memory, lock-guarded (the asyncio loop and
-the CLI status thread both read), and stdlib-only.
+Two windowed views survive alongside the cumulative metrics because
+they answer a different question — "how is serving *right now*":
+:class:`LatencyWindow` keeps the last N latency samples inside a
+sliding time window and reports nearest-rank percentiles;
+:class:`BatchSizeHistogram` buckets coalesced batch sizes by powers of
+two.  ``snapshot()`` keeps its pre-registry shape, so the ``HEALTH``
+frame and the CLI status line are unchanged.
+
+Everything here is O(window) memory, lock-guarded (the asyncio loop,
+executor threads and the scrape path all read), and stdlib-only.
 """
 
 from __future__ import annotations
@@ -19,6 +26,8 @@ import threading
 import time
 from collections import deque
 from typing import Dict, List, Optional, Sequence
+
+from ..obs.metrics import BATCH_SIZE_BUCKETS, Histogram, MetricsRegistry
 
 __all__ = [
     "percentile",
@@ -34,8 +43,16 @@ DEFAULT_PERCENTILES = (50.0, 95.0, 99.0)
 def percentile(sorted_samples: Sequence[float], p: float) -> float:
     """Nearest-rank percentile of an already-sorted sample list.
 
-    ``p`` is in [0, 100].  Empty input returns ``nan`` — a window with
-    no traffic has no latency, and ``nan`` is honest about it.
+    ``p`` is in [0, 100].  Edge cases are deliberate and documented:
+
+    * **empty input returns ``nan``** — a window with no traffic has no
+      latency, and ``nan`` is honest about it (it propagates through
+      arithmetic and JSON-sanitizes visibly, where a silent ``0`` would
+      read as "blazing fast");
+    * **a single sample is every percentile of itself** — nearest-rank
+      over ``[x]`` returns ``x`` for any ``p``, so a one-request window
+      reports ``p50 == p95 == p99 == x`` rather than raising or
+      interpolating against nothing.
     """
     if not 0.0 <= p <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {p}")
@@ -54,6 +71,10 @@ class LatencyWindow:
     percentiles reflect current silence, not last hour's burst) and the
     deque caps memory under sustained load.  ``observe`` is O(1);
     ``snapshot`` sorts the live window (O(n log n), n <= max_samples).
+
+    Edge cases (see :func:`percentile`): an empty window snapshots with
+    ``count == 0`` and ``nan`` for the mean and every percentile; a
+    single-sample window reports that sample as every percentile.
     """
 
     def __init__(
@@ -99,7 +120,8 @@ class LatencyWindow:
         now: Optional[float] = None,
     ) -> Dict[str, float]:
         """``{"count", "mean_ms", "p50_ms", "p95_ms", "p99_ms"}`` of the
-        live window (latencies reported in milliseconds)."""
+        live window (latencies reported in milliseconds; ``nan``
+        sentinels when the window is empty — see :func:`percentile`)."""
         live = sorted(self._live(now))
         report: Dict[str, float] = {"count": len(live)}
         report["mean_ms"] = (
@@ -117,14 +139,17 @@ class BatchSizeHistogram:
     Bucket ``k`` counts batches of ``2^(k-1) < size <= 2^k`` (bucket 1
     is exactly size 1) — wide enough to read micro-batching behaviour,
     cheap enough to keep forever (no windowing: the shape, not the
-    rate, is the signal).
+    rate, is the signal).  ``mirror`` is an optional registry
+    :class:`~repro.obs.metrics.Histogram` that receives every
+    observation too (``ServerStats`` wires ``repro_batch_size``).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, mirror: Optional[Histogram] = None) -> None:
         self._buckets: Dict[int, int] = {}
         self._lock = threading.Lock()
         self._batches = 0
         self._queries = 0
+        self._mirror = mirror
 
     def observe(self, size: int) -> None:
         if size < 1:
@@ -136,6 +161,8 @@ class BatchSizeHistogram:
             self._buckets[ceiling] = self._buckets.get(ceiling, 0) + 1
             self._batches += 1
             self._queries += size
+        if self._mirror is not None:
+            self._mirror.observe(size)
 
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
@@ -162,73 +189,110 @@ class ServerStats:
     * ``queue_depth`` gauges queries admitted but not yet answered.
     * ``latency`` is the admission-to-answer :class:`LatencyWindow` of
       admitted queries; ``batch_sizes`` the coalescing histogram.
+
+    All of it lives on a :class:`~repro.obs.metrics.MetricsRegistry`
+    (pass one to share it with tracing and the bridge collectors, or
+    let the stats own a private one): the counters are
+    ``repro_queries_{admitted,answered,failed,shed}_total``, the gauges
+    ``repro_queue_depth`` / ``repro_connections``, and every answer
+    also lands in the ``repro_request_latency_seconds`` and
+    ``repro_batch_size`` histograms.  One outer lock still spans each
+    multi-metric update, so the invariant holds at every snapshot.
     """
 
     def __init__(
-        self, *, max_samples: int = 4096, window_seconds: float = 60.0
+        self,
+        *,
+        max_samples: int = 4096,
+        window_seconds: float = 60.0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.latency = LatencyWindow(
             max_samples=max_samples, window_seconds=window_seconds
         )
-        self.batch_sizes = BatchSizeHistogram()
+        self._latency_hist = self.registry.histogram(
+            "repro_request_latency_seconds",
+            "Admission-to-answer latency of admitted queries",
+        )
+        self.batch_sizes = BatchSizeHistogram(
+            mirror=self.registry.histogram(
+                "repro_batch_size",
+                "Coalesced batch sizes dispatched to the backend",
+                buckets=BATCH_SIZE_BUCKETS,
+            )
+        )
         self._lock = threading.Lock()
-        self._admitted = 0
-        self._answered = 0
-        self._failed = 0
-        self._shed = 0
-        self._connections = 0
-        self._in_flight = 0
+        self._admitted = self.registry.counter(
+            "repro_queries_admitted_total", "Queries accepted by admission"
+        )
+        self._answered = self.registry.counter(
+            "repro_queries_answered_total", "Queries answered successfully"
+        )
+        self._failed = self.registry.counter(
+            "repro_queries_failed_total", "Admitted queries that failed"
+        )
+        self._shed = self.registry.counter(
+            "repro_queries_shed_total", "Queries refused at admission"
+        )
+        self._queue_depth = self.registry.gauge(
+            "repro_queue_depth", "Queries admitted but not yet answered"
+        )
+        self._connection_gauge = self.registry.gauge(
+            "repro_connections", "Open client connections"
+        )
 
     # -- counters ------------------------------------------------------
     def admit(self, queries: int) -> None:
         with self._lock:
-            self._admitted += queries
-            self._in_flight += queries
+            self._admitted.inc(queries)
+            self._queue_depth.inc(queries)
 
     def answer(self, queries: int, seconds: float) -> None:
         with self._lock:
-            self._answered += queries
-            self._in_flight -= queries
+            self._answered.inc(queries)
+            self._queue_depth.dec(queries)
         self.latency.observe(seconds)
+        self._latency_hist.observe(seconds)
 
     def fail(self, queries: int) -> None:
         with self._lock:
-            self._failed += queries
-            self._in_flight -= queries
+            self._failed.inc(queries)
+            self._queue_depth.dec(queries)
 
     def shed(self, queries: int) -> None:
         with self._lock:
-            self._shed += queries
+            self._shed.inc(queries)
 
     def connection_opened(self) -> None:
         with self._lock:
-            self._connections += 1
+            self._connection_gauge.inc()
 
     def connection_closed(self) -> None:
         with self._lock:
-            self._connections -= 1
+            self._connection_gauge.dec()
 
     # -- gauges --------------------------------------------------------
     @property
     def in_flight(self) -> int:
         with self._lock:
-            return self._in_flight
+            return int(self._queue_depth.value)
 
     @property
     def connections(self) -> int:
         with self._lock:
-            return self._connections
+            return int(self._connection_gauge.value)
 
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
             counters = {
-                "admitted": self._admitted,
-                "answered": self._answered,
-                "failed": self._failed,
-                "shed": self._shed,
+                "admitted": int(self._admitted.value),
+                "answered": int(self._answered.value),
+                "failed": int(self._failed.value),
+                "shed": int(self._shed.value),
             }
-            queue_depth = self._in_flight
-            connections = self._connections
+            queue_depth = int(self._queue_depth.value)
+            connections = int(self._connection_gauge.value)
         return {
             "queries": counters,
             "queue_depth": queue_depth,

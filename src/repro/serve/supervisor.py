@@ -182,6 +182,12 @@ class Supervisor:
     def total_restarts(self) -> int:
         return sum(self._restarts)
 
+    @property
+    def restart_counts(self) -> List[int]:
+        """Per-slot respawn totals (a copy; the metrics bridge reads
+        this at scrape time)."""
+        return list(self._restarts)
+
     def reset(self) -> None:
         """Re-arm an open circuit breaker and forget the restart history."""
         self._events.clear()

@@ -164,3 +164,41 @@ class TestLoadReport:
         )
         assert math.isnan(report.p99_ms)
         assert report.throughput_qps == 0.0
+
+
+class TestServerSnapshot:
+    def test_snapshot_lands_on_the_report(self, frozen, workload):
+        def snapshot():
+            return {
+                "stats": {
+                    "latency": {"p50_ms": 0.1, "p95_ms": 0.2, "p99_ms": 0.3},
+                    "queries": {"answered": 7, "shed": 1},
+                }
+            }
+
+        report = closed_loop(
+            lambda: InProcessClient(frozen),
+            workload,
+            clients=1,
+            duration_s=0.1,
+            server_snapshot=snapshot,
+        )
+        assert report.server_latency()["p99_ms"] == 0.3
+        text = report.format()
+        assert "server  p50=0.100ms" in text
+        assert "answered=7 shed=1" in text
+
+    def test_dead_server_loses_the_row_not_the_report(self, frozen, workload):
+        def snapshot():
+            raise OSError("connection refused")
+
+        report = closed_loop(
+            lambda: InProcessClient(frozen),
+            workload,
+            clients=1,
+            duration_s=0.1,
+            server_snapshot=snapshot,
+        )
+        assert report.server_metrics is None
+        assert report.server_latency() == {}
+        assert "server " not in report.format()

@@ -1,0 +1,71 @@
+"""Tests for the periodic JSONL metrics exporter and the collector
+bindings that expose serving components at scrape time."""
+
+import json
+
+from repro.obs.export import JsonlExporter, bind_cache
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestJsonlExporter:
+    def test_stop_flushes_a_final_snapshot(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("q_total").inc(5)
+        path = tmp_path / "metrics.jsonl"
+        exporter = JsonlExporter(registry, path, interval_s=3600.0)
+        exporter.start()
+        exporter.stop()
+        lines = path.read_text().splitlines()
+        assert lines
+        row = json.loads(lines[-1])
+        assert row["metrics"]["q_total"] == 5
+        assert row["ts"] > 0
+
+    def test_lines_accumulate_across_runs(self, tmp_path):
+        registry = MetricsRegistry()
+        counter = registry.counter("q_total")
+        path = tmp_path / "metrics.jsonl"
+        for value in (1, 2):
+            counter.inc()
+            exporter = JsonlExporter(registry, path, interval_s=3600.0)
+            exporter.start()
+            exporter.stop()
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        totals = [row["metrics"]["q_total"] for row in rows]
+        assert totals[-1] == 2
+        assert totals == sorted(totals)  # append-only, monotonic counter
+
+
+class TestCollectorBindings:
+    def test_bound_cache_reports_at_scrape_time(self):
+        class FakeCache:
+            def snapshot(self):
+                return {
+                    "hits": 7,
+                    "misses": 3,
+                    "evictions": 1,
+                    "invalidations": 0,
+                    "invalidated_entries": 0,
+                    "flushes": 0,
+                    "entries": 4,
+                    "capacity": 16,
+                    "generation": 2,
+                    "suspended": 0,
+                }
+
+        registry = MetricsRegistry()
+        bind_cache(registry, FakeCache())
+        snap = registry.snapshot()
+        assert snap["repro_cache_hits_total"] == 7
+        assert snap["repro_cache_misses_total"] == 3
+        assert snap["repro_cache_entries"] == 4
+
+    def test_torn_down_component_does_not_kill_the_scrape(self):
+        class Broken:
+            def snapshot(self):
+                raise RuntimeError("cache detached")
+
+        registry = MetricsRegistry()
+        registry.counter("ok_total").inc()
+        bind_cache(registry, Broken())
+        assert registry.snapshot()["ok_total"] == 1

@@ -1,0 +1,172 @@
+"""Tests for the metrics registry primitives and exposition."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    BATCH_SIZE_BUCKETS,
+    Counter,
+    MetricFamily,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        c = registry.counter("t_total", "help")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_inc_rejected(self):
+        c = Counter("t_total")
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+
+    def test_labeled_children_are_independent(self):
+        registry = MetricsRegistry()
+        c = registry.counter("t_total", "help", labelnames=("shard",))
+        c.labels(shard=0).inc(2)
+        c.labels(shard=1).inc(3)
+        snap = registry.snapshot()
+        assert snap['t_total{shard="0"}'] == 2
+        assert snap['t_total{shard="1"}'] == 3
+
+    def test_labeled_family_refuses_bare_inc(self):
+        registry = MetricsRegistry()
+        c = registry.counter("t_total", "help", labelnames=("shard",))
+        with pytest.raises(ValueError, match="labels"):
+            c.inc()
+
+    def test_concurrent_incs_do_not_drop(self):
+        c = Counter("t_total")
+
+        def worker():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("depth")
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 3
+        g.set(0)
+        assert g.value == 0
+
+    def test_set_function_reads_at_scrape(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("epoch")
+        state = {"epoch": 7}
+        g.set_function(lambda: state["epoch"])
+        assert registry.snapshot()["epoch"] == 7
+        state["epoch"] = 9
+        assert registry.snapshot()["epoch"] == 9
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("size", buckets=(1, 10, 100))
+        for v in (1, 5, 50, 500):
+            h.observe(v)
+        snap = registry.snapshot()
+        assert snap['size_bucket{le="1.0"}'] == 1
+        assert snap['size_bucket{le="10.0"}'] == 2
+        assert snap['size_bucket{le="100.0"}'] == 3
+        assert snap['size_bucket{le="+Inf"}'] == 4
+        assert snap["size_count"] == 4
+        assert snap["size_sum"] == 556
+
+    def test_batch_size_buckets_cover_singletons(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("b", buckets=BATCH_SIZE_BUCKETS)
+        h.observe(1)
+        assert registry.snapshot()['b_bucket{le="1.0"}'] == 1
+
+    def test_empty_bucket_list_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="bucket"):
+            registry.histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total")
+        b = registry.counter("x_total")
+        assert a is b
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_label_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labelnames=("a",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("x_total", labelnames=("b",))
+
+    def test_invalid_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("bad name")
+
+    def test_collector_families_appear_in_both_expositions(self):
+        registry = MetricsRegistry()
+
+        def collect():
+            family = MetricFamily("ext_total", "counter", "external")
+            family.add_sample("", {}, 42)
+            return [family]
+
+        registry.register_collector(collect)
+        assert registry.snapshot()["ext_total"] == 42
+        assert "ext_total 42" in registry.render_prometheus()
+
+    def test_broken_collector_does_not_kill_the_scrape(self):
+        registry = MetricsRegistry()
+        registry.counter("ok_total").inc()
+
+        def broken():
+            raise RuntimeError("component torn down")
+
+        registry.register_collector(broken)
+        assert registry.snapshot()["ok_total"] == 1
+
+
+class TestPrometheusRendering:
+    def test_exposition_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("q_total", "Queries").inc(3)
+        text = registry.render_prometheus()
+        assert "# HELP q_total Queries" in text
+        assert "# TYPE q_total counter" in text
+        assert "q_total 3" in text
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        c = registry.counter("e_total", labelnames=("path",))
+        c.labels(path='a"b\\c\nd').inc()
+        text = registry.render_prometheus()
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_non_finite_values_render_prometheus_style(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("weird")
+        g.set(float("inf"))
+        assert "weird +Inf" in registry.render_prometheus()

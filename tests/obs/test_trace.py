@@ -1,0 +1,178 @@
+"""Tests for spans, traces, the ring buffer, the slow log, sampling."""
+
+import pytest
+
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import (
+    SPAN_NAMES,
+    SlowQueryLog,
+    Trace,
+    TraceBuffer,
+    format_trace,
+    new_trace_id,
+)
+from repro.serve import protocol
+
+
+class TestTraceIds:
+    def test_non_zero_and_distinct(self):
+        ids = {new_trace_id() for _ in range(1000)}
+        assert 0 not in ids
+        assert len(ids) == 1000
+
+    def test_fit_the_wire_field(self):
+        for _ in range(100):
+            assert 0 < new_trace_id() < (1 << 64)
+
+
+class TestTrace:
+    def test_spans_are_relative_to_trace_start(self):
+        trace = Trace(1, 7, 3, start_monotonic=100.0)
+        trace.add_span("queue-wait", 100.0, 100.5)
+        trace.add_span("kernel", 100.5, 101.0)
+        trace.finish(101.25)
+        payload = trace.to_dict()
+        assert payload["total_us"] == pytest.approx(1.25e6)
+        starts = {s["name"]: s["start_us"] for s in payload["spans"]}
+        assert starts["queue-wait"] == pytest.approx(0.0)
+        assert starts["kernel"] == pytest.approx(0.5e6)
+
+    def test_span_sum_counts_top_level_only(self):
+        trace = Trace(1, 0, 1, 0.0)
+        trace.add_span("kernel", 0.0, 1.0)
+        trace.add_span("pool-dispatch", 0.1, 0.9, parent="kernel")
+        trace.finish(1.0)
+        assert trace.span_sum_s(["kernel", "pool-dispatch"]) == pytest.approx(1.0)
+
+    def test_clock_skew_clamps_to_zero(self):
+        trace = Trace(1, 0, 1, 10.0)
+        span = trace.add_span("serialize", 9.0, 8.0)
+        assert span.start_s == 0.0
+        assert span.duration_s == 0.0
+
+    def test_roundtrips_through_dict(self):
+        trace = Trace(0xABC, 4, 2, 0.0)
+        trace.add_span("kernel", 0.0, 0.002, batch_queries=8)
+        trace.meta["cache_hit"] = False
+        trace.finish(0.003)
+        back = Trace.from_dict(trace.to_dict())
+        assert back.trace_id == 0xABC
+        assert back.request_id == 4
+        assert back.meta == {"cache_hit": False}
+        assert back.spans[0].name == "kernel"
+        assert back.spans[0].meta == {"batch_queries": 8}
+        assert back.total_s == pytest.approx(0.003)
+
+
+class TestTraceBuffer:
+    def test_ring_evicts_oldest(self):
+        ring = TraceBuffer(capacity=3)
+        for i in range(5):
+            ring.push(Trace(i + 1, 0, 1, 0.0))
+        assert len(ring) == 3
+        assert [t.trace_id for t in ring.recent(10)] == [3, 4, 5]
+
+    def test_find_by_trace_id(self):
+        ring = TraceBuffer()
+        ring.push(Trace(42, 0, 1, 0.0))
+        assert ring.find(42).trace_id == 42
+        assert ring.find(99) is None
+
+
+class TestSlowQueryLog:
+    def _trace(self, total_s):
+        trace = Trace(1, 0, 1, 0.0)
+        trace.finish(total_s)
+        return trace
+
+    def test_fast_traces_skipped(self):
+        log = SlowQueryLog(threshold_s=0.050)
+        assert log.offer(self._trace(0.001)) is False
+        assert log.recorded == 0
+
+    def test_slow_traces_recorded_and_sunk(self):
+        seen = []
+        log = SlowQueryLog(threshold_s=0.050, sink=seen.append)
+        assert log.offer(self._trace(0.100)) is True
+        assert log.recorded == 1
+        assert seen[0]["total_us"] == pytest.approx(100_000)
+
+    def test_broken_sink_does_not_fail_the_offer(self):
+        def sink(payload):
+            raise OSError("disk full")
+
+        log = SlowQueryLog(threshold_s=0.001, sink=sink)
+        assert log.offer(self._trace(1.0)) is True
+
+
+class TestTelemetrySampling:
+    def test_deterministic_one_in_n(self):
+        telemetry = Telemetry(sample_every=4)
+        decisions = [telemetry.should_sample() for _ in range(16)]
+        assert decisions.count(True) == 4
+
+    def test_flag_forces_sampling(self):
+        telemetry = Telemetry(sample_every=0)
+        assert telemetry.should_sample(protocol.FLAG_SAMPLE) is True
+        assert telemetry.should_sample(0) is False
+
+    def test_flag_value_matches_the_wire(self):
+        # obs must not import serve, so the flag is defined twice; the
+        # two constants must agree or force-sampling silently breaks.
+        from repro.obs.telemetry import FLAG_SAMPLE as OBS_FLAG
+
+        assert OBS_FLAG == protocol.FLAG_SAMPLE
+
+    def test_off_bundle_traces_nothing(self):
+        telemetry = Telemetry.off()
+        assert telemetry.tracing_enabled is False
+        assert telemetry.slow_log is None
+        assert all(not telemetry.should_sample() for _ in range(100))
+
+    def test_finish_trace_lands_in_ring_and_counter(self):
+        telemetry = Telemetry(sample_every=1)
+        trace = telemetry.begin_trace(0, 3, 2, 0.0)
+        assert trace.trace_id != 0  # minted server-side for v1 peers
+        telemetry.finish_trace(trace, 0.010)
+        assert len(telemetry.traces) == 1
+        assert telemetry.summary()["traces_sampled"] == 1
+
+    def test_slow_unsampled_request_gets_a_summary_row(self):
+        telemetry = Telemetry(sample_every=0, slow_ms=10.0)
+        telemetry.observe_unsampled(9, 4, total_s=0.5, queue_wait_s=0.2)
+        rows = telemetry.slow_log.recent()
+        assert len(rows) == 1
+        assert rows[0]["meta"]["sampled"] is False
+        assert rows[0]["spans"][0]["name"] == "queue-wait"
+        assert telemetry.summary()["slow_queries"] == 1
+
+    def test_fast_unsampled_request_is_ignored(self):
+        telemetry = Telemetry(sample_every=0, slow_ms=10.0)
+        telemetry.observe_unsampled(9, 4, total_s=0.001)
+        assert telemetry.slow_log.recent() == []
+
+
+class TestFormatTrace:
+    def test_renders_the_span_tree(self):
+        trace = Trace(0x10, 1, 2, 0.0)
+        trace.add_span("queue-wait", 0.0, 0.001)
+        trace.add_span("kernel", 0.001, 0.004, batch_queries=2)
+        trace.add_span("pool-dispatch", 0.002, 0.003, parent="kernel")
+        trace.finish(0.005)
+        text = format_trace(trace.to_dict())
+        assert "trace 0x10" in text
+        assert "queue-wait" in text
+        assert "#" in text  # the proportional bar
+        kernel_at = text.index("kernel")
+        child_at = text.index("pool-dispatch")
+        assert child_at > kernel_at  # child renders under its parent
+
+    def test_span_glossary_is_stable(self):
+        assert SPAN_NAMES == (
+            "queue-wait",
+            "batch-coalesce",
+            "kernel",
+            "cache-lookup",
+            "pool-dispatch",
+            "serialize",
+        )

@@ -79,13 +79,6 @@ class TestServerIntegration:
         assert report["alive"] == 1
         assert report["supervised"] is False
 
-    def test_basic_health_is_a_deprecated_alias(self, frozen):
-        with QueryServer(frozen, workers=1) as server:
-            expected = server.health()
-            with pytest.warns(DeprecationWarning, match="basic_health"):
-                legacy = server.basic_health()
-        assert legacy == expected
-
     def test_closed_server_reports_closed(self, frozen):
         server = QueryServer(frozen, workers=1)
         server.close()

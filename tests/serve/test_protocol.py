@@ -11,6 +11,7 @@ from hypothesis import given
 from repro.serve import protocol
 from repro.serve.protocol import (
     CONNECTION_SCOPE,
+    FLAG_SAMPLE,
     MAGIC,
     MAX_PAYLOAD_BYTES,
     MAX_QUERIES_PER_FRAME,
@@ -18,6 +19,10 @@ from repro.serve.protocol import (
     MSG_HEALTH,
     MSG_HELLO,
     MSG_QUERY,
+    MSG_STATS,
+    STATS_JSON,
+    STATS_PROMETHEUS,
+    SUPPORTED_VERSIONS,
     Frame,
     FrameDecoder,
     FrameTooLargeError,
@@ -28,12 +33,16 @@ from repro.serve.protocol import (
     decode_health_report,
     decode_hello,
     decode_query,
+    decode_stats,
+    decode_stats_request,
     encode_answer,
     encode_error,
     encode_frame,
     encode_health_report,
     encode_hello,
     encode_query,
+    encode_stats,
+    encode_stats_request,
 )
 
 INF = float("inf")
@@ -49,17 +58,42 @@ def one_frame(data: bytes) -> Frame:
 class TestRoundTrips:
     def test_query(self):
         queries = [(0, 1, 2.0), (5, 9, INF), (-1, 2**62, 0.25)]
-        request_id, decoded = decode_query(
+        request_id, decoded, trace = decode_query(
             one_frame(encode_query(7, queries)).payload
         )
         assert request_id == 7
         assert decoded == queries
+        assert trace == (0, 0)
 
     def test_empty_query_batch(self):
-        request_id, decoded = decode_query(
+        request_id, decoded, trace = decode_query(
             one_frame(encode_query(0, [])).payload
         )
-        assert (request_id, decoded) == (0, [])
+        assert (request_id, decoded, trace) == (0, [], (0, 0))
+
+    def test_query_trace_header_roundtrips(self):
+        payload = one_frame(
+            encode_query(
+                4, [(1, 2, 3.0)], trace_id=0xDEADBEEFCAFE, flags=FLAG_SAMPLE
+            )
+        ).payload
+        request_id, decoded, trace = decode_query(payload)
+        assert request_id == 4
+        assert decoded == [(1, 2, 3.0)]
+        assert trace == (0xDEADBEEFCAFE, FLAG_SAMPLE)
+
+    def test_v1_query_has_no_trace(self):
+        queries = [(0, 1, 2.0)]
+        frame = one_frame(encode_query(7, queries, version=1))
+        assert frame.version == 1
+        request_id, decoded, trace = decode_query(
+            frame.payload, version=frame.version
+        )
+        assert (request_id, decoded, trace) == (7, queries, None)
+
+    def test_v1_query_refuses_trace_header(self):
+        with pytest.raises(ProtocolError, match="version 1"):
+            encode_query(7, [], trace_id=1, version=1)
 
     def test_answer_roundtrips_inf_exactly(self):
         answers = [0.0, 3.0, INF, 1e308, 0.1]
@@ -112,11 +146,12 @@ class TestRoundTrips:
         ),
     )
     def test_query_roundtrip_property(self, request_id, queries):
-        decoded_id, decoded = decode_query(
+        decoded_id, decoded, trace = decode_query(
             one_frame(encode_query(request_id, queries)).payload
         )
         assert decoded_id == request_id
         assert decoded == queries
+        assert trace == (0, 0)
 
     @given(
         request_id=st.integers(min_value=0, max_value=CONNECTION_SCOPE),
@@ -214,13 +249,28 @@ class TestCaps:
 
 class TestMalformedPayloads:
     def test_query_count_payload_mismatch(self):
-        payload = struct.pack("!II", 0, 2) + struct.pack("!qqd", 0, 1, 2.0)
+        payload = (
+            struct.pack("!II", 0, 2)
+            + struct.pack("!QB", 0, 0)
+            + struct.pack("!qqd", 0, 1, 2.0)
+        )
         with pytest.raises(ProtocolError, match="must carry"):
             decode_query(payload)
+
+    def test_v1_query_count_payload_mismatch(self):
+        payload = struct.pack("!II", 0, 2) + struct.pack("!qqd", 0, 1, 2.0)
+        with pytest.raises(ProtocolError, match="must carry"):
+            decode_query(payload, version=1)
 
     def test_query_missing_prefix(self):
         with pytest.raises(ProtocolError, match="truncated"):
             decode_query(b"\x00")
+
+    def test_query_missing_trace_header(self):
+        # A v2 frame whose payload stops after the !II prefix: the
+        # decoder must name the missing trace header, not mis-slice.
+        with pytest.raises(ProtocolError, match="missing trace header"):
+            decode_query(struct.pack("!II", 0, 0))
 
     def test_answer_count_payload_mismatch(self):
         payload = struct.pack("!II", 0, 3) + struct.pack("!d", 1.0)
@@ -257,3 +307,84 @@ class TestMalformedPayloads:
         parsed = json.loads(payload.decode("utf-8"))
         assert parsed == {"p": "inf", "n": 3}
         assert math.isfinite(parsed["n"])
+
+    def test_health_sanitization_roundtrips_nested_structures(self):
+        report = {
+            "latency": {"p50_ms": 1.5, "p99_ms": INF, "samples": []},
+            "workers": [{"slot": 0, "lag": float("nan")}, {"slot": 1}],
+            "neg": -INF,
+        }
+        decoded = decode_health_report(
+            one_frame(encode_health_report(report)).payload
+        )
+        assert decoded["latency"] == {
+            "p50_ms": 1.5, "p99_ms": "inf", "samples": []
+        }
+        assert decoded["workers"] == [
+            {"slot": 0, "lag": "nan"}, {"slot": 1}
+        ]
+        assert decoded["neg"] == "-inf"
+
+
+class TestStatsFrames:
+    def test_supported_versions_cover_both_generations(self):
+        assert SUPPORTED_VERSIONS == (1, 2)
+        assert protocol.PROTOCOL_VERSION == 2
+
+    def test_stats_request_roundtrip(self):
+        for fmt in (STATS_JSON, STATS_PROMETHEUS):
+            frame = one_frame(encode_stats_request(fmt))
+            assert frame.msg_type == MSG_STATS
+            assert decode_stats_request(frame.payload) == fmt
+
+    def test_empty_stats_request_defaults_to_json(self):
+        assert decode_stats_request(b"") == STATS_JSON
+
+    def test_stats_request_rejects_unknown_format(self):
+        with pytest.raises(ProtocolError, match="format"):
+            decode_stats_request(b"\x07")
+
+    def test_stats_request_rejects_trailing_bytes(self):
+        with pytest.raises(ProtocolError):
+            decode_stats_request(b"\x00\x00")
+
+    def test_json_stats_roundtrip_sanitizes_non_finite(self):
+        report = {"stats": {"p99_ms": INF}, "queries": {"admitted": 4}}
+        payload = one_frame(encode_stats(STATS_JSON, report)).payload
+        fmt, decoded = decode_stats(payload)
+        assert fmt == STATS_JSON
+        assert decoded == {"stats": {"p99_ms": "inf"}, "queries": {"admitted": 4}}
+
+    def test_prometheus_stats_roundtrip(self):
+        text = "# TYPE repro_queries_admitted_total counter\n" \
+               "repro_queries_admitted_total 12\n"
+        payload = one_frame(encode_stats(STATS_PROMETHEUS, text)).payload
+        fmt, decoded = decode_stats(payload)
+        assert fmt == STATS_PROMETHEUS
+        assert decoded == text
+
+    def test_encode_stats_rejects_mismatched_body_type(self):
+        with pytest.raises(ProtocolError):
+            encode_stats(STATS_JSON, "not a dict")
+        with pytest.raises(ProtocolError):
+            encode_stats(STATS_PROMETHEUS, {"not": "text"})
+
+    def test_truncated_stats_payload(self):
+        with pytest.raises(ProtocolError, match="truncated STATS"):
+            decode_stats(b"")
+
+    def test_hostile_stats_format_byte(self):
+        with pytest.raises(ProtocolError, match="format"):
+            decode_stats(b"\xff{}")
+
+    def test_hostile_stats_json_body(self):
+        with pytest.raises(ProtocolError):
+            decode_stats(bytes([STATS_JSON]) + b"not json")
+
+    def test_hostile_stats_non_object_json(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_stats(bytes([STATS_JSON]) + b"[1, 2]")
+
+    def test_hostile_stats_bad_utf8(self):
+        with pytest.raises(ProtocolError):
+            decode_stats(bytes([STATS_PROMETHEUS]) + b"\xff\xfe")

@@ -2,6 +2,9 @@
 
 import math
 
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.stats import (
     BatchSizeHistogram,
     LatencyWindow,
@@ -30,6 +33,21 @@ class TestPercentile:
         values = [percentile(samples, p) for p in (10, 50, 90, 99)]
         assert values == sorted(values)
 
+    def test_empty_is_nan_for_every_p(self):
+        # The documented sentinel: no traffic has no latency, and the
+        # nan must not depend on which percentile was asked for.
+        for p in (0.0, 50.0, 99.0, 100.0):
+            assert math.isnan(percentile([], p))
+
+    def test_p_zero_of_single_sample(self):
+        assert percentile([7.0], 0.0) == 7.0
+
+    def test_out_of_range_p_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile([1.0], -0.1)
+
 
 class TestLatencyWindow:
     def test_snapshot_shape(self):
@@ -55,6 +73,26 @@ class TestLatencyWindow:
         for i in range(100):
             window.observe(float(i))
         assert window.snapshot()["count"] == 16
+
+    def test_empty_window_snapshots_nan_sentinels(self):
+        snap = LatencyWindow().snapshot()
+        assert snap["count"] == 0
+        for key in ("mean_ms", "p50_ms", "p95_ms", "p99_ms"):
+            assert math.isnan(snap[key])
+
+    def test_single_sample_is_every_percentile(self):
+        window = LatencyWindow()
+        window.observe(0.004)
+        snap = window.snapshot()
+        assert snap["count"] == 1
+        assert snap["mean_ms"] == snap["p50_ms"] == snap["p99_ms"] == 4.0
+
+    def test_aged_out_window_returns_to_sentinels(self):
+        window = LatencyWindow(window_seconds=5.0)
+        window.observe(0.001, now=0.0)
+        snap = window.snapshot(now=60.0)
+        assert snap["count"] == 0
+        assert math.isnan(snap["p99_ms"])
 
 
 class TestBatchSizeHistogram:
@@ -104,3 +142,32 @@ class TestServerStats:
         stats.connection_closed()
         assert stats.connections == 1
         assert stats.snapshot()["connections"] == 1
+
+    def test_counters_land_on_the_shared_registry(self):
+        registry = MetricsRegistry()
+        stats = ServerStats(registry=registry)
+        stats.admit(3)
+        stats.answer(2, 0.001)
+        stats.fail(1)
+        stats.shed(7)
+        stats.connection_opened()
+        snap = registry.snapshot()
+        assert snap["repro_queries_admitted_total"] == 3
+        assert snap["repro_queries_answered_total"] == 2
+        assert snap["repro_queries_failed_total"] == 1
+        assert snap["repro_queries_shed_total"] == 7
+        assert snap["repro_queue_depth"] == 0
+        assert snap["repro_connections"] == 1
+        assert snap["repro_request_latency_seconds_count"] == 1
+        assert snap["repro_batch_size_count"] == 0
+
+    def test_batch_sizes_mirror_into_the_registry_histogram(self):
+        registry = MetricsRegistry()
+        stats = ServerStats(registry=registry)
+        stats.batch_sizes.observe(3)
+        stats.batch_sizes.observe(100)
+        snap = registry.snapshot()
+        assert snap["repro_batch_size_count"] == 2
+        assert snap["repro_batch_size_sum"] == 103
+        # Window view and cumulative view agree on the count.
+        assert stats.snapshot()["batch_sizes"]["batches"] == 2

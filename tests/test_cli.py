@@ -743,3 +743,68 @@ class TestUpdateCommand:
                 ["update", "--index", str(binary_index), "--graph",
                  str(graph_file), "--updates", str(ops)]
             )
+
+
+class TestTopAndTraceCommands:
+    @pytest.fixture(scope="class")
+    def front(self):
+        from repro.core import build_wc_index_plus
+        from repro.graph.generators import scale_free_network
+        from repro.serve import InProcessClient, NetServerThread
+
+        network = scale_free_network(60, 2, num_qualities=5, seed=3)
+        frozen = build_wc_index_plus(network).freeze()
+        with NetServerThread(InProcessClient(frozen)) as front:
+            yield front
+
+    def _address(self, front):
+        host, port = front.address
+        return f"{host}:{port}"
+
+    def test_top_once_renders_the_dashboard(self, front, capsys):
+        assert main(["top", self._address(front), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "latency ms" in out
+
+    def test_top_once_prometheus_format(self, front, capsys):
+        assert (
+            main(
+                ["top", self._address(front), "--once",
+                 "--format", "prometheus"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "# TYPE repro_queries_answered_total counter" in out
+
+    def test_top_once_json_format(self, front, capsys):
+        import json
+
+        assert (
+            main(["top", self._address(front), "--once", "--format", "json"])
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert "metrics" in report and "stats" in report
+
+    def test_top_bad_address_fails_cleanly(self):
+        with pytest.raises(SystemExit, match="cannot connect"):
+            main(["top", "127.0.0.1:1", "--once"])
+
+    def test_trace_samples_a_query_and_renders_the_tree(self, front, capsys):
+        assert main(["trace", self._address(front), "0", "1", "3.0"]) == 0
+        out = capsys.readouterr().out
+        assert "trace 0x" in out
+        assert "kernel" in out
+        assert "serialize" in out
+
+    def test_trace_last_replays_the_ring(self, front, capsys):
+        assert main(["trace", self._address(front), "0", "1", "3.0"]) == 0
+        capsys.readouterr()
+        assert main(["trace", self._address(front), "--last", "1"]) == 0
+        assert "trace 0x" in capsys.readouterr().out
+
+    def test_trace_needs_queries_or_last(self, front):
+        with pytest.raises(SystemExit, match="--last"):
+            main(["trace", self._address(front)])
